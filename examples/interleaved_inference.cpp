@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Recommendation R1 in practice: co-scheduling computations with
+ * complementary power profiles.
+ *
+ * The paper's Section V-C2 recommendation: "available power headroom can
+ * be fully utilized by concurrently executing computations with
+ * complementary algorithmic and hence complementary power profiles", with
+ * the NanoFlow-style example of memory-bound attention overlapping
+ * compute-bound fully-connected GEMMs.
+ *
+ * This example builds exactly that scenario on the simulated GPU's
+ * hardware queues: a decode-attention-like memory-bound kernel (GEMV
+ * batch) and an FFN-like compute-bound GEMM, run (a) serially and (b)
+ * concurrently, comparing wall time, average power and energy.  The
+ * concurrent schedule finishes faster at higher-but-bounded power — the
+ * complementary-profile win.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "kernels/workloads.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulation.hpp"
+#include "support/table.hpp"
+#include "support/time_types.hpp"
+
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace rt = fingrav::runtime;
+namespace sim = fingrav::sim;
+using namespace fingrav::support::literals;
+
+namespace {
+
+struct ScheduleResult {
+    double wall_ms = 0.0;
+    double avg_power_w = 0.0;
+    double energy_j = 0.0;
+};
+
+/** Run `iters` of [attention, ffn] under a schedule; measure via logger. */
+ScheduleResult
+runSchedule(bool concurrent, int iters, std::uint64_t seed)
+{
+    const auto cfg = sim::mi300xConfig();
+    sim::Simulation node(cfg, seed, 1);
+    rt::HostRuntime host(node, node.forkRng(7));
+
+    // Decode attention behaves like batched GEMV (memory-bound);
+    // the FFN projection is a compute-bound GEMM.
+    const auto attention = fk::makeGemv(8192, cfg);
+    const auto ffn = fk::makeSquareGemm(4096, cfg);
+
+    host.startPowerLog();
+    host.sleep(1_ms);  // let capture engage
+    const auto t0 = host.cpuNowNs();
+    for (int i = 0; i < iters; ++i) {
+        const double warmth = std::min(1.0, i / 3.0);
+        // The FFN dominates the iteration; attention either serializes
+        // with it (queue 0) or overlaps on a second hardware queue.
+        host.launch(ffn->workAt(warmth), 0, /*queue=*/0);
+        for (int a = 0; a < 8; ++a)
+            host.launch(attention->workAt(warmth), 0,
+                        concurrent ? 1 : 0);
+        host.synchronize();
+    }
+    const auto t1 = host.cpuNowNs();
+    host.sleep(1_ms + 100_us);  // close the final window
+    const auto samples = host.stopPowerLog();
+
+    ScheduleResult r;
+    r.wall_ms = static_cast<double>(t1 - t0) / 1e6;
+    double busy_acc = 0.0;
+    std::size_t busy_n = 0;
+    for (const auto& s : samples) {
+        if (s.total_w > 150.0) {  // windows overlapping the workload
+            busy_acc += s.total_w;
+            ++busy_n;
+        }
+        r.energy_j += s.total_w * 1e-3;  // 1 ms windows
+    }
+    r.avg_power_w = busy_n ? busy_acc / static_cast<double>(busy_n) : 0.0;
+    return r;
+}
+
+}  // namespace
+
+int
+main()
+{
+    constexpr int kIters = 24;
+    std::cout << "LLM-serving iteration: 1x FFN GEMM (CB-4K) + 8x decode "
+                 "attention (MB-8K-GEMV), x" << kIters << " iterations\n\n";
+
+    const auto serial = runSchedule(false, kIters, 99);
+    const auto concurrent = runSchedule(true, kIters, 99);
+
+    fs::TableWriter table({"schedule", "wall (ms)", "avg busy power (W)",
+                           "energy (J)"});
+    table.addRow({"serial", fs::TableWriter::num(serial.wall_ms, 2),
+                  fs::TableWriter::num(serial.avg_power_w, 1),
+                  fs::TableWriter::num(serial.energy_j, 2)});
+    table.addRow({"concurrent", fs::TableWriter::num(concurrent.wall_ms, 2),
+                  fs::TableWriter::num(concurrent.avg_power_w, 1),
+                  fs::TableWriter::num(concurrent.energy_j, 2)});
+    table.print(std::cout);
+
+    const double speedup = serial.wall_ms / concurrent.wall_ms;
+    const double headroom =
+        concurrent.avg_power_w - serial.avg_power_w;
+    std::cout << "\nspeedup " << speedup << "x using " << headroom
+              << " W of the available headroom (complementary profiles: "
+                 "the GEMV loads IOD/HBM while the GEMM loads XCD)\n";
+    std::cout << (speedup > 1.1
+                      ? "-> recommendation R1 pays off on this pair\n"
+                      : "-> no win on this pair\n");
+    return 0;
+}

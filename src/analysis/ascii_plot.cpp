@@ -1,0 +1,95 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace fingrav::analysis {
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_(width), height_(height)
+{
+    if (width < 16 || height < 4)
+        support::fatal("AsciiPlot: grid ", width, "x", height, " too small");
+}
+
+void
+AsciiPlot::addSeries(const Series& s, char glyph, std::string legend)
+{
+    layers_.push_back(Layer{s, glyph, std::move(legend)});
+}
+
+void
+AsciiPlot::setYRange(double lo, double hi)
+{
+    if (hi <= lo)
+        support::fatal("AsciiPlot: empty y range");
+    fixed_y_ = true;
+    y_lo_ = lo;
+    y_hi_ = hi;
+}
+
+std::string
+AsciiPlot::render() const
+{
+    double x_lo = std::numeric_limits<double>::infinity();
+    double x_hi = -x_lo;
+    double y_lo = fixed_y_ ? y_lo_ : std::numeric_limits<double>::infinity();
+    double y_hi = fixed_y_ ? y_hi_ : -std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (const auto& layer : layers_) {
+        for (std::size_t i = 0; i < layer.series.size(); ++i) {
+            any = true;
+            x_lo = std::min(x_lo, layer.series.x[i]);
+            x_hi = std::max(x_hi, layer.series.x[i]);
+            if (!fixed_y_) {
+                y_lo = std::min(y_lo, layer.series.y[i]);
+                y_hi = std::max(y_hi, layer.series.y[i]);
+            }
+        }
+    }
+    if (!any)
+        return "(no data)\n";
+    if (x_hi <= x_lo)
+        x_hi = x_lo + 1.0;
+    if (y_hi <= y_lo)
+        y_hi = y_lo + 1.0;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (const auto& layer : layers_) {
+        for (std::size_t i = 0; i < layer.series.size(); ++i) {
+            const double fx = (layer.series.x[i] - x_lo) / (x_hi - x_lo);
+            const double fy = (layer.series.y[i] - y_lo) / (y_hi - y_lo);
+            auto cx = static_cast<std::size_t>(
+                std::round(fx * static_cast<double>(width_ - 1)));
+            auto cy = static_cast<std::size_t>(
+                std::round((1.0 - std::clamp(fy, 0.0, 1.0)) *
+                           static_cast<double>(height_ - 1)));
+            grid[cy][cx] = layer.glyph;
+        }
+    }
+
+    std::ostringstream oss;
+    oss << std::setprecision(4);
+    for (std::size_t r = 0; r < height_; ++r) {
+        if (r == 0) {
+            oss << std::setw(9) << y_hi << " |";
+        } else if (r == height_ - 1) {
+            oss << std::setw(9) << y_lo << " |";
+        } else {
+            oss << std::string(9, ' ') << " |";
+        }
+        oss << grid[r] << "\n";
+    }
+    oss << std::string(10, ' ') << "+" << std::string(width_, '-') << "\n";
+    oss << std::string(11, ' ') << x_lo << " ... " << x_hi << "\n";
+    for (const auto& layer : layers_)
+        oss << "            " << layer.glyph << " = " << layer.legend << "\n";
+    return oss.str();
+}
+
+}  // namespace fingrav::analysis

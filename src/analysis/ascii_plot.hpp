@@ -1,0 +1,60 @@
+#ifndef FINGRAV_ANALYSIS_ASCII_PLOT_HPP_
+#define FINGRAV_ANALYSIS_ASCII_PLOT_HPP_
+
+/**
+ * @file
+ * Terminal scatter plots for the figure benches.
+ *
+ * Each bench regenerates a paper figure; the AsciiPlot renders the series
+ * as a character grid so the *shape* (ramps, spikes, crossovers) is
+ * visible directly in the benchmark output, alongside the CSV dump for
+ * external replotting.
+ */
+
+#include <string>
+#include <vector>
+
+#include "analysis/series.hpp"
+
+namespace fingrav::analysis {
+
+/** Multi-series terminal scatter plot. */
+class AsciiPlot {
+  public:
+    /**
+     * @param width   Plot columns (>= 16).
+     * @param height  Plot rows (>= 4).
+     */
+    AsciiPlot(std::size_t width, std::size_t height);
+
+    /**
+     * Add a series drawn with `glyph`.
+     *
+     * Later series draw over earlier ones where cells collide.
+     */
+    void addSeries(const Series& s, char glyph, std::string legend);
+
+    /** Fix the y-axis range (otherwise auto-scaled to the data). */
+    void setYRange(double lo, double hi);
+
+    /** Render the grid, axes and legend. */
+    std::string render() const;
+
+  private:
+    struct Layer {
+        Series series;
+        char glyph;
+        std::string legend;
+    };
+
+    std::size_t width_;
+    std::size_t height_;
+    std::vector<Layer> layers_;
+    bool fixed_y_ = false;
+    double y_lo_ = 0.0;
+    double y_hi_ = 1.0;
+};
+
+}  // namespace fingrav::analysis
+
+#endif  // FINGRAV_ANALYSIS_ASCII_PLOT_HPP_

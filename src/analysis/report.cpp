@@ -1,0 +1,91 @@
+#include "analysis/report.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "kernels/workloads.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+namespace fingrav::analysis {
+
+Campaign::Campaign(std::uint64_t seed, std::size_t devices,
+                   const sim::MachineConfig& cfg)
+    : cfg_(cfg),
+      sim_(std::make_unique<sim::Simulation>(cfg, seed, devices)),
+      host_(std::make_unique<runtime::HostRuntime>(*sim_,
+                                                   sim_->forkRng(7)))
+{
+}
+
+core::Profiler
+Campaign::profiler(core::ProfilerOptions opts)
+{
+    return core::Profiler(*host_, opts, sim_->forkRng(8));
+}
+
+core::ProfileSet
+Campaign::run(const kernels::KernelModelPtr& kernel,
+              core::ProfilerOptions opts)
+{
+    return profiler(opts).profile(kernel);
+}
+
+core::ProfileSet
+profileOnFreshNode(const std::string& label, std::uint64_t seed,
+                   core::ProfilerOptions opts)
+{
+    const auto cfg = sim::mi300xConfig();
+    const auto kernel = kernels::kernelByLabel(label, cfg);
+    const std::size_t devices = kernel->isCollective() ? 0 : 1;
+    Campaign campaign(seed, devices, cfg);
+    return campaign.run(kernel, opts);
+}
+
+std::string
+summarize(const core::ProfileSet& set)
+{
+    std::ostringstream oss;
+    oss << set.label << ": exec " << set.measured_exec_time.toMicros()
+        << " us, runs " << set.runs_executed << " (golden "
+        << set.binning.golden_runs.size() << ", "
+        << set.binning.outlierCount() << " outliers), SSE idx "
+        << set.sse_exec_index << ", SSP idx " << set.ssp_exec_index
+        << ", LOIs sse/ssp " << set.sse.size() << "/" << set.ssp.size()
+        << ", SSP power " << set.ssp.meanPower() << " W";
+    return oss.str();
+}
+
+void
+dumpProfileCsv(const core::PowerProfile& profile, const std::string& name)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories("fingrav_out", ec);
+    if (ec) {
+        support::warn("dumpProfileCsv: cannot create fingrav_out: ",
+                      ec.message());
+        return;
+    }
+    support::CsvWriter csv({"toi_us", "toi_frac", "run_time_us", "total_w",
+                            "xcd_w", "iod_w", "hbm_w", "run", "exec"});
+    for (const auto& p : profile.points()) {
+        csv.addNumericRow({p.toi_us, p.toi_frac, p.run_time_us,
+                           p.sample.total_w, p.sample.xcd_w, p.sample.iod_w,
+                           p.sample.hbm_w,
+                           static_cast<double>(p.run_index),
+                           static_cast<double>(p.exec_index)});
+    }
+    csv.writeFile("fingrav_out/" + name + ".csv");
+}
+
+void
+printHeader(const std::string& experiment, const std::string& claim)
+{
+    std::cout << "\n=============================================================\n"
+              << experiment << "\n" << claim << "\n"
+              << "=============================================================\n";
+}
+
+}  // namespace fingrav::analysis

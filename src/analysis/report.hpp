@@ -1,0 +1,76 @@
+#ifndef FINGRAV_ANALYSIS_REPORT_HPP_
+#define FINGRAV_ANALYSIS_REPORT_HPP_
+
+/**
+ * @file
+ * Shared experiment scaffolding for the bench binaries.
+ *
+ * Every bench regenerates one paper table or figure: it builds a fresh
+ * simulated node per campaign (deterministic given the seed), runs the
+ * profiler, prints the paper-style rows/series, and dumps CSVs for
+ * external replotting under ./fingrav_out/.
+ */
+
+#include <memory>
+#include <string>
+
+#include "fingrav/profiler.hpp"
+#include "kernels/kernel_model.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulation.hpp"
+#include "support/rng.hpp"
+
+namespace fingrav::analysis {
+
+/** A fresh node + runtime bundle for one profiling campaign. */
+class Campaign {
+  public:
+    /**
+     * @param seed     Root seed (campaigns are bit-reproducible).
+     * @param devices  GPUs to instantiate (0 = full node).
+     * @param cfg      Machine description (default: calibrated MI300X).
+     */
+    explicit Campaign(std::uint64_t seed, std::size_t devices = 1,
+                      const sim::MachineConfig& cfg = sim::mi300xConfig());
+
+    /** The runtime to hand to profilers. */
+    runtime::HostRuntime& host() { return *host_; }
+
+    /** The machine description. */
+    const sim::MachineConfig& config() const { return cfg_; }
+
+    /** Build a profiler over this campaign's runtime. */
+    core::Profiler profiler(core::ProfilerOptions opts = {});
+
+    /** Run a full default-methodology campaign for one kernel. */
+    core::ProfileSet run(const kernels::KernelModelPtr& kernel,
+                         core::ProfilerOptions opts = {});
+
+  private:
+    sim::MachineConfig cfg_;
+    std::unique_ptr<sim::Simulation> sim_;
+    std::unique_ptr<runtime::HostRuntime> host_;
+};
+
+/**
+ * Profile a paper kernel on a fresh node (devices chosen automatically:
+ * full node for collectives, single GPU otherwise).
+ */
+core::ProfileSet profileOnFreshNode(const std::string& label,
+                                    std::uint64_t seed,
+                                    core::ProfilerOptions opts = {});
+
+/** One-line summary of a campaign (label, exec time, LOIs, golden runs). */
+std::string summarize(const core::ProfileSet& set);
+
+/** Dump a profile as CSV under ./fingrav_out/<name>.csv (best effort). */
+void dumpProfileCsv(const core::PowerProfile& profile,
+                    const std::string& name);
+
+/** Print the standard bench header. */
+void printHeader(const std::string& experiment, const std::string& claim);
+
+}  // namespace fingrav::analysis
+
+#endif  // FINGRAV_ANALYSIS_REPORT_HPP_

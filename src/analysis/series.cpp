@@ -1,0 +1,84 @@
+#include "analysis/series.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hpp"
+
+namespace fingrav::analysis {
+
+Series
+toSeries(const core::PowerProfile& profile, core::Rail rail)
+{
+    const auto& pts = profile.points();
+    std::vector<std::size_t> order(pts.size());
+    std::iota(order.begin(), order.end(), 0);
+    const bool timeline =
+        profile.kind() == core::ProfileKind::kTimeline;
+    auto key = [&](std::size_t i) {
+        return timeline ? pts[i].run_time_us : pts[i].toi_us;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return key(a) < key(b); });
+
+    Series s;
+    s.x.reserve(pts.size());
+    s.y.reserve(pts.size());
+    for (std::size_t i : order) {
+        s.x.push_back(key(i));
+        s.y.push_back(core::railValue(pts[i].sample, rail));
+    }
+    return s;
+}
+
+Series
+normalized(Series s, double reference)
+{
+    if (reference <= 0.0)
+        support::fatal("normalized: non-positive reference ", reference);
+    for (double& v : s.y)
+        v /= reference;
+    return s;
+}
+
+double
+meanY(const Series& s)
+{
+    if (s.y.empty())
+        return 0.0;
+    return std::accumulate(s.y.begin(), s.y.end(), 0.0) /
+           static_cast<double>(s.y.size());
+}
+
+double
+maxY(const Series& s)
+{
+    if (s.y.empty())
+        return 0.0;
+    return *std::max_element(s.y.begin(), s.y.end());
+}
+
+Series
+trendSeries(const core::PowerProfile& profile, core::Rail rail,
+            std::size_t degree, std::size_t points)
+{
+    Series out;
+    if (profile.empty() || points < 2)
+        return out;
+    const auto fit = profile.trend(rail, degree);
+    const auto raw = toSeries(profile, rail);
+    const double lo = raw.x.front();
+    const double hi = raw.x.back();
+    out.x.reserve(points);
+    out.y.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x =
+            lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(points - 1);
+        out.x.push_back(x);
+        out.y.push_back(fit.poly(x));
+    }
+    return out;
+}
+
+}  // namespace fingrav::analysis

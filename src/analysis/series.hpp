@@ -1,0 +1,54 @@
+#ifndef FINGRAV_ANALYSIS_SERIES_HPP_
+#define FINGRAV_ANALYSIS_SERIES_HPP_
+
+/**
+ * @file
+ * (x, y) series extraction from power profiles.
+ *
+ * The figure benches plot profiles the way the paper does: LOI power
+ * against TOI (per-execution profiles) or against run time (Fig. 6/8
+ * timelines), optionally normalized to relative power — the paper reports
+ * only relative power data (its footnote 1).
+ */
+
+#include <vector>
+
+#include "fingrav/profile.hpp"
+
+namespace fingrav::analysis {
+
+/** A plottable series. */
+struct Series {
+    std::vector<double> x;
+    std::vector<double> y;
+
+    std::size_t size() const { return x.size(); }
+    bool empty() const { return x.empty(); }
+};
+
+/**
+ * Extract a rail series from a profile, sorted by x.
+ *
+ * X is TOI (us) for SSE/SSP profiles and run time (us) for timelines.
+ */
+Series toSeries(const core::PowerProfile& profile, core::Rail rail);
+
+/** Scale a series' y values by 1/reference (relative power). */
+Series normalized(Series s, double reference);
+
+/** Mean of the y values; 0 when empty. */
+double meanY(const Series& s);
+
+/** Largest y value; 0 when empty. */
+double maxY(const Series& s);
+
+/**
+ * Evaluate a profile's polynomial trend on an even x grid (the paper's
+ * regression-line overlays), returning a dense series of `points` points.
+ */
+Series trendSeries(const core::PowerProfile& profile, core::Rail rail,
+                   std::size_t degree = 4, std::size_t points = 64);
+
+}  // namespace fingrav::analysis
+
+#endif  // FINGRAV_ANALYSIS_SERIES_HPP_

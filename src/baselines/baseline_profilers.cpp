@@ -1,0 +1,89 @@
+#include "baselines/baseline_profilers.hpp"
+
+#include <utility>
+
+namespace fingrav::baselines {
+
+namespace {
+
+core::ProfilerOptions
+withSyncMode(core::ProfilerOptions opts, core::SyncMode mode)
+{
+    opts.sync_mode = mode;
+    return opts;
+}
+
+core::ProfilerOptions
+withoutBinning(core::ProfilerOptions opts)
+{
+    opts.binning = false;
+    return opts;
+}
+
+core::ProfilerOptions
+withWindow(core::ProfilerOptions opts, support::Duration window)
+{
+    opts.logger_window = window;
+    return opts;
+}
+
+}  // namespace
+
+UnsyncedProfiler::UnsyncedProfiler(runtime::HostRuntime& host,
+                                   core::ProfilerOptions opts,
+                                   support::Rng rng)
+    : profiler_(host, withSyncMode(opts, core::SyncMode::kCoarseAlign),
+                std::move(rng))
+{
+}
+
+core::ProfileSet
+UnsyncedProfiler::profile(const kernels::KernelModelPtr& kernel)
+{
+    return profiler_.profile(kernel);
+}
+
+NoBinningProfiler::NoBinningProfiler(runtime::HostRuntime& host,
+                                     core::ProfilerOptions opts,
+                                     support::Rng rng)
+    : profiler_(host, withoutBinning(opts), std::move(rng))
+{
+}
+
+core::ProfileSet
+NoBinningProfiler::profile(const kernels::KernelModelPtr& kernel)
+{
+    return profiler_.profile(kernel);
+}
+
+LangStyleProfiler::LangStyleProfiler(runtime::HostRuntime& host,
+                                     core::ProfilerOptions opts,
+                                     support::Rng rng)
+    : profiler_(host,
+                withoutBinning(withSyncMode(
+                    opts, core::SyncMode::kNoDelayAccounting)),
+                std::move(rng))
+{
+}
+
+core::ProfileSet
+LangStyleProfiler::profile(const kernels::KernelModelPtr& kernel)
+{
+    return profiler_.profile(kernel);
+}
+
+CoarseLoggerProfiler::CoarseLoggerProfiler(runtime::HostRuntime& host,
+                                           core::ProfilerOptions opts,
+                                           support::Rng rng,
+                                           support::Duration window)
+    : profiler_(host, withWindow(opts, window), std::move(rng))
+{
+}
+
+core::ProfileSet
+CoarseLoggerProfiler::profile(const kernels::KernelModelPtr& kernel)
+{
+    return profiler_.profile(kernel);
+}
+
+}  // namespace fingrav::baselines

@@ -1,0 +1,99 @@
+#ifndef FINGRAV_BASELINES_BASELINE_PROFILERS_HPP_
+#define FINGRAV_BASELINES_BASELINE_PROFILERS_HPP_
+
+/**
+ * @file
+ * The degraded profilers FinGraV is evaluated against.
+ *
+ * Each baseline is the full pipeline with one (or more) of the paper's
+ * tenets removed, so every comparison isolates the value of that tenet:
+ *
+ *  - UnsyncedProfiler      : no CPU-GPU time synchronization (S2 off).
+ *    Power-log timestamps are aligned naively (first sample == log-start
+ *    call), which misses the idle-to-kernel power ramp and scrambles LOIs
+ *    across runs — the red profile of the paper's Fig. 5.
+ *
+ *  - NoBinningProfiler     : no execution-time binning (S3 off).  Outlier
+ *    runs contribute LOIs at wrong TOIs; the profile scatter widens —
+ *    Fig. 5's transparent-dot comparison.
+ *
+ *  - LangStyleProfiler     : Lang & Ruenger (Euro-Par'13)-style
+ *    synchronization that ignores the CPU-GPU communication delay
+ *    (Section VII: "the authors did not factor in the delays imposed by
+ *    the CPU-GPU communication"), and no execution-time binning (the
+ *    challenge their era of kernels did not face).
+ *
+ *  - CoarseLoggerProfiler  : FinGraV methodology on an amd-smi-style
+ *    external logger with a tens-of-milliseconds averaging window
+ *    (Section VI / challenge C1).
+ */
+
+#include "fingrav/profiler.hpp"
+#include "kernels/kernel_model.hpp"
+#include "runtime/host_runtime.hpp"
+#include "support/rng.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::baselines {
+
+/** Fig. 5's "unsynchronized" baseline: tenet S2 disabled. */
+class UnsyncedProfiler {
+  public:
+    UnsyncedProfiler(runtime::HostRuntime& host, core::ProfilerOptions opts,
+                     support::Rng rng);
+
+    /** Profile with naive log alignment; everything else is FinGraV. */
+    core::ProfileSet profile(const kernels::KernelModelPtr& kernel);
+
+  private:
+    core::Profiler profiler_;
+};
+
+/** Fig. 5's "no binning" baseline: tenet S3 disabled. */
+class NoBinningProfiler {
+  public:
+    NoBinningProfiler(runtime::HostRuntime& host, core::ProfilerOptions opts,
+                      support::Rng rng);
+
+    /** Profile keeping every run, outliers included. */
+    core::ProfileSet profile(const kernels::KernelModelPtr& kernel);
+
+  private:
+    core::Profiler profiler_;
+};
+
+/** Lang et al. style high-resolution profiling (Section VII). */
+class LangStyleProfiler {
+  public:
+    LangStyleProfiler(runtime::HostRuntime& host, core::ProfilerOptions opts,
+                      support::Rng rng);
+
+    /** Profile with delay-blind sync and no binning. */
+    core::ProfileSet profile(const kernels::KernelModelPtr& kernel);
+
+  private:
+    core::Profiler profiler_;
+};
+
+/** FinGraV over an amd-smi-style coarse logger (Section VI). */
+class CoarseLoggerProfiler {
+  public:
+    /**
+     * @param window  External-logger averaging window (amd-smi class
+     *                telemetry refreshes every few tens of ms).
+     */
+    CoarseLoggerProfiler(runtime::HostRuntime& host,
+                         core::ProfilerOptions opts, support::Rng rng,
+                         support::Duration window =
+                             support::Duration::millis(50.0));
+
+    /** Profile through the coarse logger. */
+    core::ProfileSet profile(const kernels::KernelModelPtr& kernel);
+
+  private:
+    core::Profiler profiler_;
+};
+
+}  // namespace fingrav::baselines
+
+#endif  // FINGRAV_BASELINES_BASELINE_PROFILERS_HPP_

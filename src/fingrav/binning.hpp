@@ -1,0 +1,83 @@
+#ifndef FINGRAV_FINGRAV_BINNING_HPP_
+#define FINGRAV_FINGRAV_BINNING_HPP_
+
+/**
+ * @file
+ * Kernel execution-time binning (paper tenet S3, step 6).
+ *
+ * Sub-millisecond kernels show run-to-run execution-time variation (e.g.
+ * from allocation-dependent access patterns), which makes power
+ * measurements from different runs incomparable.  FinGraV bins per-run
+ * execution times and keeps only the "golden runs": those whose times fall
+ * in the bin with the maximum number of executions within the guidance
+ * margin of each other.  Everything else is an outlier run and is
+ * discarded from the common-case profile (Section VI discusses profiling
+ * the outliers themselves; see OutlierProfiler).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+/** Outcome of golden-run selection. */
+struct BinningResult {
+    /** Representative (modal) execution time of the golden bin. */
+    support::Duration bin_center;
+    /** Indices of runs whose execution time fell inside the bin. */
+    std::vector<std::size_t> golden_runs;
+    /** Total runs examined. */
+    std::size_t total_runs = 0;
+
+    /** Number of discarded (outlier) runs. */
+    std::size_t
+    outlierCount() const
+    {
+        return total_runs - golden_runs.size();
+    }
+
+    /** Fraction of runs kept. */
+    double
+    goldenFraction() const
+    {
+        return total_runs == 0
+                   ? 0.0
+                   : static_cast<double>(golden_runs.size()) /
+                         static_cast<double>(total_runs);
+    }
+};
+
+/** Golden-run selector with a relative execution-time margin. */
+class ExecutionBinner {
+  public:
+    /** @param margin Relative margin (e.g. 0.05 = the paper's 5 %). */
+    explicit ExecutionBinner(double margin);
+
+    /**
+     * Select golden runs from per-run representative execution times.
+     *
+     * @param exec_times One representative (SSP) execution time per run.
+     */
+    BinningResult select(
+        const std::vector<support::Duration>& exec_times) const;
+
+    /**
+     * Select runs belonging to a *target* time instead of the modal bin —
+     * the paper's Section VI outlier-profiling variant of step 6.
+     */
+    BinningResult selectAround(
+        const std::vector<support::Duration>& exec_times,
+        support::Duration target) const;
+
+    /** The margin in force. */
+    double margin() const { return margin_; }
+
+  private:
+    double margin_;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_BINNING_HPP_

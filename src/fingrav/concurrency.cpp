@@ -1,0 +1,120 @@
+#include "fingrav/concurrency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/logging.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+ConcurrencyAdvisor::ConcurrencyAdvisor(runtime::HostRuntime& host,
+                                       support::Rng rng)
+    : host_(host), rng_(std::move(rng))
+{
+}
+
+double
+ConcurrencyAdvisor::complementarity(const kernels::KernelModel& a,
+                                    const kernels::KernelModel& b)
+{
+    const auto ua = a.workAt(1.0).util;
+    const auto ub = b.workAt(1.0).util;
+    // Fuzzy-Jaccard overlap of the demand vectors: sum of per-dimension
+    // minima over sum of maxima.  Unlike cosine similarity this weighs
+    // *magnitudes*, so a tiny demand aligned with a big one still counts
+    // as complementary (contention is about capacity, not direction).
+    const double dims_a[4] = {ua.xcd_issue, ua.llc_bw, ua.hbm_bw,
+                              ua.fabric_bw};
+    const double dims_b[4] = {ub.xcd_issue, ub.llc_bw, ub.hbm_bw,
+                              ub.fabric_bw};
+    double mins = 0.0;
+    double maxs = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        mins += std::min(dims_a[i], dims_b[i]);
+        maxs += std::max(dims_a[i], dims_b[i]);
+    }
+    if (maxs == 0.0)
+        return 1.0;
+    return 1.0 - mins / maxs;
+}
+
+void
+ConcurrencyAdvisor::runSchedule(const kernels::KernelModelPtr& a,
+                                const kernels::KernelModelPtr& b,
+                                int iters, int a_per_iter, int b_per_iter,
+                                bool concurrent, double* wall_ms,
+                                double* avg_w, double* peak_w,
+                                double* energy_j)
+{
+    const auto& cfg = host_.simulation().config();
+    const auto window = cfg.logger_window;
+
+    // Cool down so both schedules start from comparable thermal/governor
+    // state.
+    host_.sleep(support::Duration::millis(200.0));
+
+    host_.startPowerLog();
+    host_.sleep(window);
+    const auto t0 = host_.cpuNowNs();
+    for (int i = 0; i < iters; ++i) {
+        const double warmth = std::min(1.0, i / 3.0);
+        for (int k = 0; k < a_per_iter; ++k)
+            host_.launch(a->workAt(warmth), 0, /*queue=*/0);
+        for (int k = 0; k < b_per_iter; ++k)
+            host_.launch(b->workAt(warmth), 0, concurrent ? 1 : 0);
+        host_.synchronize();
+    }
+    const auto t1 = host_.cpuNowNs();
+    host_.sleep(window + support::Duration::micros(50.0));
+    const auto samples = host_.stopPowerLog();
+
+    *wall_ms = static_cast<double>(t1 - t0) / 1e6;
+    *energy_j = 0.0;
+    *peak_w = 0.0;
+    double busy = 0.0;
+    std::size_t busy_n = 0;
+    const double idle_threshold = 150.0;
+    for (const auto& s : samples) {
+        *energy_j += s.total_w * window.toSeconds();
+        *peak_w = std::max(*peak_w, s.total_w);
+        if (s.total_w > idle_threshold) {
+            busy += s.total_w;
+            ++busy_n;
+        }
+    }
+    *avg_w = busy_n ? busy / static_cast<double>(busy_n) : 0.0;
+}
+
+CoScheduleReport
+ConcurrencyAdvisor::evaluate(const kernels::KernelModelPtr& a,
+                             const kernels::KernelModelPtr& b, int iters,
+                             int a_per_iter, int b_per_iter)
+{
+    if (!a || !b)
+        support::fatal("ConcurrencyAdvisor: null kernel");
+    if (iters < 1 || a_per_iter < 1 || b_per_iter < 1)
+        support::fatal("ConcurrencyAdvisor: counts must be >= 1");
+    if (a->isCollective() || b->isCollective())
+        support::fatal("ConcurrencyAdvisor: collectives not supported "
+                       "(they occupy every GPU of the node)");
+
+    CoScheduleReport rep;
+    rep.kernel_a = a->label();
+    rep.kernel_b = b->label();
+    rep.complementarity = complementarity(*a, *b);
+
+    double peak_serial = 0.0;
+    runSchedule(a, b, iters, a_per_iter, b_per_iter, /*concurrent=*/false,
+                &rep.serial_ms, &rep.serial_avg_w, &peak_serial,
+                &rep.serial_energy_j);
+    runSchedule(a, b, iters, a_per_iter, b_per_iter, /*concurrent=*/true,
+                &rep.concurrent_ms, &rep.concurrent_avg_w, &rep.peak_w,
+                &rep.concurrent_energy_j);
+    rep.speedup =
+        rep.concurrent_ms > 0.0 ? rep.serial_ms / rep.concurrent_ms : 0.0;
+    return rep;
+}
+
+}  // namespace fingrav::core

@@ -1,0 +1,109 @@
+#ifndef FINGRAV_FINGRAV_CONCURRENCY_HPP_
+#define FINGRAV_FINGRAV_CONCURRENCY_HPP_
+
+/**
+ * @file
+ * Co-scheduling analysis: the paper's recommendation R1 as an API.
+ *
+ * Table II, recommendation 1: "available power headroom can be fully
+ * utilized by concurrently executing computations with complementary
+ * algorithmic and hence complementary power profiles" — e.g. memory-bound
+ * attention overlapping compute-bound fully-connected GEMMs (the NanoFlow
+ * citation in Section V-C2).
+ *
+ * ConcurrencyAdvisor evaluates a kernel pair: it measures the serial and
+ * concurrent schedules on the simulated node (hardware queues + the
+ * contention model), scores profile complementarity from the kernels'
+ * per-rail utilization, and reports speedup, power headroom use and
+ * energy.  The complementarity score is 1 - the normalized overlap of the
+ * two utilization vectors: disjoint resource demands score near 1 (ideal
+ * co-schedule), identical demands near 0 (pure contention).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "kernels/kernel_model.hpp"
+#include "runtime/host_runtime.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace fingrav::core {
+
+/** Measured comparison of serial vs concurrent execution of a pair. */
+struct CoScheduleReport {
+    std::string kernel_a;
+    std::string kernel_b;
+
+    double complementarity = 0.0;  ///< 1 = disjoint demands, 0 = identical
+
+    double serial_ms = 0.0;        ///< wall time, serial schedule
+    double concurrent_ms = 0.0;    ///< wall time, concurrent schedule
+    double speedup = 0.0;          ///< serial / concurrent
+
+    double serial_avg_w = 0.0;     ///< busy-window average power, serial
+    double concurrent_avg_w = 0.0; ///< busy-window average power, concurrent
+    double peak_w = 0.0;           ///< peak window power, concurrent
+
+    support::Joules serial_energy_j = 0.0;
+    support::Joules concurrent_energy_j = 0.0;
+
+    /**
+     * True when the concurrent schedule wins wall time while its
+     * *sustained* power stays within the cap.  Transient window peaks
+     * above the cap are the power-management firmware's job (excursion
+     * response); sustained overshoot would throttle the whole schedule.
+     */
+    bool
+    worthIt(double power_cap_w) const
+    {
+        return speedup > 1.05 && concurrent_avg_w <= power_cap_w;
+    }
+};
+
+/** Evaluates recommendation-R1 co-schedules on a host runtime. */
+class ConcurrencyAdvisor {
+  public:
+    /**
+     * @param host  Runtime over the node; must outlive the advisor.
+     * @param rng   Workload-jitter stream.
+     */
+    ConcurrencyAdvisor(runtime::HostRuntime& host, support::Rng rng);
+
+    /**
+     * Static complementarity of two kernels' utilization signatures,
+     * without running anything.
+     */
+    static double complementarity(const kernels::KernelModel& a,
+                                  const kernels::KernelModel& b);
+
+    /**
+     * Measure serial vs concurrent execution of `iters` iterations of
+     * {a_per_iter x a, b_per_iter x b}.
+     *
+     * @param a           First kernel (queue 0).
+     * @param b           Second kernel (queue 1 when concurrent).
+     * @param iters       Iterations of the combined block.
+     * @param a_per_iter  Executions of `a` per iteration.
+     * @param b_per_iter  Executions of `b` per iteration.
+     */
+    CoScheduleReport evaluate(const kernels::KernelModelPtr& a,
+                              const kernels::KernelModelPtr& b,
+                              int iters = 16, int a_per_iter = 1,
+                              int b_per_iter = 1);
+
+  private:
+    /** Run one schedule and measure wall/power/energy. */
+    void runSchedule(const kernels::KernelModelPtr& a,
+                     const kernels::KernelModelPtr& b, int iters,
+                     int a_per_iter, int b_per_iter, bool concurrent,
+                     double* wall_ms, double* avg_w, double* peak_w,
+                     double* energy_j);
+
+    runtime::HostRuntime& host_;
+    support::Rng rng_;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_CONCURRENCY_HPP_

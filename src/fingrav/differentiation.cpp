@@ -1,0 +1,65 @@
+#include "fingrav/differentiation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace fingrav::core {
+
+ProfileDifferentiator::ProfileDifferentiator(std::size_t sse_executions,
+                                             double stability_eps)
+    : sse_executions_(sse_executions), stability_eps_(stability_eps)
+{
+    if (sse_executions == 0)
+        support::fatal("ProfileDifferentiator: need at least one execution");
+    if (stability_eps <= 0.0 || stability_eps >= 1.0)
+        support::fatal("ProfileDifferentiator: stability_eps ",
+                       stability_eps, " outside (0, 1)");
+}
+
+std::size_t
+ProfileDifferentiator::sspExecutionFormula(support::Duration exec_time,
+                                           support::Duration window) const
+{
+    if (exec_time.nanos() <= 0)
+        support::fatal("sspExecutionFormula: non-positive execution time");
+    if (window.nanos() <= 0)
+        support::fatal("sspExecutionFormula: non-positive window");
+    const double n = std::ceil(static_cast<double>(window.nanos()) /
+                               static_cast<double>(exec_time.nanos()));
+    return std::max<std::size_t>(sse_executions_,
+                                 static_cast<std::size_t>(n));
+}
+
+std::size_t
+ProfileDifferentiator::detectStabilization(
+    const std::vector<double>& series) const
+{
+    if (series.empty())
+        return 0;
+    // Scan candidates front to back; a candidate index i is stable when
+    // every later sample stays within eps (relative) of the mean of the
+    // tail starting at i.  O(n^2) worst case on a series of at most a few
+    // hundred samples — clarity over cleverness.
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        double mean = 0.0;
+        for (std::size_t j = i; j < series.size(); ++j)
+            mean += series[j];
+        mean /= static_cast<double>(series.size() - i);
+        if (mean <= 0.0)
+            continue;
+        bool stable = true;
+        for (std::size_t j = i; j < series.size(); ++j) {
+            if (std::fabs(series[j] - mean) > stability_eps_ * mean) {
+                stable = false;
+                break;
+            }
+        }
+        if (stable)
+            return i;
+    }
+    return series.size();
+}
+
+}  // namespace fingrav::core

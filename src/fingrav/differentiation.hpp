@@ -1,0 +1,79 @@
+#ifndef FINGRAV_FINGRAV_DIFFERENTIATION_HPP_
+#define FINGRAV_FINGRAV_DIFFERENTIATION_HPP_
+
+/**
+ * @file
+ * Power-profile differentiation (paper tenet S4, steps 3-4).
+ *
+ * Two distinct profiles exist for the same kernel:
+ *
+ *  - SSE (steady-state execution): the first execution after the warm-up
+ *    executions, once *execution time* has stabilized (typically three
+ *    warm-ups).  This is "the power profile a typical user associates with
+ *    a kernel" — and it can be badly wrong, because the logger's averaging
+ *    window is still mostly filled with pre-kernel (idle or throttled)
+ *    power.
+ *
+ *  - SSP (steady-state power): the execution after which *reported power*
+ *    stops changing: the averaging window has filled with kernel activity
+ *    and the power-management transient has settled.  The paper's step-4
+ *    rule is max(ceil(window / exec_time), SSE executions); its caveat
+ *    ("should throttling incur during warmup runs... binary search can be
+ *    necessary") is implemented here as a stabilization scan over an
+ *    exploratory run's sample series.
+ *
+ * Comparing the two quantifies the power/energy measurement error of naive
+ * profiling — up to 80 % in the paper, reproduced by bench_fig8.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+/** S4 rules: SSP execution-count formula + stabilization detection. */
+class ProfileDifferentiator {
+  public:
+    /**
+     * @param sse_executions   Executions per run for the SSE profile
+     *                         (paper: 4 — three warm-ups plus the SSE).
+     * @param stability_eps    Relative power-band width considered stable.
+     */
+    explicit ProfileDifferentiator(std::size_t sse_executions = 4,
+                                   double stability_eps = 0.03);
+
+    /**
+     * Paper step-4 formula: executions needed so the averaging window fills
+     * with kernel activity: max(ceil(window / exec_time), SSE executions).
+     */
+    std::size_t sspExecutionFormula(support::Duration exec_time,
+                                    support::Duration window) const;
+
+    /**
+     * Stabilization scan (the step-4 throttling caveat): given the
+     * per-sample power series of one exploratory run, find the first index
+     * from which the series stays within a relative band of its trailing
+     * mean.
+     *
+     * @param series  Window-average total power per logger sample.
+     * @return Index of the first stable sample, or series.size() when the
+     *         series never stabilizes.
+     */
+    std::size_t detectStabilization(const std::vector<double>& series) const;
+
+    /** SSE executions per run. */
+    std::size_t sseExecutions() const { return sse_executions_; }
+
+    /** Stability band width. */
+    double stabilityEps() const { return stability_eps_; }
+
+  private:
+    std::size_t sse_executions_;
+    double stability_eps_;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_DIFFERENTIATION_HPP_

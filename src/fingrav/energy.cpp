@@ -1,0 +1,40 @@
+#include "fingrav/energy.hpp"
+
+#include "support/logging.hpp"
+
+namespace fingrav::core {
+
+DifferentiationReport
+differentiationError(const ProfileSet& set, Rail rail)
+{
+    DifferentiationReport rep;
+    rep.sse_mean_w = set.sse.meanPower(rail);
+    rep.ssp_mean_w = set.ssp.meanPower(rail);
+    if (rep.ssp_mean_w > 0.0) {
+        rep.error_pct =
+            (rep.ssp_mean_w - rep.sse_mean_w) / rep.ssp_mean_w * 100.0;
+    }
+    rep.sse_energy_j = executionEnergy(set.sse, set.ssp_exec_time, rail);
+    rep.ssp_energy_j = executionEnergy(set.ssp, set.ssp_exec_time, rail);
+    return rep;
+}
+
+double
+interleavingShiftPct(const ProfileSet& interleaved,
+                     const ProfileSet& isolated, Rail rail)
+{
+    const double ref = isolated.ssp.meanPower(rail);
+    if (ref <= 0.0)
+        support::fatal("interleavingShiftPct: isolated reference profile "
+                       "is empty");
+    return (interleaved.ssp.meanPower(rail) - ref) / ref * 100.0;
+}
+
+support::Joules
+executionEnergy(const PowerProfile& profile, support::Duration exec_time,
+                Rail rail)
+{
+    return profile.meanPower(rail) * exec_time.toSeconds();
+}
+
+}  // namespace fingrav::core

@@ -1,0 +1,58 @@
+#ifndef FINGRAV_FINGRAV_ENERGY_HPP_
+#define FINGRAV_FINGRAV_ENERGY_HPP_
+
+/**
+ * @file
+ * Power/energy error analysis over FinGraV profiles.
+ *
+ * The paper's headline measurement warning: assuming the SSE profile is
+ * "the kernel's power" misestimates power — and therefore energy, since
+ * energy is power integrated over time — by up to 80 % depending on the
+ * ratio of kernel execution time to the logger's averaging window
+ * (takeaway #1 / measurement guidance #1, Table II).  These helpers
+ * quantify that error and the related interleaving contamination
+ * (takeaway #5 / measurement guidance #2).
+ */
+
+#include "fingrav/profile.hpp"
+#include "fingrav/profiler.hpp"
+#include "support/units.hpp"
+
+namespace fingrav::core {
+
+/** SSE-vs-SSP analysis of one profiling campaign. */
+struct DifferentiationReport {
+    double sse_mean_w = 0.0;   ///< mean SSE power (a naive user's answer)
+    double ssp_mean_w = 0.0;   ///< mean SSP power (the true steady state)
+    double error_pct = 0.0;    ///< (ssp - sse) / ssp * 100
+    support::Joules sse_energy_j = 0.0;  ///< per-execution energy, naive
+    support::Joules ssp_energy_j = 0.0;  ///< per-execution energy, true
+};
+
+/**
+ * Quantify the measurement error of skipping profile differentiation.
+ *
+ * @param set   A completed profiling campaign (needs both profiles).
+ * @param rail  Rail to analyse (paper reports total power).
+ */
+DifferentiationReport differentiationError(const ProfileSet& set,
+                                           Rail rail = Rail::kTotal);
+
+/**
+ * Relative change of an interleaved profile against the isolated SSP
+ * reference, percent.  Positive = the interleaved measurement reads higher
+ * (compute-heavy predecessors), negative = lower (light predecessors) —
+ * the paper's Fig. 9 contamination directions.
+ */
+double interleavingShiftPct(const ProfileSet& interleaved,
+                            const ProfileSet& isolated,
+                            Rail rail = Rail::kTotal);
+
+/** Energy of one execution from a profile's mean power, joules. */
+support::Joules executionEnergy(const PowerProfile& profile,
+                                support::Duration exec_time,
+                                Rail rail = Rail::kTotal);
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_ENERGY_HPP_

@@ -1,0 +1,69 @@
+#include "fingrav/guidance.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace fingrav::core {
+
+std::size_t
+GuidanceEntry::recommendedLois(support::Duration exec_time) const
+{
+    if (loi_per.nanos() <= 0)
+        return 1;
+    const double n = std::ceil(static_cast<double>(exec_time.nanos()) /
+                               static_cast<double>(loi_per.nanos()));
+    return std::max<std::size_t>(1, static_cast<std::size_t>(n));
+}
+
+GuidanceTable::GuidanceTable(std::vector<GuidanceEntry> rows)
+    : rows_(std::move(rows))
+{
+    if (rows_.empty())
+        support::fatal("GuidanceTable: need at least one row");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const auto& r = rows_[i];
+        if (r.exec_hi <= r.exec_lo)
+            support::fatal("GuidanceTable: row ", i, " has empty range");
+        if (r.runs == 0)
+            support::fatal("GuidanceTable: row ", i, " has zero runs");
+        if (r.binning_margin < 0.0)
+            support::fatal("GuidanceTable: row ", i, " has negative margin");
+        if (i > 0 && rows_[i - 1].exec_hi != r.exec_lo)
+            support::fatal("GuidanceTable: rows ", i - 1, " and ", i,
+                           " are not contiguous");
+    }
+}
+
+GuidanceTable
+GuidanceTable::paperDefault()
+{
+    using support::Duration;
+    std::vector<GuidanceEntry> rows;
+    // Extension row: kernels shorter than the paper's first range reuse
+    // the 25-50 us parameters (the shortest kernels need the most runs).
+    rows.push_back({Duration::nanos(0), Duration::micros(25.0), 400,
+                    Duration::micros(5.0), 0.05});
+    // Paper Table I.
+    rows.push_back({Duration::micros(25.0), Duration::micros(50.0), 400,
+                    Duration::micros(5.0), 0.05});
+    rows.push_back({Duration::micros(50.0), Duration::micros(200.0), 200,
+                    Duration::micros(10.0), 0.05});
+    rows.push_back({Duration::micros(200.0), Duration::millis(1.0), 200,
+                    Duration::micros(10.0), 0.02});
+    rows.push_back({Duration::millis(1.0), Duration::seconds(3600.0), 200,
+                    Duration::micros(10.0), 0.02});
+    return GuidanceTable(std::move(rows));
+}
+
+const GuidanceEntry&
+GuidanceTable::lookup(support::Duration exec_time) const
+{
+    for (const auto& r : rows_) {
+        if (exec_time >= r.exec_lo && exec_time < r.exec_hi)
+            return r;
+    }
+    return exec_time < rows_.front().exec_lo ? rows_.front() : rows_.back();
+}
+
+}  // namespace fingrav::core

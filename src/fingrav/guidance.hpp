@@ -1,0 +1,58 @@
+#ifndef FINGRAV_FINGRAV_GUIDANCE_HPP_
+#define FINGRAV_FINGRAV_GUIDANCE_HPP_
+
+/**
+ * @file
+ * The FinGraV empirical profiling-guidance table (paper Table I).
+ *
+ * Step 1 of the methodology times the kernel a few times and looks the
+ * median up in this table to obtain the recommended number of runs, the
+ * LOI (log-of-interest) collection target and the execution-time binning
+ * margin.  The paper's table covers the ranges its GEMM kernels land in;
+ * paperDefault() extends it downward with a sub-25 us row (the paper's
+ * GEMVs run shorter than the table's first row) using the 25-50 us row's
+ * parameters, as the paper's own guidance implies for ever-shorter
+ * kernels.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+/** One row of the guidance table. */
+struct GuidanceEntry {
+    support::Duration exec_lo;   ///< inclusive lower bound of the range
+    support::Duration exec_hi;   ///< exclusive upper bound of the range
+    std::size_t runs = 0;        ///< recommended #runs
+    support::Duration loi_per;   ///< collect one LOI per this much exec time
+    double binning_margin = 0.0; ///< relative execution-time margin
+
+    /** Target LOI count for a kernel of the given execution time. */
+    std::size_t recommendedLois(support::Duration exec_time) const;
+};
+
+/** Lookup table mapping execution-time ranges to profiling parameters. */
+class GuidanceTable {
+  public:
+    /** Build from explicit rows (must be contiguous and ascending). */
+    explicit GuidanceTable(std::vector<GuidanceEntry> rows);
+
+    /** The paper's Table I (plus the sub-25 us extension row). */
+    static GuidanceTable paperDefault();
+
+    /** Row covering the given execution time (clamps to first/last row). */
+    const GuidanceEntry& lookup(support::Duration exec_time) const;
+
+    /** All rows, ascending by execution time. */
+    const std::vector<GuidanceEntry>& rows() const { return rows_; }
+
+  private:
+    std::vector<GuidanceEntry> rows_;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_GUIDANCE_HPP_

@@ -1,0 +1,103 @@
+#include "fingrav/profile.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace fingrav::core {
+
+const char*
+toString(Rail rail)
+{
+    switch (rail) {
+      case Rail::kTotal:
+        return "total";
+      case Rail::kXcd:
+        return "XCD";
+      case Rail::kIod:
+        return "IOD";
+      case Rail::kHbm:
+        return "HBM";
+    }
+    return "?";
+}
+
+double
+railValue(const sim::PowerSample& s, Rail rail)
+{
+    switch (rail) {
+      case Rail::kTotal:
+        return s.total_w;
+      case Rail::kXcd:
+        return s.xcd_w;
+      case Rail::kIod:
+        return s.iod_w;
+      case Rail::kHbm:
+        return s.hbm_w;
+    }
+    return 0.0;
+}
+
+const char*
+toString(ProfileKind kind)
+{
+    switch (kind) {
+      case ProfileKind::kSse:
+        return "SSE";
+      case ProfileKind::kSsp:
+        return "SSP";
+      case ProfileKind::kTimeline:
+        return "timeline";
+    }
+    return "?";
+}
+
+double
+PowerProfile::meanPower(Rail rail) const
+{
+    if (points_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto& p : points_)
+        acc += railValue(p.sample, rail);
+    return acc / static_cast<double>(points_.size());
+}
+
+double
+PowerProfile::minPower(Rail rail) const
+{
+    if (points_.empty())
+        return 0.0;
+    double v = railValue(points_.front().sample, rail);
+    for (const auto& p : points_)
+        v = std::min(v, railValue(p.sample, rail));
+    return v;
+}
+
+double
+PowerProfile::maxPower(Rail rail) const
+{
+    if (points_.empty())
+        return 0.0;
+    double v = railValue(points_.front().sample, rail);
+    for (const auto& p : points_)
+        v = std::max(v, railValue(p.sample, rail));
+    return v;
+}
+
+support::PolyFitResult
+PowerProfile::trend(Rail rail, std::size_t degree) const
+{
+    std::vector<double> xs;
+    std::vector<double> ys;
+    xs.reserve(points_.size());
+    ys.reserve(points_.size());
+    for (const auto& p : points_) {
+        xs.push_back(kind_ == ProfileKind::kTimeline ? p.run_time_us
+                                                     : p.toi_us);
+        ys.push_back(railValue(p.sample, rail));
+    }
+    return support::fitPolynomial(xs, ys, degree);
+}
+
+}  // namespace fingrav::core

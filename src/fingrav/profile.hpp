@@ -1,0 +1,117 @@
+#ifndef FINGRAV_FINGRAV_PROFILE_HPP_
+#define FINGRAV_FINGRAV_PROFILE_HPP_
+
+/**
+ * @file
+ * Stitched fine-grain power profiles (the FinGraV output artifact).
+ *
+ * A PowerProfile is a cloud of (TOI, power) points collected across runs:
+ * each point is one power log-of-interest (LOI) whose synced CPU-domain
+ * timestamp fell inside a kernel execution, positioned at its
+ * time-of-interest (TOI) within that execution.  Random inter-run delays
+ * decorrelate the logger's window grid from kernel start, so across many
+ * runs the TOIs cover the whole execution — that is what makes the stitched
+ * cloud a *fine-grain time series* of a kernel that is far shorter than the
+ * logger window (paper step 9: "stitch the different runs by plotting all
+ * collected LOIs and TOIs").
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/power_logger.hpp"
+#include "support/polyfit.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+/** Telemetry rail selector. */
+enum class Rail {
+    kTotal,
+    kXcd,
+    kIod,
+    kHbm,
+};
+
+/** Printable rail name. */
+const char* toString(Rail rail);
+
+/** Rail value of a sample. */
+double railValue(const sim::PowerSample& s, Rail rail);
+
+/** One stitched profile point. */
+struct ProfilePoint {
+    double toi_us = 0.0;        ///< time into the execution, microseconds
+    double toi_frac = 0.0;      ///< TOI normalized by execution time
+    double run_time_us = 0.0;   ///< time since the run's first execution
+    sim::PowerSample sample;    ///< the LOI (per-rail window averages)
+    std::size_t run_index = 0;  ///< which run produced it
+    std::size_t exec_index = 0; ///< which execution within the run
+};
+
+/** Profile flavour per the paper's S4 differentiation. */
+enum class ProfileKind {
+    kSse,       ///< steady-state-execution profile (first post-warm-up exec)
+    kSsp,       ///< steady-state-power profile (post power stabilization)
+    kTimeline,  ///< all samples of the runs laid out in run time (Fig. 6/8)
+};
+
+/** Printable kind name. */
+const char* toString(ProfileKind kind);
+
+/** A stitched power profile. */
+class PowerProfile {
+  public:
+    PowerProfile() = default;
+
+    /**
+     * @param label  Kernel label the profile belongs to.
+     * @param kind   SSE / SSP / timeline.
+     */
+    PowerProfile(std::string label, ProfileKind kind)
+        : label_(std::move(label)), kind_(kind)
+    {
+    }
+
+    /** Append a point. */
+    void add(const ProfilePoint& p) { points_.push_back(p); }
+
+    /** All points (unsorted). */
+    const std::vector<ProfilePoint>& points() const { return points_; }
+
+    /** Number of LOIs. */
+    std::size_t size() const { return points_.size(); }
+
+    /** True when no LOIs were captured. */
+    bool empty() const { return points_.empty(); }
+
+    /** Mean of a rail across all points; 0 when empty. */
+    double meanPower(Rail rail = Rail::kTotal) const;
+
+    /** Min/max of a rail across all points; 0 when empty. */
+    double minPower(Rail rail = Rail::kTotal) const;
+    double maxPower(Rail rail = Rail::kTotal) const;
+
+    /**
+     * Degree-`degree` least-squares trend of a rail over TOI (the paper's
+     * "linear regression of degree four" overlay).  X is toi_us for
+     * SSE/SSP profiles and run_time_us for timelines.
+     */
+    support::PolyFitResult trend(Rail rail, std::size_t degree = 4) const;
+
+    /** Kernel label. */
+    const std::string& label() const { return label_; }
+
+    /** Profile flavour. */
+    ProfileKind kind() const { return kind_; }
+
+  private:
+    std::string label_;
+    ProfileKind kind_ = ProfileKind::kSsp;
+    std::vector<ProfilePoint> points_;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_PROFILE_HPP_

@@ -1,0 +1,351 @@
+#include "fingrav/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "support/logging.hpp"
+#include "support/statistics.hpp"
+
+namespace fingrav::core {
+
+namespace {
+
+/** SSE index marker meaning "no SSE profile for this campaign". */
+constexpr std::size_t kNoSse = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+const char*
+toString(SyncMode mode)
+{
+    switch (mode) {
+      case SyncMode::kFinGraV:
+        return "fingrav";
+      case SyncMode::kFinGraVDrift:
+        return "fingrav+drift";
+      case SyncMode::kNoDelayAccounting:
+        return "no-delay-accounting";
+      case SyncMode::kCoarseAlign:
+        return "coarse-align";
+    }
+    return "?";
+}
+
+Profiler::Profiler(runtime::HostRuntime& host, ProfilerOptions opts,
+                   support::Rng rng)
+    : host_(host), opts_(opts), rng_(std::move(rng)),
+      guidance_(GuidanceTable::paperDefault()),
+      differ_(opts.sse_executions, opts.stability_eps)
+{
+    if (opts_.timing_reps == 0)
+        support::fatal("Profiler: timing_reps must be >= 1");
+    if (opts_.device >= host.simulation().deviceCount())
+        support::fatal("Profiler: device ", opts_.device, " out of range");
+}
+
+support::Duration
+Profiler::measureExecTime(const kernels::KernelModelPtr& kernel)
+{
+    // Paper step 1: time the kernel a few times.  Warm-ups are excluded by
+    // timing sse_executions + timing_reps executions and taking the median
+    // of the trailing timing_reps.
+    RunExecutor exec(host_, rng_.fork(900));
+    RunPlan plan;
+    plan.main = kernel;
+    plan.device = opts_.device;
+    plan.main_execs_per_block = opts_.sse_executions + opts_.timing_reps;
+    plan.min_delay = opts_.min_delay;
+    plan.max_delay = opts_.min_delay;  // no need for phase randomness here
+    const auto rec = exec.executeRun(plan, 0, /*with_power=*/false);
+
+    std::vector<double> tail_us;
+    for (std::size_t i = opts_.sse_executions;
+         i < rec.main_exec_indices.size(); ++i) {
+        tail_us.push_back(rec.mainExecDuration(i).toMicros());
+    }
+    return support::Duration::micros(support::median(std::move(tail_us)));
+}
+
+std::int64_t
+Profiler::sampleCpuNs(const TimeSync& sync, const RunRecord& run,
+                      const sim::PowerSample& s) const
+{
+    if (opts_.sync_mode == SyncMode::kCoarseAlign) {
+        // Naive alignment: pretend the first sample of the run's log
+        // landed exactly when the log was started.  The true offset is the
+        // distance to the next window-grid boundary — up to a full window,
+        // different for every run.  This is the paper's "unsynchronized"
+        // comparison (Fig. 5).
+        if (run.samples.empty())
+            return run.log_start_cpu_ns;
+        const auto tick = host_.timestampTick(opts_.device).nanos();
+        return run.log_start_cpu_ns +
+               (s.gpu_timestamp - run.samples.front().gpu_timestamp) * tick;
+    }
+    return sync.gpuCounterToCpuNs(s.gpu_timestamp);
+}
+
+void
+Profiler::stitch(const std::vector<RunRecord>& runs, const TimeSync& sync,
+                 ProfileSet& out) const
+{
+    // ---- step 6: golden-run selection ----------------------------------
+    std::vector<support::Duration> rep_times;
+    rep_times.reserve(runs.size());
+    for (const auto& run : runs) {
+        const std::size_t rep = std::min(out.ssp_exec_index,
+                                         run.main_exec_indices.size() - 1);
+        rep_times.push_back(run.mainExecDuration(rep));
+    }
+    const double margin =
+        opts_.margin_override.value_or(out.guidance.binning_margin);
+    if (opts_.target_bin.has_value()) {
+        // Section VI outlier profiling: focus on a chosen execution-time
+        // bin rather than the common case.
+        out.binning = ExecutionBinner(margin).selectAround(
+            rep_times, *opts_.target_bin);
+    } else if (opts_.binning) {
+        out.binning = ExecutionBinner(margin).select(rep_times);
+    } else {
+        out.binning = BinningResult{};
+        out.binning.total_runs = runs.size();
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            out.binning.golden_runs.push_back(i);
+        out.binning.bin_center = rep_times.empty()
+                                     ? support::Duration()
+                                     : rep_times.front();
+    }
+
+    // ---- steps 7 + 9: LOI/TOI extraction and stitching ------------------
+    out.sse = PowerProfile(out.label, ProfileKind::kSse);
+    out.ssp = PowerProfile(out.label, ProfileKind::kSsp);
+    out.timeline = PowerProfile(out.label, ProfileKind::kTimeline);
+
+    support::RunningStats ssp_time_us;
+    for (const std::size_t run_idx : out.binning.golden_runs) {
+        const RunRecord& run = runs[run_idx];
+        ssp_time_us.add(rep_times[run_idx].toMicros());
+
+        for (std::size_t j = 0; j < run.main_exec_indices.size(); ++j) {
+            const auto& timing =
+                run.execs[run.main_exec_indices[j]].timing;
+            const double dur_ns = static_cast<double>(
+                timing.cpu_end_ns - timing.cpu_start_ns);
+            if (dur_ns <= 0.0)
+                continue;
+            for (const auto& s : run.samples) {
+                const auto cpu = sampleCpuNs(sync, run, s);
+                if (cpu < timing.cpu_start_ns || cpu > timing.cpu_end_ns)
+                    continue;
+                ProfilePoint p;
+                p.toi_us = static_cast<double>(cpu - timing.cpu_start_ns) /
+                           1e3;
+                p.toi_frac =
+                    static_cast<double>(cpu - timing.cpu_start_ns) / dur_ns;
+                p.run_time_us =
+                    static_cast<double>(cpu - run.run_start_cpu_ns) / 1e3;
+                p.sample = s;
+                p.run_index = run.run_index;
+                p.exec_index = j;
+                if (j == out.sse_exec_index)
+                    out.sse.add(p);
+                if (j >= out.ssp_exec_index)
+                    out.ssp.add(p);
+            }
+        }
+
+        // Timeline view: every sample of the run in run-relative time.
+        for (const auto& s : run.samples) {
+            const auto cpu = sampleCpuNs(sync, run, s);
+            ProfilePoint p;
+            p.run_time_us =
+                static_cast<double>(cpu - run.run_start_cpu_ns) / 1e3;
+            p.sample = s;
+            p.run_index = run.run_index;
+            out.timeline.add(p);
+        }
+    }
+    out.ssp_exec_time = support::Duration::micros(ssp_time_us.mean());
+}
+
+ProfileSet
+Profiler::profile(const kernels::KernelModelPtr& kernel)
+{
+    if (!kernel)
+        support::fatal("Profiler::profile: null kernel");
+
+    ProfileSet out;
+    out.label = kernel->label();
+
+    // ---- step 1: execution time + guidance lookup -----------------------
+    out.measured_exec_time = measureExecTime(kernel);
+    out.guidance = guidance_.lookup(out.measured_exec_time);
+
+    // ---- step 2/7 prep: CPU-GPU time sync -------------------------------
+    TimeSync sync = TimeSync::calibrate(host_, opts_.device);
+    if (opts_.sync_mode == SyncMode::kNoDelayAccounting) {
+        // Lang et al. style: synchronize but ignore the read delay.  The
+        // anchor is re-derived by shifting out the delay correction.
+        sync = TimeSync::calibrateIgnoringDelay(host_, opts_.device);
+    }
+    out.read_delay_us = sync.readDelay().toMicros();
+
+    // ---- steps 3-4: SSE/SSP execution indices ---------------------------
+    const auto window =
+        opts_.logger_window.nanos() > 0
+            ? opts_.logger_window
+            : host_.simulation().config().logger_window;
+    const std::size_t formula =
+        differ_.sspExecutionFormula(out.measured_exec_time, window);
+    out.sse_exec_index = opts_.sse_executions - 1;
+
+    RunExecutor exec(host_, rng_.fork(901));
+    RunPlan plan;
+    plan.main = kernel;
+    plan.device = opts_.device;
+    plan.min_delay = opts_.min_delay;
+    plan.max_delay = opts_.max_delay;
+    plan.logger_window = opts_.logger_window;
+    plan.main_execs_per_block =
+        std::clamp<std::size_t>(3 * formula, 20, formula + 128);
+    const auto explore = exec.executeRun(plan, 0);
+
+    std::vector<double> series;
+    series.reserve(explore.samples.size());
+    for (const auto& s : explore.samples)
+        series.push_back(s.total_w);
+    const std::size_t stable_sample = differ_.detectStabilization(series);
+
+    std::size_t detected = plan.main_execs_per_block;
+    if (stable_sample < explore.samples.size()) {
+        // The first stable sample's window ends at its timestamp; the SSP
+        // region starts with the first execution launched entirely after
+        // that window, so no SSP LOI straddles the settling transient.
+        const auto stable_cpu = sync.gpuCounterToCpuNs(
+            explore.samples[stable_sample].gpu_timestamp);
+        for (std::size_t j = 0; j < explore.main_exec_indices.size(); ++j) {
+            if (explore.execs[explore.main_exec_indices[j]]
+                    .timing.cpu_start_ns >= stable_cpu) {
+                detected = j;
+                break;
+            }
+        }
+    }
+    out.ssp_exec_index =
+        std::clamp<std::size_t>(std::max(formula, detected),
+                                opts_.sse_executions,
+                                plan.main_execs_per_block - 1);
+
+    // Harvest region: keep executing past SSP for ~1.5 windows so several
+    // steady-state LOIs land per run.
+    const double texec_us = out.measured_exec_time.toMicros();
+    const auto harvest = std::clamp<std::size_t>(
+        static_cast<std::size_t>(
+            std::ceil(1.5 * window.toMicros() / texec_us)),
+        2, 64);
+    out.execs_per_run = out.ssp_exec_index + harvest;
+    plan.main_execs_per_block = out.execs_per_run;
+
+    // ---- step 5: the runs ------------------------------------------------
+    const std::size_t base_runs =
+        opts_.runs_override.value_or(out.guidance.runs);
+    std::vector<RunRecord> runs;
+    runs.reserve(base_runs);
+    for (std::size_t r = 0; r < base_runs; ++r)
+        runs.push_back(exec.executeRun(plan, r));
+    out.runs_executed = runs.size();
+
+    if (opts_.sync_mode == SyncMode::kFinGraVDrift) {
+        // Future-work extension: a second anchor after the campaign
+        // estimates and compensates GPU clock drift.
+        sync.addDriftAnchor(host_, opts_.device);
+        out.drift_ppm = sync.estimatedDriftPpm();
+    }
+
+    // ---- steps 6, 7, 9 ----------------------------------------------------
+    stitch(runs, sync, out);
+
+    // ---- step 8: top up runs until the LOI target ------------------------
+    if (opts_.collect_extra_runs) {
+        const std::size_t target =
+            out.guidance.recommendedLois(out.measured_exec_time);
+        const auto max_total = static_cast<std::size_t>(
+            static_cast<double>(base_runs) *
+            (1.0 + opts_.max_extra_run_factor));
+        while (out.ssp.size() < target && runs.size() < max_total) {
+            runs.push_back(exec.executeRun(plan, runs.size()));
+            out.runs_executed = runs.size();
+            stitch(runs, sync, out);
+        }
+    }
+    return out;
+}
+
+ProfileSet
+Profiler::profileInterleaved(const kernels::KernelModelPtr& main,
+                             const std::vector<InterleaveItem>& prelude,
+                             std::size_t blocks_per_run)
+{
+    if (!main)
+        support::fatal("Profiler::profileInterleaved: null kernel");
+    if (prelude.empty())
+        support::fatal("Profiler::profileInterleaved: empty prelude; use "
+                       "profile() for isolated executions");
+    if (blocks_per_run < 2)
+        support::fatal("Profiler::profileInterleaved: need >= 2 blocks "
+                       "(block 0 is warm-up)");
+
+    ProfileSet out;
+    out.label = main->label();
+    out.measured_exec_time = measureExecTime(main);
+    out.guidance = guidance_.lookup(out.measured_exec_time);
+
+    TimeSync sync = TimeSync::calibrate(host_, opts_.device);
+    if (opts_.sync_mode == SyncMode::kNoDelayAccounting)
+        sync = TimeSync::calibrateIgnoringDelay(host_, opts_.device);
+    out.read_delay_us = sync.readDelay().toMicros();
+
+    // Main-kernel instances: one per block; block 0 warms up.
+    out.sse_exec_index = kNoSse;
+    out.ssp_exec_index = 1;
+    out.execs_per_run = blocks_per_run;
+
+    RunExecutor exec(host_, rng_.fork(902));
+    RunPlan plan;
+    plan.main = main;
+    plan.prelude = prelude;
+    plan.blocks = blocks_per_run;
+    plan.main_execs_per_block = 1;
+    plan.device = opts_.device;
+    plan.min_delay = opts_.min_delay;
+    plan.max_delay = opts_.max_delay;
+    plan.logger_window = opts_.logger_window;
+
+    const std::size_t base_runs =
+        opts_.runs_override.value_or(out.guidance.runs);
+    std::vector<RunRecord> runs;
+    runs.reserve(base_runs);
+    for (std::size_t r = 0; r < base_runs; ++r)
+        runs.push_back(exec.executeRun(plan, r));
+    out.runs_executed = runs.size();
+
+    stitch(runs, sync, out);
+
+    if (opts_.collect_extra_runs) {
+        const std::size_t target =
+            out.guidance.recommendedLois(out.measured_exec_time);
+        const auto max_total = static_cast<std::size_t>(
+            static_cast<double>(base_runs) *
+            (1.0 + opts_.max_extra_run_factor));
+        while (out.ssp.size() < target && runs.size() < max_total) {
+            runs.push_back(exec.executeRun(plan, runs.size()));
+            out.runs_executed = runs.size();
+            stitch(runs, sync, out);
+        }
+    }
+    return out;
+}
+
+}  // namespace fingrav::core

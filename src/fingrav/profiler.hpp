@@ -1,0 +1,162 @@
+#ifndef FINGRAV_FINGRAV_PROFILER_HPP_
+#define FINGRAV_FINGRAV_PROFILER_HPP_
+
+/**
+ * @file
+ * The FinGraV profiler: the paper's nine-step methodology (Section IV-B).
+ *
+ *  1. Time the kernel to find its execution time; look up the guidance
+ *     table (#runs, #LOIs, binning margin).
+ *  2. Instrument: CPU-side kernel timing, GPU timestamp read, power-log
+ *     start/stop around each run.            (RunExecutor)
+ *  3. SSE needs four executions per run (three warm-ups + the SSE).
+ *  4. SSP execution count: max(ceil(window/exec), SSE), refined by a
+ *     stabilization scan when throttling distorts the warm-up
+ *     (ProfileDifferentiator).
+ *  5. Execute the runs with random inter-run delays.
+ *  6. Keep only golden runs (modal execution-time bin within the margin).
+ *                                             (ExecutionBinner)
+ *  7. Synchronize CPU-GPU time; identify LOIs and their TOIs.  (TimeSync)
+ *  8. If fewer LOIs than the guidance target, run more runs.
+ *  9. Stitch all LOIs/TOIs into the SSE, SSP and timeline profiles.
+ *
+ * SyncMode selects between the full methodology and the degraded baselines
+ * the paper compares against (Fig. 5 and the Lang et al. discussion);
+ * toggling binning off reproduces the no-binning scatter of Fig. 5.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fingrav/binning.hpp"
+#include "fingrav/differentiation.hpp"
+#include "fingrav/guidance.hpp"
+#include "fingrav/profile.hpp"
+#include "fingrav/run_executor.hpp"
+#include "fingrav/time_sync.hpp"
+#include "kernels/kernel_model.hpp"
+#include "runtime/host_runtime.hpp"
+#include "support/rng.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+/** How power-log timestamps are mapped into CPU time. */
+enum class SyncMode {
+    /** Full FinGraV S2: benchmarked read delay, single anchor. */
+    kFinGraV,
+    /** FinGraV + the future-work drift compensation (second anchor). */
+    kFinGraVDrift,
+    /** Lang et al. style: anchor read without read-delay accounting. */
+    kNoDelayAccounting,
+    /** Naive: align the run's first sample to the run's start (no sync). */
+    kCoarseAlign,
+};
+
+/** Printable sync-mode name. */
+const char* toString(SyncMode mode);
+
+/** Profiler configuration; defaults follow the paper. */
+struct ProfilerOptions {
+    std::size_t device = 0;
+    /** Override the guidance #runs (e.g. the 50-run resiliency study). */
+    std::optional<std::size_t> runs_override;
+    /** Override the guidance binning margin. */
+    std::optional<double> margin_override;
+    /** Executions per run for SSE: three warm-ups + one (paper step 3). */
+    std::size_t sse_executions = 4;
+    /** Step-1 timing repetitions. */
+    std::size_t timing_reps = 5;
+    /** Random inter-run delay range (step 5). */
+    support::Duration min_delay = support::Duration::micros(200.0);
+    support::Duration max_delay = support::Duration::millis(2.0);
+    /** Timestamp mapping mode (kFinGraV = the methodology). */
+    SyncMode sync_mode = SyncMode::kFinGraV;
+    /** Execution-time binning on/off (off = Fig. 5's no-binning scatter). */
+    bool binning = true;
+    /** Step 8: top up runs until the LOI target is met (bounded). */
+    bool collect_extra_runs = true;
+    /** Cap on extra runs as a multiple of the base count. */
+    double max_extra_run_factor = 1.0;
+    /** Stability band for SSP detection. */
+    double stability_eps = 0.03;
+    /** Logger averaging window; <= 0 selects the machine default (1 ms).
+     *  Longer windows model external amd-smi-style loggers (Section VI). */
+    support::Duration logger_window;
+    /**
+     * Section VI outlier profiling: when set, step 6 keeps runs around
+     * this target execution time instead of the modal bin.
+     */
+    std::optional<support::Duration> target_bin;
+};
+
+/** Everything one profiling campaign produced. */
+struct ProfileSet {
+    std::string label;                     ///< kernel label
+    support::Duration measured_exec_time;  ///< step-1 median (CPU-timed)
+    GuidanceEntry guidance;                ///< the Table I row applied
+    std::size_t runs_executed = 0;
+    BinningResult binning;                 ///< golden-run selection
+    std::size_t sse_exec_index = 0;        ///< among main execs, 0-based
+    std::size_t ssp_exec_index = 0;
+    std::size_t execs_per_run = 0;
+    support::Duration ssp_exec_time;       ///< mean golden SSP duration
+    double read_delay_us = 0.0;            ///< benchmarked S2 delay
+    double drift_ppm = 0.0;                ///< estimated (drift mode only)
+
+    PowerProfile sse;       ///< steady-state-execution profile
+    PowerProfile ssp;       ///< steady-state-power profile
+    PowerProfile timeline;  ///< full-run view (Fig. 6 / Fig. 8 style)
+};
+
+/** The FinGraV profiler. */
+class Profiler {
+  public:
+    /**
+     * @param host  Runtime over the simulated (or one day, real) node.
+     * @param opts  Methodology knobs; defaults reproduce the paper.
+     * @param rng   Profiling-side randomness (delays, jitter).
+     */
+    Profiler(runtime::HostRuntime& host, ProfilerOptions opts,
+             support::Rng rng);
+
+    /** Profile a kernel in isolation (the paper's default setup). */
+    ProfileSet profile(const kernels::KernelModelPtr& kernel);
+
+    /**
+     * Profile a kernel with interleaved preludes (Section V-C3): each run
+     * repeats [prelude..., main x1] `blocks_per_run` times; the profile is
+     * stitched from the main kernel's executions (block 0 is warm-up).
+     */
+    ProfileSet profileInterleaved(const kernels::KernelModelPtr& main,
+                                  const std::vector<InterleaveItem>& prelude,
+                                  std::size_t blocks_per_run = 8);
+
+    /** The guidance table in force. */
+    const GuidanceTable& guidance() const { return guidance_; }
+
+  private:
+    /** Step 1: measure warm execution time (median of timing_reps). */
+    support::Duration measureExecTime(const kernels::KernelModelPtr& kernel);
+
+    /** Map a sample timestamp to CPU ns under the configured sync mode. */
+    std::int64_t sampleCpuNs(const TimeSync& sync, const RunRecord& run,
+                             const sim::PowerSample& s) const;
+
+    /** Steps 6-9 for a batch of runs. */
+    void stitch(const std::vector<RunRecord>& runs, const TimeSync& sync,
+                ProfileSet& out) const;
+
+    runtime::HostRuntime& host_;
+    ProfilerOptions opts_;
+    support::Rng rng_;
+    GuidanceTable guidance_;
+    ProfileDifferentiator differ_;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_PROFILER_HPP_

@@ -1,0 +1,70 @@
+#include "fingrav/time_sync.hpp"
+
+#include "support/logging.hpp"
+
+namespace fingrav::core {
+
+TimeSync
+TimeSync::calibrate(runtime::HostRuntime& host, std::size_t device,
+                    std::size_t bench_iters)
+{
+    TimeSync sync;
+    sync.tick_ns_ = host.timestampTick(device).nanos();
+    // Step (1): benchmark the read delay separately (paper Fig. 4b).
+    sync.read_delay_ = host.benchmarkTimestampReadDelay(device, bench_iters);
+    // Step (2): one anchor read; the counter was sampled roughly halfway
+    // through the round trip, so the CPU time to pair with it is the
+    // call-entry time plus half the benchmarked delay.
+    const auto read = host.readGpuTimestamp(device);
+    sync.anchor_cpu_ns_ =
+        read.cpu_before_ns + sync.read_delay_.nanos() / 2;
+    sync.anchor_gpu_ns_ = read.gpu_counter * sync.tick_ns_;
+    return sync;
+}
+
+TimeSync
+TimeSync::calibrateIgnoringDelay(runtime::HostRuntime& host,
+                                 std::size_t device)
+{
+    TimeSync sync;
+    sync.tick_ns_ = host.timestampTick(device).nanos();
+    sync.read_delay_ = support::Duration();
+    const auto read = host.readGpuTimestamp(device);
+    // No delay accounting: the anchor CPU time is simply the call entry.
+    sync.anchor_cpu_ns_ = read.cpu_before_ns;
+    sync.anchor_gpu_ns_ = read.gpu_counter * sync.tick_ns_;
+    return sync;
+}
+
+void
+TimeSync::addDriftAnchor(runtime::HostRuntime& host, std::size_t device)
+{
+    const auto read = host.readGpuTimestamp(device);
+    const std::int64_t cpu_ns =
+        read.cpu_before_ns + read_delay_.nanos() / 2;
+    const std::int64_t gpu_ns = read.gpu_counter * tick_ns_;
+    const std::int64_t d_cpu = cpu_ns - anchor_cpu_ns_;
+    const std::int64_t d_gpu = gpu_ns - anchor_gpu_ns_;
+    if (d_cpu < 100'000'000)
+        support::warn("TimeSync::addDriftAnchor: anchors only ",
+                      d_cpu / 1000, "us apart; drift estimate will be "
+                      "noisy (want >= 100ms)");
+    if (d_cpu <= 0)
+        support::fatal("TimeSync::addDriftAnchor: non-positive anchor span");
+    drift_ppm_ = (static_cast<double>(d_gpu) / static_cast<double>(d_cpu) -
+                  1.0) * 1e6;
+    drift_compensated_ = true;
+}
+
+std::int64_t
+TimeSync::gpuCounterToCpuNs(std::int64_t counter) const
+{
+    const std::int64_t gpu_ns = counter * tick_ns_;
+    const double d_gpu = static_cast<double>(gpu_ns - anchor_gpu_ns_);
+    // Without drift compensation the GPU nanosecond is taken at face value
+    // (the paper's approach); with it, the affine rate is divided out.
+    const double rate = 1.0 + drift_ppm_ * 1e-6;
+    return anchor_cpu_ns_ + static_cast<std::int64_t>(d_gpu / rate);
+}
+
+}  // namespace fingrav::core

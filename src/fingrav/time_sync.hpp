@@ -1,0 +1,91 @@
+#ifndef FINGRAV_FINGRAV_TIME_SYNC_HPP_
+#define FINGRAV_FINGRAV_TIME_SYNC_HPP_
+
+/**
+ * @file
+ * High-resolution CPU-GPU time synchronization (paper tenet S2).
+ *
+ * The on-GPU power logger timestamps samples with the GPU counter while
+ * kernel start/end events are observed in CPU time.  FinGraV bridges the
+ * two by (1) benchmarking the delay of reading the GPU counter from the
+ * CPU, (2) reading one (T0, Tc) anchor pair accounting for that delay, and
+ * (3) translating every log timestamp T into CPU time as
+ * Tc + (T - T0) (paper Fig. 4b: "Tc ~ T0 + delay").
+ *
+ * The paper notes (Section VII, Lang et al. discussion) that it does not
+ * compensate clock *drift* and leaves that to future work; the optional
+ * second anchor here implements that future-work extension: two anchors a
+ * known interval apart estimate the GPU clock's ppm error, turning the
+ * translation into an affine fit.
+ */
+
+#include <cstdint>
+
+#include "runtime/host_runtime.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+/** One-anchor (optionally two-anchor) GPU-to-CPU timestamp translator. */
+class TimeSync {
+  public:
+    /**
+     * Calibrate against a device: benchmark the read delay, then take the
+     * anchor read.
+     *
+     * @param host        Runtime to calibrate through.
+     * @param device      Device index.
+     * @param bench_iters Iterations for the delay benchmark (>= 1).
+     */
+    static TimeSync calibrate(runtime::HostRuntime& host,
+                              std::size_t device = 0,
+                              std::size_t bench_iters = 64);
+
+    /**
+     * Degraded calibration that pairs the anchor with the read-call entry
+     * time, ignoring the round-trip delay — the Lang et al. baseline the
+     * paper contrasts with ("the authors did not factor in the delays
+     * imposed by the CPU-GPU communication", Section VII).
+     */
+    static TimeSync calibrateIgnoringDelay(runtime::HostRuntime& host,
+                                           std::size_t device = 0);
+
+    /**
+     * Take a second anchor now and estimate drift from the pair.
+     *
+     * The longer the span since calibrate(), the better the ppm estimate.
+     */
+    void addDriftAnchor(runtime::HostRuntime& host, std::size_t device = 0);
+
+    /** Translate a GPU counter value into CPU-clock nanoseconds. */
+    std::int64_t gpuCounterToCpuNs(std::int64_t counter) const;
+
+    /** The benchmarked read delay. */
+    support::Duration readDelay() const { return read_delay_; }
+
+    /** Estimated GPU clock drift (0 until addDriftAnchor is used). */
+    double estimatedDriftPpm() const { return drift_ppm_; }
+
+    /** True when drift compensation is active. */
+    bool driftCompensated() const { return drift_compensated_; }
+
+    /** Anchor CPU time (ns on the CPU clock). */
+    std::int64_t anchorCpuNs() const { return anchor_cpu_ns_; }
+
+    /** Anchor GPU time (ns on the GPU clock). */
+    std::int64_t anchorGpuNs() const { return anchor_gpu_ns_; }
+
+  private:
+    TimeSync() = default;
+
+    support::Duration read_delay_;
+    std::int64_t anchor_cpu_ns_ = 0;
+    std::int64_t anchor_gpu_ns_ = 0;
+    std::int64_t tick_ns_ = 1;
+    double drift_ppm_ = 0.0;
+    bool drift_compensated_ = false;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_TIME_SYNC_HPP_

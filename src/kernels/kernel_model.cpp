@@ -1,0 +1,17 @@
+#include "kernels/kernel_model.hpp"
+
+namespace fingrav::kernels {
+
+const char*
+toString(Boundedness b)
+{
+    switch (b) {
+      case Boundedness::kComputeBound:
+        return "compute-bound";
+      case Boundedness::kMemoryBound:
+        return "memory-bound";
+    }
+    return "unknown";
+}
+
+}  // namespace fingrav::kernels

@@ -1,0 +1,87 @@
+#include "kernels/workloads.hpp"
+
+#include <memory>
+
+#include "support/logging.hpp"
+
+namespace fingrav::kernels {
+
+using support::literals::operator""_KB;
+using support::literals::operator""_MB;
+using support::literals::operator""_GB;
+
+KernelModelPtr
+makeSquareGemm(std::int64_t edge, const sim::MachineConfig& cfg)
+{
+    GemmShape s;
+    s.m = edge;
+    s.n = edge;
+    s.k = edge;
+    return std::make_shared<GemmKernel>(s, cfg);
+}
+
+KernelModelPtr
+makeGemv(std::int64_t edge, const sim::MachineConfig& cfg)
+{
+    GemmShape s;
+    s.m = edge;
+    s.n = 1;
+    s.k = edge;
+    return std::make_shared<GemmKernel>(s, cfg);
+}
+
+KernelModelPtr
+makeCollective(CollectiveOp op, support::Bytes bytes,
+               const sim::MachineConfig& cfg)
+{
+    return std::make_shared<CollectiveKernel>(op, bytes, cfg);
+}
+
+std::vector<KernelModelPtr>
+paperGemmKernels(const sim::MachineConfig& cfg)
+{
+    std::vector<KernelModelPtr> out;
+    for (std::int64_t edge : {8192, 4096, 2048}) {
+        out.push_back(makeSquareGemm(edge, cfg));
+    }
+    for (std::int64_t edge : {8192, 4096, 2048}) {
+        out.push_back(makeGemv(edge, cfg));
+    }
+    return out;
+}
+
+std::vector<KernelModelPtr>
+paperCollectiveKernels(const sim::MachineConfig& cfg)
+{
+    std::vector<KernelModelPtr> out;
+    for (auto op : {CollectiveOp::kAllGather, CollectiveOp::kAllReduce}) {
+        for (support::Bytes bytes :
+             {64_KB, 128_KB, 512_MB, 1_GB}) {
+            out.push_back(makeCollective(op, bytes, cfg));
+        }
+    }
+    return out;
+}
+
+std::vector<KernelModelPtr>
+paperKernels(const sim::MachineConfig& cfg)
+{
+    auto out = paperGemmKernels(cfg);
+    auto comms = paperCollectiveKernels(cfg);
+    out.insert(out.end(), comms.begin(), comms.end());
+    return out;
+}
+
+KernelModelPtr
+kernelByLabel(const std::string& label, const sim::MachineConfig& cfg)
+{
+    for (auto& k : paperKernels(cfg)) {
+        if (k->label() == label)
+            return k;
+    }
+    support::fatal("kernelByLabel: unknown kernel '", label,
+                   "' (expected a paper label such as CB-8K-GEMM, "
+                   "MB-4K-GEMV, AG-1GB, AR-64KB)");
+}
+
+}  // namespace fingrav::kernels

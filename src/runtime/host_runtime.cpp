@@ -1,0 +1,195 @@
+#include "runtime/host_runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/logging.hpp"
+
+namespace fingrav::runtime {
+
+namespace {
+
+/** CPU clock read cost (rdtsc-ish plus call overhead). */
+constexpr auto kClockReadCost = fingrav::support::Duration::nanos(40);
+
+/** Host-side cost of issuing an asynchronous launch call. */
+constexpr auto kLaunchCallCost = fingrav::support::Duration::nanos(700);
+
+/** Host-side cost of a sync call when the device is already idle. */
+constexpr auto kSyncPollCost = fingrav::support::Duration::nanos(600);
+
+/** Sync watchdog: a single synchronize may not span more than this. */
+constexpr auto kSyncLimit = fingrav::support::Duration::seconds(30.0);
+
+}  // namespace
+
+HostRuntime::HostRuntime(sim::Simulation& sim, support::Rng rng)
+    : sim_(sim), rng_(std::move(rng)),
+      cpu_now_(support::SimTime::fromNanos(0)),
+      loggers_(sim.deviceCount(), nullptr)
+{
+}
+
+std::int64_t
+HostRuntime::readCpuClock() const
+{
+    return sim_.cpuClock().domainTime(cpu_now_).nanos();
+}
+
+std::int64_t
+HostRuntime::cpuClockAt(support::SimTime master) const
+{
+    return sim_.cpuClock().domainTime(master).nanos();
+}
+
+std::int64_t
+HostRuntime::cpuNowNs()
+{
+    cpu_now_ += kClockReadCost;
+    return readCpuClock();
+}
+
+void
+HostRuntime::sleep(support::Duration d)
+{
+    if (d.nanos() < 0)
+        support::fatal("HostRuntime::sleep: negative duration");
+    cpu_now_ += d;
+}
+
+void
+HostRuntime::catchUpDevice(std::size_t device)
+{
+    sim_.device(device).advanceTo(cpu_now_);
+}
+
+std::uint64_t
+HostRuntime::launch(const sim::KernelWork& work, std::size_t device,
+                    std::size_t queue)
+{
+    cpu_now_ += kLaunchCallCost;
+    const auto ready =
+        cpu_now_ + sim_.config().launch_overhead;
+    return sim_.device(device).submit(work, ready, queue);
+}
+
+std::uint64_t
+HostRuntime::launchOnAllDevices(const sim::KernelWork& work,
+                                std::size_t queue)
+{
+    cpu_now_ += kLaunchCallCost;
+    const auto ready = cpu_now_ + sim_.config().launch_overhead;
+    std::uint64_t id0 = 0;
+    for (std::size_t d = 0; d < sim_.deviceCount(); ++d) {
+        const auto id = sim_.device(d).submit(work, ready, queue);
+        if (d == 0)
+            id0 = id;
+    }
+    return id0;
+}
+
+void
+HostRuntime::synchronize(std::size_t device)
+{
+    auto& dev = sim_.device(device);
+    if (dev.idle()) {
+        dev.advanceTo(cpu_now_);
+        cpu_now_ += kSyncPollCost;
+        return;
+    }
+    const auto done = dev.advanceUntilIdle(cpu_now_ + kSyncLimit);
+    if (!dev.idle())
+        support::fatal("HostRuntime::synchronize: device ", device,
+                       " did not drain within the watchdog window");
+    // Completion may precede the host present (the host raced ahead) or
+    // follow it (the host blocked); either way the sync call returns after
+    // the later of the two plus the sync return overhead.
+    cpu_now_ = std::max(cpu_now_, done);
+    const double jitter = rng_.lognormalJitter(0.08);
+    cpu_now_ += sim_.config().sync_overhead * jitter;
+}
+
+void
+HostRuntime::synchronizeAll()
+{
+    for (std::size_t d = 0; d < sim_.deviceCount(); ++d)
+        synchronize(d);
+}
+
+HostTiming
+HostRuntime::timedRun(const sim::KernelWork& work, std::size_t device)
+{
+    HostTiming t;
+    t.cpu_start_ns = cpuNowNs() + sim_.config().launch_overhead.nanos() +
+                     kLaunchCallCost.nanos();
+    launch(work, device);
+    synchronize(device);
+    t.cpu_end_ns = cpuNowNs();
+    return t;
+}
+
+TimestampRead
+HostRuntime::readGpuTimestamp(std::size_t device)
+{
+    TimestampRead r;
+    r.cpu_before_ns = readCpuClock();
+    // The round trip takes the configured delay with multiplicative
+    // jitter; the counter is sampled mid-flight.
+    const double jitter = rng_.lognormalJitter(
+        sim_.config().timestamp_read_jitter);
+    const auto delay = sim_.config().timestamp_read_delay * jitter;
+    const auto sample_point = cpu_now_ + delay * 0.5;
+    r.gpu_counter = sim_.device(device).gpuClock().readCounter(sample_point);
+    cpu_now_ += delay;
+    r.cpu_after_ns = readCpuClock();
+    return r;
+}
+
+support::Duration
+HostRuntime::benchmarkTimestampReadDelay(std::size_t device,
+                                         std::size_t iterations)
+{
+    if (iterations == 0)
+        support::fatal("benchmarkTimestampReadDelay: zero iterations");
+    const std::int64_t t0 = readCpuClock();
+    for (std::size_t i = 0; i < iterations; ++i)
+        (void)readGpuTimestamp(device);
+    const std::int64_t t1 = readCpuClock();
+    return support::Duration::nanos((t1 - t0) /
+                                    static_cast<std::int64_t>(iterations));
+}
+
+void
+HostRuntime::startPowerLog(std::size_t device, support::Duration window)
+{
+    auto& dev = sim_.device(device);
+    dev.advanceTo(cpu_now_);
+    if (loggers_[device] == nullptr) {
+        const auto w =
+            window.nanos() > 0 ? window : sim_.config().logger_window;
+        loggers_[device] = &dev.addLogger(w);
+    } else if (window.nanos() > 0 &&
+               window != loggers_[device]->window()) {
+        support::fatal("startPowerLog: device ", device,
+                       " logger already exists with window ",
+                       loggers_[device]->window().toMicros(),
+                       "us; cannot switch to ", window.toMicros(), "us");
+    }
+    loggers_[device]->clearSamples();
+    loggers_[device]->start(cpu_now_);
+}
+
+std::vector<sim::PowerSample>
+HostRuntime::stopPowerLog(std::size_t device)
+{
+    if (loggers_[device] == nullptr || !loggers_[device]->capturing())
+        support::fatal("stopPowerLog: no active capture on device ", device);
+    auto& dev = sim_.device(device);
+    dev.advanceTo(cpu_now_);
+    loggers_[device]->stop();
+    auto out = loggers_[device]->samples();
+    loggers_[device]->clearSamples();
+    return out;
+}
+
+}  // namespace fingrav::runtime

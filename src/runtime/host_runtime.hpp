@@ -1,0 +1,189 @@
+#ifndef FINGRAV_RUNTIME_HOST_RUNTIME_HPP_
+#define FINGRAV_RUNTIME_HOST_RUNTIME_HPP_
+
+/**
+ * @file
+ * HIP-like host runtime over the simulated node.
+ *
+ * Everything the FinGraV instrumentation does on real hardware happens
+ * through this API: timing kernels from the CPU side, reading the GPU
+ * timestamp counter (with its benchmarkable round-trip delay — tenet S2),
+ * starting/stopping the power logger around a run, sleeping random delays
+ * between runs, and launching kernels.
+ *
+ * The runtime owns the host's position on the master time axis (the "CPU
+ * thread"); every API call costs simulated time the way a real call costs
+ * wall time.  CPU-visible timestamps are readings of the CPU clock domain
+ * (arbitrary epoch), *not* master time — profiling code upstream never
+ * sees master time, exactly as real tooling never sees a global clock.
+ * Oracle accessors (masterNow, device execution logs) exist for tests and
+ * error analysis only and are clearly named.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/gpu_device.hpp"
+#include "sim/kernel_work.hpp"
+#include "sim/power_logger.hpp"
+#include "sim/simulation.hpp"
+#include "support/rng.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::runtime {
+
+/** Result of a CPU-side GPU-timestamp-counter read. */
+struct TimestampRead {
+    std::int64_t gpu_counter = 0;   ///< counter value (ticks)
+    std::int64_t cpu_before_ns = 0; ///< CPU clock just before the read call
+    std::int64_t cpu_after_ns = 0;  ///< CPU clock just after it returned
+};
+
+/** CPU-observed bounds of one kernel execution. */
+struct HostTiming {
+    std::int64_t cpu_start_ns = 0;  ///< CPU clock when execution began
+    std::int64_t cpu_end_ns = 0;    ///< CPU clock at observed completion
+
+    /** CPU-measured execution time. */
+    support::Duration
+    duration() const
+    {
+        return support::Duration::nanos(cpu_end_ns - cpu_start_ns);
+    }
+};
+
+/** Host-side driver of a simulated multi-GPU node. */
+class HostRuntime {
+  public:
+    /**
+     * @param sim  The node; must outlive the runtime.
+     * @param rng  Host-private randomness (call-latency jitter, etc).
+     */
+    HostRuntime(sim::Simulation& sim, support::Rng rng);
+
+    HostRuntime(const HostRuntime&) = delete;
+    HostRuntime& operator=(const HostRuntime&) = delete;
+
+    // ------------------------------------------------------------------
+    // Host time
+    // ------------------------------------------------------------------
+
+    /** Read the CPU clock (costs a small amount of simulated time). */
+    std::int64_t cpuNowNs();
+
+    /** Block the host thread for `d`. */
+    void sleep(support::Duration d);
+
+    // ------------------------------------------------------------------
+    // Kernel execution
+    // ------------------------------------------------------------------
+
+    /**
+     * Asynchronously launch a kernel.
+     *
+     * Costs the host the launch-call time; the kernel becomes ready on the
+     * device after the configured launch overhead.
+     *
+     * @return Device execution id (matches GpuDevice::ExecutionRecord::id).
+     */
+    std::uint64_t launch(const sim::KernelWork& work, std::size_t device = 0,
+                         std::size_t queue = 0);
+
+    /**
+     * Launch the same work on every device simultaneously (collectives).
+     *
+     * @return Execution id on device 0.
+     */
+    std::uint64_t launchOnAllDevices(const sim::KernelWork& work,
+                                     std::size_t queue = 0);
+
+    /** Block until `device` drains; host time advances to completion. */
+    void synchronize(std::size_t device = 0);
+
+    /** Block until every device drains. */
+    void synchronizeAll();
+
+    /**
+     * Launch + synchronize with CPU-side timing instrumentation — the
+     * paper's step-2 "timing the kernel start/end" measurement.  The
+     * returned bounds carry launch/sync overhead and CPU timer noise, as
+     * on real hardware.
+     */
+    HostTiming timedRun(const sim::KernelWork& work, std::size_t device = 0);
+
+    // ------------------------------------------------------------------
+    // GPU timestamp counter (tenet S2)
+    // ------------------------------------------------------------------
+
+    /** Read the GPU timestamp counter from the host (round-trip delay). */
+    TimestampRead readGpuTimestamp(std::size_t device = 0);
+
+    /**
+     * Estimate the timestamp read delay by timing `iterations`
+     * back-to-back reads — the paper's "separately benchmark the delay".
+     */
+    support::Duration benchmarkTimestampReadDelay(std::size_t device = 0,
+                                                  std::size_t iterations = 64);
+
+    // ------------------------------------------------------------------
+    // Power logging (tenet S1)
+    // ------------------------------------------------------------------
+
+    /**
+     * Start capturing power samples on `device`.
+     *
+     * A logger with the requested window is created on first use (window
+     * <= 0 selects the machine default of 1 ms).  Restarting an active
+     * capture is a no-op.
+     */
+    void startPowerLog(std::size_t device = 0,
+                       support::Duration window = support::Duration());
+
+    /**
+     * Stop the capture and return the samples accumulated since start.
+     */
+    std::vector<sim::PowerSample> stopPowerLog(std::size_t device = 0);
+
+    /** GPU timestamp-counter tick length (public hardware knowledge). */
+    support::Duration
+    timestampTick(std::size_t device = 0) const
+    {
+        return sim_.device(device).gpuClock().tick();
+    }
+
+    // ------------------------------------------------------------------
+    // Oracle accessors — tests & error analysis only
+    // ------------------------------------------------------------------
+
+    /** The host's true position on the master axis. */
+    support::SimTime masterNow() const { return cpu_now_; }
+
+    /** Exact device-side execution records. */
+    const std::vector<sim::GpuDevice::ExecutionRecord>&
+    deviceExecutionLog(std::size_t device = 0) const
+    {
+        return sim_.device(device).executionLog();
+    }
+
+    /** Translate a master time into the CPU clock (oracle). */
+    std::int64_t cpuClockAt(support::SimTime master) const;
+
+    /** Underlying simulation. */
+    sim::Simulation& simulation() { return sim_; }
+
+  private:
+    /** Advance a device's state up to the host present. */
+    void catchUpDevice(std::size_t device);
+
+    /** CPU clock reading for the current host time. */
+    std::int64_t readCpuClock() const;
+
+    sim::Simulation& sim_;
+    support::Rng rng_;
+    support::SimTime cpu_now_;
+    std::vector<sim::PowerLogger*> loggers_;  ///< per device, lazily created
+};
+
+}  // namespace fingrav::runtime
+
+#endif  // FINGRAV_RUNTIME_HOST_RUNTIME_HPP_

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "support/logging.hpp"
+
+namespace fingrav::sim {
+
+void
+EventQueue::schedule(support::SimTime when, Callback fn)
+{
+    if (when < now_)
+        support::fatal("EventQueue: scheduling into the past (",
+                       when.nanos(), "ns < now ", now_.nanos(), "ns)");
+    FINGRAV_ASSERT(fn != nullptr, "null event callback");
+    heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+support::SimTime
+EventQueue::nextTime() const
+{
+    FINGRAV_ASSERT(!heap_.empty(), "nextTime() on empty queue");
+    return heap_.top().when;
+}
+
+std::size_t
+EventQueue::runUntil(support::SimTime limit)
+{
+    std::size_t fired = 0;
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        // Copy out before pop so the callback may schedule new events.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.fn();
+        ++fired;
+    }
+    if (limit > now_)
+        now_ = limit;
+    return fired;
+}
+
+}  // namespace fingrav::sim

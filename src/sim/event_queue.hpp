@@ -1,0 +1,77 @@
+#ifndef FINGRAV_SIM_EVENT_QUEUE_HPP_
+#define FINGRAV_SIM_EVENT_QUEUE_HPP_
+
+/**
+ * @file
+ * Minimal discrete-event scheduler.
+ *
+ * Used by Simulation for host-side timed callbacks (e.g. injecting kernel
+ * launches at scheduled points in interleaving experiments) and available
+ * to library users building custom schedules.  Events at equal timestamps
+ * fire in insertion order (deterministic).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/time_types.hpp"
+
+namespace fingrav::sim {
+
+/** Priority queue of timed callbacks with deterministic tie-breaking. */
+class EventQueue {
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule `fn` at time `when`; `when` may not precede now(). */
+    void schedule(support::SimTime when, Callback fn);
+
+    /** Time of the most recently fired (or currently firing) event. */
+    support::SimTime now() const { return now_; }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Timestamp of the next pending event; undefined when empty. */
+    support::SimTime nextTime() const;
+
+    /**
+     * Fire all events with timestamp <= limit, in order.
+     *
+     * Events scheduled *during* processing are honoured when they fall
+     * within the limit.  Advances now() to `limit`.
+     *
+     * @return Number of events fired.
+     */
+    std::size_t runUntil(support::SimTime limit);
+
+  private:
+    struct Entry {
+        support::SimTime when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    support::SimTime now_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_EVENT_QUEUE_HPP_

@@ -1,0 +1,80 @@
+#include "sim/fabric.hpp"
+
+#include <algorithm>
+
+#include "sim/machine_config.hpp"
+#include "support/logging.hpp"
+
+namespace fingrav::sim {
+
+FabricModel::FabricModel(std::size_t gpus, std::size_t links_per_gpu,
+                         support::BytesPerSecond link_bandwidth)
+    : gpus_(gpus), links_per_gpu_(links_per_gpu),
+      link_bandwidth_(link_bandwidth)
+{
+    if (gpus < 2)
+        support::fatal("FabricModel: need at least 2 GPUs, got ", gpus);
+    if (links_per_gpu == 0 || link_bandwidth <= 0.0)
+        support::fatal("FabricModel: degenerate link configuration");
+}
+
+FabricModel
+FabricModel::fromConfig(const MachineConfig& cfg)
+{
+    return FabricModel(cfg.node_gpus, cfg.fabric_links,
+                       cfg.fabric_link_bandwidth);
+}
+
+support::BytesPerSecond
+FabricModel::achievableBandwidth() const
+{
+    return static_cast<double>(links_per_gpu_) * link_bandwidth_ *
+           efficiency_;
+}
+
+support::Duration
+FabricModel::allGatherTime(support::Bytes bytes) const
+{
+    FINGRAV_ASSERT(bytes > 0, "all-gather of zero bytes");
+    const auto n = static_cast<double>(gpus_);
+    const double moved =
+        static_cast<double>(bytes) * (n - 1.0) / n;
+    const double bw_s = moved / achievableBandwidth();
+    const double alpha_s =
+        base_latency_.toSeconds() +
+        (n - 1.0) * hop_latency_.toSeconds();
+    return support::Duration::seconds(alpha_s + bw_s);
+}
+
+support::Duration
+FabricModel::allReduceTime(support::Bytes bytes) const
+{
+    FINGRAV_ASSERT(bytes > 0, "all-reduce of zero bytes");
+    const auto n = static_cast<double>(gpus_);
+    // Ring all-reduce = reduce-scatter + all-gather: 2 * (N-1)/N the data,
+    // 2 * (N-1) hops, plus a small reduction-compute term that matters only
+    // for large payloads.
+    const double moved =
+        2.0 * static_cast<double>(bytes) * (n - 1.0) / n;
+    const double bw_s = moved / achievableBandwidth();
+    const double alpha_s =
+        base_latency_.toSeconds() +
+        2.0 * (n - 1.0) * hop_latency_.toSeconds();
+    const double reduce_s = static_cast<double>(bytes) / 2.0e13;
+    return support::Duration::seconds(alpha_s + bw_s + reduce_s);
+}
+
+double
+FabricModel::utilization(support::Bytes bytes, support::Duration t) const
+{
+    if (t.nanos() <= 0)
+        return 0.0;
+    const auto n = static_cast<double>(gpus_);
+    const double rate =
+        static_cast<double>(bytes) * (n - 1.0) / n / t.toSeconds();
+    const double peak =
+        static_cast<double>(links_per_gpu_) * link_bandwidth_;
+    return std::clamp(rate / peak, 0.0, 1.0);
+}
+
+}  // namespace fingrav::sim

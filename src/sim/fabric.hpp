@@ -1,0 +1,78 @@
+#ifndef FINGRAV_SIM_FABRIC_HPP_
+#define FINGRAV_SIM_FABRIC_HPP_
+
+/**
+ * @file
+ * Infinity-Fabric-style node interconnect cost model.
+ *
+ * The paper's node is an 8x MI300X Infinity Platform: every GPU connects to
+ * the seven others with 64 GB/s unidirectional links (Section II-A).  RCCL
+ * runs ring collectives across these links; this model prices an
+ * N-GPU ring collective with the standard alpha-beta formulation:
+ *
+ *   all-gather:  t = steps * hop_latency + (N-1)/N * size / achievable_bw
+ *   all-reduce:  reduce-scatter + all-gather (2x the data volume) plus a
+ *                small per-element reduction cost on the XCDs
+ *
+ * where achievable_bw aggregates all outbound links at a tunable
+ * efficiency.  Latency- vs bandwidth-bound classification (Section V-A)
+ * falls out of the same formula: a size is latency-bound while the
+ * alpha term dominates.
+ */
+
+#include <cstddef>
+
+#include "support/time_types.hpp"
+#include "support/units.hpp"
+
+namespace fingrav::sim {
+
+struct MachineConfig;
+
+/** Node-level collective cost model over the GPU-to-GPU fabric. */
+class FabricModel {
+  public:
+    /**
+     * @param gpus            Participating GPUs (ring size).
+     * @param links_per_gpu   Outbound links usable by concurrent rings.
+     * @param link_bandwidth  Unidirectional bandwidth per link, B/s.
+     */
+    FabricModel(std::size_t gpus, std::size_t links_per_gpu,
+                support::BytesPerSecond link_bandwidth);
+
+    /** Build from a machine description (node fields). */
+    static FabricModel fromConfig(const MachineConfig& cfg);
+
+    /** End-to-end all-gather time for `bytes` of payload per GPU result. */
+    support::Duration allGatherTime(support::Bytes bytes) const;
+
+    /** End-to-end all-reduce time for `bytes` of payload. */
+    support::Duration allReduceTime(support::Bytes bytes) const;
+
+    /** Aggregate achievable bandwidth across rings, B/s. */
+    support::BytesPerSecond achievableBandwidth() const;
+
+    /** Fabric utilization fraction during a transfer moving bytes/t. */
+    double utilization(support::Bytes bytes, support::Duration t) const;
+
+    /** Per-ring-step latency (software + SerDes + switch traversal). */
+    support::Duration hopLatency() const { return hop_latency_; }
+
+    /** Fixed collective setup latency (kernel launch, channel setup). */
+    support::Duration baseLatency() const { return base_latency_; }
+
+    /** Ring size. */
+    std::size_t gpus() const { return gpus_; }
+
+  private:
+    std::size_t gpus_;
+    std::size_t links_per_gpu_;
+    support::BytesPerSecond link_bandwidth_;
+    double efficiency_ = 0.78;  ///< achieved fraction of aggregate link bw
+    support::Duration hop_latency_ = support::Duration::micros(2.2);
+    support::Duration base_latency_ = support::Duration::micros(7.0);
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_FABRIC_HPP_

@@ -1,0 +1,241 @@
+#include "sim/gpu_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/logging.hpp"
+
+namespace fingrav::sim {
+
+namespace {
+
+/** Work remainders below this are treated as complete (sub-ns). */
+constexpr double kWorkEpsilonS = 1e-13;
+
+}  // namespace
+
+GpuDevice::GpuDevice(const MachineConfig& cfg, support::Rng rng,
+                     std::size_t device_id)
+    : cfg_(cfg), device_id_(device_id), rng_(std::move(rng)),
+      gpu_clock_(
+          // Each GPU boots at a different wall time: give the counter a
+          // large random epoch offset so nothing accidentally relies on
+          // GPU time resembling CPU time.
+          support::Duration::seconds(rng_.uniform(1e3, 9e4)),
+          cfg.gpu_clock_drift_ppm, cfg.timestamp_tick),
+      power_(cfg.power), governor_(cfg.dvfs), thermal_(cfg.thermal),
+      queues_(1)
+{
+}
+
+std::uint64_t
+GpuDevice::submit(const KernelWork& work, support::SimTime ready_at,
+                  std::size_t queue)
+{
+    if (work.nominal_duration.nanos() <= 0)
+        support::fatal("GpuDevice::submit: kernel '", work.label,
+                       "' has non-positive duration");
+    if (queue >= 16)
+        support::fatal("GpuDevice::submit: queue ", queue,
+                       " out of range (max 16 hardware queues)");
+    if (queue >= queues_.size())
+        queues_.resize(queue + 1);
+
+    QueueEntry entry;
+    entry.id = next_id_++;
+    entry.work = work;
+    // Work cannot start before the device's own present.
+    entry.ready_at = std::max(ready_at, now_);
+    entry.remaining_s = work.nominal_duration.toSeconds();
+    queues_[queue].push_back(std::move(entry));
+    return queues_[queue].back().id;
+}
+
+bool
+GpuDevice::idle() const
+{
+    for (const auto& q : queues_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+GpuDevice::startReady()
+{
+    bool was_idle = true;
+    for (const auto& q : queues_) {
+        if (!q.empty() && q.front().started)
+            was_idle = false;
+    }
+    for (auto& q : queues_) {
+        if (q.empty())
+            continue;
+        QueueEntry& front = q.front();
+        if (!front.started && front.ready_at <= now_) {
+            front.started = now_;
+            if (was_idle) {
+                governor_.wake();
+                was_idle = false;
+            }
+        }
+    }
+}
+
+UtilizationVector
+GpuDevice::aggregateUtil(std::size_t* running) const
+{
+    UtilizationVector agg;
+    std::size_t n = 0;
+    for (const auto& q : queues_) {
+        if (!q.empty() && q.front().started) {
+            agg = agg.saturatingAdd(q.front().work.util);
+            ++n;
+        }
+    }
+    if (running != nullptr)
+        *running = n;
+    return agg;
+}
+
+RailPower
+GpuDevice::currentPower() const
+{
+    const UtilizationVector util = aggregateUtil(nullptr);
+    return power_.instantaneous(util, governor_.frequencyRatio(),
+                                thermal_.temperature());
+}
+
+PowerLogger&
+GpuDevice::addLogger(support::Duration window, double noise_w)
+{
+    const double noise = noise_w < 0.0 ? cfg_.logger_noise_w : noise_w;
+    loggers_.push_back(std::make_unique<PowerLogger>(
+        window, gpu_clock_, noise,
+        rng_.fork(1000 + loggers_.size())));
+    return *loggers_.back();
+}
+
+void
+GpuDevice::advanceTo(support::SimTime master)
+{
+    stepLoop(master, /*stop_on_idle=*/false);
+}
+
+support::SimTime
+GpuDevice::advanceUntilIdle(support::SimTime limit)
+{
+    return stepLoop(limit, /*stop_on_idle=*/true);
+}
+
+support::SimTime
+GpuDevice::stepLoop(support::SimTime limit, bool stop_on_idle)
+{
+    while (now_ < limit) {
+        startReady();
+
+        // Raw utilization demand (uncapped sums) for the contention model:
+        // when concurrent queues oversubscribe a resource dimension —
+        // including CU residency slots (occupancy) — every resident
+        // kernel's progress is scaled by the peak oversubscription.
+        double demand_occ = 0.0;
+        double demand_xcd = 0.0;
+        double demand_llc = 0.0;
+        double demand_hbm = 0.0;
+        double demand_fab = 0.0;
+        std::size_t running = 0;
+        for (const auto& q : queues_) {
+            if (!q.empty() && q.front().started) {
+                const UtilizationVector& u = q.front().work.util;
+                demand_occ += u.xcd_occupancy;
+                demand_xcd += u.xcd_issue;
+                demand_llc += u.llc_bw;
+                demand_hbm += u.hbm_bw;
+                demand_fab += u.fabric_bw;
+                ++running;
+            }
+        }
+        const double contention =
+            std::max({1.0, demand_occ, demand_xcd, demand_llc, demand_hbm,
+                      demand_fab});
+        const bool active = running > 0;
+
+        const double f = governor_.frequencyRatio();
+
+        // Candidate slice end: step quantum (finer while active), the
+        // earliest kernel completion, the next kernel-ready time, and the
+        // overall limit.
+        support::Duration dt =
+            active ? cfg_.power_step : cfg_.idle_step;
+        if (limit - now_ < dt)
+            dt = limit - now_;
+
+        for (auto& q : queues_) {
+            if (q.empty())
+                continue;
+            QueueEntry& front = q.front();
+            if (front.started) {
+                const double rate =
+                    ((1.0 - front.work.freq_sensitivity) +
+                     front.work.freq_sensitivity * f) /
+                    contention;
+                FINGRAV_ASSERT(rate > 0.0, "non-positive progress rate");
+                const double complete_ns =
+                    std::ceil(front.remaining_s / rate * 1e9);
+                const auto d = support::Duration::nanos(
+                    std::max<std::int64_t>(
+                        1, static_cast<std::int64_t>(complete_ns)));
+                if (d < dt)
+                    dt = d;
+            } else if (front.ready_at > now_ && front.ready_at - now_ < dt) {
+                dt = front.ready_at - now_;
+            }
+        }
+
+        if (dt.nanos() <= 0) {
+            // Can only happen when limit == now_; nothing left to do.
+            break;
+        }
+
+        // Evaluate power for the slice and integrate all models.
+        const UtilizationVector util = aggregateUtil(nullptr);
+        const RailPower rails =
+            power_.instantaneous(util, f, thermal_.temperature());
+        for (auto& logger : loggers_)
+            logger->addSlice(now_, dt, rails);
+        governor_.update(dt, rails.total(), active);
+        thermal_.update(dt, rails.total());
+
+        // Progress kernel work and harvest completions.
+        const support::SimTime slice_end = now_ + dt;
+        for (auto& q : queues_) {
+            if (q.empty() || !q.front().started)
+                continue;
+            QueueEntry& front = q.front();
+            const double rate =
+                ((1.0 - front.work.freq_sensitivity) +
+                 front.work.freq_sensitivity * f) /
+                contention;
+            front.remaining_s -= dt.toSeconds() * rate;
+            if (front.remaining_s <= kWorkEpsilonS) {
+                ExecutionRecord rec;
+                rec.id = front.id;
+                rec.label = front.work.label;
+                rec.start = *front.started;
+                rec.end = slice_end;
+                rec.queue = static_cast<std::size_t>(&q - queues_.data());
+                execution_log_.push_back(std::move(rec));
+                q.pop_front();
+            }
+        }
+
+        now_ = slice_end;
+        if (stop_on_idle && idle())
+            return now_;
+    }
+    return now_;
+}
+
+}  // namespace fingrav::sim

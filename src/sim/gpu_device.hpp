@@ -1,0 +1,164 @@
+#ifndef FINGRAV_SIM_GPU_DEVICE_HPP_
+#define FINGRAV_SIM_GPU_DEVICE_HPP_
+
+/**
+ * @file
+ * The simulated GPU: execution engine + power/thermal/DVFS integration.
+ *
+ * A GpuDevice advances along the master time axis in bounded slices
+ * (MachineConfig::power_step while active).  Per slice it aggregates the
+ * utilization of resident kernels, evaluates instantaneous rail power at
+ * the governor's current operating point, feeds the slice to any attached
+ * power loggers, steps the governor and thermal models, and integrates
+ * kernel work progress (compute-bound work stretches under throttling).
+ * Kernel completions split slices exactly, so recorded execution intervals
+ * are nanosecond-accurate rather than quantized to the step size — the
+ * execution-time binning methodology (tenet S3) depends on measuring
+ * genuine sub-percent run-to-run variation.
+ *
+ * Devices advance independently; the runtime (src/runtime/) aligns them
+ * with the host timeline at interaction points (launch, sync, log start).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/clock_domain.hpp"
+#include "sim/dvfs_governor.hpp"
+#include "sim/kernel_work.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/power_logger.hpp"
+#include "sim/power_model.hpp"
+#include "sim/thermal.hpp"
+#include "support/rng.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::sim {
+
+/** One simulated GPU with execution queues, power model and telemetry. */
+class GpuDevice {
+  public:
+    /**
+     * @param cfg        Machine description (copied).
+     * @param rng        Device-private random stream (clock offset, noise).
+     * @param device_id  Position in the node (0-based).
+     */
+    GpuDevice(const MachineConfig& cfg, support::Rng rng,
+              std::size_t device_id);
+
+    GpuDevice(const GpuDevice&) = delete;
+    GpuDevice& operator=(const GpuDevice&) = delete;
+
+    /** Completed-execution record with exact master-time bounds. */
+    struct ExecutionRecord {
+        std::uint64_t id = 0;
+        std::string label;
+        support::SimTime start;  ///< first cycle of execution (master time)
+        support::SimTime end;    ///< completion (master time)
+        std::size_t queue = 0;
+    };
+
+    /**
+     * Enqueue a kernel.
+     *
+     * @param work      The kernel invocation.
+     * @param ready_at  Master time at which it may start (launch overhead
+     *                  is applied by the runtime before calling this).
+     * @param queue     Hardware queue; kernels in one queue run in order,
+     *                  different queues run concurrently (with contention).
+     * @return Execution id for matching against executionLog().
+     */
+    std::uint64_t submit(const KernelWork& work, support::SimTime ready_at,
+                         std::size_t queue = 0);
+
+    /** Advance the device state to `master` (never backwards). */
+    void advanceTo(support::SimTime master);
+
+    /**
+     * Advance until all queues drain or `limit` is reached.
+     *
+     * @return The exact master time the device went idle (or `limit`).
+     */
+    support::SimTime advanceUntilIdle(support::SimTime limit);
+
+    /** True when nothing is running or queued. */
+    bool idle() const;
+
+    /** The device's position on the master time axis. */
+    support::SimTime localNow() const { return now_; }
+
+    /** The GPU timestamp-counter clock domain. */
+    const ClockDomain& gpuClock() const { return gpu_clock_; }
+
+    /**
+     * Attach a power logger with the given averaging window.
+     *
+     * The device owns the logger; the reference stays valid for the device
+     * lifetime.  noise_w < 0 selects the config default.
+     */
+    PowerLogger& addLogger(support::Duration window, double noise_w = -1.0);
+
+    /** Completed executions in completion order. */
+    const std::vector<ExecutionRecord>& executionLog() const
+    {
+        return execution_log_;
+    }
+
+    /** Forget completed-execution records (queues are unaffected). */
+    void clearExecutionLog() { execution_log_.clear(); }
+
+    /** Governor introspection (read-only). */
+    const DvfsGovernor& governor() const { return governor_; }
+
+    /** Junction temperature, degrees C. */
+    double temperatureC() const { return thermal_.temperature(); }
+
+    /** Instantaneous rail power at the current state. */
+    RailPower currentPower() const;
+
+    /** Machine description in force. */
+    const MachineConfig& config() const { return cfg_; }
+
+    /** Device id within the node. */
+    std::size_t deviceId() const { return device_id_; }
+
+  private:
+    struct QueueEntry {
+        std::uint64_t id;
+        KernelWork work;
+        support::SimTime ready_at;
+        double remaining_s;  ///< nominal-seconds of work left
+        std::optional<support::SimTime> started;
+    };
+
+    /** Start any queue-front kernels whose ready time has arrived. */
+    void startReady();
+
+    /** Aggregate utilization and count of running kernels. */
+    UtilizationVector aggregateUtil(std::size_t* running) const;
+
+    /** Core stepping loop; stops at `limit` or (optionally) on idle. */
+    support::SimTime stepLoop(support::SimTime limit, bool stop_on_idle);
+
+    MachineConfig cfg_;
+    std::size_t device_id_;
+    support::Rng rng_;
+    ClockDomain gpu_clock_;
+    PowerModel power_;
+    DvfsGovernor governor_;
+    ThermalModel thermal_;
+
+    support::SimTime now_;
+    std::vector<std::deque<QueueEntry>> queues_;
+    std::vector<ExecutionRecord> execution_log_;
+    std::vector<std::unique_ptr<PowerLogger>> loggers_;
+    std::uint64_t next_id_ = 1;
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_GPU_DEVICE_HPP_

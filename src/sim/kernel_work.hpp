@@ -1,0 +1,34 @@
+#ifndef FINGRAV_SIM_KERNEL_WORK_HPP_
+#define FINGRAV_SIM_KERNEL_WORK_HPP_
+
+/**
+ * @file
+ * The unit of work a GpuDevice executes.
+ *
+ * Kernel cost models (src/kernels/) reduce a kernel invocation to: a
+ * nominal duration (at frequency ratio 1.0), the share of that duration
+ * that scales with the engine clock (compute-bound kernels stretch under
+ * DVFS throttling, memory-/fabric-bound kernels barely do), and the
+ * resource utilization it imposes while resident.  The device integrates
+ * work progress against the live governor frequency, which is how the
+ * paper's "warm-up executions are slower" observation emerges.
+ */
+
+#include <string>
+
+#include "sim/utilization.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::sim {
+
+/** A kernel invocation as seen by the device. */
+struct KernelWork {
+    std::string label;                   ///< e.g. "CB-4K-GEMM"
+    support::Duration nominal_duration;  ///< execution time at f/fn == 1.0
+    double freq_sensitivity = 0.9;       ///< clock-scaled share of the work
+    UtilizationVector util;              ///< resource load while resident
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_KERNEL_WORK_HPP_

@@ -1,0 +1,79 @@
+#include "sim/machine_config.hpp"
+
+namespace fingrav::sim {
+
+MachineConfig
+mi300xConfig()
+{
+    MachineConfig cfg;
+    // Topology and throughput envelope follow the paper's Section II-A /
+    // the CDNA3 whitepaper and are left at the struct defaults (8 XCDs x
+    // 38 CUs, 4 IODs, 256 MB Infinity Cache, 5.3 TB/s HBM, 8-GPU node with
+    // 7 x 64 GB/s links).
+
+    // --- power rail calibration -----------------------------------------
+    // Absolute watts are plausible for a 750 W-class part; what matters
+    // (and what tests/bench assert) is that every *relative* relationship
+    // reported by the paper holds.  Derivation anchors:
+    //   idle total     = 40+35+18+12                    = 105 W
+    //   CB-8K-GEMM     rides the 760 W sustained limit  (throttled)
+    //   CB-4K/2K-GEMM  run at boost without throttling  (~700/636 W)
+    //   XCD residency weight 0.70 keeps all CB GEMMs within ~12 % XCD
+    //   power despite CB-2K's ~half compute utilization (takeaway #4).
+    cfg.power.xcd_idle_w = 40.0;
+    cfg.power.iod_idle_w = 35.0;
+    cfg.power.hbm_idle_w = 18.0;
+    cfg.power.misc_w = 12.0;
+    cfg.power.xcd_dyn_w = 700.0;
+    cfg.power.xcd_residency_weight = 0.70;
+    cfg.power.xcd_issue_weight = 0.30;
+    cfg.power.iod_llc_w = 70.0;
+    cfg.power.iod_hbmphy_w = 40.0;
+    cfg.power.iod_fabric_w = 110.0;
+    cfg.power.hbm_dyn_w = 170.0;
+    cfg.power.leakage_fraction = 0.45;
+    cfg.power.leakage_temp_coeff = 0.010;
+    cfg.power.t_ref_c = 45.0;
+    cfg.power.voltage_floor = 0.62;
+
+    // --- power-management firmware ---------------------------------------
+    // Boost 5 % above nominal with a 3 ms boost-residency budget: a run's
+    // early executions enjoy boost clocks, sustained operation settles at
+    // the nominal point.  Only CB-8K-GEMM-class kernels exceed the 780 W
+    // excursion threshold at boost (~812 W with cold-cache traffic); the
+    // board-telemetry EMA (tau 700 us) crosses the threshold during the
+    // second execution of a run, producing Fig. 6's rise-then-deep-drop
+    // power trend.  Recovery at 0.003 % per us climbs back to the nominal
+    // operating point (~762 W) over several executions — the SSE-to-SSP
+    // power rise.  CB-4K (~742 W peak at boost) and everything lighter
+    // never throttles; their profiles are shaped by window-fill averaging
+    // plus the boost-budget expiry alone.
+    cfg.dvfs.boost_ratio = 1.05;
+    cfg.dvfs.min_ratio = 0.40;
+    cfg.dvfs.idle_ratio = 0.25;
+    cfg.dvfs.sustained_limit_w = 778.0;
+    cfg.dvfs.peak_limit_w = 780.0;
+    cfg.dvfs.fast_tau = support::Duration::micros(700.0);
+    cfg.dvfs.slow_tau = support::Duration::micros(700.0);
+    cfg.dvfs.excursion_cut = 0.75;
+    cfg.dvfs.excursion_hold = support::Duration::micros(300.0);
+    cfg.dvfs.kp_per_us = 0.0016;
+    cfg.dvfs.recovery_per_us = 0.00003;
+    cfg.dvfs.idle_park_delay = support::Duration::micros(30.0);
+    cfg.dvfs.boost_budget = support::Duration::millis(3.0);
+    cfg.dvfs.nominal_ratio = 1.0;
+    cfg.dvfs.recovery_guard = 0.99;
+
+    // --- thermals ---------------------------------------------------------
+    // Die-level hotspot time constant (tens of ms): temperature — and with
+    // it leakage — drifts visibly within a profiling campaign, which is
+    // why the paper pins SSP profiles to a voltage-frequency-temperature
+    // operating point.
+    cfg.thermal.ambient_c = 35.0;
+    cfg.thermal.resistance_c_per_w = 0.055;
+    cfg.thermal.time_constant = support::Duration::millis(35.0);
+
+    return cfg;
+}
+
+}  // namespace fingrav::sim

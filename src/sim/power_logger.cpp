@@ -1,0 +1,99 @@
+#include "sim/power_logger.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace fingrav::sim {
+
+PowerLogger::PowerLogger(support::Duration window,
+                         const ClockDomain& gpu_clock, double noise_w,
+                         support::Rng rng)
+    : window_(window), gpu_clock_(gpu_clock), noise_w_(noise_w),
+      rng_(std::move(rng))
+{
+    if (window.nanos() <= 0)
+        support::fatal("PowerLogger: window must be positive, got ",
+                       window.nanos(), "ns");
+}
+
+void
+PowerLogger::start(support::SimTime master_now)
+{
+    if (capturing_)
+        return;
+    capturing_ = true;
+    const std::int64_t gpu_ns = gpu_clock_.domainTime(master_now).nanos();
+    const std::int64_t w = window_.nanos();
+    // Capture begins at the next window-grid boundary: a real logger's
+    // window phase is a property of the device, not of the request.
+    window_start_gpu_ns_ = ((gpu_ns / w) + 1) * w;
+    acc_xcd_ = acc_iod_ = acc_hbm_ = acc_misc_ = 0.0;
+}
+
+void
+PowerLogger::stop()
+{
+    capturing_ = false;
+}
+
+void
+PowerLogger::emitWindow(std::int64_t window_end_gpu_ns)
+{
+    const double w_ns = static_cast<double>(window_.nanos());
+    PowerSample s;
+    s.gpu_timestamp =
+        window_end_gpu_ns / gpu_clock_.tick().nanos();
+    s.xcd_w = acc_xcd_ / w_ns;
+    s.iod_w = acc_iod_ / w_ns;
+    s.hbm_w = acc_hbm_ / w_ns;
+    double misc = acc_misc_ / w_ns;
+    if (noise_w_ > 0.0) {
+        s.xcd_w += rng_.normal(0.0, noise_w_);
+        s.iod_w += rng_.normal(0.0, noise_w_);
+        s.hbm_w += rng_.normal(0.0, noise_w_);
+        misc += rng_.normal(0.0, noise_w_ * 0.5);
+    }
+    s.total_w = s.xcd_w + s.iod_w + s.hbm_w + misc;
+    samples_.push_back(s);
+}
+
+void
+PowerLogger::addSlice(support::SimTime master_start, support::Duration dt,
+                      const RailPower& rails)
+{
+    if (!capturing_ || dt.nanos() <= 0)
+        return;
+
+    // Map the slice to GPU-domain nanoseconds.  Drift is ppm-scale, so a
+    // <= few-us slice maps to an interval of essentially equal length; the
+    // boundary arithmetic below stays exact in GPU time.
+    const std::int64_t g0 = gpu_clock_.domainTime(master_start).nanos();
+    const std::int64_t g1 =
+        gpu_clock_.domainTime(master_start + dt).nanos();
+    if (g1 <= g0)
+        return;
+
+    const std::int64_t w = window_.nanos();
+    std::int64_t cur = std::max(g0, window_start_gpu_ns_);
+    while (cur < g1) {
+        const std::int64_t window_end = window_start_gpu_ns_ + w;
+        const std::int64_t span_end = std::min(g1, window_end);
+        const double span = static_cast<double>(span_end - cur);
+        if (span > 0.0) {
+            acc_xcd_ += rails.xcd * span;
+            acc_iod_ += rails.iod * span;
+            acc_hbm_ += rails.hbm * span;
+            acc_misc_ += rails.misc * span;
+        }
+        if (span_end == window_end) {
+            emitWindow(window_end);
+            window_start_gpu_ns_ = window_end;
+            acc_xcd_ = acc_iod_ = acc_hbm_ = acc_misc_ = 0.0;
+        }
+        cur = span_end;
+    }
+}
+
+}  // namespace fingrav::sim

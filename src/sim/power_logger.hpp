@@ -1,0 +1,112 @@
+#ifndef FINGRAV_SIM_POWER_LOGGER_HPP_
+#define FINGRAV_SIM_POWER_LOGGER_HPP_
+
+/**
+ * @file
+ * The on-GPU averaging power logger (paper tenet S1).
+ *
+ * Models the telemetry the paper builds on: "each power sample is the
+ * average of multiple instantaneous power readings in the last 1ms"
+ * (Section IV-A).  The logger lives on the GPU clock: windows are
+ * contiguous, aligned to multiples of the window length *in GPU time*, and
+ * each emitted sample carries the GPU timestamp-counter value at the window
+ * end.  It is agnostic of kernel start/end events — re-aligning samples
+ * into CPU time is the job of the FinGraV TimeSync stage (tenet S2).
+ *
+ * The same class models external coarse loggers (amd-smi style, Section VI)
+ * by choosing a longer window.
+ *
+ * The device feeds the logger piecewise-constant power slices; the logger
+ * splits slices exactly at window boundaries, so a window's reported power
+ * is the exact time-average of instantaneous power over that window (plus
+ * optional Gaussian measurement noise per rail).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/clock_domain.hpp"
+#include "sim/power_model.hpp"
+#include "support/rng.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::sim {
+
+/** One emitted power log entry. */
+struct PowerSample {
+    std::int64_t gpu_timestamp = 0;  ///< GPU counter ticks at window end
+    double total_w = 0.0;            ///< window-average VR output power
+    double xcd_w = 0.0;              ///< window-average XCD rail power
+    double iod_w = 0.0;              ///< window-average IOD rail power
+    double hbm_w = 0.0;              ///< window-average HBM rail power
+};
+
+/** Windowed-averaging power logger on the GPU clock. */
+class PowerLogger {
+  public:
+    /**
+     * @param window      Averaging window (1 ms models the paper's logger).
+     * @param gpu_clock   Clock domain whose counter timestamps the samples.
+     * @param noise_w     Std-dev of per-rail measurement noise (0 = exact).
+     * @param rng         Noise stream (unused when noise_w == 0).
+     */
+    PowerLogger(support::Duration window, const ClockDomain& gpu_clock,
+                double noise_w, support::Rng rng);
+
+    /**
+     * Account a slice of constant power.
+     *
+     * Slices must be delivered in non-decreasing master-time order and must
+     * not overlap; gaps are not allowed (the device integrates continuously
+     * while the logger is enabled).
+     *
+     * @param master_start Slice start on the master axis.
+     * @param dt           Slice length (master time).
+     * @param rails        Instantaneous rail power during the slice.
+     */
+    void addSlice(support::SimTime master_start, support::Duration dt,
+                  const RailPower& rails);
+
+    /** Enable capture; samples are appended from the next window boundary. */
+    void start(support::SimTime master_now);
+
+    /** Disable capture (the partially filled window is discarded). */
+    void stop();
+
+    /** True while capturing. */
+    bool capturing() const { return capturing_; }
+
+    /** All samples captured since construction. */
+    const std::vector<PowerSample>& samples() const { return samples_; }
+
+    /** Drop captured samples (capture state is unaffected). */
+    void clearSamples() { samples_.clear(); }
+
+    /** The averaging window. */
+    support::Duration window() const { return window_; }
+
+  private:
+    /** Close the current window and emit a sample. */
+    void emitWindow(std::int64_t window_end_gpu_ns);
+
+    support::Duration window_;
+    const ClockDomain& gpu_clock_;
+    double noise_w_;
+    support::Rng rng_;
+
+    bool capturing_ = false;
+    /** GPU-domain ns of the start of the currently accumulating window. */
+    std::int64_t window_start_gpu_ns_ = 0;
+    /** Energy accumulated in the current window, W * gpu-ns. */
+    double acc_xcd_ = 0.0;
+    double acc_iod_ = 0.0;
+    double acc_hbm_ = 0.0;
+    double acc_misc_ = 0.0;
+
+    std::vector<PowerSample> samples_;
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_POWER_LOGGER_HPP_

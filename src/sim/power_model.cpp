@@ -1,0 +1,55 @@
+#include "sim/power_model.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace fingrav::sim {
+
+double
+PowerModel::voltageRatio(double freq_ratio) const
+{
+    return p_.voltage_floor + (1.0 - p_.voltage_floor) * freq_ratio;
+}
+
+double
+PowerModel::leakageScale(double temp_c) const
+{
+    const double leaky = p_.leakage_fraction;
+    const double scale =
+        1.0 + p_.leakage_temp_coeff * (temp_c - p_.t_ref_c);
+    // Leakage cannot go negative even for absurdly cold inputs.
+    return (1.0 - leaky) + leaky * std::max(0.0, scale);
+}
+
+RailPower
+PowerModel::idle(double freq_ratio, double temp_c) const
+{
+    FINGRAV_ASSERT(freq_ratio > 0.0, "freq_ratio=", freq_ratio);
+    const double leak = leakageScale(temp_c);
+    RailPower r;
+    r.xcd = p_.xcd_idle_w * leak;
+    r.iod = p_.iod_idle_w * leak;
+    r.hbm = p_.hbm_idle_w;
+    r.misc = p_.misc_w;
+    return r;
+}
+
+RailPower
+PowerModel::instantaneous(const UtilizationVector& util, double freq_ratio,
+                          double temp_c) const
+{
+    RailPower r = idle(freq_ratio, temp_c);
+    const double v = voltageRatio(freq_ratio);
+    const double fv2 = freq_ratio * v * v;
+
+    r.xcd += p_.xcd_dyn_w * fv2 *
+             (p_.xcd_residency_weight * util.xcd_occupancy +
+              p_.xcd_issue_weight * util.xcd_issue);
+    r.iod += p_.iod_llc_w * util.llc_bw + p_.iod_hbmphy_w * util.hbm_bw +
+             p_.iod_fabric_w * util.fabric_bw;
+    r.hbm += p_.hbm_dyn_w * util.hbm_bw;
+    return r;
+}
+
+}  // namespace fingrav::sim

@@ -1,0 +1,116 @@
+#ifndef FINGRAV_SIM_POWER_MODEL_HPP_
+#define FINGRAV_SIM_POWER_MODEL_HPP_
+
+/**
+ * @file
+ * Instantaneous per-rail power model.
+ *
+ * The MI300X telemetry in the paper decomposes voltage-regulator output
+ * power into XCD (compute chiplets), IOD (I/O dies: Infinity Cache, HBM
+ * controllers/PHY, Infinity Fabric) and HBM rails.  This model maps a
+ * kernel's UtilizationVector plus the dynamic operating point (frequency
+ * ratio, voltage ratio, temperature) to watts per rail:
+ *
+ *   XCD = idle·leak(T) + D_xcd · (f/fn)(V/Vn)^2 · (w_res·occ + w_iss·issue)
+ *   IOD = idle·leak(T) + D_llc·llc + D_phy·hbm + D_fab·fabric
+ *   HBM = idle + D_hbm·hbm
+ *   misc = constant (VR losses, board)
+ *
+ * The deliberately large `w_res` residency weight encodes the paper's
+ * power-proportionality takeaway #4: an XCD with resident waves burns most
+ * of its dynamic power even at half the issue rate (CB-2K-GEMM vs
+ * CB-8K-GEMM observation, Section V-C2).
+ */
+
+#include "sim/utilization.hpp"
+
+namespace fingrav::sim {
+
+/** Power per telemetry rail, watts. */
+struct RailPower {
+    double xcd = 0.0;   ///< accelerated compute dies
+    double iod = 0.0;   ///< I/O dies (LLC + memory interface + fabric)
+    double hbm = 0.0;   ///< HBM stacks
+    double misc = 0.0;  ///< regulator losses, board, everything else
+
+    /** Voltage-regulator output total (the paper's "total power"). */
+    double total() const { return xcd + iod + hbm + misc; }
+
+    RailPower
+    operator+(const RailPower& o) const
+    {
+        return {xcd + o.xcd, iod + o.iod, hbm + o.hbm, misc + o.misc};
+    }
+
+    RailPower
+    operator*(double f) const
+    {
+        return {xcd * f, iod * f, hbm * f, misc * f};
+    }
+};
+
+/** Coefficients of the rail power model (see file comment for the form). */
+struct PowerModelParams {
+    // Idle floors, watts.
+    double xcd_idle_w = 60.0;
+    double iod_idle_w = 55.0;
+    double hbm_idle_w = 30.0;
+    double misc_w = 20.0;
+
+    // XCD dynamic power at nominal frequency/voltage, watts at full load.
+    double xcd_dyn_w = 500.0;
+    double xcd_residency_weight = 0.70;  ///< non-proportional share (takeaway #4)
+    double xcd_issue_weight = 0.30;      ///< issue-proportional share
+
+    // IOD dynamic contributions, watts at full utilization of each port.
+    double iod_llc_w = 70.0;     ///< Infinity-Cache bandwidth
+    double iod_hbmphy_w = 40.0;  ///< HBM controller + PHY
+    double iod_fabric_w = 110.0; ///< Infinity-Fabric SerDes
+
+    // HBM dynamic power at full bandwidth, watts.
+    double hbm_dyn_w = 170.0;
+
+    // Leakage: fraction of the XCD/IOD idle floors that scales with
+    // temperature, and the linear coefficient per kelvin around t_ref_c.
+    double leakage_fraction = 0.45;
+    double leakage_temp_coeff = 0.010;
+    double t_ref_c = 45.0;
+
+    // Voltage curve: V(f)/Vn = v_floor + (1 - v_floor) * (f/fn).
+    double voltage_floor = 0.62;
+};
+
+/** Stateless evaluator of the rail power model. */
+class PowerModel {
+  public:
+    explicit PowerModel(const PowerModelParams& params) : p_(params) {}
+
+    /**
+     * Instantaneous rail power.
+     *
+     * @param util        Aggregate utilization of currently-running kernels.
+     * @param freq_ratio  f / f_nominal in (0, ~1.05].
+     * @param temp_c      Package temperature, degrees C.
+     */
+    RailPower instantaneous(const UtilizationVector& util, double freq_ratio,
+                            double temp_c) const;
+
+    /** Idle rail power at the given operating point. */
+    RailPower idle(double freq_ratio, double temp_c) const;
+
+    /** Voltage ratio V/Vn for a frequency ratio (linear DVFS curve). */
+    double voltageRatio(double freq_ratio) const;
+
+    /** The parameter set in use. */
+    const PowerModelParams& params() const { return p_; }
+
+  private:
+    /** Temperature multiplier applied to the leaky share of idle power. */
+    double leakageScale(double temp_c) const;
+
+    PowerModelParams p_;
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_POWER_MODEL_HPP_

@@ -1,0 +1,45 @@
+#include "sim/simulation.hpp"
+
+#include "support/logging.hpp"
+
+namespace fingrav::sim {
+
+Simulation::Simulation(const MachineConfig& cfg, std::uint64_t seed,
+                       std::size_t devices)
+    : cfg_(cfg), root_rng_(seed),
+      cpu_clock_(
+          // The CPU clock is the drift reference; its epoch offset is
+          // arbitrary (a realistic large boot-time value).
+          support::Duration::seconds(root_rng_.fork(0).uniform(1e5, 2e5)),
+          /*drift_ppm=*/0.0, support::Duration::nanos(1)),
+      devices_()
+{
+    const std::size_t n = devices == 0 ? cfg.node_gpus : devices;
+    if (n == 0)
+        support::fatal("Simulation: node must contain at least one GPU");
+    devices_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        devices_.push_back(std::make_unique<GpuDevice>(
+            cfg, root_rng_.fork(100 + i), i));
+    }
+}
+
+GpuDevice&
+Simulation::device(std::size_t i)
+{
+    if (i >= devices_.size())
+        support::fatal("Simulation: device index ", i, " out of range (",
+                       devices_.size(), " devices)");
+    return *devices_[i];
+}
+
+const GpuDevice&
+Simulation::device(std::size_t i) const
+{
+    if (i >= devices_.size())
+        support::fatal("Simulation: device index ", i, " out of range (",
+                       devices_.size(), " devices)");
+    return *devices_[i];
+}
+
+}  // namespace fingrav::sim

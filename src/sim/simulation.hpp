@@ -1,0 +1,70 @@
+#ifndef FINGRAV_SIM_SIMULATION_HPP_
+#define FINGRAV_SIM_SIMULATION_HPP_
+
+/**
+ * @file
+ * Top-level container of a simulated node.
+ *
+ * Owns the GPUs of one node, the host-visible CPU clock domain, the master
+ * event queue for scheduled host callbacks, and the root RNG from which
+ * every stochastic component forks a private stream.  The runtime layer
+ * (src/runtime/) drives this object; nothing here knows about kernels or
+ * profiling methodology.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/clock_domain.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/gpu_device.hpp"
+#include "sim/machine_config.hpp"
+#include "support/rng.hpp"
+
+namespace fingrav::sim {
+
+/** A simulated multi-GPU node plus host clock and event queue. */
+class Simulation {
+  public:
+    /**
+     * @param cfg      Machine description applied to every GPU.
+     * @param seed     Root seed; all randomness derives from it.
+     * @param devices  GPU count (cfg.node_gpus when 0).
+     */
+    Simulation(const MachineConfig& cfg, std::uint64_t seed,
+               std::size_t devices = 0);
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /** GPU by index. */
+    GpuDevice& device(std::size_t i);
+    const GpuDevice& device(std::size_t i) const;
+
+    /** Number of GPUs in the node. */
+    std::size_t deviceCount() const { return devices_.size(); }
+
+    /** The CPU (host) clock domain: ns resolution, no drift vs master. */
+    const ClockDomain& cpuClock() const { return cpu_clock_; }
+
+    /** Host-side timed-callback queue. */
+    EventQueue& events() { return events_; }
+
+    /** Machine description in force. */
+    const MachineConfig& config() const { return cfg_; }
+
+    /** Fork an independent RNG stream for a named consumer. */
+    support::Rng forkRng(std::uint64_t stream_id) { return root_rng_.fork(stream_id); }
+
+  private:
+    MachineConfig cfg_;
+    support::Rng root_rng_;
+    ClockDomain cpu_clock_;
+    EventQueue events_;
+    std::vector<std::unique_ptr<GpuDevice>> devices_;
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_SIMULATION_HPP_

@@ -1,0 +1,21 @@
+#include "sim/thermal.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace fingrav::sim {
+
+void
+ThermalModel::update(support::Duration dt, double power_w)
+{
+    FINGRAV_ASSERT(dt.nanos() >= 0, "negative thermal step ", dt.nanos());
+    if (dt.nanos() == 0)
+        return;
+    const double target = steadyState(power_w);
+    const double alpha =
+        std::exp(-dt.toSeconds() / p_.time_constant.toSeconds());
+    temp_c_ = target + (temp_c_ - target) * alpha;
+}
+
+}  // namespace fingrav::sim

@@ -1,0 +1,54 @@
+#ifndef FINGRAV_SIM_THERMAL_HPP_
+#define FINGRAV_SIM_THERMAL_HPP_
+
+/**
+ * @file
+ * First-order RC package thermal model.
+ *
+ * dT/dt = (T_ambient + R * P - T) / tau.  The exact exponential solution is
+ * applied per integration slice, so the model is step-size independent.
+ * Temperature feeds back into leakage power (power_model) — the paper's SSP
+ * profiles are "by definition specific to a given voltage-frequency setting"
+ * and drift with the thermal state (Section IV-A, S4 discussion).
+ */
+
+#include "support/time_types.hpp"
+
+namespace fingrav::sim {
+
+/** Thermal RC parameters. */
+struct ThermalParams {
+    double ambient_c = 35.0;          ///< cold-plate / inlet temperature
+    double resistance_c_per_w = 0.055; ///< junction-to-ambient, K/W
+    support::Duration time_constant = support::Duration::seconds(1.5);
+};
+
+/** Package temperature state with exact exponential stepping. */
+class ThermalModel {
+  public:
+    explicit ThermalModel(const ThermalParams& params)
+        : p_(params), temp_c_(params.ambient_c)
+    {
+    }
+
+    /** Advance the state by dt under constant dissipated power. */
+    void update(support::Duration dt, double power_w);
+
+    /** Current junction temperature, degrees C. */
+    double temperature() const { return temp_c_; }
+
+    /** Steady-state temperature for a constant power draw. */
+    double
+    steadyState(double power_w) const
+    {
+        return p_.ambient_c + p_.resistance_c_per_w * power_w;
+    }
+
+  private:
+    ThermalParams p_;
+    double temp_c_;
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_THERMAL_HPP_

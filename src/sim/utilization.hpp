@@ -1,0 +1,53 @@
+#ifndef FINGRAV_SIM_UTILIZATION_HPP_
+#define FINGRAV_SIM_UTILIZATION_HPP_
+
+/**
+ * @file
+ * Per-resource utilization of a kernel while it executes.
+ *
+ * Kernel cost models (src/kernels/) reduce a kernel to the fraction of each
+ * GPU resource it keeps busy; the power model maps these fractions to rail
+ * power.  The five dimensions are the ones the paper's component analysis
+ * discriminates on (Section V-C2): XCD compute (occupancy vs issue rate are
+ * split so the model can express the paper's power-proportionality takeaway
+ * — high occupancy with low issue still burns most of the XCD power), LLC
+ * and HBM bandwidth (both housed in the IOD/HBM rails), and Infinity-Fabric
+ * bandwidth (IOD rail, dominant for bandwidth-bound collectives).
+ */
+
+#include <algorithm>
+
+namespace fingrav::sim {
+
+/** Resource-utilization fractions in [0, 1] while a kernel executes. */
+struct UtilizationVector {
+    double xcd_occupancy = 0.0;  ///< fraction of CUs holding resident waves
+    double xcd_issue = 0.0;      ///< compute-pipe issue-rate fraction
+    double llc_bw = 0.0;         ///< fraction of peak Infinity-Cache bandwidth
+    double hbm_bw = 0.0;         ///< fraction of peak HBM bandwidth
+    double fabric_bw = 0.0;      ///< fraction of peak Infinity-Fabric bandwidth
+
+    /** Element-wise sum, each dimension clamped to 1.0 (resource saturation). */
+    UtilizationVector
+    saturatingAdd(const UtilizationVector& o) const
+    {
+        UtilizationVector r;
+        r.xcd_occupancy = std::min(1.0, xcd_occupancy + o.xcd_occupancy);
+        r.xcd_issue = std::min(1.0, xcd_issue + o.xcd_issue);
+        r.llc_bw = std::min(1.0, llc_bw + o.llc_bw);
+        r.hbm_bw = std::min(1.0, hbm_bw + o.hbm_bw);
+        r.fabric_bw = std::min(1.0, fabric_bw + o.fabric_bw);
+        return r;
+    }
+
+    /** Largest demand across dimensions (used for contention scaling). */
+    double
+    peakDemand() const
+    {
+        return std::max({xcd_issue, llc_bw, hbm_bw, fabric_bw});
+    }
+};
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_UTILIZATION_HPP_

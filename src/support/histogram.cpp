@@ -1,0 +1,116 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace fingrav::support {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    if (buckets == 0)
+        fatal("Histogram: need at least one bucket");
+    if (hi <= lo)
+        fatal("Histogram: hi (", hi, ") must exceed lo (", lo, ")");
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::bucketCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::size_t
+Histogram::modeBucket() const
+{
+    const auto it = std::max_element(counts_.begin(), counts_.end());
+    return static_cast<std::size_t>(std::distance(counts_.begin(), it));
+}
+
+std::string
+Histogram::render(std::size_t max_width) const
+{
+    const std::size_t peak =
+        counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t bar =
+            peak ? counts_[i] * max_width / peak : 0;
+        oss << bucketCenter(i) << "\t" << counts_[i] << "\t"
+            << std::string(bar, '#') << "\n";
+    }
+    return oss.str();
+}
+
+ModalCluster
+modalCluster(const std::vector<double>& values, double margin)
+{
+    if (margin < 0.0)
+        fatal("modalCluster: negative margin ", margin);
+
+    ModalCluster best;
+    if (values.empty())
+        return best;
+
+    // Sort value/index pairs; then for each candidate window anchored at a
+    // sample, count members with a two-pointer sweep.  A window centred at c
+    // admits [c*(1-margin), c*(1+margin)]; anchoring candidate centres at
+    // sample values is sufficient to find the max-membership window.
+    std::vector<std::size_t> order(values.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return values[a] < values[b];
+    });
+
+    std::size_t best_count = 0;
+    double best_center = 0.0;
+    std::size_t best_lo = 0;
+    std::size_t best_hi = 0;  // half-open over `order`
+
+    // Both window edges are monotone in the anchor (values ascend), so a
+    // single sweep costs O(n) beyond the sort.
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    for (std::size_t anchor = 0; anchor < order.size(); ++anchor) {
+        const double c = values[order[anchor]];
+        const double lo_val = c * (1.0 - margin);
+        const double hi_val = c * (1.0 + margin);
+        while (lo < order.size() && values[order[lo]] < lo_val)
+            ++lo;
+        if (hi < anchor)
+            hi = anchor;
+        while (hi < order.size() && values[order[hi]] <= hi_val)
+            ++hi;
+        const std::size_t count = hi - lo;
+        // Strict > keeps the earliest (smallest-centre) window on ties.
+        if (count > best_count) {
+            best_count = count;
+            best_center = c;
+            best_lo = lo;
+            best_hi = hi;
+        }
+    }
+
+    best.center = best_center;
+    best.indices.reserve(best_count);
+    for (std::size_t i = best_lo; i < best_hi; ++i)
+        best.indices.push_back(order[i]);
+    std::sort(best.indices.begin(), best.indices.end());
+    return best;
+}
+
+}  // namespace fingrav::support

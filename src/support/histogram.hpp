@@ -1,0 +1,78 @@
+#ifndef FINGRAV_SUPPORT_HISTOGRAM_HPP_
+#define FINGRAV_SUPPORT_HISTOGRAM_HPP_
+
+/**
+ * @file
+ * Histogram utilities.
+ *
+ * Two tools live here.  Histogram is a plain fixed-width bucket counter used
+ * for reporting.  modalCluster() implements the sliding-window mode
+ * estimator that execution-time binning (FinGraV tenet S3) is built on:
+ * given a sample and a *relative* window width, find the window position
+ * that captures the most observations "within binning margin of each other"
+ * (paper Section IV-B step 6).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fingrav::support {
+
+/** Fixed-width bucket histogram over [lo, hi). */
+class Histogram {
+  public:
+    /**
+     * @param lo       Lower edge of the first bucket.
+     * @param hi       Upper edge of the last bucket; must exceed lo.
+     * @param buckets  Number of buckets; must be >= 1.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Count one observation (out-of-range values clamp to the end buckets). */
+    void add(double x);
+
+    /** Number of buckets. */
+    std::size_t bucketCount() const { return counts_.size(); }
+    /** Count in bucket i. */
+    std::size_t count(std::size_t i) const { return counts_.at(i); }
+    /** Total observations. */
+    std::size_t total() const { return total_; }
+    /** Centre of bucket i. */
+    double bucketCenter(std::size_t i) const;
+    /** Index of the bucket with the most observations (lowest on ties). */
+    std::size_t modeBucket() const;
+
+    /** Render a small ASCII bar chart (for bench/example output). */
+    std::string render(std::size_t max_width = 50) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** Result of modalCluster: the densest relative-width window of a sample. */
+struct ModalCluster {
+    double center = 0.0;               ///< representative value (window midpoint)
+    std::vector<std::size_t> indices;  ///< indices of samples inside the window
+};
+
+/**
+ * Find the densest cluster of values that lie within +/- margin of a common
+ * centre.
+ *
+ * A value x belongs to a window centred at c when |x - c| <= margin * c.
+ * The returned cluster maximizes membership; ties break toward the smaller
+ * centre (shorter execution time — the common case in the paper, as
+ * outliers are slower).
+ *
+ * @param values  Sample; must be non-negative values (execution times).
+ * @param margin  Relative margin, e.g. 0.05 for the paper's 5 %.
+ */
+ModalCluster modalCluster(const std::vector<double>& values, double margin);
+
+}  // namespace fingrav::support
+
+#endif  // FINGRAV_SUPPORT_HISTOGRAM_HPP_

@@ -1,0 +1,39 @@
+#include "support/logging.hpp"
+
+#include <iostream>
+
+namespace fingrav::support {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+emit(const char* tag, const std::string& msg)
+{
+    if (tag == std::string("warn")) {
+        std::cerr << tag << ": " << msg << "\n";
+    } else {
+        std::cout << tag << ": " << msg << "\n";
+    }
+}
+
+}  // namespace detail
+
+}  // namespace fingrav::support

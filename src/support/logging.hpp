@@ -1,0 +1,114 @@
+#ifndef FINGRAV_SUPPORT_LOGGING_HPP_
+#define FINGRAV_SUPPORT_LOGGING_HPP_
+
+/**
+ * @file
+ * Status/error reporting in the gem5 idiom.
+ *
+ * Severity model (see gem5 coding style, "Fatal v. Panic"):
+ *  - inform(): normal operating status, no connotation of misbehaviour.
+ *  - warn():   something may be off but execution can continue.
+ *  - fatal():  the run cannot continue due to a *user* error (bad
+ *              configuration, invalid argument).  Throws FatalError so
+ *              tests can assert on user-error paths.
+ *  - panic():  an internal invariant was violated, i.e. a bug in this
+ *              library itself.  Throws PanicError.
+ *
+ * FINGRAV_ASSERT(cond, ...) panics with file/line context when `cond` is
+ * false; it is always compiled in (simulation correctness beats the cycles).
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fingrav::support {
+
+/** Error thrown by fatal(): the user asked for something unsatisfiable. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Error thrown by panic(): an internal invariant of this library broke. */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+/** Verbosity threshold for inform()/warn() console output. */
+enum class LogLevel {
+    kSilent = 0,  ///< suppress inform() and warn()
+    kWarn = 1,    ///< warn() only
+    kInform = 2,  ///< warn() and inform()
+};
+
+/** Set the process-wide verbosity for inform()/warn(). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Fold any streamable argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+void emit(const char* tag, const std::string& msg);
+
+}  // namespace detail
+
+/** Print a normal status message (stdout, "info:" prefix). */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    if (logLevel() >= LogLevel::kInform)
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning (stderr, "warn:" prefix). */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    if (logLevel() >= LogLevel::kWarn)
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the run for a user-caused condition. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the run for an internal bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace fingrav::support
+
+/** Panic with source context when an internal invariant fails. */
+#define FINGRAV_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::fingrav::support::panic("assertion `" #cond "` failed at ",    \
+                                      __FILE__, ":", __LINE__, ": ",         \
+                                      ##__VA_ARGS__);                        \
+        }                                                                    \
+    } while (false)
+
+#endif  // FINGRAV_SUPPORT_LOGGING_HPP_

@@ -1,0 +1,148 @@
+#include "support/polyfit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+#include "support/statistics.hpp"
+
+namespace fingrav::support {
+
+double
+Polynomial::operator()(double x) const
+{
+    if (coeffs_.empty())
+        return 0.0;
+    const double u = (x - shift_) * scale_;
+    // Horner evaluation in the normalized domain.
+    double acc = 0.0;
+    for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it)
+        acc = acc * u + *it;
+    return acc;
+}
+
+namespace {
+
+/**
+ * Solve A x = b in-place with partial-pivot Gaussian elimination.
+ *
+ * A is a dense square matrix in row-major order.  Returns false when the
+ * system is numerically singular.
+ */
+bool
+solveDense(std::vector<long double>& a, std::vector<long double>& b,
+           std::size_t n)
+{
+    for (std::size_t col = 0; col < n; ++col) {
+        // Pivot selection.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(static_cast<double>(a[row * n + col])) >
+                std::fabs(static_cast<double>(a[pivot * n + col]))) {
+                pivot = row;
+            }
+        }
+        if (a[pivot * n + col] == 0.0L)
+            return false;
+        if (pivot != col) {
+            for (std::size_t k = 0; k < n; ++k)
+                std::swap(a[pivot * n + k], a[col * n + k]);
+            std::swap(b[pivot], b[col]);
+        }
+        // Eliminate below.
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const long double f = a[row * n + col] / a[col * n + col];
+            for (std::size_t k = col; k < n; ++k)
+                a[row * n + k] -= f * a[col * n + k];
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    for (std::size_t i = n; i-- > 0;) {
+        long double acc = b[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            acc -= a[i * n + k] * b[k];
+        b[i] = acc / a[i * n + i];
+    }
+    return true;
+}
+
+}  // namespace
+
+PolyFitResult
+fitPolynomial(const std::vector<double>& xs, const std::vector<double>& ys,
+              std::size_t degree)
+{
+    if (xs.size() != ys.size())
+        fatal("fitPolynomial: xs (", xs.size(), ") and ys (", ys.size(),
+              ") length mismatch");
+    if (degree > 8)
+        fatal("fitPolynomial: degree ", degree, " > 8 unsupported");
+
+    PolyFitResult result;
+    if (xs.empty())
+        return result;
+
+    // Clamp degree to the information available.
+    degree = std::min(degree, xs.size() - 1);
+
+    const auto [min_it, max_it] = std::minmax_element(xs.begin(), xs.end());
+    const double lo = *min_it;
+    const double hi = *max_it;
+    const double shift = 0.5 * (lo + hi);
+    const double half = 0.5 * (hi - lo);
+
+    if (half == 0.0 || degree == 0) {
+        // Constant fit: the mean.
+        const double m = mean(ys);
+        result.poly = Polynomial({m}, 0.0, 1.0);
+        double ss_res = 0.0;
+        for (double y : ys)
+            ss_res += (y - m) * (y - m);
+        result.rmse = std::sqrt(ss_res / static_cast<double>(ys.size()));
+        result.r_squared = 0.0;
+        return result;
+    }
+    const double scale = 1.0 / half;
+
+    const std::size_t n = degree + 1;
+    // Normal equations: (V^T V) c = V^T y with Vandermonde V over u.
+    std::vector<long double> ata(n * n, 0.0L);
+    std::vector<long double> atb(n, 0.0L);
+    std::vector<long double> powers(2 * degree + 1);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const long double u = (xs[i] - shift) * scale;
+        powers[0] = 1.0L;
+        for (std::size_t k = 1; k < powers.size(); ++k)
+            powers[k] = powers[k - 1] * u;
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c)
+                ata[r * n + c] += powers[r + c];
+            atb[r] += powers[r] * static_cast<long double>(ys[i]);
+        }
+    }
+
+    if (!solveDense(ata, atb, n)) {
+        // Singular system: fall back to the constant fit.
+        return fitPolynomial(xs, ys, 0);
+    }
+
+    std::vector<double> coeffs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        coeffs[i] = static_cast<double>(atb[i]);
+    result.poly = Polynomial(std::move(coeffs), shift, scale);
+
+    const double y_mean = mean(ys);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double r = ys[i] - result.poly(xs[i]);
+        ss_res += r * r;
+        ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+    }
+    result.rmse = std::sqrt(ss_res / static_cast<double>(xs.size()));
+    result.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return result;
+}
+
+}  // namespace fingrav::support

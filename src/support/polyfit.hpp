@@ -1,0 +1,81 @@
+#ifndef FINGRAV_SUPPORT_POLYFIT_HPP_
+#define FINGRAV_SUPPORT_POLYFIT_HPP_
+
+/**
+ * @file
+ * Polynomial least-squares regression.
+ *
+ * The paper overlays degree-4 linear-regression trend lines on its power
+ * profiles ("we do a linear regression of degree four over the power data",
+ * Section V-B) and on the component-comparison figure (Fig. 7).  This module
+ * provides exactly that: fit a polynomial of small degree by solving the
+ * normal equations with partial-pivot Gaussian elimination in long double.
+ *
+ * Inputs are shifted/scaled to [-1, 1] internally before forming the normal
+ * equations, which keeps them well-conditioned for the degrees (<= 6) used
+ * here.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace fingrav::support {
+
+/** A fitted polynomial y = sum_i coeff[i] * x^i over the original x scale. */
+class Polynomial {
+  public:
+    Polynomial() = default;
+
+    /**
+     * Construct from coefficients in a normalized domain.
+     *
+     * @param coeffs  Coefficients c_i of sum c_i * u^i where
+     *                u = (x - shift) * scale.
+     * @param shift   Centre of the original x range.
+     * @param scale   1 / half-width of the original x range.
+     */
+    Polynomial(std::vector<double> coeffs, double shift, double scale)
+        : coeffs_(std::move(coeffs)), shift_(shift), scale_(scale)
+    {
+    }
+
+    /** Evaluate at x (original scale). */
+    double operator()(double x) const;
+
+    /** Polynomial degree (0 when empty). */
+    std::size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+
+    /** True when a fit has been stored. */
+    bool valid() const { return !coeffs_.empty(); }
+
+  private:
+    std::vector<double> coeffs_;
+    double shift_ = 0.0;
+    double scale_ = 1.0;
+};
+
+/** Result of fitPolynomial: the polynomial plus goodness-of-fit. */
+struct PolyFitResult {
+    Polynomial poly;       ///< the fitted polynomial
+    double r_squared = 0;  ///< coefficient of determination
+    double rmse = 0;       ///< root-mean-square residual
+};
+
+/**
+ * Fit y ~ poly(x) of the given degree by least squares.
+ *
+ * Degenerate inputs degrade gracefully: with fewer points than
+ * coefficients the degree is clamped; with zero x-spread a constant fit
+ * (the mean) is returned.
+ *
+ * @param xs      Sample abscissae.
+ * @param ys      Sample ordinates (same length as xs; fatal otherwise).
+ * @param degree  Requested degree (paper uses 4); must be <= 8.
+ */
+PolyFitResult fitPolynomial(const std::vector<double>& xs,
+                            const std::vector<double>& ys,
+                            std::size_t degree);
+
+}  // namespace fingrav::support
+
+#endif  // FINGRAV_SUPPORT_POLYFIT_HPP_

@@ -1,0 +1,94 @@
+#ifndef FINGRAV_SUPPORT_RNG_HPP_
+#define FINGRAV_SUPPORT_RNG_HPP_
+
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic element of the simulator (execution-time jitter,
+ * allocation outliers, clock-read noise, random inter-run delays) draws from
+ * an explicitly seeded Rng.  There is no global generator and no wall-clock
+ * seeding, so every experiment, test and benchmark is bit-reproducible.
+ *
+ * fork() derives an independent child stream from a parent; components each
+ * get their own fork so adding a consumer never perturbs another component's
+ * sequence.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace fingrav::support {
+
+/** Seeded pseudo-random source wrapping std::mt19937_64. */
+class Rng {
+  public:
+    /** Construct with an explicit seed. */
+    explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+    /** The seed this stream was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Derive an independent child stream.
+     *
+     * @param stream_id Distinguishes sibling forks of the same parent.
+     */
+    Rng
+    fork(std::uint64_t stream_id)
+    {
+        // splitmix64-style mixing of (seed, stream_id) for decorrelation.
+        std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return Rng(z ^ (z >> 31));
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Normal deviate. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /**
+     * Multiplicative jitter centred on 1.0: exp(N(0, sigma)).
+     *
+     * Models relative execution-time noise; always positive.
+     */
+    double
+    lognormalJitter(double sigma)
+    {
+        return std::exp(normal(0.0, sigma));
+    }
+
+    /** True with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+  private:
+    std::mt19937_64 engine_;
+    std::uint64_t seed_;
+};
+
+}  // namespace fingrav::support
+
+#endif  // FINGRAV_SUPPORT_RNG_HPP_

@@ -1,0 +1,70 @@
+#ifndef FINGRAV_SUPPORT_STATISTICS_HPP_
+#define FINGRAV_SUPPORT_STATISTICS_HPP_
+
+/**
+ * @file
+ * Streaming and batch descriptive statistics.
+ *
+ * RunningStats is Welford's online algorithm (numerically stable single
+ * pass); the free functions operate on vectors and are used by the binning
+ * and profile-analysis code where the full sample is available anyway.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace fingrav::support {
+
+/** Single-pass mean/variance/min/max accumulator (Welford). */
+class RunningStats {
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Unbiased sample variance; 0 for fewer than two observations. */
+    double variance() const;
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+    /** Smallest observation; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+    /** Largest observation; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Mean of a sample; 0 when empty. */
+double mean(const std::vector<double>& xs);
+
+/** Unbiased sample standard deviation; 0 for fewer than two observations. */
+double stddev(const std::vector<double>& xs);
+
+/** Median (average of the two middle order statistics for even n). */
+double median(std::vector<double> xs);
+
+/**
+ * Linear-interpolated percentile.
+ *
+ * @param xs Sample (copied and sorted internally).
+ * @param p  Percentile in [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Coefficient of variation (stddev/mean); 0 when the mean is 0. */
+double coefficientOfVariation(const std::vector<double>& xs);
+
+}  // namespace fingrav::support
+
+#endif  // FINGRAV_SUPPORT_STATISTICS_HPP_

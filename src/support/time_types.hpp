@@ -1,0 +1,175 @@
+#ifndef FINGRAV_SUPPORT_TIME_TYPES_HPP_
+#define FINGRAV_SUPPORT_TIME_TYPES_HPP_
+
+/**
+ * @file
+ * Strong types for simulated time.
+ *
+ * All simulation time is integer nanoseconds.  Two distinct types keep the
+ * algebra honest: SimTime is a *point* on a time axis, Duration is a span.
+ * Point - Point = Duration; Point + Duration = Point; Duration supports the
+ * usual vector-space operations.  Mixing the two without an explicit
+ * operation is a compile error — exactly the class of bug that plagues
+ * multi-clock-domain code (CPU time vs GPU time vs master time).
+ *
+ * Note that SimTime values from *different clock domains* are still the same
+ * C++ type; domain discipline is enforced by the sim::ClockDomain API which
+ * is the only translator between domains.
+ */
+
+#include <cstdint>
+#include <ostream>
+
+namespace fingrav::support {
+
+/** A span of simulated time, integer nanoseconds. */
+class Duration {
+  public:
+    constexpr Duration() : ns_(0) {}
+
+    /** Construct from raw nanoseconds. */
+    static constexpr Duration
+    nanos(std::int64_t ns)
+    {
+        return Duration(ns);
+    }
+
+    /** Construct from microseconds (converted to integer ns). */
+    static constexpr Duration
+    micros(double us)
+    {
+        return Duration(static_cast<std::int64_t>(us * 1e3));
+    }
+
+    /** Construct from milliseconds (converted to integer ns). */
+    static constexpr Duration
+    millis(double ms)
+    {
+        return Duration(static_cast<std::int64_t>(ms * 1e6));
+    }
+
+    /** Construct from seconds (converted to integer ns). */
+    static constexpr Duration
+    seconds(double s)
+    {
+        return Duration(static_cast<std::int64_t>(s * 1e9));
+    }
+
+    /** Raw nanosecond count. */
+    constexpr std::int64_t nanos() const { return ns_; }
+    /** Value in microseconds. */
+    constexpr double toMicros() const { return static_cast<double>(ns_) / 1e3; }
+    /** Value in milliseconds. */
+    constexpr double toMillis() const { return static_cast<double>(ns_) / 1e6; }
+    /** Value in seconds. */
+    constexpr double toSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+    constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+    constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+    constexpr Duration operator-() const { return Duration(-ns_); }
+
+    /** Scale by a dimensionless factor (rounds toward zero). */
+    constexpr Duration
+    operator*(double f) const
+    {
+        return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * f));
+    }
+
+    /** Ratio of two spans, dimensionless. */
+    constexpr double
+    operator/(Duration o) const
+    {
+        return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+    }
+
+    constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+    constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+    constexpr auto operator<=>(const Duration&) const = default;
+
+  private:
+    explicit constexpr Duration(std::int64_t ns) : ns_(ns) {}
+
+    std::int64_t ns_;
+};
+
+/** A point in simulated time, integer nanoseconds since an epoch. */
+class SimTime {
+  public:
+    constexpr SimTime() : ns_(0) {}
+
+    /** Construct from raw nanoseconds since the epoch. */
+    static constexpr SimTime
+    fromNanos(std::int64_t ns)
+    {
+        return SimTime(ns);
+    }
+
+    /** Raw nanosecond count since the epoch. */
+    constexpr std::int64_t nanos() const { return ns_; }
+    /** Point expressed in seconds since the epoch. */
+    constexpr double toSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+    constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.nanos()); }
+    constexpr SimTime operator-(Duration d) const { return SimTime(ns_ - d.nanos()); }
+    constexpr Duration operator-(SimTime o) const { return Duration::nanos(ns_ - o.ns_); }
+
+    constexpr SimTime& operator+=(Duration d) { ns_ += d.nanos(); return *this; }
+
+    constexpr auto operator<=>(const SimTime&) const = default;
+
+  private:
+    explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+
+    std::int64_t ns_;
+};
+
+inline std::ostream&
+operator<<(std::ostream& os, Duration d)
+{
+    return os << d.toMicros() << "us";
+}
+
+inline std::ostream&
+operator<<(std::ostream& os, SimTime t)
+{
+    return os << t.toSeconds() << "s";
+}
+
+namespace literals {
+
+constexpr Duration operator""_ns(unsigned long long v)
+{
+    return Duration::nanos(static_cast<std::int64_t>(v));
+}
+
+constexpr Duration operator""_us(unsigned long long v)
+{
+    return Duration::micros(static_cast<double>(v));
+}
+
+constexpr Duration operator""_us(long double v)
+{
+    return Duration::micros(static_cast<double>(v));
+}
+
+constexpr Duration operator""_ms(unsigned long long v)
+{
+    return Duration::millis(static_cast<double>(v));
+}
+
+constexpr Duration operator""_ms(long double v)
+{
+    return Duration::millis(static_cast<double>(v));
+}
+
+constexpr Duration operator""_sec(unsigned long long v)
+{
+    return Duration::seconds(static_cast<double>(v));
+}
+
+}  // namespace literals
+
+}  // namespace fingrav::support
+
+#endif  // FINGRAV_SUPPORT_TIME_TYPES_HPP_

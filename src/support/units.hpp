@@ -1,0 +1,78 @@
+#ifndef FINGRAV_SUPPORT_UNITS_HPP_
+#define FINGRAV_SUPPORT_UNITS_HPP_
+
+/**
+ * @file
+ * Lightweight unit helpers for data sizes, rates, power and energy.
+ *
+ * Power/energy/bandwidth stay as plain doubles (they flow through numeric
+ * models where strong types would add friction without catching real bugs),
+ * but construction goes through named helpers and literals so magnitudes
+ * are explicit at the call site.
+ */
+
+#include <cstdint>
+
+namespace fingrav::support {
+
+/** Bytes as a 64-bit count. */
+using Bytes = std::int64_t;
+
+/** Floating-point operation count. */
+using Flops = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Bandwidth in bytes per second. */
+using BytesPerSecond = double;
+
+/** Compute throughput in FLOP per second. */
+using FlopsPerSecond = double;
+
+namespace literals {
+
+/** Decimal kilobytes (the paper's collective sizes are decimal). */
+constexpr Bytes operator""_KB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) * 1000;
+}
+
+/** Decimal megabytes. */
+constexpr Bytes operator""_MB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) * 1000 * 1000;
+}
+
+/** Decimal gigabytes. */
+constexpr Bytes operator""_GB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) * 1000 * 1000 * 1000;
+}
+
+/** Binary kibibytes (cache capacities). */
+constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) * 1024;
+}
+
+/** Binary mebibytes. */
+constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) * 1024 * 1024;
+}
+
+/** Binary gibibytes. */
+constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) * 1024 * 1024 * 1024;
+}
+
+}  // namespace literals
+
+}  // namespace fingrav::support
+
+#endif  // FINGRAV_SUPPORT_UNITS_HPP_

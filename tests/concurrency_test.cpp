@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the recommendation-R1 co-scheduling advisor.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "fingrav/concurrency.hpp"
+#include "kernels/workloads.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulation.hpp"
+#include "support/logging.hpp"
+
+namespace fc = fingrav::core;
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace rt = fingrav::runtime;
+namespace sim = fingrav::sim;
+
+namespace {
+
+struct Node {
+    sim::MachineConfig cfg = sim::mi300xConfig();
+    std::unique_ptr<sim::Simulation> s;
+    std::unique_ptr<rt::HostRuntime> host;
+
+    explicit Node(std::uint64_t seed)
+    {
+        s = std::make_unique<sim::Simulation>(cfg, seed, 1);
+        host = std::make_unique<rt::HostRuntime>(*s, s->forkRng(7));
+    }
+};
+
+}  // namespace
+
+TEST(Complementarity, DisjointDemandsScoreHigh)
+{
+    const auto cfg = sim::mi300xConfig();
+    // Compute-bound GEMM vs memory-bound GEMV: largely disjoint demands.
+    const auto gemm = fk::makeSquareGemm(4096, cfg);
+    const auto gemv = fk::makeGemv(8192, cfg);
+    const double mixed =
+        fc::ConcurrencyAdvisor::complementarity(*gemm, *gemv);
+    // Identical kernels: zero complementarity.
+    const double same =
+        fc::ConcurrencyAdvisor::complementarity(*gemm, *gemm);
+    EXPECT_GT(mixed, 0.25);
+    EXPECT_NEAR(same, 0.0, 1e-9);
+    // Symmetry.
+    EXPECT_NEAR(mixed,
+                fc::ConcurrencyAdvisor::complementarity(*gemv, *gemm),
+                1e-12);
+}
+
+TEST(Complementarity, CollectiveVsGemmIsHighlyComplementary)
+{
+    const auto cfg = sim::mi300xConfig();
+    const auto gemm = fk::makeSquareGemm(8192, cfg);
+    const auto ag = fk::kernelByLabel("AG-64KB", cfg);
+    // Fabric demand vs compute demand barely overlap — the paper's
+    // "latency-bound communication in parallel with any other
+    // computation" suggestion.
+    EXPECT_GT(fc::ConcurrencyAdvisor::complementarity(*gemm, *ag), 0.6);
+}
+
+TEST(Advisor, ComplementaryPairWinsWallTime)
+{
+    Node node(801);
+    fc::ConcurrencyAdvisor advisor(*node.host, node.s->forkRng(8));
+    const auto rep = advisor.evaluate(fk::makeSquareGemm(4096, node.cfg),
+                                      fk::makeGemv(8192, node.cfg),
+                                      /*iters=*/12, 1, 6);
+    EXPECT_GT(rep.speedup, 1.15);
+    EXPECT_GT(rep.concurrent_avg_w, rep.serial_avg_w);
+    // Same work either way: energy within 20 %.
+    EXPECT_NEAR(rep.concurrent_energy_j, rep.serial_energy_j,
+                0.2 * rep.serial_energy_j);
+    EXPECT_TRUE(rep.worthIt(node.cfg.dvfs.sustained_limit_w));
+}
+
+TEST(Advisor, SelfPairGainsLittle)
+{
+    // Two copies of the same compute-bound kernel contend for CU slots
+    // and issue bandwidth: concurrency buys far less than for a
+    // complementary pair (residual gain comes from filling each other's
+    // pipeline bubbles).
+    Node node(802);
+    fc::ConcurrencyAdvisor advisor(*node.host, node.s->forkRng(8));
+    const auto rep = advisor.evaluate(fk::makeSquareGemm(4096, node.cfg),
+                                      fk::makeSquareGemm(4096, node.cfg),
+                                      /*iters=*/10, 1, 1);
+    EXPECT_LT(rep.speedup, 1.25);
+}
+
+TEST(Advisor, Validation)
+{
+    Node node(803);
+    fc::ConcurrencyAdvisor advisor(*node.host, node.s->forkRng(8));
+    const auto gemm = fk::makeSquareGemm(2048, node.cfg);
+    EXPECT_THROW(advisor.evaluate(nullptr, gemm), fs::FatalError);
+    EXPECT_THROW(advisor.evaluate(gemm, gemm, 0), fs::FatalError);
+    EXPECT_THROW(
+        advisor.evaluate(gemm, fk::kernelByLabel("AG-1GB", node.cfg)),
+        fs::FatalError);
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the Infinity-Fabric-style node interconnect cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fabric.hpp"
+#include "sim/machine_config.hpp"
+#include "support/logging.hpp"
+#include "support/units.hpp"
+
+namespace fs = fingrav::support;
+namespace sim = fingrav::sim;
+using namespace fingrav::support::literals;
+
+namespace {
+
+sim::FabricModel
+paperFabric()
+{
+    return sim::FabricModel::fromConfig(sim::mi300xConfig());
+}
+
+}  // namespace
+
+TEST(Fabric, ConfigMapping)
+{
+    const auto f = paperFabric();
+    EXPECT_EQ(f.gpus(), 8u);
+    // 7 links x 64 GB/s at sub-unity efficiency.
+    EXPECT_GT(f.achievableBandwidth(), 0.5 * 7.0 * 64e9);
+    EXPECT_LT(f.achievableBandwidth(), 7.0 * 64e9);
+}
+
+TEST(Fabric, SmallAllGatherIsLatencyDominated)
+{
+    const auto f = paperFabric();
+    const auto t = f.allGatherTime(64_KB);
+    // alpha term: base + 7 hops; beta adds well under a microsecond.
+    const double alpha_us =
+        f.baseLatency().toMicros() + 7.0 * f.hopLatency().toMicros();
+    EXPECT_NEAR(t.toMicros(), alpha_us, 1.0);
+}
+
+TEST(Fabric, LargeAllGatherApproachesBandwidthBound)
+{
+    const auto f = paperFabric();
+    const auto t = f.allGatherTime(1_GB);
+    const double beta_s = 1e9 * (7.0 / 8.0) / f.achievableBandwidth();
+    EXPECT_NEAR(t.toSeconds(), beta_s, 0.05 * beta_s);
+}
+
+TEST(Fabric, AllReduceMovesTwiceTheData)
+{
+    const auto f = paperFabric();
+    const double ag = f.allGatherTime(512_MB).toSeconds();
+    const double ar = f.allReduceTime(512_MB).toSeconds();
+    EXPECT_GT(ar, 1.8 * ag);
+    EXPECT_LT(ar, 2.4 * ag);
+}
+
+TEST(Fabric, UtilizationIsBoundedAndScales)
+{
+    const auto f = paperFabric();
+    const auto t = f.allGatherTime(1_GB);
+    const double u = f.utilization(1_GB, t);
+    EXPECT_GT(u, 0.5);
+    EXPECT_LE(u, 1.0);
+    // Tiny transfer over a long window: near-zero utilization.
+    EXPECT_LT(f.utilization(64_KB, fs::Duration::millis(1.0)), 0.01);
+    EXPECT_DOUBLE_EQ(f.utilization(64_KB, fs::Duration::nanos(0)), 0.0);
+}
+
+TEST(Fabric, Validation)
+{
+    EXPECT_THROW(sim::FabricModel(1, 7, 64e9), fs::FatalError);
+    EXPECT_THROW(sim::FabricModel(8, 0, 64e9), fs::FatalError);
+    EXPECT_THROW(sim::FabricModel(8, 7, 0.0), fs::FatalError);
+    const auto f = paperFabric();
+    EXPECT_THROW(f.allGatherTime(0), fingrav::support::PanicError);
+    EXPECT_THROW(f.allReduceTime(-1), fingrav::support::PanicError);
+}
+
+TEST(Fabric, RingScalingWithNodeSize)
+{
+    // More GPUs move a larger fraction of the payload ((N-1)/N) but the
+    // paper's fully-connected node also gives each GPU more links; at
+    // fixed per-GPU links, the time grows with N through the alpha term.
+    const sim::FabricModel small(2, 7, 64e9);
+    const sim::FabricModel big(8, 7, 64e9);
+    EXPECT_LT(small.allGatherTime(64_KB).toSeconds(),
+              big.allGatherTime(64_KB).toSeconds());
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Failure injection: the methodology under hostile conditions — noisy
+ * telemetry, extreme clock drift, pathological margins, degenerate
+ * profiles.  FinGraV should degrade gracefully (and loudly), never crash
+ * or silently fabricate data.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "fingrav/energy.hpp"
+#include "fingrav/profile.hpp"
+#include "fingrav/profiler.hpp"
+#include "kernels/workloads.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulation.hpp"
+#include "support/logging.hpp"
+
+namespace fc = fingrav::core;
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace rt = fingrav::runtime;
+namespace sim = fingrav::sim;
+
+namespace {
+
+struct Node {
+    sim::MachineConfig cfg;
+    std::unique_ptr<sim::Simulation> s;
+    std::unique_ptr<rt::HostRuntime> host;
+
+    explicit Node(std::uint64_t seed,
+                  const sim::MachineConfig& config = sim::mi300xConfig())
+        : cfg(config)
+    {
+        s = std::make_unique<sim::Simulation>(cfg, seed, 1);
+        host = std::make_unique<rt::HostRuntime>(*s, s->forkRng(7));
+    }
+
+    fc::ProfileSet
+    profile(const fk::KernelModelPtr& k, fc::ProfilerOptions opts)
+    {
+        return fc::Profiler(*host, opts, s->forkRng(8)).profile(k);
+    }
+};
+
+fc::ProfilerOptions
+fastOpts()
+{
+    fc::ProfilerOptions o;
+    o.runs_override = 50;
+    o.collect_extra_runs = false;
+    return o;
+}
+
+}  // namespace
+
+TEST(FailureInjection, ExtremeLoggerNoiseStillYieldsProfile)
+{
+    auto cfg = sim::mi300xConfig();
+    cfg.logger_noise_w = 25.0;  // 20x the realistic noise floor
+    Node node(601, cfg);
+    const auto set =
+        node.profile(fk::makeSquareGemm(2048, cfg), fastOpts());
+    ASSERT_FALSE(set.ssp.empty());
+    // The mean survives even if individual LOIs are noisy.
+    EXPECT_NEAR(set.ssp.meanPower(), 585.0, 60.0);
+}
+
+TEST(FailureInjection, ExtremeDriftBreaksSingleAnchorSync)
+{
+    // 5000 ppm (0.5 %) drift: a single-anchor sync mis-places samples by
+    // ~5 us per second of capture distance.  The per-run anchor distance
+    // here spans seconds of campaign time, so LOIs land far outside their
+    // executions and the SSP profile starves or scrambles.
+    auto cfg = sim::mi300xConfig();
+    cfg.gpu_clock_drift_ppm = 5000.0;
+    Node broken(602, cfg);
+    const auto degraded =
+        broken.profile(fk::makeSquareGemm(2048, cfg), fastOpts());
+
+    Node rescued(602, cfg);
+    auto opts = fastOpts();
+    opts.sync_mode = fc::SyncMode::kFinGraVDrift;
+    const auto fixed =
+        rescued.profile(fk::makeSquareGemm(2048, cfg), opts);
+
+    // Single-anchor sync: millisecond-scale displacement moves every
+    // sample out of the narrow SSE execution window — the SSE profile
+    // starves and differentiation silently collapses.  (SSP LOIs survive
+    // by accident: displaced samples still land inside *some* steady
+    // execution of the homogeneous run.)
+    EXPECT_LE(degraded.sse.size(), 1u);
+    // Drift compensation recovers the estimate and the differentiation.
+    ASSERT_FALSE(fixed.ssp.empty());
+    EXPECT_NEAR(fixed.drift_ppm, 5000.0, 100.0);
+    const auto fixed_rep = fc::differentiationError(fixed);
+    EXPECT_GT(fixed_rep.error_pct, 55.0);
+    EXPECT_LT(fixed_rep.error_pct, 85.0);
+    EXPECT_GT(fixed.sse.size(), 0u);
+}
+
+TEST(FailureInjection, ZeroMarginKeepsAtLeastOneRun)
+{
+    Node node(603);
+    auto opts = fastOpts();
+    opts.margin_override = 0.0;  // degenerate: exact-tie binning
+    const auto set = node.profile(fk::makeSquareGemm(2048, node.cfg), opts);
+    // Execution times are effectively continuous, so the modal "bin" is a
+    // single run — the pipeline must survive and say so.
+    EXPECT_GE(set.binning.golden_runs.size(), 1u);
+    EXPECT_LT(set.binning.golden_runs.size(), 5u);
+}
+
+TEST(FailureInjection, EmptyProfilesReportZeroNotCrash)
+{
+    const fc::PowerProfile empty("X", fc::ProfileKind::kSse);
+    EXPECT_DOUBLE_EQ(empty.meanPower(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.minPower(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.maxPower(), 0.0);
+    EXPECT_FALSE(empty.trend(fc::Rail::kTotal).poly.valid());
+
+    fc::ProfileSet set;
+    set.ssp_exec_time = fs::Duration::micros(100.0);
+    const auto rep = fc::differentiationError(set);
+    EXPECT_DOUBLE_EQ(rep.error_pct, 0.0);
+    EXPECT_DOUBLE_EQ(rep.ssp_energy_j, 0.0);
+
+    fc::ProfileSet isolated;  // empty reference
+    EXPECT_THROW(fc::interleavingShiftPct(set, isolated), fs::FatalError);
+}
+
+TEST(FailureInjection, OutlierStormStillBins)
+{
+    // Half the runs are allocation outliers: binning must still find the
+    // (slim) majority cluster rather than averaging the two populations.
+    auto cfg = sim::mi300xConfig();
+    cfg.outlier_run_probability = 0.5;
+    cfg.outlier_slowdown_min = 1.25;
+    cfg.outlier_slowdown_max = 1.30;
+    Node node(604, cfg);
+    auto opts = fastOpts();
+    opts.runs_override = 120;
+    const auto set = node.profile(fk::makeSquareGemm(4096, cfg), opts);
+    const double golden = set.binning.goldenFraction();
+    EXPECT_GT(golden, 0.30);
+    EXPECT_LT(golden, 0.75);
+    // The golden bin is the fast (common) population.
+    EXPECT_LT(set.binning.bin_center.toMicros(),
+              set.measured_exec_time.toMicros() * 1.15);
+}
+
+TEST(FailureInjection, TinyRunBudgetDegradesGracefully)
+{
+    Node node(605);
+    auto opts = fastOpts();
+    opts.runs_override = 5;
+    const auto set = node.profile(fk::makeSquareGemm(2048, node.cfg), opts);
+    // Five runs of a 33 us kernel yield few LOIs — but never invalid ones.
+    for (const auto& p : set.ssp.points()) {
+        EXPECT_GE(p.toi_frac, 0.0);
+        EXPECT_LE(p.toi_frac, 1.0);
+        EXPECT_GT(p.sample.total_w, 0.0);
+    }
+}
+
+TEST(FailureInjection, StepEightTopsUpLoiShortfall)
+{
+    // With a tiny base budget and top-up enabled, the profiler must keep
+    // adding runs until the Table I LOI target is met (or the cap hits).
+    Node node(606);
+    fc::ProfilerOptions opts;
+    opts.runs_override = 2;  // far below any useful yield
+    opts.collect_extra_runs = true;
+    opts.max_extra_run_factor = 20.0;
+    const auto set = node.profile(fk::makeSquareGemm(2048, node.cfg), opts);
+    const auto target =
+        set.guidance.recommendedLois(set.measured_exec_time);
+    EXPECT_GE(set.ssp.size(), target);
+    EXPECT_GT(set.runs_executed, 2u);
+}

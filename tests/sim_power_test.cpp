@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the thermal model, DVFS governor and rail power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dvfs_governor.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/power_model.hpp"
+#include "sim/thermal.hpp"
+#include "support/time_types.hpp"
+
+namespace fs = fingrav::support;
+namespace sim = fingrav::sim;
+using namespace fingrav::support::literals;
+
+namespace {
+
+sim::ThermalParams
+thermalParams()
+{
+    sim::ThermalParams p;
+    p.ambient_c = 35.0;
+    p.resistance_c_per_w = 0.05;
+    p.time_constant = fs::Duration::millis(100.0);
+    return p;
+}
+
+}  // namespace
+
+TEST(Thermal, StartsAtAmbient)
+{
+    sim::ThermalModel t(thermalParams());
+    EXPECT_DOUBLE_EQ(t.temperature(), 35.0);
+}
+
+TEST(Thermal, ConvergesToSteadyState)
+{
+    sim::ThermalModel t(thermalParams());
+    // 700 W * 0.05 K/W + 35 = 70 C steady state.
+    for (int i = 0; i < 2000; ++i)
+        t.update(fs::Duration::millis(1.0), 700.0);
+    EXPECT_NEAR(t.temperature(), 70.0, 0.01);
+    EXPECT_DOUBLE_EQ(t.steadyState(700.0), 70.0);
+}
+
+TEST(Thermal, StepSizeIndependent)
+{
+    sim::ThermalModel coarse(thermalParams());
+    sim::ThermalModel fine(thermalParams());
+    coarse.update(fs::Duration::millis(50.0), 500.0);
+    for (int i = 0; i < 5000; ++i)
+        fine.update(fs::Duration::micros(10.0), 500.0);
+    EXPECT_NEAR(coarse.temperature(), fine.temperature(), 1e-9);
+}
+
+TEST(Thermal, CoolsBackTowardAmbient)
+{
+    sim::ThermalModel t(thermalParams());
+    for (int i = 0; i < 500; ++i)
+        t.update(fs::Duration::millis(1.0), 700.0);
+    const double hot = t.temperature();
+    for (int i = 0; i < 500; ++i)
+        t.update(fs::Duration::millis(1.0), 0.0);
+    EXPECT_LT(t.temperature(), hot);
+    EXPECT_GT(t.temperature(), 35.0 - 1e-9);
+}
+
+namespace {
+
+sim::DvfsGovernorParams
+governorParams()
+{
+    return sim::mi300xConfig().dvfs;
+}
+
+}  // namespace
+
+TEST(Governor, WakeGrantsBoost)
+{
+    sim::DvfsGovernor g(governorParams());
+    EXPECT_DOUBLE_EQ(g.frequencyRatio(), governorParams().idle_ratio);
+    g.wake();
+    EXPECT_DOUBLE_EQ(g.frequencyRatio(), governorParams().boost_ratio);
+}
+
+TEST(Governor, IdleParksClockOnlyAfterHysteresis)
+{
+    const auto p = governorParams();
+    sim::DvfsGovernor g(p);
+    g.wake();
+    EXPECT_FALSE(g.parked());
+    // A short launch/sync gap must NOT park the clock (idle hysteresis).
+    g.update(2_us, 300.0, /*active=*/false);
+    EXPECT_FALSE(g.parked());
+    EXPECT_DOUBLE_EQ(g.frequencyRatio(), p.boost_ratio);
+    // Sustained inactivity parks it.
+    for (int i = 0; i < 30; ++i)
+        g.update(2_us, 150.0, /*active=*/false);
+    EXPECT_TRUE(g.parked());
+    EXPECT_DOUBLE_EQ(g.frequencyRatio(), p.idle_ratio);
+    // And the next wake-up grants boost again.
+    g.wake();
+    EXPECT_DOUBLE_EQ(g.frequencyRatio(), p.boost_ratio);
+}
+
+TEST(Governor, ExcursionCutsFrequencyAndHolds)
+{
+    const auto p = governorParams();
+    sim::DvfsGovernor g(p);
+    g.wake();
+    // Sustained power far above the peak limit: the fast EMA crosses the
+    // excursion threshold within a few tens of microseconds.
+    for (int i = 0; i < 200; ++i)
+        g.update(2_us, p.peak_limit_w + 100.0, true);
+    EXPECT_GE(g.excursionCount(), 1u);
+    EXPECT_LT(g.frequencyRatio(), p.boost_ratio);
+}
+
+TEST(Governor, NoExcursionBelowPeakLimitAndBoostBudgetExpires)
+{
+    const auto p = governorParams();
+    sim::DvfsGovernor g(p);
+    g.wake();
+    // Within the boost budget: clocks hold at boost.
+    const int budget_steps =
+        static_cast<int>(p.boost_budget.toMicros() / 2.0);
+    for (int i = 0; i < budget_steps - 10; ++i)
+        g.update(2_us, p.sustained_limit_w - 100.0, true);
+    EXPECT_EQ(g.excursionCount(), 0u);
+    EXPECT_DOUBLE_EQ(g.frequencyRatio(), p.boost_ratio);
+    // Once the budget is spent, the clock caps at the nominal point.
+    for (int i = 0; i < 100; ++i)
+        g.update(2_us, p.sustained_limit_w - 100.0, true);
+    EXPECT_EQ(g.excursionCount(), 0u);
+    EXPECT_DOUBLE_EQ(g.frequencyRatio(), p.nominal_ratio);
+}
+
+TEST(Governor, SustainedLoopConvergesBelowLimit)
+{
+    const auto p = governorParams();
+    sim::DvfsGovernor g(p);
+    g.wake();
+    // Power proportional to fv^2 of the clock: a crude closed loop.
+    for (int i = 0; i < 200000; ++i) {
+        const double f = g.frequencyRatio();
+        const double v = 0.62 + 0.38 * f;
+        const double power = 150.0 + 650.0 * f * v * v;
+        g.update(2_us, power, true);
+    }
+    const double f = g.frequencyRatio();
+    const double v = 0.62 + 0.38 * f;
+    const double power = 150.0 + 650.0 * f * v * v;
+    EXPECT_NEAR(power, p.sustained_limit_w, 25.0);
+}
+
+TEST(Governor, RecoveryIsGradual)
+{
+    const auto p = governorParams();
+    sim::DvfsGovernor g(p);
+    g.wake();
+    for (int i = 0; i < 200; ++i)
+        g.update(2_us, p.peak_limit_w + 150.0, true);
+    ASSERT_GE(g.excursionCount(), 1u);
+    // Run at low power until the hold drains and the telemetry EMA decays.
+    for (int i = 0; i < 400; ++i)
+        g.update(2_us, 200.0, true);
+    const double throttled = g.frequencyRatio();
+    // A further millisecond of low power: frequency climbs, but only
+    // gradually — far from reaching boost.
+    for (int i = 0; i < 500; ++i)
+        g.update(2_us, 200.0, true);
+    const double recovering = g.frequencyRatio();
+    EXPECT_GT(recovering, throttled);
+    EXPECT_LT(recovering, throttled + 0.1);
+    EXPECT_LT(recovering, p.boost_ratio);
+}
+
+namespace {
+
+sim::PowerModel
+model()
+{
+    return sim::PowerModel(sim::mi300xConfig().power);
+}
+
+sim::UtilizationVector
+gemmLikeUtil()
+{
+    sim::UtilizationVector u;
+    u.xcd_occupancy = 0.95;
+    u.xcd_issue = 0.82;
+    u.llc_bw = 0.60;
+    u.hbm_bw = 0.32;
+    return u;
+}
+
+}  // namespace
+
+TEST(PowerModel, IdleFloorsMatchParams)
+{
+    const auto p = sim::mi300xConfig().power;
+    const auto idle = model().idle(1.0, p.t_ref_c);
+    EXPECT_NEAR(idle.xcd, p.xcd_idle_w, 1e-9);
+    EXPECT_NEAR(idle.iod, p.iod_idle_w, 1e-9);
+    EXPECT_NEAR(idle.hbm, p.hbm_idle_w, 1e-9);
+    EXPECT_NEAR(idle.misc, p.misc_w, 1e-9);
+}
+
+TEST(PowerModel, TotalIsSumOfRails)
+{
+    const auto r = model().instantaneous(gemmLikeUtil(), 1.0, 50.0);
+    EXPECT_NEAR(r.total(), r.xcd + r.iod + r.hbm + r.misc, 1e-12);
+}
+
+TEST(PowerModel, ActiveExceedsIdle)
+{
+    const auto m = model();
+    const auto idle = m.idle(1.0, 45.0);
+    const auto busy = m.instantaneous(gemmLikeUtil(), 1.0, 45.0);
+    EXPECT_GT(busy.xcd, idle.xcd);
+    EXPECT_GT(busy.iod, idle.iod);
+    EXPECT_GT(busy.hbm, idle.hbm);
+    EXPECT_GT(busy.total(), idle.total());
+}
+
+TEST(PowerModel, MonotoneInFrequency)
+{
+    const auto m = model();
+    double prev = 0.0;
+    for (double f = 0.4; f <= 1.05; f += 0.05) {
+        const double p = m.instantaneous(gemmLikeUtil(), f, 45.0).total();
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PowerModel, LeakageGrowsWithTemperature)
+{
+    const auto m = model();
+    const double cold = m.idle(1.0, 40.0).total();
+    const double hot = m.idle(1.0, 80.0).total();
+    EXPECT_GT(hot, cold);
+}
+
+TEST(PowerModel, ResidencyDominatesIssueRate)
+{
+    // The power-proportionality takeaway (#4): halving the issue rate at
+    // full occupancy must reduce XCD power by far less than half.
+    const auto m = model();
+    sim::UtilizationVector full = gemmLikeUtil();
+    sim::UtilizationVector half = full;
+    half.xcd_issue = full.xcd_issue / 2.0;
+    const double p_full = m.instantaneous(full, 1.0, 45.0).xcd;
+    const double p_half = m.instantaneous(half, 1.0, 45.0).xcd;
+    EXPECT_GT(p_half, 0.80 * p_full);
+    EXPECT_LT(p_half, p_full);
+}
+
+TEST(PowerModel, FabricUtilizationFeedsIodRail)
+{
+    const auto m = model();
+    sim::UtilizationVector comm;
+    comm.xcd_occupancy = 0.06;
+    comm.xcd_issue = 0.04;
+    comm.fabric_bw = 0.85;
+    comm.hbm_bw = 0.40;
+    comm.llc_bw = 0.10;
+    const auto r = m.instantaneous(comm, 1.0, 45.0);
+    const auto gemm = m.instantaneous(gemmLikeUtil(), 1.0, 45.0);
+    EXPECT_GT(r.iod, gemm.iod);  // BB collectives stress IOD hardest
+    EXPECT_LT(r.xcd, gemm.xcd);  // ... while barely touching the XCDs
+}
+
+TEST(PowerModel, VoltageCurveEndpoints)
+{
+    const auto m = model();
+    const auto p = sim::mi300xConfig().power;
+    EXPECT_NEAR(m.voltageRatio(1.0), 1.0, 1e-12);
+    EXPECT_NEAR(m.voltageRatio(0.0), p.voltage_floor, 1e-12);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit and property tests for polynomial least-squares fitting.
+ */
+
+#include "support/polyfit.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace fs = fingrav::support;
+
+namespace {
+
+/** Evaluate sum_i c[i] x^i. */
+double
+evalPoly(const std::vector<double>& c, double x)
+{
+    double acc = 0.0;
+    double p = 1.0;
+    for (double ci : c) {
+        acc += ci * p;
+        p *= x;
+    }
+    return acc;
+}
+
+}  // namespace
+
+TEST(PolyFit, ExactLinearRecovery)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i <= 10; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 + 2.0 * i);
+    }
+    const auto fit = fs::fitPolynomial(xs, ys, 1);
+    EXPECT_NEAR(fit.poly(0.0), 3.0, 1e-9);
+    EXPECT_NEAR(fit.poly(5.5), 14.0, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+    EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(PolyFit, ExactQuarticRecovery)
+{
+    // The paper's trend lines use degree 4; verify exact interpolation of a
+    // known quartic on an awkward (shifted, scaled) domain.
+    const std::vector<double> coeffs{1.0, -2.0, 0.5, 0.25, -0.01};
+    std::vector<double> xs, ys;
+    for (int i = 0; i <= 40; ++i) {
+        const double x = 100.0 + 0.37 * i;
+        xs.push_back(x);
+        ys.push_back(evalPoly(coeffs, x));
+    }
+    const auto fit = fs::fitPolynomial(xs, ys, 4);
+    for (double x : {100.0, 105.0, 110.0, 114.8})
+        EXPECT_NEAR(fit.poly(x), evalPoly(coeffs, x), 1e-4 * std::fabs(evalPoly(coeffs, x)));
+    EXPECT_GT(fit.r_squared, 1.0 - 1e-9);
+}
+
+TEST(PolyFit, EmptyInputYieldsInvalidPoly)
+{
+    const auto fit = fs::fitPolynomial({}, {}, 4);
+    EXPECT_FALSE(fit.poly.valid());
+    EXPECT_DOUBLE_EQ(fit.poly(1.0), 0.0);
+}
+
+TEST(PolyFit, MismatchedLengthsIsUserError)
+{
+    EXPECT_THROW(fs::fitPolynomial({1.0, 2.0}, {1.0}, 1), fs::FatalError);
+}
+
+TEST(PolyFit, ExcessiveDegreeIsUserError)
+{
+    EXPECT_THROW(fs::fitPolynomial({1.0}, {1.0}, 9), fs::FatalError);
+}
+
+TEST(PolyFit, ConstantXFallsBackToMean)
+{
+    const auto fit =
+        fs::fitPolynomial({5.0, 5.0, 5.0}, {1.0, 2.0, 3.0}, 4);
+    EXPECT_NEAR(fit.poly(5.0), 2.0, 1e-12);
+    EXPECT_NEAR(fit.poly(99.0), 2.0, 1e-12);
+}
+
+TEST(PolyFit, DegreeClampedToSampleSize)
+{
+    // Two points, degree 4 requested: must behave like a line through them.
+    const auto fit = fs::fitPolynomial({0.0, 1.0}, {1.0, 3.0}, 4);
+    EXPECT_NEAR(fit.poly(0.5), 2.0, 1e-9);
+}
+
+TEST(PolyFit, NoisyFitReducesRmseVsConstant)
+{
+    fs::Rng rng(7);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(0.0, 10.0);
+        xs.push_back(x);
+        ys.push_back(2.0 * x + rng.normal(0.0, 0.5));
+    }
+    const auto flat = fs::fitPolynomial(xs, ys, 0);
+    const auto line = fs::fitPolynomial(xs, ys, 1);
+    EXPECT_LT(line.rmse, flat.rmse);
+    EXPECT_GT(line.r_squared, 0.95);
+}
+
+/** Property sweep: exact recovery for every degree up to 6. */
+class PolyFitDegreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PolyFitDegreeSweep, RecoversRandomPolynomialOfItsDegree)
+{
+    const std::size_t degree = GetParam();
+    fs::Rng rng(1000 + degree);
+    std::vector<double> coeffs;
+    for (std::size_t i = 0; i <= degree; ++i)
+        coeffs.push_back(rng.uniform(-2.0, 2.0));
+
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform(-3.0, 3.0);
+        xs.push_back(x);
+        ys.push_back(evalPoly(coeffs, x));
+    }
+    const auto fit = fs::fitPolynomial(xs, ys, degree);
+    EXPECT_EQ(fit.poly.degree(), degree);
+    for (double x = -3.0; x <= 3.0; x += 0.5) {
+        EXPECT_NEAR(fit.poly(x), evalPoly(coeffs, x),
+                    1e-6 * (1.0 + std::fabs(evalPoly(coeffs, x))))
+            << "degree=" << degree << " x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyFitDegreeSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u));

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for support/statistics: Welford accumulator and batch helpers.
+ */
+
+#include "support/statistics.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace fs = fingrav::support;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    fs::RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleObservation)
+{
+    fs::RunningStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSample)
+{
+    fs::RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic sample is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesBatchOnRandomData)
+{
+    fs::Rng rng(123);
+    std::vector<double> xs;
+    fs::RunningStats s;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.normal(10.0, 3.0);
+        xs.push_back(x);
+        s.add(x);
+    }
+    EXPECT_NEAR(s.mean(), fs::mean(xs), 1e-9);
+    EXPECT_NEAR(s.stddev(), fs::stddev(xs), 1e-9);
+}
+
+TEST(BatchStats, MeanAndStddev)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(fs::mean(xs), 2.5);
+    EXPECT_NEAR(fs::stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(BatchStats, EmptyVectorsAreZero)
+{
+    const std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(fs::mean(empty), 0.0);
+    EXPECT_DOUBLE_EQ(fs::stddev(empty), 0.0);
+    EXPECT_DOUBLE_EQ(fs::median(empty), 0.0);
+    EXPECT_DOUBLE_EQ(fs::percentile(empty, 50.0), 0.0);
+}
+
+TEST(BatchStats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(fs::median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(fs::median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(BatchStats, PercentileInterpolation)
+{
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(fs::percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(fs::percentile(xs, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(fs::percentile(xs, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(fs::percentile(xs, 25.0), 20.0);
+    EXPECT_DOUBLE_EQ(fs::percentile(xs, 12.5), 15.0);
+}
+
+TEST(BatchStats, PercentileRejectsOutOfRange)
+{
+    EXPECT_THROW(fs::percentile({1.0}, -1.0), fingrav::support::PanicError);
+    EXPECT_THROW(fs::percentile({1.0}, 101.0), fingrav::support::PanicError);
+}
+
+TEST(BatchStats, CoefficientOfVariation)
+{
+    EXPECT_DOUBLE_EQ(fs::coefficientOfVariation({5.0, 5.0, 5.0}), 0.0);
+    const std::vector<double> xs{1.0, 3.0};
+    EXPECT_NEAR(fs::coefficientOfVariation(xs), fs::stddev(xs) / 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fs::coefficientOfVariation({-1.0, 1.0}), 0.0);
+}

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * fingrav — command-line front-end to the FinGraV profiler.
+ *
+ * Usage:
+ *   fingrav list
+ *       List the built-in paper kernels.
+ *   fingrav profile <kernel> [options]
+ *       Run a full FinGraV campaign and print the profile.
+ *   fingrav compare <kernel-a> <kernel-b> [options]
+ *       Profile two kernels and compare rails side by side.
+ *   fingrav coschedule <kernel-a> <kernel-b> [options]
+ *       Evaluate recommendation-R1 co-scheduling of a pair.
+ *
+ * Common options:
+ *   --runs N          override the guidance-table run count
+ *   --margin F        override the binning margin (e.g. 0.05)
+ *   --window MS       logger averaging window in ms (default 1)
+ *   --seed N          simulation seed (default 1)
+ *   --sync MODE       fingrav | drift | lang | none
+ *   --no-binning      keep every run (tenet S3 off)
+ *   --csv NAME        dump profiles to fingrav_out/NAME_{sse,ssp}.csv
+ *   --quiet           summary only, no plot
+ *
+ * Custom kernels (instead of a paper label):
+ *   gemm:M,N,K        e.g. gemm:8192,8192,8192
+ *   gemv:M            e.g. gemv:4096
+ *   ag:BYTES | ar:BYTES   e.g. ag:1000000000
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/ascii_plot.hpp"
+#include "analysis/report.hpp"
+#include "analysis/series.hpp"
+#include "fingrav/concurrency.hpp"
+#include "fingrav/energy.hpp"
+#include "fingrav/profiler.hpp"
+#include "kernels/workloads.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulation.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+namespace an = fingrav::analysis;
+namespace fc = fingrav::core;
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace rt = fingrav::runtime;
+namespace sim = fingrav::sim;
+
+namespace {
+
+struct CliOptions {
+    fc::ProfilerOptions profiler;
+    std::uint64_t seed = 1;
+    std::string csv;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " <command> [args]\n"
+        << "  list                                 list built-in kernels\n"
+        << "  profile <kernel> [options]           run a FinGraV campaign\n"
+        << "  compare <kernel-a> <kernel-b>        compare two kernels\n"
+        << "  coschedule <kernel-a> <kernel-b>     evaluate R1 co-scheduling\n"
+        << "options: --runs N --margin F --window MS --seed N\n"
+        << "         --sync fingrav|drift|lang|none --no-binning\n"
+        << "         --csv NAME --quiet\n"
+        << "kernels: paper labels (CB-8K-GEMM, MB-4K-GEMV, AG-1GB, ...)\n"
+        << "         or gemm:M,N,K | gemv:M | ag:BYTES | ar:BYTES\n";
+    std::exit(2);
+}
+
+/** Parse a kernel spec: paper label or gemm:/gemv:/ag:/ar: shorthand. */
+fk::KernelModelPtr
+parseKernel(const std::string& spec, const sim::MachineConfig& cfg)
+{
+    auto starts = [&](const char* p) {
+        return spec.rfind(p, 0) == 0;
+    };
+    try {
+        if (starts("gemm:")) {
+            const auto body = spec.substr(5);
+            const auto c1 = body.find(',');
+            const auto c2 = body.find(',', c1 + 1);
+            if (c1 == std::string::npos || c2 == std::string::npos)
+                fs::fatal("gemm spec needs M,N,K: ", spec);
+            fk::GemmShape shape;
+            shape.m = std::stoll(body.substr(0, c1));
+            shape.n = std::stoll(body.substr(c1 + 1, c2 - c1 - 1));
+            shape.k = std::stoll(body.substr(c2 + 1));
+            return std::make_shared<fk::GemmKernel>(shape, cfg);
+        }
+        if (starts("gemv:"))
+            return fk::makeGemv(std::stoll(spec.substr(5)), cfg);
+        if (starts("ag:")) {
+            return fk::makeCollective(fk::CollectiveOp::kAllGather,
+                                      std::stoll(spec.substr(3)), cfg);
+        }
+        if (starts("ar:")) {
+            return fk::makeCollective(fk::CollectiveOp::kAllReduce,
+                                      std::stoll(spec.substr(3)), cfg);
+        }
+    } catch (const std::invalid_argument&) {
+        fs::fatal("cannot parse kernel spec: ", spec);
+    }
+    return fk::kernelByLabel(spec, cfg);
+}
+
+/** Parse trailing --flag options into CliOptions. */
+CliOptions
+parseOptions(const std::vector<std::string>& args, std::size_t from)
+{
+    CliOptions out;
+    for (std::size_t i = from; i < args.size(); ++i) {
+        const auto& a = args[i];
+        auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size())
+                fs::fatal(a, " needs a value");
+            return args[++i];
+        };
+        if (a == "--runs") {
+            out.profiler.runs_override = std::stoull(next());
+        } else if (a == "--margin") {
+            out.profiler.margin_override = std::stod(next());
+        } else if (a == "--window") {
+            out.profiler.logger_window =
+                fs::Duration::millis(std::stod(next()));
+        } else if (a == "--seed") {
+            out.seed = std::stoull(next());
+        } else if (a == "--sync") {
+            const auto& mode = next();
+            if (mode == "fingrav")
+                out.profiler.sync_mode = fc::SyncMode::kFinGraV;
+            else if (mode == "drift")
+                out.profiler.sync_mode = fc::SyncMode::kFinGraVDrift;
+            else if (mode == "lang")
+                out.profiler.sync_mode = fc::SyncMode::kNoDelayAccounting;
+            else if (mode == "none")
+                out.profiler.sync_mode = fc::SyncMode::kCoarseAlign;
+            else
+                fs::fatal("unknown sync mode: ", mode);
+        } else if (a == "--no-binning") {
+            out.profiler.binning = false;
+        } else if (a == "--csv") {
+            out.csv = next();
+        } else if (a == "--quiet") {
+            out.quiet = true;
+        } else {
+            fs::fatal("unknown option: ", a);
+        }
+    }
+    return out;
+}
+
+fc::ProfileSet
+runCampaign(const std::string& spec, const CliOptions& opts)
+{
+    const auto cfg = sim::mi300xConfig();
+    const auto kernel = parseKernel(spec, cfg);
+    sim::Simulation node(cfg, opts.seed, kernel->isCollective() ? 0 : 1);
+    rt::HostRuntime host(node, node.forkRng(7));
+    fc::Profiler profiler(host, opts.profiler, node.forkRng(8));
+    return profiler.profile(kernel);
+}
+
+void
+printProfile(const fc::ProfileSet& set, const CliOptions& opts)
+{
+    std::cout << an::summarize(set) << "\n";
+    const auto rep = fc::differentiationError(set);
+    std::cout << "SSE " << rep.sse_mean_w << " W | SSP " << rep.ssp_mean_w
+              << " W | differentiation error " << rep.error_pct
+              << " % | energy/exec " << rep.ssp_energy_j * 1e3 << " mJ\n";
+    if (!opts.quiet && !set.ssp.empty()) {
+        an::AsciiPlot plot(70, 12);
+        plot.addSeries(an::toSeries(set.ssp, fc::Rail::kTotal), 'o',
+                       "SSP LOIs");
+        plot.addSeries(an::trendSeries(set.ssp, fc::Rail::kTotal), '=',
+                       "trend");
+        std::cout << plot.render();
+    }
+    if (!opts.csv.empty()) {
+        an::dumpProfileCsv(set.sse, opts.csv + "_sse");
+        an::dumpProfileCsv(set.ssp, opts.csv + "_ssp");
+        an::dumpProfileCsv(set.timeline, opts.csv + "_timeline");
+        std::cout << "CSV written to fingrav_out/" << opts.csv << "_*.csv\n";
+    }
+}
+
+int
+cmdList()
+{
+    const auto cfg = sim::mi300xConfig();
+    fs::TableWriter table({"label", "class", "exec@nominal (us)",
+                           "op:byte"});
+    for (const auto& k : fk::paperKernels(cfg)) {
+        std::string cls = "collective";
+        if (k->opsPerByte() > 0.0) {
+            cls = k->opsPerByte() > cfg.machineOpsPerByte()
+                      ? "compute-bound"
+                      : "memory-bound";
+        }
+        table.addRow({k->label(), cls,
+                      fs::TableWriter::num(
+                          k->nominalDuration().toMicros(), 1),
+                      fs::TableWriter::num(k->opsPerByte(), 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdProfile(const std::vector<std::string>& args)
+{
+    if (args.size() < 3)
+        fs::fatal("profile needs a kernel spec");
+    const auto opts = parseOptions(args, 3);
+    printProfile(runCampaign(args[2], opts), opts);
+    return 0;
+}
+
+int
+cmdCompare(const std::vector<std::string>& args)
+{
+    if (args.size() < 4)
+        fs::fatal("compare needs two kernel specs");
+    const auto opts = parseOptions(args, 4);
+    const auto a = runCampaign(args[2], opts);
+    CliOptions opts_b = opts;
+    opts_b.seed += 1;
+    const auto b = runCampaign(args[3], opts_b);
+
+    fs::TableWriter table({"kernel", "exec (us)", "total (W)", "XCD (W)",
+                           "IOD (W)", "HBM (W)", "SSE err (%)"});
+    for (const auto* set : {&a, &b}) {
+        const auto rep = fc::differentiationError(*set);
+        table.addRow(
+            {set->label,
+             fs::TableWriter::num(set->measured_exec_time.toMicros(), 1),
+             fs::TableWriter::num(set->ssp.meanPower(fc::Rail::kTotal), 1),
+             fs::TableWriter::num(set->ssp.meanPower(fc::Rail::kXcd), 1),
+             fs::TableWriter::num(set->ssp.meanPower(fc::Rail::kIod), 1),
+             fs::TableWriter::num(set->ssp.meanPower(fc::Rail::kHbm), 1),
+             fs::TableWriter::num(rep.error_pct, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCoschedule(const std::vector<std::string>& args)
+{
+    if (args.size() < 4)
+        fs::fatal("coschedule needs two kernel specs");
+    const auto opts = parseOptions(args, 4);
+    const auto cfg = sim::mi300xConfig();
+    const auto a = parseKernel(args[2], cfg);
+    const auto b = parseKernel(args[3], cfg);
+    sim::Simulation node(cfg, opts.seed, 1);
+    rt::HostRuntime host(node, node.forkRng(7));
+    fc::ConcurrencyAdvisor advisor(host, node.forkRng(8));
+    const auto rep = advisor.evaluate(a, b, 16, 1, 4);
+
+    std::cout << rep.kernel_a << " + " << rep.kernel_b
+              << "\ncomplementarity : " << rep.complementarity
+              << "\nserial          : " << rep.serial_ms << " ms @ "
+              << rep.serial_avg_w << " W avg, " << rep.serial_energy_j
+              << " J"
+              << "\nconcurrent      : " << rep.concurrent_ms << " ms @ "
+              << rep.concurrent_avg_w << " W avg (peak " << rep.peak_w
+              << " W), " << rep.concurrent_energy_j << " J"
+              << "\nspeedup         : " << rep.speedup << "x"
+              << "\nverdict         : "
+              << (rep.worthIt(cfg.dvfs.sustained_limit_w)
+                      ? "co-schedule (R1 pays off)"
+                      : "keep serial")
+              << "\n";
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    if (args.size() < 2)
+        usage(argv[0]);
+    try {
+        const std::string& cmd = args[1];
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "profile")
+            return cmdProfile(args);
+        if (cmd == "compare")
+            return cmdCompare(args);
+        if (cmd == "coschedule")
+            return cmdCoschedule(args);
+        usage(argv[0]);
+    } catch (const fs::FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const fs::PanicError& e) {
+        std::cerr << "internal error (bug): " << e.what() << "\n";
+        return 70;
+    }
+}
