@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Hot-path benchmark: event-driven stepping and incremental stitching
+ * against their legacy references, with bit-identity verification.
+ *
+ * Two scenarios cover the paths that dominate every profiling campaign:
+ *
+ *  1. idle_heavy_long_window — short kernels separated by long idle gaps
+ *     under a coarse (amd-smi style) power logger.  The legacy engine
+ *     pays one slice per idle_step; the event engine pays one per window
+ *     boundary or state event.  Target: >= 3x wall-time reduction.
+ *
+ *  2. stitch_10x_runs — the step-8 top-up loop: stitch after every
+ *     appended run.  The reference re-stitches all runs from scratch each
+ *     iteration with the quadratic pair scan; the incremental stitcher
+ *     appends.  Target: >= 5x wall-time reduction.
+ *
+ * Both scenarios hard-fail on any output mismatch — the speedups only
+ * count if execution logs, power samples and stitched profiles are
+ * bit-identical to the reference.  Results (wall times, slice/sample
+ * counts, speedups) are written to BENCH_hotpath.json via the tools/
+ * emitter so the perf trajectory is tracked from this PR onward.
+ *
+ * Usage: bench_hotpath [--smoke] [--out PATH]
+ *   --smoke   reduced problem sizes, thresholds reported but not enforced
+ *   --out     output JSON path (default BENCH_hotpath.json)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fingrav/profiler.hpp"
+#include "fingrav/run_executor.hpp"
+#include "fingrav/stitcher.hpp"
+#include "fingrav/time_sync.hpp"
+#include "kernels/workloads.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/gpu_device.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulation.hpp"
+#include "support/time_types.hpp"
+#include "tools/bench_json.hpp"
+
+namespace fc = fingrav::core;
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace rt = fingrav::runtime;
+namespace sim = fingrav::sim;
+namespace tools = fingrav::tools;
+using namespace fingrav::support::literals;
+
+namespace {
+
+double
+wallMs(const std::chrono::steady_clock::time_point& t0)
+{
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: idle-heavy advancement under a long-window logger
+// ---------------------------------------------------------------------------
+
+struct IdleHeavyResult {
+    double wall_ms = 0.0;
+    std::vector<sim::GpuDevice::ExecutionRecord> log;
+    std::vector<sim::PowerSample> samples;
+    sim::GpuDevice::StepStats stats;
+};
+
+IdleHeavyResult
+runIdleHeavy(sim::SteppingMode mode, int bursts, int repetitions)
+{
+    sim::KernelWork work;
+    work.label = "burst";
+    work.nominal_duration = 200_us;
+    work.freq_sensitivity = 0.6;
+    work.util.xcd_occupancy = 0.4;
+    work.util.xcd_issue = 0.3;
+    work.util.llc_bw = 0.2;
+    work.util.hbm_bw = 0.15;
+
+    IdleHeavyResult best;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        auto cfg = sim::mi300xConfig();
+        cfg.stepping = mode;
+        sim::Simulation s(cfg, 1234, 1);
+        auto& dev = s.device(0);
+        auto& logger = dev.addLogger(50_ms);  // amd-smi style window
+        logger.start(dev.localNow());
+
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < bursts; ++i) {
+            // One short burst every 20 ms: ~1% duty cycle.
+            dev.submit(work, fs::SimTime::fromNanos(
+                                 static_cast<std::int64_t>(i) * 20'000'000));
+        }
+        const auto horizon = fs::SimTime::fromNanos(
+            static_cast<std::int64_t>(bursts) * 20'000'000 + 30'000'000);
+        dev.advanceUntilIdle(horizon);
+        dev.advanceTo(horizon);
+        const double ms = wallMs(t0);
+
+        if (rep == 0 || ms < best.wall_ms) {
+            best.wall_ms = ms;
+            best.log = dev.executionLog();
+            best.samples = logger.samples();
+            best.stats = dev.stepStats();
+        }
+    }
+    return best;
+}
+
+bool
+identicalOutputs(const IdleHeavyResult& a, const IdleHeavyResult& b)
+{
+    if (a.log.size() != b.log.size() ||
+        a.samples.size() != b.samples.size())
+        return false;
+    for (std::size_t i = 0; i < a.log.size(); ++i) {
+        if (a.log[i].id != b.log[i].id || a.log[i].label != b.log[i].label ||
+            a.log[i].start != b.log[i].start ||
+            a.log[i].end != b.log[i].end || a.log[i].queue != b.log[i].queue)
+            return false;
+    }
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        if (!(a.samples[i] == b.samples[i]))
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: top-up stitching, full re-stitch vs incremental
+// ---------------------------------------------------------------------------
+
+bool
+profilesEqual(const fc::PowerProfile& a, const fc::PowerProfile& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a.points()[i] == b.points()[i]))
+            return false;
+    }
+    return true;
+}
+
+bool
+setsEqual(const fc::ProfileSet& a, const fc::ProfileSet& b)
+{
+    return a.binning.golden_runs == b.binning.golden_runs &&
+           a.ssp_exec_time == b.ssp_exec_time &&
+           profilesEqual(a.sse, b.sse) && profilesEqual(a.ssp, b.ssp) &&
+           profilesEqual(a.timeline, b.timeline);
+}
+
+fc::ProfileSet
+stitchSkeleton()
+{
+    fc::ProfileSet out;
+    out.label = "CB-2K-GEMM";
+    out.sse_exec_index = 3;
+    out.ssp_exec_index = 20;
+    return out;
+}
+
+struct StitchScenario {
+    std::vector<fc::RunRecord> runs;
+    std::unique_ptr<sim::Simulation> simulation;
+    std::unique_ptr<rt::HostRuntime> host;
+    std::unique_ptr<fc::TimeSync> sync;
+    std::size_t total_samples = 0;
+    std::size_t total_execs = 0;
+};
+
+StitchScenario
+buildStitchScenario(std::size_t run_count)
+{
+    StitchScenario sc;
+    auto cfg = sim::mi300xConfig();
+    sc.simulation = std::make_unique<sim::Simulation>(cfg, 77, 1);
+    sc.host = std::make_unique<rt::HostRuntime>(*sc.simulation,
+                                                sc.simulation->forkRng(7));
+    sc.sync = std::make_unique<fc::TimeSync>(
+        fc::TimeSync::calibrate(*sc.host));
+
+    fc::RunExecutor exec(*sc.host, sc.simulation->forkRng(9));
+    fc::RunPlan plan;
+    plan.main = fk::makeSquareGemm(2048, cfg);
+    plan.main_execs_per_block = 60;
+    plan.logger_window = 200_us;  // denser LOI stream than the default
+    sc.runs.reserve(run_count);
+    for (std::size_t r = 0; r < run_count; ++r) {
+        sc.runs.push_back(exec.executeRun(plan, r));
+        sc.total_samples += sc.runs.back().samples.size();
+        sc.total_execs += sc.runs.back().main_exec_indices.size();
+    }
+    return sc;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_hotpath.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_hotpath [--smoke] [--out PATH]\n";
+            return 2;
+        }
+    }
+
+    tools::BenchReport report("hotpath");
+    bool ok = true;
+
+    // ---- scenario 1 -----------------------------------------------------
+    {
+        const int bursts = smoke ? 25 : 100;
+        const int reps = smoke ? 2 : 3;
+        const auto quantum =
+            runIdleHeavy(sim::SteppingMode::kQuantum, bursts, reps);
+        const auto event =
+            runIdleHeavy(sim::SteppingMode::kEventDriven, bursts, reps);
+
+        const bool identical = identicalOutputs(quantum, event);
+        const double speedup =
+            event.wall_ms > 0.0 ? quantum.wall_ms / event.wall_ms : 0.0;
+
+        auto& s = report.scenario("idle_heavy_long_window");
+        s.note("description",
+               "bursty 1% duty cycle under a 50 ms logger window");
+        s.metric("sim_time_ms",
+                 static_cast<std::int64_t>(bursts) * 20 + 30);
+        s.metric("quantum_wall_ms", quantum.wall_ms);
+        s.metric("event_wall_ms", event.wall_ms);
+        s.metric("speedup", speedup);
+        s.metric("quantum_slices", quantum.stats.slices);
+        s.metric("event_slices", event.stats.slices);
+        s.metric("stretches", event.stats.stretches);
+        s.metric("samples", static_cast<std::uint64_t>(event.samples.size()));
+        s.metric("executions", static_cast<std::uint64_t>(event.log.size()));
+        s.note("bit_identical", identical ? "yes" : "NO");
+
+        std::cout << "idle_heavy_long_window: quantum " << quantum.wall_ms
+                  << " ms (" << quantum.stats.slices << " slices), event "
+                  << event.wall_ms << " ms (" << event.stats.slices
+                  << " slices), speedup " << speedup << "x, bit-identical: "
+                  << (identical ? "yes" : "NO") << "\n";
+
+        if (!identical) {
+            std::cerr << "FAIL: stepping modes diverged\n";
+            ok = false;
+        }
+        if (!smoke && speedup < 3.0) {
+            std::cerr << "FAIL: idle-heavy speedup " << speedup
+                      << "x below the 3x floor\n";
+            ok = false;
+        }
+    }
+
+    // ---- scenario 2 -----------------------------------------------------
+    {
+        const std::size_t run_count = smoke ? 16 : 60;
+        auto sc = buildStitchScenario(run_count);
+
+        fc::ProfilerOptions opts;
+        opts.margin_override = 0.05;
+        const auto tick = sc.host->timestampTick();
+
+        // Reference: the seed's behaviour — every appended run triggers a
+        // full quadratic re-stitch of everything so far.
+        auto ref_set = stitchSkeleton();
+        std::vector<fc::RunRecord> prefix;
+        prefix.reserve(sc.runs.size());
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const auto& run : sc.runs) {
+            prefix.push_back(run);
+            fc::ProfileStitcher::stitchReference(opts, *sc.sync, tick,
+                                                 prefix, ref_set);
+        }
+        const double ref_ms = wallMs(t0);
+
+        // Incremental: append-only restitch.
+        auto inc_set = stitchSkeleton();
+        fc::ProfileStitcher stitcher(opts, *sc.sync, tick);
+        prefix.clear();
+        const auto t1 = std::chrono::steady_clock::now();
+        for (const auto& run : sc.runs) {
+            prefix.push_back(run);
+            stitcher.restitch(prefix, inc_set);
+        }
+        const double inc_ms = wallMs(t1);
+
+        const bool identical = setsEqual(ref_set, inc_set);
+        const double speedup = inc_ms > 0.0 ? ref_ms / inc_ms : 0.0;
+
+        auto& s = report.scenario("stitch_10x_runs");
+        s.note("description",
+               "step-8 top-up: restitch after each appended run");
+        s.metric("runs", static_cast<std::uint64_t>(run_count));
+        s.metric("total_execs", static_cast<std::uint64_t>(sc.total_execs));
+        s.metric("total_samples",
+                 static_cast<std::uint64_t>(sc.total_samples));
+        s.metric("reference_wall_ms", ref_ms);
+        s.metric("incremental_wall_ms", inc_ms);
+        s.metric("speedup", speedup);
+        s.metric("rebuilds",
+                 static_cast<std::uint64_t>(stitcher.rebuildCount()));
+        s.metric("ssp_lois", static_cast<std::uint64_t>(inc_set.ssp.size()));
+        s.note("bit_identical", identical ? "yes" : "NO");
+
+        std::cout << "stitch_10x_runs: reference " << ref_ms
+                  << " ms, incremental " << inc_ms << " ms, speedup "
+                  << speedup << "x over " << run_count
+                  << " runs, bit-identical: " << (identical ? "yes" : "NO")
+                  << "\n";
+
+        if (!identical) {
+            std::cerr << "FAIL: incremental stitch diverged from the "
+                         "reference\n";
+            ok = false;
+        }
+        if (!smoke && speedup < 5.0) {
+            std::cerr << "FAIL: stitch speedup " << speedup
+                      << "x below the 5x floor\n";
+            ok = false;
+        }
+    }
+
+    if (!report.write(out_path)) {
+        std::cerr << "FAIL: cannot write " << out_path << "\n";
+        ok = false;
+    } else {
+        std::cout << "wrote " << out_path << "\n";
+    }
+    return ok ? 0 : 1;
+}

@@ -48,14 +48,14 @@ ConcurrencyAdvisor::runSchedule(const kernels::KernelModelPtr& a,
                                 double* avg_w, double* peak_w,
                                 double* energy_j)
 {
-    const auto& cfg = host_.simulation().config();
-    const auto window = cfg.logger_window;
-
     // Cool down so both schedules start from comparable thermal/governor
     // state.
     host_.sleep(support::Duration::millis(200.0));
 
     host_.startPowerLog();
+    // The logger in effect may predate this advisor with a non-default
+    // window; energy integration below must use the actual window.
+    const auto window = host_.powerLogWindow();
     host_.sleep(window);
     const auto t0 = host_.cpuNowNs();
     for (int i = 0; i < iters; ++i) {
@@ -76,8 +76,9 @@ ConcurrencyAdvisor::runSchedule(const kernels::KernelModelPtr& a,
     double busy = 0.0;
     std::size_t busy_n = 0;
     const double idle_threshold = 150.0;
+    const double window_s = window.toSeconds();
     for (const auto& s : samples) {
-        *energy_j += s.total_w * window.toSeconds();
+        *energy_j += s.total_w * window_s;
         *peak_w = std::max(*peak_w, s.total_w);
         if (s.total_w > idle_threshold) {
             busy += s.total_w;

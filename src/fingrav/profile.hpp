@@ -50,6 +50,15 @@ struct ProfilePoint {
     std::size_t exec_index = 0; ///< which execution within the run
 };
 
+/** Bitwise point equality (stitcher equivalence checks). */
+inline bool
+operator==(const ProfilePoint& a, const ProfilePoint& b)
+{
+    return a.toi_us == b.toi_us && a.toi_frac == b.toi_frac &&
+           a.run_time_us == b.run_time_us && a.sample == b.sample &&
+           a.run_index == b.run_index && a.exec_index == b.exec_index;
+}
+
 /** Profile flavour per the paper's S4 differentiation. */
 enum class ProfileKind {
     kSse,       ///< steady-state-execution profile (first post-warm-up exec)

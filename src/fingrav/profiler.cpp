@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "fingrav/stitcher.hpp"
 #include "support/logging.hpp"
 #include "support/statistics.hpp"
 
@@ -66,108 +67,6 @@ Profiler::measureExecTime(const kernels::KernelModelPtr& kernel)
         tail_us.push_back(rec.mainExecDuration(i).toMicros());
     }
     return support::Duration::micros(support::median(std::move(tail_us)));
-}
-
-std::int64_t
-Profiler::sampleCpuNs(const TimeSync& sync, const RunRecord& run,
-                      const sim::PowerSample& s) const
-{
-    if (opts_.sync_mode == SyncMode::kCoarseAlign) {
-        // Naive alignment: pretend the first sample of the run's log
-        // landed exactly when the log was started.  The true offset is the
-        // distance to the next window-grid boundary — up to a full window,
-        // different for every run.  This is the paper's "unsynchronized"
-        // comparison (Fig. 5).
-        if (run.samples.empty())
-            return run.log_start_cpu_ns;
-        const auto tick = host_.timestampTick(opts_.device).nanos();
-        return run.log_start_cpu_ns +
-               (s.gpu_timestamp - run.samples.front().gpu_timestamp) * tick;
-    }
-    return sync.gpuCounterToCpuNs(s.gpu_timestamp);
-}
-
-void
-Profiler::stitch(const std::vector<RunRecord>& runs, const TimeSync& sync,
-                 ProfileSet& out) const
-{
-    // ---- step 6: golden-run selection ----------------------------------
-    std::vector<support::Duration> rep_times;
-    rep_times.reserve(runs.size());
-    for (const auto& run : runs) {
-        const std::size_t rep = std::min(out.ssp_exec_index,
-                                         run.main_exec_indices.size() - 1);
-        rep_times.push_back(run.mainExecDuration(rep));
-    }
-    const double margin =
-        opts_.margin_override.value_or(out.guidance.binning_margin);
-    if (opts_.target_bin.has_value()) {
-        // Section VI outlier profiling: focus on a chosen execution-time
-        // bin rather than the common case.
-        out.binning = ExecutionBinner(margin).selectAround(
-            rep_times, *opts_.target_bin);
-    } else if (opts_.binning) {
-        out.binning = ExecutionBinner(margin).select(rep_times);
-    } else {
-        out.binning = BinningResult{};
-        out.binning.total_runs = runs.size();
-        for (std::size_t i = 0; i < runs.size(); ++i)
-            out.binning.golden_runs.push_back(i);
-        out.binning.bin_center = rep_times.empty()
-                                     ? support::Duration()
-                                     : rep_times.front();
-    }
-
-    // ---- steps 7 + 9: LOI/TOI extraction and stitching ------------------
-    out.sse = PowerProfile(out.label, ProfileKind::kSse);
-    out.ssp = PowerProfile(out.label, ProfileKind::kSsp);
-    out.timeline = PowerProfile(out.label, ProfileKind::kTimeline);
-
-    support::RunningStats ssp_time_us;
-    for (const std::size_t run_idx : out.binning.golden_runs) {
-        const RunRecord& run = runs[run_idx];
-        ssp_time_us.add(rep_times[run_idx].toMicros());
-
-        for (std::size_t j = 0; j < run.main_exec_indices.size(); ++j) {
-            const auto& timing =
-                run.execs[run.main_exec_indices[j]].timing;
-            const double dur_ns = static_cast<double>(
-                timing.cpu_end_ns - timing.cpu_start_ns);
-            if (dur_ns <= 0.0)
-                continue;
-            for (const auto& s : run.samples) {
-                const auto cpu = sampleCpuNs(sync, run, s);
-                if (cpu < timing.cpu_start_ns || cpu > timing.cpu_end_ns)
-                    continue;
-                ProfilePoint p;
-                p.toi_us = static_cast<double>(cpu - timing.cpu_start_ns) /
-                           1e3;
-                p.toi_frac =
-                    static_cast<double>(cpu - timing.cpu_start_ns) / dur_ns;
-                p.run_time_us =
-                    static_cast<double>(cpu - run.run_start_cpu_ns) / 1e3;
-                p.sample = s;
-                p.run_index = run.run_index;
-                p.exec_index = j;
-                if (j == out.sse_exec_index)
-                    out.sse.add(p);
-                if (j >= out.ssp_exec_index)
-                    out.ssp.add(p);
-            }
-        }
-
-        // Timeline view: every sample of the run in run-relative time.
-        for (const auto& s : run.samples) {
-            const auto cpu = sampleCpuNs(sync, run, s);
-            ProfilePoint p;
-            p.run_time_us =
-                static_cast<double>(cpu - run.run_start_cpu_ns) / 1e3;
-            p.sample = s;
-            p.run_index = run.run_index;
-            out.timeline.add(p);
-        }
-    }
-    out.ssp_exec_time = support::Duration::micros(ssp_time_us.mean());
 }
 
 ProfileSet
@@ -265,9 +164,12 @@ Profiler::profile(const kernels::KernelModelPtr& kernel)
     }
 
     // ---- steps 6, 7, 9 ----------------------------------------------------
-    stitch(runs, sync, out);
+    ProfileStitcher stitcher(opts_, sync, host_.timestampTick(opts_.device));
+    stitcher.restitch(runs, out);
 
     // ---- step 8: top up runs until the LOI target ------------------------
+    // Appended runs are stitched incrementally; the stitcher rebuilds only
+    // when a new run shifts the modal execution-time bin.
     if (opts_.collect_extra_runs) {
         const std::size_t target =
             out.guidance.recommendedLois(out.measured_exec_time);
@@ -277,7 +179,7 @@ Profiler::profile(const kernels::KernelModelPtr& kernel)
         while (out.ssp.size() < target && runs.size() < max_total) {
             runs.push_back(exec.executeRun(plan, runs.size()));
             out.runs_executed = runs.size();
-            stitch(runs, sync, out);
+            stitcher.restitch(runs, out);
         }
     }
     return out;
@@ -331,7 +233,8 @@ Profiler::profileInterleaved(const kernels::KernelModelPtr& main,
         runs.push_back(exec.executeRun(plan, r));
     out.runs_executed = runs.size();
 
-    stitch(runs, sync, out);
+    ProfileStitcher stitcher(opts_, sync, host_.timestampTick(opts_.device));
+    stitcher.restitch(runs, out);
 
     if (opts_.collect_extra_runs) {
         const std::size_t target =
@@ -342,7 +245,7 @@ Profiler::profileInterleaved(const kernels::KernelModelPtr& main,
         while (out.ssp.size() < target && runs.size() < max_total) {
             runs.push_back(exec.executeRun(plan, runs.size()));
             out.runs_executed = runs.size();
-            stitch(runs, sync, out);
+            stitcher.restitch(runs, out);
         }
     }
     return out;

@@ -142,13 +142,10 @@ class Profiler {
     /** Step 1: measure warm execution time (median of timing_reps). */
     support::Duration measureExecTime(const kernels::KernelModelPtr& kernel);
 
-    /** Map a sample timestamp to CPU ns under the configured sync mode. */
-    std::int64_t sampleCpuNs(const TimeSync& sync, const RunRecord& run,
-                             const sim::PowerSample& s) const;
-
-    /** Steps 6-9 for a batch of runs. */
-    void stitch(const std::vector<RunRecord>& runs, const TimeSync& sync,
-                ProfileSet& out) const;
+    // Steps 6-9 (golden selection, LOI/TOI alignment, stitching) live in
+    // ProfileStitcher (fingrav/stitcher.hpp): incremental two-pointer
+    // stitching for the step-8 top-up loop, plus the seed-faithful
+    // quadratic reference used by tests and benchmarks.
 
     runtime::HostRuntime& host_;
     ProfilerOptions opts_;

@@ -1,0 +1,277 @@
+#include "fingrav/stitcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fingrav/binning.hpp"
+#include "support/logging.hpp"
+
+namespace fingrav::core {
+
+namespace {
+
+using fingrav::support::Duration;
+
+/** Representative (SSP) execution time of a run; run must be eligible. */
+Duration
+repTime(const RunRecord& run, const ProfileSet& out)
+{
+    const std::size_t rep = std::min(out.ssp_exec_index,
+                                     run.main_exec_indices.size() - 1);
+    return run.mainExecDuration(rep);
+}
+
+/** Timestamp translation under the configured sync mode. */
+std::int64_t
+translateSample(const ProfilerOptions& opts, const TimeSync& sync,
+                Duration tick, const RunRecord& run,
+                const sim::PowerSample& s)
+{
+    if (opts.sync_mode == SyncMode::kCoarseAlign) {
+        // Naive alignment: pretend the first sample of the run's log
+        // landed exactly when the log was started.  The true offset is the
+        // distance to the next window-grid boundary — up to a full window,
+        // different for every run.  This is the paper's "unsynchronized"
+        // comparison (Fig. 5).
+        if (run.samples.empty())
+            return run.log_start_cpu_ns;
+        return run.log_start_cpu_ns +
+               (s.gpu_timestamp - run.samples.front().gpu_timestamp) *
+                   tick.nanos();
+    }
+    return sync.gpuCounterToCpuNs(s.gpu_timestamp);
+}
+
+}  // namespace
+
+ProfileStitcher::ProfileStitcher(const ProfilerOptions& opts,
+                                 const TimeSync& sync,
+                                 support::Duration tick)
+    : opts_(opts), sync_(&sync), tick_(tick)
+{
+}
+
+std::int64_t
+ProfileStitcher::sampleCpuNs(const RunRecord& run,
+                             const sim::PowerSample& s) const
+{
+    return translateSample(opts_, *sync_, tick_, run, s);
+}
+
+void
+ProfileStitcher::selectGoldenRuns(const ProfilerOptions& opts,
+                                  const std::vector<RunRecord>& runs,
+                                  ProfileSet& out)
+{
+    // Runs that recorded zero main executions cannot provide a
+    // representative execution time (indexing size-1 underflowed before);
+    // they are excluded from binning and count as outliers.
+    std::vector<Duration> rep_times;
+    std::vector<std::size_t> eligible;
+    rep_times.reserve(runs.size());
+    eligible.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].main_exec_indices.empty()) {
+            support::warn("stitch: run ", runs[i].run_index,
+                          " recorded no main executions; skipping");
+            continue;
+        }
+        rep_times.push_back(repTime(runs[i], out));
+        eligible.push_back(i);
+    }
+
+    const double margin =
+        opts.margin_override.value_or(out.guidance.binning_margin);
+    if (opts.target_bin.has_value()) {
+        // Section VI outlier profiling: focus on a chosen execution-time
+        // bin rather than the common case.
+        out.binning = ExecutionBinner(margin).selectAround(
+            rep_times, *opts.target_bin);
+        for (auto& g : out.binning.golden_runs)
+            g = eligible[g];
+    } else if (opts.binning) {
+        out.binning = ExecutionBinner(margin).select(rep_times);
+        for (auto& g : out.binning.golden_runs)
+            g = eligible[g];
+    } else {
+        out.binning = BinningResult{};
+        out.binning.golden_runs = eligible;
+        out.binning.bin_center = rep_times.empty()
+                                     ? support::Duration()
+                                     : rep_times.front();
+    }
+    out.binning.total_runs = runs.size();
+}
+
+void
+ProfileStitcher::updateCaches(const std::vector<RunRecord>& runs,
+                              const ProfileSet& out)
+{
+    FINGRAV_ASSERT(runs.size() >= run_caches_.size(),
+                   "restitch: runs shrank between calls");
+    for (std::size_t i = run_caches_.size(); i < runs.size(); ++i) {
+        RunCache rc;
+        rc.eligible = !runs[i].main_exec_indices.empty();
+        if (rc.eligible)
+            rc.rep_time = repTime(runs[i], out);
+        run_caches_.push_back(std::move(rc));
+    }
+}
+
+void
+ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
+                           ProfileSet& out)
+{
+    RunCache& rc = run_caches_[run_idx];
+    if (!rc.aligned) {
+        rc.sample_cpu_ns.reserve(run.samples.size());
+        for (const auto& s : run.samples)
+            rc.sample_cpu_ns.push_back(sampleCpuNs(run, s));
+        rc.aligned = true;
+    }
+    const auto& cpu = rc.sample_cpu_ns;
+    const std::size_t n = cpu.size();
+
+    // Executions are chronological and samples ascend in CPU time, so one
+    // forward sweep aligns them: O(execs + samples) instead of the seed's
+    // O(execs × samples) with a translation per pair.
+    std::size_t si = 0;
+    for (std::size_t j = 0; j < run.main_exec_indices.size(); ++j) {
+        const auto& timing = run.execs[run.main_exec_indices[j]].timing;
+        const double dur_ns = static_cast<double>(
+            timing.cpu_end_ns - timing.cpu_start_ns);
+        if (dur_ns <= 0.0)
+            continue;
+        while (si < n && cpu[si] < timing.cpu_start_ns)
+            ++si;
+        for (std::size_t k = si; k < n && cpu[k] <= timing.cpu_end_ns;
+             ++k) {
+            ProfilePoint p;
+            p.toi_us =
+                static_cast<double>(cpu[k] - timing.cpu_start_ns) / 1e3;
+            p.toi_frac =
+                static_cast<double>(cpu[k] - timing.cpu_start_ns) / dur_ns;
+            p.run_time_us =
+                static_cast<double>(cpu[k] - run.run_start_cpu_ns) / 1e3;
+            p.sample = run.samples[k];
+            p.run_index = run.run_index;
+            p.exec_index = j;
+            if (j == out.sse_exec_index)
+                out.sse.add(p);
+            if (j >= out.ssp_exec_index)
+                out.ssp.add(p);
+        }
+    }
+
+    // Timeline view: every sample of the run in run-relative time.
+    for (std::size_t k = 0; k < n; ++k) {
+        ProfilePoint p;
+        p.run_time_us =
+            static_cast<double>(cpu[k] - run.run_start_cpu_ns) / 1e3;
+        p.sample = run.samples[k];
+        p.run_index = run.run_index;
+        out.timeline.add(p);
+    }
+}
+
+void
+ProfileStitcher::restitch(const std::vector<RunRecord>& runs,
+                          ProfileSet& out)
+{
+    updateCaches(runs, out);
+    selectGoldenRuns(opts_, runs, out);
+    const auto& golden = out.binning.golden_runs;
+
+    // Incremental iff every previously stitched run is still golden, in
+    // the same order (golden indices ascend, so unchanged membership of
+    // old runs puts them in a prefix).  Otherwise the modal bin moved and
+    // the profiles are rebuilt from scratch.
+    const bool incremental =
+        stitched_once_ && golden.size() >= stitched_golden_.size() &&
+        std::equal(stitched_golden_.begin(), stitched_golden_.end(),
+                   golden.begin());
+    if (!incremental) {
+        out.sse = PowerProfile(out.label, ProfileKind::kSse);
+        out.ssp = PowerProfile(out.label, ProfileKind::kSsp);
+        out.timeline = PowerProfile(out.label, ProfileKind::kTimeline);
+        ssp_time_us_ = support::RunningStats();
+        ++rebuilds_;
+    }
+
+    const std::size_t from = incremental ? stitched_golden_.size() : 0;
+    for (std::size_t g = from; g < golden.size(); ++g) {
+        const std::size_t idx = golden[g];
+        ssp_time_us_.add(run_caches_[idx].rep_time.toMicros());
+        appendRun(runs[idx], idx, out);
+    }
+
+    stitched_golden_ = golden;
+    stitched_once_ = true;
+    out.ssp_exec_time = support::Duration::micros(ssp_time_us_.mean());
+}
+
+void
+ProfileStitcher::stitchReference(const ProfilerOptions& opts,
+                                 const TimeSync& sync,
+                                 support::Duration tick,
+                                 const std::vector<RunRecord>& runs,
+                                 ProfileSet& out)
+{
+    // ---- step 6: golden-run selection ----------------------------------
+    selectGoldenRuns(opts, runs, out);
+
+    // ---- steps 7 + 9: LOI/TOI extraction and stitching ------------------
+    // The seed's quadratic loop, kept as the verification oracle and
+    // benchmark baseline: every (execution, sample) pair is compared, and
+    // every comparison re-translates the sample timestamp.
+    out.sse = PowerProfile(out.label, ProfileKind::kSse);
+    out.ssp = PowerProfile(out.label, ProfileKind::kSsp);
+    out.timeline = PowerProfile(out.label, ProfileKind::kTimeline);
+
+    support::RunningStats ssp_time_us;
+    for (const std::size_t run_idx : out.binning.golden_runs) {
+        const RunRecord& run = runs[run_idx];
+        ssp_time_us.add(repTime(run, out).toMicros());
+
+        for (std::size_t j = 0; j < run.main_exec_indices.size(); ++j) {
+            const auto& timing =
+                run.execs[run.main_exec_indices[j]].timing;
+            const double dur_ns = static_cast<double>(
+                timing.cpu_end_ns - timing.cpu_start_ns);
+            if (dur_ns <= 0.0)
+                continue;
+            for (const auto& s : run.samples) {
+                const auto cpu = translateSample(opts, sync, tick, run, s);
+                if (cpu < timing.cpu_start_ns || cpu > timing.cpu_end_ns)
+                    continue;
+                ProfilePoint p;
+                p.toi_us = static_cast<double>(cpu - timing.cpu_start_ns) /
+                           1e3;
+                p.toi_frac =
+                    static_cast<double>(cpu - timing.cpu_start_ns) / dur_ns;
+                p.run_time_us =
+                    static_cast<double>(cpu - run.run_start_cpu_ns) / 1e3;
+                p.sample = s;
+                p.run_index = run.run_index;
+                p.exec_index = j;
+                if (j == out.sse_exec_index)
+                    out.sse.add(p);
+                if (j >= out.ssp_exec_index)
+                    out.ssp.add(p);
+            }
+        }
+
+        for (const auto& s : run.samples) {
+            const auto cpu = translateSample(opts, sync, tick, run, s);
+            ProfilePoint p;
+            p.run_time_us =
+                static_cast<double>(cpu - run.run_start_cpu_ns) / 1e3;
+            p.sample = s;
+            p.run_index = run.run_index;
+            out.timeline.add(p);
+        }
+    }
+    out.ssp_exec_time = support::Duration::micros(ssp_time_us.mean());
+}
+
+}  // namespace fingrav::core

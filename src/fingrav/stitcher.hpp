@@ -1,0 +1,117 @@
+#ifndef FINGRAV_FINGRAV_STITCHER_HPP_
+#define FINGRAV_FINGRAV_STITCHER_HPP_
+
+/**
+ * @file
+ * Incremental LOI/TOI stitcher (paper steps 6, 7 and 9).
+ *
+ * Stitching aligns every power sample of every golden run with the run's
+ * kernel executions.  The seed implementation compared each (execution,
+ * sample) pair — O(execs × samples) with a timestamp translation per pair
+ * — and the step-8 top-up loop re-stitched all runs from scratch after
+ * every appended run, quadratic in run count.  ProfileStitcher fixes both
+ * hot paths:
+ *
+ *  - per run, sample CPU timestamps are translated once and cached; the
+ *    time-sorted samples are then aligned to the (chronological)
+ *    executions with a two-pointer sweep — O(execs + samples);
+ *  - restitch() is incremental: when appended runs leave the golden-bin
+ *    membership of previously stitched runs unchanged (the common case —
+ *    modalCluster returns ascending indices, so unchanged membership
+ *    means the old golden set is a prefix of the new one), only the new
+ *    runs are scanned; a full rebuild happens only when the modal bin
+ *    shifts.
+ *
+ * stitchReference() preserves the seed's from-scratch quadratic loop; it
+ * is the verification oracle (tests/stitch_incremental_test.cpp) and the
+ * baseline for bench/bench_hotpath.cpp.  Both paths produce bit-identical
+ * ProfileSets on the same inputs.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "fingrav/profiler.hpp"
+#include "support/statistics.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+/** Incremental stitcher; one instance per profiling campaign. */
+class ProfileStitcher {
+  public:
+    /**
+     * @param opts  Profiler options in force (sync mode, binning, margin).
+     * @param sync  Calibrated CPU-GPU translation; must outlive the
+     *              stitcher and not gain anchors between restitch calls.
+     * @param tick  GPU timestamp-counter tick (coarse-align mode only).
+     */
+    ProfileStitcher(const ProfilerOptions& opts, const TimeSync& sync,
+                    support::Duration tick);
+
+    /**
+     * (Re)stitch `runs` into `out`.
+     *
+     * Callers append runs to the same vector and call again with the same
+     * `out`; `out.guidance`, `out.label`, `out.sse_exec_index` and
+     * `out.ssp_exec_index` must be set before the first call and stay
+     * fixed.  Fills out.binning, out.sse/ssp/timeline, out.ssp_exec_time.
+     */
+    void restitch(const std::vector<RunRecord>& runs, ProfileSet& out);
+
+    /** Full rebuilds performed so far (diagnostics; 1 = never re-built). */
+    std::size_t rebuildCount() const { return rebuilds_; }
+
+    /**
+     * Seed-faithful reference: from-scratch stitch comparing every
+     * (execution, sample) pair, with a timestamp translation per pair.
+     */
+    static void stitchReference(const ProfilerOptions& opts,
+                                const TimeSync& sync,
+                                support::Duration tick,
+                                const std::vector<RunRecord>& runs,
+                                ProfileSet& out);
+
+    /**
+     * Step 6: golden-run selection shared by both paths.  Runs that
+     * recorded no main execution are skipped (they cannot be binned and
+     * previously underflowed the representative-execution index).
+     */
+    static void selectGoldenRuns(const ProfilerOptions& opts,
+                                 const std::vector<RunRecord>& runs,
+                                 ProfileSet& out);
+
+  private:
+    struct RunCache {
+        support::Duration rep_time;
+        bool eligible = false;  ///< recorded at least one main execution
+        bool aligned = false;   ///< sample_cpu_ns filled
+        std::vector<std::int64_t> sample_cpu_ns;  ///< ascending
+    };
+
+    /** Translate one sample under the configured sync mode. */
+    std::int64_t sampleCpuNs(const RunRecord& run,
+                             const sim::PowerSample& s) const;
+
+    /** Extend per-run caches to cover `runs`. */
+    void updateCaches(const std::vector<RunRecord>& runs,
+                      const ProfileSet& out);
+
+    /** Append one golden run's points to the profiles (two-pointer). */
+    void appendRun(const RunRecord& run, std::size_t run_idx,
+                   ProfileSet& out);
+
+    ProfilerOptions opts_;
+    const TimeSync* sync_;
+    support::Duration tick_;
+
+    std::vector<RunCache> run_caches_;
+    std::vector<std::size_t> stitched_golden_;
+    support::RunningStats ssp_time_us_;
+    bool stitched_once_ = false;
+    std::size_t rebuilds_ = 0;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_STITCHER_HPP_

@@ -112,8 +112,18 @@ HostRuntime::synchronize(std::size_t device)
 void
 HostRuntime::synchronizeAll()
 {
+    // Batched pre-pass: bring every device to the host present in one
+    // coordinated loop, then drain them in order.  The per-device sync
+    // overhead/jitter accounting below is unchanged.
+    sim_.advanceAllTo(cpu_now_);
     for (std::size_t d = 0; d < sim_.deviceCount(); ++d)
         synchronize(d);
+}
+
+void
+HostRuntime::advanceAllDevices()
+{
+    sim_.advanceAllTo(cpu_now_);
 }
 
 HostTiming

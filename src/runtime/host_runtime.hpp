@@ -104,6 +104,12 @@ class HostRuntime {
     void synchronizeAll();
 
     /**
+     * Catch every device up to the host present in one batched loop —
+     * node-scale sweeps use this instead of per-device catch-up calls.
+     */
+    void advanceAllDevices();
+
+    /**
      * Launch + synchronize with CPU-side timing instrumentation — the
      * paper's step-2 "timing the kernel start/end" measurement.  The
      * returned bounds carry launch/sync overhead and CPU timer noise, as
@@ -149,6 +155,19 @@ class HostRuntime {
     timestampTick(std::size_t device = 0) const
     {
         return sim_.device(device).gpuClock().tick();
+    }
+
+    /**
+     * The averaging window of the power logger actually in effect on
+     * `device` — the existing logger's window when one was already
+     * created, the machine default otherwise.  Energy integration over
+     * returned samples must use this, not the config default.
+     */
+    support::Duration
+    powerLogWindow(std::size_t device = 0) const
+    {
+        return loggers_[device] != nullptr ? loggers_[device]->window()
+                                           : sim_.config().logger_window;
     }
 
     // ------------------------------------------------------------------

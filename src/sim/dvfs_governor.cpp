@@ -25,6 +25,44 @@ DvfsGovernor::currentCap() const
     return p_.boost_ratio;
 }
 
+bool
+DvfsGovernor::quiescentAt(double power_w) const
+{
+    if (hold_remaining_.nanos() > 0)
+        return true;  // clock pinned by the excursion response
+    if (ratio_ != currentCap())
+        return false;  // recovery or backoff is moving the clock
+    if (fast_w_ > p_.peak_limit_w || power_w > p_.peak_limit_w)
+        return false;
+    if (slow_w_ > p_.sustained_limit_w || power_w > p_.sustained_limit_w)
+        return false;
+    return true;
+}
+
+std::optional<support::Duration>
+DvfsGovernor::timeToBoostBudget() const
+{
+    if (p_.boost_budget.nanos() <= 0)
+        return std::nullopt;
+    if (active_since_wake_ >= p_.boost_budget)
+        return std::nullopt;
+    // The cap change only matters when the clock sits above the
+    // post-budget ceiling; below it, the clamp is unaffected (and any
+    // later recovery runs under quantum-bounded stepping anyway).
+    if (ratio_ <= p_.nominal_ratio)
+        return std::nullopt;
+    return p_.boost_budget - active_since_wake_;
+}
+
+std::optional<support::Duration>
+DvfsGovernor::timeToPark() const
+{
+    if (parked_ || p_.idle_park_delay.nanos() <= 0)
+        return std::nullopt;
+    const auto left = p_.idle_park_delay - inactive_;
+    return left.nanos() > 0 ? left : support::Duration::nanos(1);
+}
+
 void
 DvfsGovernor::wake()
 {

@@ -21,6 +21,7 @@
  */
 
 #include <cstddef>
+#include <optional>
 
 #include "support/time_types.hpp"
 
@@ -114,8 +115,37 @@ class DvfsGovernor {
     /** True while the excursion response is holding the clock down. */
     bool inExcursion() const { return hold_remaining_.nanos() > 0; }
 
+    /** Remaining excursion-hold time (zero when no hold is active). */
+    support::Duration holdRemaining() const { return hold_remaining_; }
+
     /** Number of excursion events since construction. */
     std::size_t excursionCount() const { return excursions_; }
+
+    /**
+     * True when, at constant instantaneous power `power_w`, update() leaves
+     * the operating point unchanged for a step of *any* length: either the
+     * excursion hold pins the clock (expiry is a schedulable event), or the
+     * clock already sits at the current cap and both power estimates plus
+     * the target are at/below every throttle threshold — the EMAs converge
+     * monotonically toward power_w, so no limit can be crossed mid-stretch.
+     *
+     * Event-driven stepping (sim/gpu_device) integrates whole
+     * constant-power stretches in a single update() when this holds.
+     */
+    bool quiescentAt(double power_w) const;
+
+    /**
+     * Active time left until the boost budget expires *and* the expiry
+     * would move the clock (ratio above the post-budget nominal cap).
+     * Empty when the budget is disabled, already spent, or irrelevant.
+     */
+    std::optional<support::Duration> timeToBoostBudget() const;
+
+    /**
+     * Continuous idle time left before the clock parks.  Empty while
+     * active, already parked, or when no park delay is configured.
+     */
+    std::optional<support::Duration> timeToPark() const;
 
   private:
     /** Clock ceiling at the current boost-budget state. */

@@ -10,8 +10,24 @@ namespace fingrav::sim {
 
 namespace {
 
-/** Work remainders below this are treated as complete (sub-ns). */
-constexpr double kWorkEpsilonS = 1e-13;
+using fingrav::support::Duration;
+using fingrav::support::SimTime;
+
+/**
+ * Maximum temperature drift tolerated within one stretch, degrees C.
+ *
+ * Power is held constant per stretch, which freezes the temperature →
+ * leakage → power feedback loop for the stretch's duration.  Capping the
+ * per-stretch drift bounds that approximation everywhere — with or
+ * without a capturing logger — while still letting stretches grow
+ * unbounded once the thermal RC has converged.  At the default leakage
+ * coefficients 0.05 C bounds the per-stretch power error near 0.03 W,
+ * well under the logger noise floor.
+ */
+constexpr double kThermalEpsC = 0.05;
+
+/** Upper bound on the thermal-feedback stretch cap (overflow guard). */
+constexpr double kThermalBoundMaxS = 3600.0;
 
 }  // namespace
 
@@ -49,6 +65,7 @@ GpuDevice::submit(const KernelWork& work, support::SimTime ready_at,
     entry.ready_at = std::max(ready_at, now_);
     entry.remaining_s = work.nominal_duration.toSeconds();
     queues_[queue].push_back(std::move(entry));
+    queue_state_.dirty = true;
     return queues_[queue].back().id;
 }
 
@@ -76,11 +93,77 @@ GpuDevice::startReady()
         QueueEntry& front = q.front();
         if (!front.started && front.ready_at <= now_) {
             front.started = now_;
+            front.rate = 0.0;  // force rate/due computation
+            front.rate_anchor = now_;
+            queue_state_.dirty = true;
             if (was_idle) {
                 governor_.wake();
                 was_idle = false;
             }
         }
+    }
+}
+
+void
+GpuDevice::refreshQueueState()
+{
+    // Raw utilization demand (uncapped sums) for the contention model:
+    // when concurrent queues oversubscribe a resource dimension —
+    // including CU residency slots (occupancy) — every resident
+    // kernel's progress is scaled by the peak oversubscription.
+    double demand_occ = 0.0;
+    double demand_xcd = 0.0;
+    double demand_llc = 0.0;
+    double demand_hbm = 0.0;
+    double demand_fab = 0.0;
+    UtilizationVector agg;
+    std::size_t running = 0;
+    for (const auto& q : queues_) {
+        if (q.empty() || !q.front().started)
+            continue;
+        const UtilizationVector& u = q.front().work.util;
+        demand_occ += u.xcd_occupancy;
+        demand_xcd += u.xcd_issue;
+        demand_llc += u.llc_bw;
+        demand_hbm += u.hbm_bw;
+        demand_fab += u.fabric_bw;
+        agg = agg.saturatingAdd(u);
+        ++running;
+    }
+    queue_state_.contention =
+        std::max({1.0, demand_occ, demand_xcd, demand_llc, demand_hbm,
+                  demand_fab});
+    queue_state_.util = agg;
+    queue_state_.running = running;
+    queue_state_.active = running > 0;
+    queue_state_.dirty = false;
+}
+
+void
+GpuDevice::refreshProgress(double f)
+{
+    for (auto& q : queues_) {
+        if (q.empty() || !q.front().started)
+            continue;
+        QueueEntry& e = q.front();
+        const double rate =
+            ((1.0 - e.work.freq_sensitivity) +
+             e.work.freq_sensitivity * f) /
+            queue_state_.contention;
+        FINGRAV_ASSERT(rate > 0.0, "non-positive progress rate");
+        if (rate == e.rate)
+            continue;  // anchor and completion time stay valid
+        if (e.rate > 0.0 && now_ > e.rate_anchor) {
+            e.remaining_s -=
+                (now_ - e.rate_anchor).toSeconds() * e.rate;
+        }
+        e.rate = rate;
+        e.rate_anchor = now_;
+        const double complete_ns =
+            std::ceil(std::max(0.0, e.remaining_s) / rate * 1e9);
+        e.completion_due =
+            now_ + Duration::nanos(std::max<std::int64_t>(
+                       1, static_cast<std::int64_t>(complete_ns)));
     }
 }
 
@@ -131,107 +214,152 @@ GpuDevice::advanceUntilIdle(support::SimTime limit)
 }
 
 support::SimTime
+GpuDevice::nextLoggerCut(support::SimTime limit) const
+{
+    SimTime best = limit;
+    const std::int64_t g_now = gpu_clock_.domainTime(now_).nanos();
+    for (const auto& logger : loggers_) {
+        if (!logger->capturing())
+            continue;
+        const std::int64_t boundary = logger->nextWindowEndGpuNs(g_now);
+        SimTime m = gpu_clock_.masterTime(SimTime::fromNanos(boundary));
+        // The inverse map truncates; step forward to the first integer
+        // master nanosecond at/after the boundary (at most a few ns).
+        while (gpu_clock_.domainTime(m).nanos() < boundary)
+            m += Duration::nanos(1);
+        if (m < best)
+            best = m;
+    }
+    return best;
+}
+
+support::SimTime
 GpuDevice::stepLoop(support::SimTime limit, bool stop_on_idle)
 {
+    const bool quantum_mode = cfg_.stepping == SteppingMode::kQuantum;
     while (now_ < limit) {
         startReady();
 
-        // Raw utilization demand (uncapped sums) for the contention model:
-        // when concurrent queues oversubscribe a resource dimension —
-        // including CU residency slots (occupancy) — every resident
-        // kernel's progress is scaled by the peak oversubscription.
-        double demand_occ = 0.0;
-        double demand_xcd = 0.0;
-        double demand_llc = 0.0;
-        double demand_hbm = 0.0;
-        double demand_fab = 0.0;
-        std::size_t running = 0;
-        for (const auto& q : queues_) {
-            if (!q.empty() && q.front().started) {
-                const UtilizationVector& u = q.front().work.util;
-                demand_occ += u.xcd_occupancy;
-                demand_xcd += u.xcd_issue;
-                demand_llc += u.llc_bw;
-                demand_hbm += u.hbm_bw;
-                demand_fab += u.fabric_bw;
-                ++running;
-            }
-        }
-        const double contention =
-            std::max({1.0, demand_occ, demand_xcd, demand_llc, demand_hbm,
-                      demand_fab});
-        const bool active = running > 0;
-
         const double f = governor_.frequencyRatio();
+        if (queue_state_.dirty)
+            refreshQueueState();
+        refreshProgress(f);
+        const bool active = queue_state_.active;
 
-        // Candidate slice end: step quantum (finer while active), the
-        // earliest kernel completion, the next kernel-ready time, and the
-        // overall limit.
-        support::Duration dt =
-            active ? cfg_.power_step : cfg_.idle_step;
-        if (limit - now_ < dt)
-            dt = limit - now_;
-
-        for (auto& q : queues_) {
+        // ---- stretch end: the earliest next event -----------------------
+        SimTime t_end = limit;
+        for (const auto& q : queues_) {
             if (q.empty())
                 continue;
-            QueueEntry& front = q.front();
+            const QueueEntry& front = q.front();
             if (front.started) {
-                const double rate =
-                    ((1.0 - front.work.freq_sensitivity) +
-                     front.work.freq_sensitivity * f) /
-                    contention;
-                FINGRAV_ASSERT(rate > 0.0, "non-positive progress rate");
-                const double complete_ns =
-                    std::ceil(front.remaining_s / rate * 1e9);
-                const auto d = support::Duration::nanos(
-                    std::max<std::int64_t>(
-                        1, static_cast<std::int64_t>(complete_ns)));
-                if (d < dt)
-                    dt = d;
-            } else if (front.ready_at > now_ && front.ready_at - now_ < dt) {
-                dt = front.ready_at - now_;
+                if (front.completion_due < t_end)
+                    t_end = front.completion_due;
+            } else if (front.ready_at > now_ && front.ready_at < t_end) {
+                t_end = front.ready_at;
             }
         }
+        if (active) {
+            if (governor_.inExcursion()) {
+                const SimTime expiry = now_ + governor_.holdRemaining();
+                if (expiry < t_end)
+                    t_end = expiry;
+            }
+            if (const auto budget = governor_.timeToBoostBudget()) {
+                const SimTime crossing = now_ + *budget;
+                if (crossing < t_end)
+                    t_end = crossing;
+            }
+        } else if (const auto park = governor_.timeToPark()) {
+            const SimTime parks = now_ + *park;
+            if (parks < t_end)
+                t_end = parks;
+        }
+        if (!loggers_.empty())
+            t_end = nextLoggerCut(t_end);
 
-        if (dt.nanos() <= 0) {
-            // Can only happen when limit == now_; nothing left to do.
-            break;
+        // Power is held constant over the stretch, so it is evaluated
+        // before choosing the integration bound.
+        const RailPower rails = power_.instantaneous(
+            queue_state_.util, f, thermal_.temperature());
+
+        // While the governor is actively moving the clock (recovery slew,
+        // sustained backoff, or a limit the EMAs may cross), integration
+        // stays bounded by the legacy quantum so the control-loop dynamics
+        // are preserved; quiescent stretches integrate in one exact step.
+        const Duration quantum = active ? cfg_.power_step : cfg_.idle_step;
+        const bool quiescent =
+            !active || governor_.quiescentAt(rails.total());
+        if (!quiescent && now_ + quantum < t_end)
+            t_end = now_ + quantum;
+
+        // Thermal-feedback bound: temperature feeds back into leakage
+        // power, so a stretch may only run as far as temperature can
+        // drift by kThermalEpsC.  dT over dt is (target - T) * dt / tau
+        // to first order; the cap therefore loosens as the RC converges
+        // and never cuts finer than the legacy idle quantum.
+        const double gap_c =
+            std::abs(thermal_.steadyState(rails.total()) -
+                     thermal_.temperature());
+        if (gap_c > kThermalEpsC) {
+            const double bound_s = std::min(
+                kThermalBoundMaxS,
+                cfg_.thermal.time_constant.toSeconds() * kThermalEpsC /
+                    gap_c);
+            const Duration bound =
+                std::max(cfg_.idle_step, Duration::seconds(bound_s));
+            if (now_ + bound < t_end)
+                t_end = now_ + bound;
         }
 
-        // Evaluate power for the slice and integrate all models.
-        const UtilizationVector util = aggregateUtil(nullptr);
-        const RailPower rails =
-            power_.instantaneous(util, f, thermal_.temperature());
-        for (auto& logger : loggers_)
-            logger->addSlice(now_, dt, rails);
+        if (t_end <= now_)
+            break;  // can only happen when limit == now_
+        const Duration dt = t_end - now_;
+
+        // ---- logger feed ------------------------------------------------
+        // kQuantum reproduces the legacy per-quantum delivery; the logger's
+        // segment accounting makes both feeds bit-identical.
+        if (quantum_mode) {
+            SimTime t = now_;
+            while (t < t_end) {
+                const Duration step =
+                    t_end - t < quantum ? t_end - t : quantum;
+                for (auto& logger : loggers_)
+                    logger->addSlice(t, step, rails);
+                t += step;
+                ++step_stats_.slices;
+            }
+        } else {
+            for (auto& logger : loggers_)
+                logger->addSlice(now_, dt, rails);
+            ++step_stats_.slices;
+        }
+
+        // ---- integrate the stretch (identical in both modes) ------------
         governor_.update(dt, rails.total(), active);
         thermal_.update(dt, rails.total());
+        ++step_stats_.stretches;
+        now_ = t_end;
 
-        // Progress kernel work and harvest completions.
-        const support::SimTime slice_end = now_ + dt;
-        for (auto& q : queues_) {
+        // ---- harvest completions due exactly now ------------------------
+        for (std::size_t qi = 0; qi < queues_.size(); ++qi) {
+            auto& q = queues_[qi];
             if (q.empty() || !q.front().started)
                 continue;
             QueueEntry& front = q.front();
-            const double rate =
-                ((1.0 - front.work.freq_sensitivity) +
-                 front.work.freq_sensitivity * f) /
-                contention;
-            front.remaining_s -= dt.toSeconds() * rate;
-            if (front.remaining_s <= kWorkEpsilonS) {
+            if (front.completion_due <= now_) {
                 ExecutionRecord rec;
                 rec.id = front.id;
                 rec.label = front.work.label;
                 rec.start = *front.started;
-                rec.end = slice_end;
-                rec.queue = static_cast<std::size_t>(&q - queues_.data());
+                rec.end = now_;
+                rec.queue = qi;
                 execution_log_.push_back(std::move(rec));
                 q.pop_front();
+                queue_state_.dirty = true;
             }
         }
 
-        now_ = slice_end;
         if (stop_on_idle && idle())
             return now_;
     }

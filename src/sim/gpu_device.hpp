@@ -5,16 +5,31 @@
  * @file
  * The simulated GPU: execution engine + power/thermal/DVFS integration.
  *
- * A GpuDevice advances along the master time axis in bounded slices
- * (MachineConfig::power_step while active).  Per slice it aggregates the
- * utilization of resident kernels, evaluates instantaneous rail power at
- * the governor's current operating point, feeds the slice to any attached
- * power loggers, steps the governor and thermal models, and integrates
- * kernel work progress (compute-bound work stretches under throttling).
- * Kernel completions split slices exactly, so recorded execution intervals
- * are nanosecond-accurate rather than quantized to the step size — the
- * execution-time binning methodology (tenet S3) depends on measuring
- * genuine sub-percent run-to-run variation.
+ * A GpuDevice advances along the master time axis in *stretches*: maximal
+ * intervals over which the set of resident kernels, their progress rates
+ * and the instantaneous rail power are all constant.  A stretch ends at
+ * the earliest of: the exact completion of a running kernel, the next
+ * kernel-ready time, a capturing logger's next window-grid boundary, a
+ * governor state event (idle park, excursion-hold expiry, boost-budget
+ * expiry), the advancement limit, a thermal-feedback bound (power is held
+ * constant per stretch while temperature feeds back into leakage power,
+ * so a stretch may only run as far as temperature can drift by a small
+ * epsilon; the cap loosens as the thermal RC converges), and — while the
+ * DVFS governor is actively moving the clock — a bounded integration
+ * quantum (MachineConfig::power_step) that preserves the legacy
+ * control-loop dynamics.  Per stretch the device evaluates rail power once, feeds the
+ * power loggers, steps the governor and thermal models with the exact
+ * stretch length (both are exact-exponential and step-size independent),
+ * and advances kernel progress analytically.  Idle and steady-state
+ * stretches therefore cost one slice instead of thousands, while kernel
+ * completions still split time exactly, so recorded execution intervals
+ * are nanosecond-accurate (the execution-time binning methodology, tenet
+ * S3, depends on measuring genuine sub-percent run-to-run variation).
+ *
+ * SteppingMode::kQuantum replays the same stretch schedule but delivers
+ * the logger feed in legacy power_step/idle_step sub-slices; the logger's
+ * grouping-invariant accounting makes both modes bit-identical (tested by
+ * tests/stepping_equivalence_test.cpp; see docs/PERFORMANCE.md).
  *
  * Devices advance independently; the runtime (src/runtime/) aligns them
  * with the host timeline at interaction points (launch, sync, log start).
@@ -60,6 +75,12 @@ class GpuDevice {
         support::SimTime start;  ///< first cycle of execution (master time)
         support::SimTime end;    ///< completion (master time)
         std::size_t queue = 0;
+    };
+
+    /** Advancement-cost counters (see bench/bench_hotpath.cpp). */
+    struct StepStats {
+        std::uint64_t stretches = 0;  ///< constant-power intervals integrated
+        std::uint64_t slices = 0;     ///< logger-feed slices delivered
     };
 
     /**
@@ -126,20 +147,47 @@ class GpuDevice {
     /** Device id within the node. */
     std::size_t deviceId() const { return device_id_; }
 
+    /** Advancement-cost counters since construction. */
+    const StepStats& stepStats() const { return step_stats_; }
+
   private:
     struct QueueEntry {
         std::uint64_t id;
         KernelWork work;
         support::SimTime ready_at;
-        double remaining_s;  ///< nominal-seconds of work left
+        double remaining_s;  ///< nominal-seconds of work left at the anchor
         std::optional<support::SimTime> started;
+        /** Progress rate in force since rate_anchor (0 = needs computing). */
+        double rate = 0.0;
+        /** Progress last harvested into remaining_s at this master time. */
+        support::SimTime rate_anchor;
+        /** Exact completion time at the current rate. */
+        support::SimTime completion_due;
+    };
+
+    /** Aggregate state of the queue fronts, valid while no event fires. */
+    struct QueueState {
+        bool dirty = true;
+        UtilizationVector util;
+        double contention = 1.0;
+        std::size_t running = 0;
+        bool active = false;
     };
 
     /** Start any queue-front kernels whose ready time has arrived. */
     void startReady();
 
-    /** Aggregate utilization and count of running kernels. */
+    /** One pass over the queue fronts: utilization, contention, activity. */
+    void refreshQueueState();
+
+    /** Re-anchor progress and completion times of running kernels at `f`. */
+    void refreshProgress(double f);
+
+    /** Aggregate utilization and count of running kernels (oracle). */
     UtilizationVector aggregateUtil(std::size_t* running) const;
+
+    /** Earliest capturing-logger window boundary after now_, capped. */
+    support::SimTime nextLoggerCut(support::SimTime limit) const;
 
     /** Core stepping loop; stops at `limit` or (optionally) on idle. */
     support::SimTime stepLoop(support::SimTime limit, bool stop_on_idle);
@@ -154,9 +202,11 @@ class GpuDevice {
 
     support::SimTime now_;
     std::vector<std::deque<QueueEntry>> queues_;
+    QueueState queue_state_;
     std::vector<ExecutionRecord> execution_log_;
     std::vector<std::unique_ptr<PowerLogger>> loggers_;
     std::uint64_t next_id_ = 1;
+    StepStats step_stats_;
 };
 
 }  // namespace fingrav::sim

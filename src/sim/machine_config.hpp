@@ -25,6 +25,20 @@
 
 namespace fingrav::sim {
 
+/**
+ * How GpuDevice advances along the master time axis (docs/PERFORMANCE.md).
+ *
+ * Both modes share the same event-anchored integration semantics and emit
+ * bit-identical execution logs and power samples; kQuantum additionally
+ * sub-slices the power-logger feed at the legacy power_step/idle_step
+ * quanta.  It is kept for one release as the equivalence reference and
+ * fallback for the event-driven engine.
+ */
+enum class SteppingMode {
+    kQuantum,      ///< legacy fixed-quantum slice delivery
+    kEventDriven,  ///< exact next-event advancement (default)
+};
+
 /** Compute/memory/interconnect envelope and simulation knobs of one GPU. */
 struct MachineConfig {
     // --- topology (paper Section II-A) ---
@@ -63,6 +77,9 @@ struct MachineConfig {
 
     /** Integration step while idle and settled (thermal only moves slowly). */
     support::Duration idle_step = support::Duration::micros(50.0);
+
+    /** Time-advancement engine (kQuantum is the legacy reference). */
+    SteppingMode stepping = SteppingMode::kEventDriven;
 
     /** Default averaging window of the on-GPU power logger (paper: 1 ms). */
     support::Duration logger_window = support::Duration::millis(1.0);

@@ -7,6 +7,18 @@
 
 namespace fingrav::sim {
 
+namespace {
+
+/** Bitwise rail-power equality (segments extend only on exact matches). */
+bool
+sameRails(const RailPower& a, const RailPower& b)
+{
+    return a.xcd == b.xcd && a.iod == b.iod && a.hbm == b.hbm &&
+           a.misc == b.misc;
+}
+
+}  // namespace
+
 PowerLogger::PowerLogger(support::Duration window,
                          const ClockDomain& gpu_clock, double noise_w,
                          support::Rng rng)
@@ -25,17 +37,32 @@ PowerLogger::start(support::SimTime master_now)
         return;
     capturing_ = true;
     const std::int64_t gpu_ns = gpu_clock_.domainTime(master_now).nanos();
-    const std::int64_t w = window_.nanos();
     // Capture begins at the next window-grid boundary: a real logger's
     // window phase is a property of the device, not of the request.
-    window_start_gpu_ns_ = ((gpu_ns / w) + 1) * w;
+    window_start_gpu_ns_ = nextWindowEndGpuNs(gpu_ns);
     acc_xcd_ = acc_iod_ = acc_hbm_ = acc_misc_ = 0.0;
+    seg_span_ns_ = 0;
 }
 
 void
 PowerLogger::stop()
 {
     capturing_ = false;
+    // The partially filled window is discarded, pending segment included.
+    seg_span_ns_ = 0;
+}
+
+void
+PowerLogger::flushSegment()
+{
+    if (seg_span_ns_ <= 0)
+        return;
+    const double span = static_cast<double>(seg_span_ns_);
+    acc_xcd_ += seg_rails_.xcd * span;
+    acc_iod_ += seg_rails_.iod * span;
+    acc_hbm_ += seg_rails_.hbm * span;
+    acc_misc_ += seg_rails_.misc * span;
+    seg_span_ns_ = 0;
 }
 
 void
@@ -66,9 +93,10 @@ PowerLogger::addSlice(support::SimTime master_start, support::Duration dt,
     if (!capturing_ || dt.nanos() <= 0)
         return;
 
-    // Map the slice to GPU-domain nanoseconds.  Drift is ppm-scale, so a
-    // <= few-us slice maps to an interval of essentially equal length; the
-    // boundary arithmetic below stays exact in GPU time.
+    // Map the slice to GPU-domain nanoseconds.  Drift is ppm-scale, so the
+    // mapped interval has essentially the master length; all boundary
+    // arithmetic below is exact integer math in GPU time, and mapped slice
+    // endpoints telescope across consecutive calls.
     const std::int64_t g0 = gpu_clock_.domainTime(master_start).nanos();
     const std::int64_t g1 =
         gpu_clock_.domainTime(master_start + dt).nanos();
@@ -77,17 +105,25 @@ PowerLogger::addSlice(support::SimTime master_start, support::Duration dt,
 
     const std::int64_t w = window_.nanos();
     std::int64_t cur = std::max(g0, window_start_gpu_ns_);
+    if (cur >= g1)
+        return;
+
+    if (seg_span_ns_ > 0 && !sameRails(seg_rails_, rails))
+        flushSegment();
+    seg_rails_ = rails;
+
+    // Bulk path: a long constant-power slice closes many windows at once.
+    const std::int64_t whole_windows = (g1 - window_start_gpu_ns_) / w;
+    if (whole_windows > 4)
+        samples_.reserve(samples_.size() +
+                         static_cast<std::size_t>(whole_windows));
+
     while (cur < g1) {
         const std::int64_t window_end = window_start_gpu_ns_ + w;
         const std::int64_t span_end = std::min(g1, window_end);
-        const double span = static_cast<double>(span_end - cur);
-        if (span > 0.0) {
-            acc_xcd_ += rails.xcd * span;
-            acc_iod_ += rails.iod * span;
-            acc_hbm_ += rails.hbm * span;
-            acc_misc_ += rails.misc * span;
-        }
+        seg_span_ns_ += span_end - cur;
         if (span_end == window_end) {
+            flushSegment();
             emitWindow(window_end);
             window_start_gpu_ns_ = window_end;
             acc_xcd_ = acc_iod_ = acc_hbm_ = acc_misc_ = 0.0;

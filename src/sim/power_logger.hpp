@@ -20,6 +20,14 @@
  * splits slices exactly at window boundaries, so a window's reported power
  * is the exact time-average of instantaneous power over that window (plus
  * optional Gaussian measurement noise per rail).
+ *
+ * Accounting is *grouping-invariant*: contiguous slices carrying bitwise
+ * equal rail power extend a pending constant-power segment (exact integer
+ * nanosecond spans); the floating-point energy product is taken once per
+ * segment per window, when the segment closes.  Delivering a stretch as
+ * one bulk slice or as many sub-slices therefore yields bit-identical
+ * samples — the property the event-driven device stepping relies on
+ * (see docs/PERFORMANCE.md).
  */
 
 #include <cstdint>
@@ -42,6 +50,14 @@ struct PowerSample {
     double hbm_w = 0.0;              ///< window-average HBM rail power
 };
 
+/** Bitwise sample equality (stepping-mode equivalence checks). */
+inline bool
+operator==(const PowerSample& a, const PowerSample& b)
+{
+    return a.gpu_timestamp == b.gpu_timestamp && a.total_w == b.total_w &&
+           a.xcd_w == b.xcd_w && a.iod_w == b.iod_w && a.hbm_w == b.hbm_w;
+}
+
 /** Windowed-averaging power logger on the GPU clock. */
 class PowerLogger {
   public:
@@ -59,7 +75,8 @@ class PowerLogger {
      *
      * Slices must be delivered in non-decreasing master-time order and must
      * not overlap; gaps are not allowed (the device integrates continuously
-     * while the logger is enabled).
+     * while the logger is enabled).  A slice may span any number of whole
+     * windows — the bulk path emits every completed window in one pass.
      *
      * @param master_start Slice start on the master axis.
      * @param dt           Slice length (master time).
@@ -67,6 +84,25 @@ class PowerLogger {
      */
     void addSlice(support::SimTime master_start, support::Duration dt,
                   const RailPower& rails);
+
+    /**
+     * Next window-grid boundary strictly after `gpu_now` (GPU-domain ns).
+     * The grid is fixed by the window length; capture start/stop only
+     * selects which grid cells emit samples.
+     */
+    std::int64_t
+    nextWindowEndGpuNs(std::int64_t gpu_now) const
+    {
+        const std::int64_t w = window_.nanos();
+        return (gpu_now / w + 1) * w;
+    }
+
+    /** Pre-grow the sample buffer by `n` additional samples. */
+    void
+    reserveSamples(std::size_t n)
+    {
+        samples_.reserve(samples_.size() + n);
+    }
 
     /** Enable capture; samples are appended from the next window boundary. */
     void start(support::SimTime master_now);
@@ -90,6 +126,9 @@ class PowerLogger {
     /** Close the current window and emit a sample. */
     void emitWindow(std::int64_t window_end_gpu_ns);
 
+    /** Fold the pending constant-power segment into the window energy. */
+    void flushSegment();
+
     support::Duration window_;
     const ClockDomain& gpu_clock_;
     double noise_w_;
@@ -103,6 +142,9 @@ class PowerLogger {
     double acc_iod_ = 0.0;
     double acc_hbm_ = 0.0;
     double acc_misc_ = 0.0;
+    /** Pending constant-power segment of the current window. */
+    RailPower seg_rails_;
+    std::int64_t seg_span_ns_ = 0;
 
     std::vector<PowerSample> samples_;
 };

@@ -1,5 +1,7 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
+
 #include "support/logging.hpp"
 
 namespace fingrav::sim {
@@ -22,6 +24,22 @@ Simulation::Simulation(const MachineConfig& cfg, std::uint64_t seed,
         devices_.push_back(std::make_unique<GpuDevice>(
             cfg, root_rng_.fork(100 + i), i));
     }
+}
+
+void
+Simulation::advanceAllTo(support::SimTime master)
+{
+    for (auto& dev : devices_)
+        dev->advanceTo(master);
+}
+
+support::SimTime
+Simulation::advanceAllUntilIdle(support::SimTime limit)
+{
+    auto latest = support::SimTime::fromNanos(0);
+    for (auto& dev : devices_)
+        latest = std::max(latest, dev->advanceUntilIdle(limit));
+    return latest;
 }
 
 GpuDevice&

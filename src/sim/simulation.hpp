@@ -42,6 +42,20 @@ class Simulation {
     GpuDevice& device(std::size_t i);
     const GpuDevice& device(std::size_t i) const;
 
+    /**
+     * Advance every device to `master` in one coordinated loop (devices
+     * behind the target step; devices already past it are untouched).
+     * Node-level sweeps use this instead of per-device advanceTo calls.
+     */
+    void advanceAllTo(support::SimTime master);
+
+    /**
+     * Advance every device until it drains or `limit` is reached.
+     *
+     * @return The latest master time any device went idle (or `limit`).
+     */
+    support::SimTime advanceAllUntilIdle(support::SimTime limit);
+
     /** Number of GPUs in the node. */
     std::size_t deviceCount() const { return devices_.size(); }
 

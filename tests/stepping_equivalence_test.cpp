@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Equivalence of the two device-stepping engines.
+ *
+ * SteppingMode::kEventDriven advances whole constant-power stretches in
+ * one slice; SteppingMode::kQuantum replays the same stretch schedule but
+ * delivers the power-logger feed in legacy power_step/idle_step
+ * sub-slices.  Both must produce *bit-identical* execution logs and power
+ * samples for a fixed seed — the property that makes the event-driven
+ * engine a safe drop-in.  The scenarios deliberately cover every stretch
+ * terminator: kernel completions, delayed ready times, multi-queue
+ * contention, DVFS excursions/holds/recovery, boost-budget expiry, idle
+ * parking, multi-logger window grids (with measurement noise), capture
+ * restarts, and host-driven runs.
+ */
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fingrav/run_executor.hpp"
+#include "kernels/workloads.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/gpu_device.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulation.hpp"
+#include "support/time_types.hpp"
+
+namespace fc = fingrav::core;
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace rt = fingrav::runtime;
+namespace sim = fingrav::sim;
+using namespace fingrav::support::literals;
+
+namespace {
+
+sim::KernelWork
+computeKernel(fs::Duration d)
+{
+    sim::KernelWork w;
+    w.label = "compute";
+    w.nominal_duration = d;
+    w.freq_sensitivity = 0.95;
+    w.util.xcd_occupancy = 0.95;
+    w.util.xcd_issue = 0.82;
+    w.util.llc_bw = 0.60;
+    w.util.hbm_bw = 0.32;
+    return w;
+}
+
+sim::KernelWork
+memoryKernel(fs::Duration d)
+{
+    sim::KernelWork w;
+    w.label = "memory";
+    w.nominal_duration = d;
+    w.freq_sensitivity = 0.05;
+    w.util.xcd_occupancy = 0.30;
+    w.util.xcd_issue = 0.10;
+    w.util.llc_bw = 0.40;
+    w.util.hbm_bw = 0.75;
+    return w;
+}
+
+sim::KernelWork
+lightKernel(fs::Duration d)
+{
+    sim::KernelWork w;
+    w.label = "light";
+    w.nominal_duration = d;
+    w.freq_sensitivity = 0.60;
+    w.util.xcd_occupancy = 0.35;
+    w.util.xcd_issue = 0.25;
+    w.util.llc_bw = 0.15;
+    w.util.hbm_bw = 0.10;
+    return w;
+}
+
+struct ScenarioResult {
+    std::vector<sim::GpuDevice::ExecutionRecord> log;
+    std::vector<sim::PowerSample> samples_slow;
+    std::vector<sim::PowerSample> samples_fast;
+    sim::GpuDevice::StepStats stats;
+};
+
+/**
+ * A seeded multi-queue, multi-logger scenario driven directly against the
+ * device, identical under both modes by construction.
+ */
+ScenarioResult
+runDeviceScenario(sim::SteppingMode mode)
+{
+    auto cfg = sim::mi300xConfig();
+    cfg.stepping = mode;
+    sim::Simulation s(cfg, 777, 1);
+    auto& dev = s.device(0);
+
+    auto& slow = dev.addLogger(1_ms);         // default (noisy) logger
+    auto& fast = dev.addLogger(300_us, 0.0);  // noiseless fast logger
+    slow.start(dev.localNow());
+    fast.start(dev.localNow());
+
+    // Idle lead-in (covers idle parking + window-grid stretches).
+    dev.advanceTo(fs::SimTime::fromNanos(3'000'000));
+
+    // Throttling compute burst on queue 0 (excursions, holds, recovery,
+    // boost-budget expiry) overlapped with memory work on queue 1 and a
+    // delayed light kernel on queue 2 (contention + ready events).
+    for (int i = 0; i < 6; ++i)
+        dev.submit(computeKernel(800_us), fs::SimTime::fromNanos(3'000'000));
+    dev.submit(memoryKernel(500_us), fs::SimTime::fromNanos(3'200'000), 1);
+    dev.submit(memoryKernel(300_us), fs::SimTime::fromNanos(9'000'000), 1);
+    dev.submit(lightKernel(200_us), fs::SimTime::fromNanos(4'000'000), 2);
+    dev.advanceUntilIdle(fs::SimTime::fromNanos(60'000'000));
+
+    // Long captured idle tail (thermal decay under the window grid).
+    dev.advanceTo(fs::SimTime::fromNanos(90'000'000));
+
+    // Capture restart mid-simulation plus one more execution.
+    fast.stop();
+    fast.start(dev.localNow());
+    dev.submit(computeKernel(1000_us), fs::SimTime::fromNanos(91'000'000));
+    dev.advanceUntilIdle(fs::SimTime::fromNanos(120'000'000));
+    dev.advanceTo(fs::SimTime::fromNanos(125'000'000));
+
+    return {dev.executionLog(), slow.samples(), fast.samples(),
+            dev.stepStats()};
+}
+
+void
+expectIdentical(const ScenarioResult& q, const ScenarioResult& e)
+{
+    ASSERT_EQ(q.log.size(), e.log.size());
+    for (std::size_t i = 0; i < q.log.size(); ++i) {
+        EXPECT_EQ(q.log[i].id, e.log[i].id) << i;
+        EXPECT_EQ(q.log[i].label, e.log[i].label) << i;
+        EXPECT_EQ(q.log[i].start.nanos(), e.log[i].start.nanos()) << i;
+        EXPECT_EQ(q.log[i].end.nanos(), e.log[i].end.nanos()) << i;
+        EXPECT_EQ(q.log[i].queue, e.log[i].queue) << i;
+    }
+    ASSERT_EQ(q.samples_slow.size(), e.samples_slow.size());
+    for (std::size_t i = 0; i < q.samples_slow.size(); ++i)
+        EXPECT_TRUE(q.samples_slow[i] == e.samples_slow[i]) << "slow " << i;
+    ASSERT_EQ(q.samples_fast.size(), e.samples_fast.size());
+    for (std::size_t i = 0; i < q.samples_fast.size(); ++i)
+        EXPECT_TRUE(q.samples_fast[i] == e.samples_fast[i]) << "fast " << i;
+}
+
+}  // namespace
+
+TEST(SteppingEquivalence, DeviceScenarioBitIdentical)
+{
+    const auto quantum = runDeviceScenario(sim::SteppingMode::kQuantum);
+    const auto event = runDeviceScenario(sim::SteppingMode::kEventDriven);
+    ASSERT_FALSE(quantum.log.empty());
+    ASSERT_FALSE(quantum.samples_slow.empty());
+    ASSERT_FALSE(quantum.samples_fast.empty());
+    expectIdentical(quantum, event);
+}
+
+TEST(SteppingEquivalence, SharedStretchScheduleAcrossModes)
+{
+    const auto quantum = runDeviceScenario(sim::SteppingMode::kQuantum);
+    const auto event = runDeviceScenario(sim::SteppingMode::kEventDriven);
+    // The stretch schedule is shared; only the logger feed is sub-sliced
+    // by the legacy mode.
+    EXPECT_EQ(quantum.stats.stretches, event.stats.stretches);
+    EXPECT_GT(quantum.stats.slices, event.stats.slices);
+    EXPECT_EQ(event.stats.slices, event.stats.stretches);
+}
+
+TEST(SteppingEquivalence, IdleHeavyLongWindowCollapsesSliceCount)
+{
+    // The regime the event engine exists for: long idle gaps observed by a
+    // coarse (amd-smi style) logger.  The legacy feed pays one slice per
+    // idle_step; the event engine pays one per window boundary/event.
+    auto run = [](sim::SteppingMode mode) {
+        auto cfg = sim::mi300xConfig();
+        cfg.stepping = mode;
+        sim::Simulation s(cfg, 99, 1);
+        auto& dev = s.device(0);
+        auto& logger = dev.addLogger(10_ms);
+        logger.start(dev.localNow());
+        for (int i = 0; i < 5; ++i) {
+            dev.submit(lightKernel(150_us),
+                       fs::SimTime::fromNanos(i * 100'000'000));
+        }
+        dev.advanceUntilIdle(fs::SimTime::fromNanos(600'000'000));
+        dev.advanceTo(fs::SimTime::fromNanos(600'000'000));
+        return std::make_pair(dev.stepStats(), logger.samples());
+    };
+    const auto [qstats, qsamples] = run(sim::SteppingMode::kQuantum);
+    const auto [estats, esamples] = run(sim::SteppingMode::kEventDriven);
+    ASSERT_EQ(qsamples.size(), esamples.size());
+    for (std::size_t i = 0; i < qsamples.size(); ++i)
+        EXPECT_TRUE(qsamples[i] == esamples[i]) << i;
+    // 600 ms of mostly idle at 50 us quanta vs ~60 window boundaries.
+    EXPECT_GT(qstats.slices, 20 * estats.slices);
+}
+
+TEST(SteppingEquivalence, InstrumentedRunsBitIdentical)
+{
+    // Host-runtime level: full instrumented profiling runs (launch/sync
+    // overheads, random delays, power log start/stop) must also match.
+    auto execute = [](sim::SteppingMode mode) {
+        auto cfg = sim::mi300xConfig();
+        cfg.stepping = mode;
+        auto simulation = std::make_unique<sim::Simulation>(cfg, 4242, 1);
+        auto host = std::make_unique<rt::HostRuntime>(
+            *simulation, simulation->forkRng(7));
+        fc::RunExecutor exec(*host, simulation->forkRng(9));
+        fc::RunPlan plan;
+        plan.main = fk::makeSquareGemm(2048, cfg);
+        plan.main_execs_per_block = 24;
+        std::vector<fc::RunRecord> runs;
+        for (std::size_t r = 0; r < 3; ++r)
+            runs.push_back(exec.executeRun(plan, r));
+        return runs;
+    };
+    const auto quantum = execute(sim::SteppingMode::kQuantum);
+    const auto event = execute(sim::SteppingMode::kEventDriven);
+    ASSERT_EQ(quantum.size(), event.size());
+    for (std::size_t r = 0; r < quantum.size(); ++r) {
+        const auto& a = quantum[r];
+        const auto& b = event[r];
+        EXPECT_EQ(a.run_start_cpu_ns, b.run_start_cpu_ns) << r;
+        EXPECT_EQ(a.log_start_cpu_ns, b.log_start_cpu_ns) << r;
+        ASSERT_EQ(a.execs.size(), b.execs.size()) << r;
+        for (std::size_t i = 0; i < a.execs.size(); ++i) {
+            EXPECT_EQ(a.execs[i].timing.cpu_start_ns,
+                      b.execs[i].timing.cpu_start_ns);
+            EXPECT_EQ(a.execs[i].timing.cpu_end_ns,
+                      b.execs[i].timing.cpu_end_ns);
+        }
+        ASSERT_EQ(a.samples.size(), b.samples.size()) << r;
+        for (std::size_t i = 0; i < a.samples.size(); ++i)
+            EXPECT_TRUE(a.samples[i] == b.samples[i]) << r << ":" << i;
+    }
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Regression tests for the incremental ProfileStitcher: stitching runs
+ * one-by-one through restitch() must produce the same ProfileSet, bit for
+ * bit, as the seed-faithful quadratic reference applied to the final run
+ * vector — including across modal-bin shifts that force a rebuild — and
+ * runs that recorded zero main executions must be skipped instead of
+ * underflowing the representative-execution index (the seed crashed
+ * computing `main_exec_indices.size() - 1`).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fingrav/profiler.hpp"
+#include "fingrav/run_executor.hpp"
+#include "fingrav/stitcher.hpp"
+#include "fingrav/time_sync.hpp"
+#include "kernels/workloads.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulation.hpp"
+#include "support/time_types.hpp"
+
+namespace fc = fingrav::core;
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace rt = fingrav::runtime;
+namespace sim = fingrav::sim;
+using namespace fingrav::support::literals;
+
+namespace {
+
+struct Bench {
+    sim::MachineConfig cfg = sim::mi300xConfig();
+    std::unique_ptr<sim::Simulation> simulation;
+    std::unique_ptr<rt::HostRuntime> host;
+
+    explicit Bench(std::uint64_t seed)
+    {
+        simulation = std::make_unique<sim::Simulation>(cfg, seed, 1);
+        host = std::make_unique<rt::HostRuntime>(*simulation,
+                                                 simulation->forkRng(7));
+    }
+};
+
+void
+expectProfilesEqual(const fc::PowerProfile& a, const fc::PowerProfile& b,
+                    const char* what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a.points()[i] == b.points()[i]) << what << " " << i;
+}
+
+void
+expectSetsEqual(const fc::ProfileSet& a, const fc::ProfileSet& b)
+{
+    EXPECT_EQ(a.binning.golden_runs, b.binning.golden_runs);
+    EXPECT_EQ(a.binning.total_runs, b.binning.total_runs);
+    EXPECT_EQ(a.binning.bin_center.nanos(), b.binning.bin_center.nanos());
+    EXPECT_EQ(a.ssp_exec_time.nanos(), b.ssp_exec_time.nanos());
+    expectProfilesEqual(a.sse, b.sse, "sse");
+    expectProfilesEqual(a.ssp, b.ssp, "ssp");
+    expectProfilesEqual(a.timeline, b.timeline, "timeline");
+}
+
+fc::ProfileSet
+skeleton(const char* label, std::size_t sse_idx, std::size_t ssp_idx)
+{
+    fc::ProfileSet out;
+    out.label = label;
+    out.sse_exec_index = sse_idx;
+    out.ssp_exec_index = ssp_idx;
+    return out;
+}
+
+/** Fully synthetic run for controlled binning (coarse-align stitching). */
+fc::RunRecord
+syntheticRun(std::size_t idx, double rep_us, std::size_t execs = 12)
+{
+    fc::RunRecord r;
+    r.run_index = idx;
+    const std::int64_t base =
+        1'000'000'000 + static_cast<std::int64_t>(idx) * 10'000'000;
+    r.run_start_cpu_ns = base;
+    r.log_start_cpu_ns = base - 50'000;
+    const auto dur = static_cast<std::int64_t>(rep_us * 1e3);
+    for (std::size_t j = 0; j < execs; ++j) {
+        fc::ExecObservation ob;
+        ob.label = "synthetic";
+        ob.is_main = true;
+        ob.timing.cpu_start_ns =
+            base + static_cast<std::int64_t>(j) * (dur + 20'000);
+        ob.timing.cpu_end_ns = ob.timing.cpu_start_ns + dur;
+        r.main_exec_indices.push_back(r.execs.size());
+        r.execs.push_back(ob);
+    }
+    // Samples every 37 us in 10 ns GPU ticks; coarse-align anchors the
+    // first sample at log_start_cpu_ns.
+    for (int k = 0; k < 60; ++k) {
+        sim::PowerSample s;
+        s.gpu_timestamp = 500'000 + k * 3'700;
+        s.total_w = 100.0 + k;
+        s.xcd_w = 50.0 + k;
+        s.iod_w = 25.0;
+        s.hbm_w = 20.0;
+        r.samples.push_back(s);
+    }
+    return r;
+}
+
+}  // namespace
+
+TEST(StitchIncremental, MatchesReferenceAcrossTopUps)
+{
+    // Real instrumented runs: execute a campaign's worth and restitch
+    // after every appended run, exactly like the step-8 top-up loop.
+    Bench b(31);
+    fc::RunExecutor exec(*b.host, b.simulation->forkRng(9));
+    fc::RunPlan plan;
+    plan.main = fk::makeSquareGemm(2048, b.cfg);
+    plan.main_execs_per_block = 24;
+
+    auto sync = fc::TimeSync::calibrate(*b.host);
+    std::vector<fc::RunRecord> runs;
+    for (std::size_t r = 0; r < 24; ++r)
+        runs.push_back(exec.executeRun(plan, r));
+
+    fc::ProfilerOptions opts;
+    opts.margin_override = 0.05;
+
+    auto incremental = skeleton("CB-2K-GEMM", 3, 8);
+    fc::ProfileStitcher stitcher(opts, sync, b.host->timestampTick());
+    std::vector<fc::RunRecord> prefix;
+    for (const auto& run : runs) {
+        prefix.push_back(run);
+        stitcher.restitch(prefix, incremental);
+    }
+
+    auto reference = skeleton("CB-2K-GEMM", 3, 8);
+    fc::ProfileStitcher::stitchReference(opts, sync,
+                                         b.host->timestampTick(), runs,
+                                         reference);
+    ASSERT_FALSE(reference.ssp.empty());
+    expectSetsEqual(incremental, reference);
+}
+
+TEST(StitchIncremental, ModalShiftForcesRebuildAndStillMatches)
+{
+    Bench b(32);
+    auto sync = fc::TimeSync::calibrate(*b.host);
+
+    fc::ProfilerOptions opts;
+    opts.sync_mode = fc::SyncMode::kCoarseAlign;
+    opts.margin_override = 0.05;
+
+    // Three ~100 us runs, then four ~130 us runs: appending the fourth
+    // outlier flips the modal bin, so previously stitched runs drop out.
+    std::vector<double> reps{100.0, 100.4, 99.8, 130.0, 130.2, 129.9,
+                             130.1};
+    auto incremental = skeleton("synthetic", 3, 4);
+    fc::ProfileStitcher stitcher(opts, sync, b.host->timestampTick());
+    std::vector<fc::RunRecord> runs;
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+        runs.push_back(syntheticRun(i, reps[i]));
+        stitcher.restitch(runs, incremental);
+    }
+    EXPECT_GE(stitcher.rebuildCount(), 2u);  // initial build + bin shift
+    EXPECT_EQ(incremental.binning.golden_runs,
+              (std::vector<std::size_t>{3, 4, 5, 6}));
+
+    auto reference = skeleton("synthetic", 3, 4);
+    fc::ProfileStitcher::stitchReference(opts, sync,
+                                         b.host->timestampTick(), runs,
+                                         reference);
+    expectSetsEqual(incremental, reference);
+}
+
+TEST(StitchIncremental, ZeroExecRunsAreSkippedNotUnderflowed)
+{
+    Bench b(33);
+    auto sync = fc::TimeSync::calibrate(*b.host);
+
+    fc::ProfilerOptions opts;
+    opts.sync_mode = fc::SyncMode::kCoarseAlign;
+    opts.margin_override = 0.05;
+
+    std::vector<fc::RunRecord> runs;
+    runs.push_back(syntheticRun(0, 100.0));
+    fc::RunRecord empty;  // e.g. a failed/aborted run: no main executions
+    empty.run_index = 1;
+    runs.push_back(empty);
+    runs.push_back(syntheticRun(2, 100.2));
+
+    auto incremental = skeleton("synthetic", 3, 4);
+    fc::ProfileStitcher stitcher(opts, sync, b.host->timestampTick());
+    EXPECT_NO_THROW(stitcher.restitch(runs, incremental));
+    EXPECT_EQ(incremental.binning.golden_runs,
+              (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(incremental.binning.total_runs, 3u);
+
+    auto reference = skeleton("synthetic", 3, 4);
+    EXPECT_NO_THROW(fc::ProfileStitcher::stitchReference(
+        opts, sync, b.host->timestampTick(), runs, reference));
+    expectSetsEqual(incremental, reference);
+
+    // Degenerate: every run empty — selection must not crash and must
+    // keep nothing (binning disabled exercises the other branch too).
+    std::vector<fc::RunRecord> all_empty(3);
+    auto degenerate = skeleton("synthetic", 3, 4);
+    fc::ProfilerOptions no_binning = opts;
+    no_binning.binning = false;
+    EXPECT_NO_THROW(fc::ProfileStitcher::stitchReference(
+        no_binning, sync, b.host->timestampTick(), all_empty, degenerate));
+    EXPECT_TRUE(degenerate.binning.golden_runs.empty());
+}

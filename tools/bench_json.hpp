@@ -1,0 +1,167 @@
+#ifndef FINGRAV_TOOLS_BENCH_JSON_HPP_
+#define FINGRAV_TOOLS_BENCH_JSON_HPP_
+
+/**
+ * @file
+ * Minimal JSON emitter for benchmark reports (BENCH_*.json).
+ *
+ * Benchmarks record wall times and work counters per scenario so the perf
+ * trajectory of the hot paths is tracked across PRs (docs/PERFORMANCE.md
+ * describes the schema).  Deliberately dependency-free: scenarios are
+ * flat name → number/string metric maps.
+ *
+ * Usage:
+ *   tools::BenchReport report("hotpath");
+ *   auto& s = report.scenario("idle_heavy_long_window");
+ *   s.metric("quantum_wall_ms", 12.5);
+ *   s.metric("slices", std::int64_t{40000});
+ *   s.note("mode", "event-driven");
+ *   report.write("BENCH_hotpath.json");
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fingrav::tools {
+
+namespace detail {
+
+inline std::string
+jsonEscape(const std::string& in)
+{
+    std::string out;
+    out.reserve(in.size() + 2);
+    for (const char c : in) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace detail
+
+/** One benchmark report, serialized as a JSON object of scenarios. */
+class BenchReport {
+  public:
+    /** Flat metric map of one scenario. */
+    class Scenario {
+      public:
+        explicit Scenario(std::string name) : name_(std::move(name)) {}
+
+        void
+        metric(const std::string& key, double value)
+        {
+            std::ostringstream oss;
+            oss.precision(6);
+            oss << std::fixed << value;
+            entries_.emplace_back(key, oss.str());
+        }
+
+        void
+        metric(const std::string& key, std::int64_t value)
+        {
+            entries_.emplace_back(key, std::to_string(value));
+        }
+
+        void
+        metric(const std::string& key, std::uint64_t value)
+        {
+            entries_.emplace_back(key, std::to_string(value));
+        }
+
+        void
+        note(const std::string& key, const std::string& value)
+        {
+            entries_.emplace_back(
+                key, "\"" + detail::jsonEscape(value) + "\"");
+        }
+
+        const std::string& name() const { return name_; }
+
+      private:
+        friend class BenchReport;
+        std::string name_;
+        /** key → pre-serialized JSON value, in insertion order. */
+        std::vector<std::pair<std::string, std::string>> entries_;
+    };
+
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+    /** Scenario by name (created on first use). */
+    Scenario&
+    scenario(const std::string& name)
+    {
+        for (auto& s : scenarios_) {
+            if (s.name() == name)
+                return s;
+        }
+        scenarios_.emplace_back(name);
+        return scenarios_.back();
+    }
+
+    /** Serialize the report. */
+    std::string
+    toJson() const
+    {
+        std::ostringstream os;
+        os << "{\n  \"bench\": \"" << detail::jsonEscape(name_)
+           << "\",\n  \"scenarios\": {";
+        for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+            const auto& s = scenarios_[i];
+            os << (i ? "," : "") << "\n    \""
+               << detail::jsonEscape(s.name_) << "\": {";
+            for (std::size_t j = 0; j < s.entries_.size(); ++j) {
+                os << (j ? "," : "") << "\n      \""
+                   << detail::jsonEscape(s.entries_[j].first)
+                   << "\": " << s.entries_[j].second;
+            }
+            os << "\n    }";
+        }
+        os << "\n  }\n}\n";
+        return os.str();
+    }
+
+    /** Write the report to `path`; returns false on I/O failure. */
+    bool
+    write(const std::string& path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << toJson();
+        return static_cast<bool>(out);
+    }
+
+  private:
+    std::string name_;
+    std::vector<Scenario> scenarios_;
+};
+
+}  // namespace fingrav::tools
+
+#endif  // FINGRAV_TOOLS_BENCH_JSON_HPP_
