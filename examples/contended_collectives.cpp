@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared-fabric contention: what happens when collectives overlap?
+ *
+ * The paper's Fig. 10 story is that bandwidth-bound collectives are
+ * IOD-dominated — their power lives in the Infinity-Fabric SerDes.  This
+ * example shows the node-level consequence modeled by sim::NodeFabric:
+ * when two transfers need the same wires at once, each gets a fair share
+ * of the bandwidth, runs proportionally longer, and drives the links to
+ * saturation — so the contended phase is both *slower* and *hotter* on
+ * the IOD rail than the same transfers run back-to-back.
+ *
+ * Three experiments on all-reduce pairs:
+ *   1. back-to-back vs concurrent on a 2-GPU node (latency + IOD power);
+ *   2. payload sweep: fair-share stretch only bites once transfers are
+ *      bandwidth-bound (latency-bound sizes barely notice each other);
+ *   3. a node-wide collective vs the same collective contended by an
+ *      extra transfer — a single collective never contends with itself.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "kernels/collective.hpp"
+#include "sim/fabric.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/power_logger.hpp"
+#include "sim/simulation.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace sim = fingrav::sim;
+using namespace fingrav::support::literals;
+
+namespace {
+
+struct Outcome {
+    double exec_us = 0.0;
+    double peak_iod_w = 0.0;
+};
+
+/** Run transfer(s) on a fresh 2-GPU node; returns device-0 observations. */
+Outcome
+runPair(const sim::MachineConfig& cfg, const sim::KernelWork& work,
+        bool concurrent)
+{
+    sim::Simulation s(cfg, 42, 2);
+    // Short windows so at least one falls entirely inside the transfer.
+    auto& logger = s.device(0).addLogger(fs::Duration::micros(250.0), 0.0);
+    logger.start(fs::SimTime::fromNanos(0));
+    const auto t0 = fs::SimTime::fromNanos(1000);
+    const auto limit = t0 + fs::Duration::seconds(10.0);
+
+    auto x = work;
+    x.fabric_group = s.fabric().allocGroup();
+    s.device(0).submit(x, t0);
+    if (concurrent) {
+        auto y = work;
+        y.fabric_group = s.fabric().allocGroup();
+        s.device(1).submit(y, t0);
+    }
+    s.advanceAllUntilIdle(limit);
+    if (!concurrent) {
+        auto y = work;
+        y.fabric_group = s.fabric().allocGroup();
+        s.device(1).submit(y, s.device(0).localNow());
+        s.advanceAllUntilIdle(limit);
+    }
+
+    // Flush the window containing the tail of the transfer.
+    s.advanceAllTo(s.device(0).localNow() + fs::Duration::millis(1.0));
+
+    Outcome out;
+    const auto& e = s.device(0).executionLog().front();
+    out.exec_us = (e.end - e.start).toMicros();
+    for (const auto& sample : logger.samples())
+        out.peak_iod_w = std::max(out.peak_iod_w, sample.iod_w);
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    auto cfg = sim::mi300xConfig();
+    cfg.node_gpus = 2;
+    cfg.logger_noise_w = 0.0;
+
+    // --- 1. back-to-back vs concurrent at a bandwidth-bound size ---------
+    const fk::CollectiveKernel ar(fk::CollectiveOp::kAllReduce, 512_MB,
+                                  cfg);
+    const auto work = ar.workAt(1.0);
+    const auto solo = runPair(cfg, work, /*concurrent=*/false);
+    const auto both = runPair(cfg, work, /*concurrent=*/true);
+
+    std::cout << "Two 512 MB all-reduces on a 2-GPU node "
+              << "(each demands " << work.util.fabric_bw
+              << " of the fabric):\n\n";
+    fs::TableWriter head({"schedule", "exec (us)", "peak IOD (W)"});
+    head.addRow({"back-to-back", fs::TableWriter::num(solo.exec_us, 1),
+                 fs::TableWriter::num(solo.peak_iod_w, 1)});
+    head.addRow({"concurrent", fs::TableWriter::num(both.exec_us, 1),
+                 fs::TableWriter::num(both.peak_iod_w, 1)});
+    head.print(std::cout);
+    std::cout << "fair-share stretch " << both.exec_us / solo.exec_us
+              << "x; links saturate, so the contended phase is slower "
+                 "AND hotter.\n\n";
+
+    // --- 2. contention only bites once bandwidth-bound --------------------
+    std::cout << "Stretch across payloads (concurrent/back-to-back):\n";
+    fs::TableWriter sweep({"payload", "class", "stretch"});
+    for (const auto bytes :
+         std::vector<fs::Bytes>{64_KB, 2_MB, 32_MB, 128_MB, 512_MB}) {
+        const fk::CollectiveKernel k(fk::CollectiveOp::kAllReduce, bytes,
+                                     cfg);
+        const auto w = k.workAt(1.0);
+        const auto s1 = runPair(cfg, w, false);
+        const auto s2 = runPair(cfg, w, true);
+        sweep.addRow({bytes >= 1_MB
+                          ? std::to_string(bytes / 1_MB) + " MB"
+                          : std::to_string(bytes / 1_KB) + " KB",
+                      toString(k.boundedness()),
+                      fs::TableWriter::num(s2.exec_us / s1.exec_us, 2)});
+    }
+    sweep.print(std::cout);
+    std::cout << "\n";
+
+    // --- 3. a collective never contends with itself ------------------------
+    // The per-device copies of one node-wide collective share a transfer
+    // id: same bytes, same links, demand counted once.
+    sim::Simulation shared(cfg, 42, 2);
+    auto w = work;
+    w.fabric_group = shared.fabric().allocGroup();
+    const auto t0 = fs::SimTime::fromNanos(1000);
+    shared.device(0).submit(w, t0);
+    shared.device(1).submit(w, t0);  // same transfer id: one collective
+    shared.advanceAllUntilIdle(t0 + fs::Duration::seconds(10.0));
+    const auto& e = shared.device(0).executionLog().front();
+    std::cout << "One node-wide 512 MB all-reduce (copies share a "
+                 "transfer id): "
+              << (e.end - e.start).toMicros()
+              << " us — identical to the uncontended run; a collective "
+                 "does not\ncontend with itself, only with other "
+                 "transfers.\n";
+    return 0;
+}

@@ -88,6 +88,11 @@ CollectiveKernel::workAt(double warmth) const
     out.nominal_duration = dur;
     // Fabric- and memory-bound: the engine clock barely matters.
     out.freq_sensitivity = 0.05;
+    // One inter-GPU transfer on the shared node fabric: the launch path
+    // assigns the concrete transfer id (the same id across the per-device
+    // copies of this collective), and sim::NodeFabric fair-shares node
+    // bandwidth between concurrent transfers.
+    out.fabric_group = sim::KernelWork::kAutoFabricGroup;
 
     const bool reduce = op_ == CollectiveOp::kAllReduce;
     out.util.xcd_occupancy = reduce ? 0.13 : 0.06;

@@ -17,6 +17,12 @@
  * Section V-A definition: a size is latency-bound while total latency does
  * not yet grow commensurately with payload, i.e. while the alpha
  * (per-hop/setup) term dominates the beta (bandwidth) term.
+ *
+ * The produced KernelWork is tagged as one shared-node-fabric transfer
+ * (KernelWork::fabric_group): when several collectives run concurrently on
+ * a node, sim::NodeFabric fair-shares bandwidth between them, stretching
+ * completion and saturating the links — contended phases run longer at
+ * higher IOD power than the same collectives back-to-back.
  */
 
 #include <string>

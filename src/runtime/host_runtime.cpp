@@ -60,7 +60,13 @@ HostRuntime::sleep(support::Duration d)
 void
 HostRuntime::catchUpDevice(std::size_t device)
 {
-    sim_.device(device).advanceTo(cpu_now_);
+    // While collectives are in flight the devices are fabric-coupled:
+    // catching one up alone would price contention from a stale sibling
+    // snapshot, so the whole node rides to the host present together.
+    if (sim_.fabric().coupled())
+        sim_.advanceAllTo(cpu_now_);
+    else
+        sim_.device(device).advanceTo(cpu_now_);
 }
 
 std::uint64_t
@@ -79,9 +85,15 @@ HostRuntime::launchOnAllDevices(const sim::KernelWork& work,
 {
     cpu_now_ += kLaunchCallCost;
     const auto ready = cpu_now_ + sim_.config().launch_overhead;
+    // The per-device copies are one inter-GPU transfer: stamp a single
+    // transfer id so the collective does not contend with itself on the
+    // shared node fabric (concurrent collectives get distinct ids).
+    sim::KernelWork shared = work;
+    if (shared.fabric_group == sim::KernelWork::kAutoFabricGroup)
+        shared.fabric_group = sim_.fabric().allocGroup();
     std::uint64_t id0 = 0;
     for (std::size_t d = 0; d < sim_.deviceCount(); ++d) {
-        const auto id = sim_.device(d).submit(work, ready, queue);
+        const auto id = sim_.device(d).submit(shared, ready, queue);
         if (d == 0)
             id0 = id;
     }
@@ -93,11 +105,17 @@ HostRuntime::synchronize(std::size_t device)
 {
     auto& dev = sim_.device(device);
     if (dev.idle()) {
-        dev.advanceTo(cpu_now_);
+        catchUpDevice(device);
         cpu_now_ += kSyncPollCost;
         return;
     }
-    const auto done = dev.advanceUntilIdle(cpu_now_ + kSyncLimit);
+    // While node-fabric transfers are outstanding the drain must step the
+    // whole node in fabric epochs, or contended collectives would finish
+    // at uncontended speed; otherwise the legacy single-device drain.
+    const auto limit = cpu_now_ + kSyncLimit;
+    const auto done = sim_.fabric().coupled()
+                          ? sim_.advanceDeviceUntilIdle(device, limit)
+                          : dev.advanceUntilIdle(limit);
     if (!dev.idle())
         support::fatal("HostRuntime::synchronize: device ", device,
                        " did not drain within the watchdog window");
@@ -173,7 +191,7 @@ void
 HostRuntime::startPowerLog(std::size_t device, support::Duration window)
 {
     auto& dev = sim_.device(device);
-    dev.advanceTo(cpu_now_);
+    catchUpDevice(device);
     if (loggers_[device] == nullptr) {
         const auto w =
             window.nanos() > 0 ? window : sim_.config().logger_window;
@@ -194,8 +212,7 @@ HostRuntime::stopPowerLog(std::size_t device)
 {
     if (loggers_[device] == nullptr || !loggers_[device]->capturing())
         support::fatal("stopPowerLog: no active capture on device ", device);
-    auto& dev = sim_.device(device);
-    dev.advanceTo(cpu_now_);
+    catchUpDevice(device);
     loggers_[device]->stop();
     auto out = loggers_[device]->samples();
     loggers_[device]->clearSamples();

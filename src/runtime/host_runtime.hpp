@@ -97,7 +97,12 @@ class HostRuntime {
     std::uint64_t launchOnAllDevices(const sim::KernelWork& work,
                                      std::size_t queue = 0);
 
-    /** Block until `device` drains; host time advances to completion. */
+    /**
+     * Block until `device` drains; host time advances to completion.
+     * While node-fabric transfers are outstanding (collectives in
+     * flight), the drain steps the whole node in fabric epochs so
+     * shared-fabric contention is priced from live sibling demand.
+     */
     void synchronize(std::size_t device = 0);
 
     /** Block until every device drains. */
@@ -191,7 +196,10 @@ class HostRuntime {
     sim::Simulation& simulation() { return sim_; }
 
   private:
-    /** Advance a device's state up to the host present. */
+    /**
+     * Advance a device's state up to the host present (the whole node
+     * when fabric-coupled — see synchronize).
+     */
     void catchUpDevice(std::size_t device);
 
     /** CPU clock reading for the current host time. */

@@ -77,4 +77,99 @@ FabricModel::utilization(support::Bytes bytes, support::Duration t) const
     return std::clamp(rate / peak, 0.0, 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// NodeFabric
+// ---------------------------------------------------------------------------
+
+NodeFabric::NodeFabric(const MachineConfig& cfg, std::size_t devices)
+    : pending_(devices), committed_(devices)
+{
+    if (devices == 0)
+        support::fatal("NodeFabric: node must contain at least one GPU");
+    if (cfg.node_gpus >= 2)
+        model_.emplace(FabricModel::fromConfig(cfg));
+}
+
+void
+NodeFabric::postDemand(std::size_t device,
+                       const std::vector<FabricDemand>& demands)
+{
+    FINGRAV_ASSERT(device < pending_.size(),
+                   "NodeFabric: device index out of range");
+    pending_[device] = demands;
+}
+
+double
+NodeFabric::distinctDemand(std::size_t exclude_device,
+                           const std::vector<FabricDemand>& own) const
+{
+    double total = 0.0;
+    for (const auto& d : own)
+        total += d.demand;
+    // Committed demands of the non-excluded devices, one contribution
+    // per distinct transfer.  Copies of a transfer carry equal demand,
+    // so the first sighting stands in for the group.
+    std::vector<std::uint64_t> seen;
+    for (std::size_t j = 0; j < committed_.size(); ++j) {
+        if (j == exclude_device)
+            continue;
+        for (const auto& d : committed_[j]) {
+            bool skip = false;
+            for (const auto& o : own) {
+                if (o.group == d.group) {
+                    skip = true;
+                    break;
+                }
+            }
+            for (const auto g : seen) {
+                if (g == d.group) {
+                    skip = true;
+                    break;
+                }
+            }
+            if (skip)
+                continue;
+            seen.push_back(d.group);
+            total += d.demand;
+        }
+    }
+    return total;
+}
+
+double
+NodeFabric::sharedDemand(std::size_t device,
+                         const std::vector<FabricDemand>& own) const
+{
+    FINGRAV_ASSERT(device < committed_.size(),
+                   "NodeFabric: device index out of range");
+    return distinctDemand(device, own);
+}
+
+bool
+NodeFabric::commit()
+{
+    bool changed = false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i] != committed_[i]) {
+            committed_[i] = pending_[i];
+            changed = true;
+        }
+    }
+    if (changed)
+        ++epoch_;
+    return changed;
+}
+
+double
+NodeFabric::nodeDemand() const
+{
+    return distinctDemand(committed_.size(), {});
+}
+
+double
+NodeFabric::stretch() const
+{
+    return std::max(1.0, nodeDemand());
+}
+
 }  // namespace fingrav::sim

@@ -3,11 +3,12 @@
 
 /**
  * @file
- * Infinity-Fabric-style node interconnect cost model.
+ * Infinity-Fabric-style node interconnect: pricing model and shared-node
+ * bandwidth arbiter.
  *
  * The paper's node is an 8x MI300X Infinity Platform: every GPU connects to
  * the seven others with 64 GB/s unidirectional links (Section II-A).  RCCL
- * runs ring collectives across these links; this model prices an
+ * runs ring collectives across these links; FabricModel prices an
  * N-GPU ring collective with the standard alpha-beta formulation:
  *
  *   all-gather:  t = steps * hop_latency + (N-1)/N * size / achievable_bw
@@ -18,9 +19,26 @@
  * efficiency.  Latency- vs bandwidth-bound classification (Section V-A)
  * falls out of the same formula: a size is latency-bound while the
  * alpha term dominates.
+ *
+ * NodeFabric is the node-level *resource* built on top of that pricing: a
+ * ring collective already saturates the aggregate of a GPU's links, so
+ * concurrent transfers share the same wires.  Each device registers the
+ * bandwidth demand of its running node-fabric kernels (keyed by the
+ * transfer id, KernelWork::fabric_group, so the per-device copies of one
+ * collective are counted once); when the distinct-transfer demand total
+ * exceeds capacity, every participant's progress stretches by the
+ * oversubscription factor (fair share) and the links run saturated —
+ * longer, hotter collectives, exactly the contended-phase power signature
+ * the paper's Fig. 10 analysis builds on.  Demand changes are published in
+ * *epochs* committed by Simulation between stepping barriers, which keeps
+ * device advancement order-independent (docs/ARCHITECTURE.md).
  */
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "support/time_types.hpp"
 #include "support/units.hpp"
@@ -71,6 +89,114 @@ class FabricModel {
     double efficiency_ = 0.78;  ///< achieved fraction of aggregate link bw
     support::Duration hop_latency_ = support::Duration::micros(2.2);
     support::Duration base_latency_ = support::Duration::micros(7.0);
+};
+
+/** One transfer's registered demand on the shared node fabric. */
+struct FabricDemand {
+    std::uint64_t group = 0;  ///< transfer id (KernelWork::fabric_group)
+    double demand = 0.0;      ///< fraction of per-GPU achievable fabric bw
+
+    bool operator==(const FabricDemand&) const = default;
+};
+
+/**
+ * Node-level shared-fabric bandwidth arbiter (owned by Simulation).
+ *
+ * Devices post the demand of their running node-fabric kernels into a
+ * per-device *pending* slot (postDemand); Simulation copies pending to the
+ * *committed* view at epoch barriers (commit), bumping the epoch counter
+ * when anything changed.  Between commits the committed view is immutable,
+ * so devices advancing in parallel read a consistent snapshot and the
+ * result is bit-identical to serial advancement in any order.
+ *
+ * Thread-safety contract (parallel node stepping): during an epoch each
+ * device may call postDemand on its own slot, and sharedDemand / epoch /
+ * noteRetired concurrently; allocGroup, noteSubmitted and commit are
+ * host-thread-only, between epochs.
+ */
+class NodeFabric {
+  public:
+    /**
+     * @param cfg      Machine description (fabric fields; the pricing
+     *                 model is available when cfg.node_gpus >= 2).
+     * @param devices  Instantiated GPU count (demand-slot count; may be
+     *                 smaller than cfg.node_gpus for single-GPU sims).
+     */
+    NodeFabric(const MachineConfig& cfg, std::size_t devices);
+
+    NodeFabric(const NodeFabric&) = delete;
+    NodeFabric& operator=(const NodeFabric&) = delete;
+
+    /** Fresh transfer id (> 0) for one inter-GPU transfer. */
+    std::uint64_t allocGroup() { return next_group_++; }
+
+    /** A node-fabric kernel entered a device queue. */
+    void
+    noteSubmitted()
+    {
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** A node-fabric kernel completed (callable from stepping threads). */
+    void
+    noteRetired()
+    {
+        outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * True while any node-fabric kernel is queued or running anywhere —
+     * the runtime routes per-device synchronization through the coupled
+     * node stepper while this holds.
+     */
+    bool
+    coupled() const
+    {
+        return outstanding_.load(std::memory_order_relaxed) > 0;
+    }
+
+    /** Replace `device`'s pending demand list (its running transfers). */
+    void postDemand(std::size_t device,
+                    const std::vector<FabricDemand>& demands);
+
+    /**
+     * Total node demand seen by `device`: its own (live, uncommitted)
+     * demands plus the committed demands of other devices, counting each
+     * distinct transfer once — remote copies of a transfer the device
+     * itself runs are the same bytes and are skipped.
+     */
+    double sharedDemand(std::size_t device,
+                        const std::vector<FabricDemand>& own) const;
+
+    /** Publish pending demands; returns true (and bumps the epoch) on change. */
+    bool commit();
+
+    /** Committed-view version; devices re-price contention when it moves. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** Committed distinct-transfer demand total (tests/introspection). */
+    double nodeDemand() const;
+
+    /** Fair-share slowdown of node-fabric transfers at committed demand. */
+    double stretch() const;
+
+    /** Per-kernel pricing model (absent when cfg.node_gpus < 2). */
+    const std::optional<FabricModel>& model() const { return model_; }
+
+  private:
+    /**
+     * Distinct-transfer demand total: `own` plus the committed demands
+     * of every device except `exclude_device`, each group counted once.
+     */
+    double distinctDemand(std::size_t exclude_device,
+                          const std::vector<FabricDemand>& own) const;
+
+    std::optional<FabricModel> model_;
+    std::vector<std::vector<FabricDemand>> pending_;
+    std::vector<std::vector<FabricDemand>> committed_;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t next_group_ = 1;
+    std::atomic<std::int64_t> outstanding_{0};
 };
 
 }  // namespace fingrav::sim

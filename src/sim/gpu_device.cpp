@@ -61,6 +61,17 @@ GpuDevice::submit(const KernelWork& work, support::SimTime ready_at,
     QueueEntry entry;
     entry.id = next_id_++;
     entry.work = work;
+    if (entry.work.fabric_group == KernelWork::kAutoFabricGroup) {
+        // Each un-grouped launch is its own transfer; without a node
+        // arbiter (standalone device) fabric traffic stays local-only.
+        entry.work.fabric_group =
+            fabric_ != nullptr ? fabric_->allocGroup() : 0;
+    }
+    if (entry.work.fabric_group != 0) {
+        ++fabric_kernels_;
+        if (fabric_ != nullptr)
+            fabric_->noteSubmitted();
+    }
     // Work cannot start before the device's own present.
     entry.ready_at = std::max(ready_at, now_);
     entry.remaining_s = work.nominal_duration.toSeconds();
@@ -118,6 +129,7 @@ GpuDevice::refreshQueueState()
     double demand_fab = 0.0;
     UtilizationVector agg;
     std::size_t running = 0;
+    fabric_demands_.clear();
     for (const auto& q : queues_) {
         if (q.empty() || !q.front().started)
             continue;
@@ -129,14 +141,93 @@ GpuDevice::refreshQueueState()
         demand_fab += u.fabric_bw;
         agg = agg.saturatingAdd(u);
         ++running;
+        if (q.front().work.fabric_group != 0) {
+            fabric_demands_.push_back(
+                {q.front().work.fabric_group, u.fabric_bw});
+        }
+    }
+    // Shared node fabric: this device's transfers plus the committed
+    // demand of transfers on other devices, each distinct transfer once.
+    // Oversubscription stretches progress (fair share) and saturates the
+    // links, so fabric utilization — and IOD power — rises while the
+    // contended phase lasts.  Only the node-fabric share of utilization
+    // is scaled: on-package traffic (fabric_group 0) never touches the
+    // contended GPU-to-GPU links.
+    double fabric_stretch = 1.0;
+    if (fabric_ != nullptr) {
+        fabric_->postDemand(device_id_, fabric_demands_);
+        if (!fabric_demands_.empty()) {
+            fabric_stretch = std::max(
+                1.0, fabric_->sharedDemand(device_id_, fabric_demands_));
+            if (fabric_stretch > 1.0) {
+                double node_fab = 0.0;
+                for (const auto& d : fabric_demands_)
+                    node_fab += d.demand;
+                agg.fabric_bw = std::min(
+                    1.0,
+                    agg.fabric_bw + node_fab * (fabric_stretch - 1.0));
+            }
+        }
     }
     queue_state_.contention =
         std::max({1.0, demand_occ, demand_xcd, demand_llc, demand_hbm,
-                  demand_fab});
+                  demand_fab, fabric_stretch});
     queue_state_.util = agg;
     queue_state_.running = running;
     queue_state_.active = running > 0;
     queue_state_.dirty = false;
+}
+
+void
+GpuDevice::noteFabricEpoch()
+{
+    if (fabric_ == nullptr)
+        return;
+    const std::uint64_t e = fabric_->epoch();
+    if (e != fabric_epoch_seen_) {
+        fabric_epoch_seen_ = e;
+        queue_state_.dirty = true;
+    }
+}
+
+void
+GpuDevice::pollFabricDemand()
+{
+    startReady();
+    noteFabricEpoch();
+    if (queue_state_.dirty)
+        refreshQueueState();
+}
+
+support::SimTime
+GpuDevice::nextFabricEvent(support::SimTime limit)
+{
+    startReady();
+    noteFabricEpoch();
+    if (queue_state_.dirty)
+        refreshQueueState();
+    refreshProgress(governor_.frequencyRatio());
+    // Demand can only change through this device's node-fabric kernels,
+    // but *any* queue event — a start or completion on any queue —
+    // changes local contention and re-anchors their rates (possibly
+    // pulling a fabric completion earlier).  So while a fabric kernel is
+    // queued or running anywhere on the device, every front boundary is
+    // a conservative probe point; with none, demand cannot change.
+    if (fabric_kernels_ == 0)
+        return limit;
+    SimTime best = limit;
+    for (const auto& q : queues_) {
+        if (q.empty())
+            continue;
+        const QueueEntry& front = q.front();
+        if (front.started) {
+            if (front.completion_due < best)
+                best = front.completion_due;
+        } else if (front.ready_at > now_ && front.ready_at < best) {
+            best = front.ready_at;
+        }
+    }
+    return best;
 }
 
 void
@@ -239,6 +330,10 @@ GpuDevice::stepLoop(support::SimTime limit, bool stop_on_idle)
     const bool quantum_mode = cfg_.stepping == SteppingMode::kQuantum;
     while (now_ < limit) {
         startReady();
+        // Fabric-demand stretch terminator: when the committed node-fabric
+        // view moved (a remote transfer started or completed at the last
+        // epoch barrier), re-price contention before the next stretch.
+        noteFabricEpoch();
 
         const double f = governor_.frequencyRatio();
         if (queue_state_.dirty)
@@ -354,6 +449,11 @@ GpuDevice::stepLoop(support::SimTime limit, bool stop_on_idle)
                 rec.start = *front.started;
                 rec.end = now_;
                 rec.queue = qi;
+                if (front.work.fabric_group != 0) {
+                    --fabric_kernels_;
+                    if (fabric_ != nullptr)
+                        fabric_->noteRetired();
+                }
                 execution_log_.push_back(std::move(rec));
                 q.pop_front();
                 queue_state_.dirty = true;

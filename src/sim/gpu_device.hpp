@@ -31,8 +31,15 @@
  * grouping-invariant accounting makes both modes bit-identical (tested by
  * tests/stepping_equivalence_test.cpp; see docs/PERFORMANCE.md).
  *
- * Devices advance independently; the runtime (src/runtime/) aligns them
- * with the host timeline at interaction points (launch, sync, log start).
+ * Devices advance independently *within a fabric epoch*; the runtime
+ * (src/runtime/) aligns them with the host timeline at interaction points
+ * (launch, sync, log start), and Simulation's node stepper bounds each
+ * advance at the next shared-fabric demand change (a remote collective
+ * starting or completing), the fabric-demand stretch terminator.  When
+ * attached to a NodeFabric the device posts the demand of its running
+ * node-fabric kernels, folds the committed fair-share oversubscription
+ * into its contention scalar, and re-prices whenever the fabric epoch
+ * moves (docs/ARCHITECTURE.md).
  */
 
 #include <cstdint>
@@ -44,6 +51,7 @@
 
 #include "sim/clock_domain.hpp"
 #include "sim/dvfs_governor.hpp"
+#include "sim/fabric.hpp"
 #include "sim/kernel_work.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/power_logger.hpp"
@@ -105,6 +113,34 @@ class GpuDevice {
      * @return The exact master time the device went idle (or `limit`).
      */
     support::SimTime advanceUntilIdle(support::SimTime limit);
+
+    // ------------------------------------------------------------------
+    // Node-fabric coupling (driven by Simulation's epoch stepper)
+    // ------------------------------------------------------------------
+
+    /**
+     * Attach the node-level shared-fabric arbiter (Simulation only; must
+     * outlive the device).  Unattached devices price fabric contention
+     * from local demand alone, as before.
+     */
+    void attachFabric(NodeFabric* fabric) { fabric_ = fabric; }
+
+    /**
+     * Start any ready kernels and post the device's current node-fabric
+     * demand, without advancing time.  Called by the node stepper before
+     * each fabric commit so demand changes that are already due (starts
+     * at the epoch boundary, harvested completions) are visible to it.
+     */
+    void pollFabricDemand();
+
+    /**
+     * Earliest master time at/after which this device's node-fabric
+     * demand can change — the next start or completion of a node-fabric
+     * kernel at current rates — capped at `limit`.  Refreshes queue state
+     * (and fabric pricing) as a side effect; strictly after localNow()
+     * whenever the device is behind `limit`.
+     */
+    support::SimTime nextFabricEvent(support::SimTime limit);
 
     /** True when nothing is running or queued. */
     bool idle() const;
@@ -177,6 +213,9 @@ class GpuDevice {
     /** Start any queue-front kernels whose ready time has arrived. */
     void startReady();
 
+    /** Mark queue state dirty when the fabric epoch moved since last seen. */
+    void noteFabricEpoch();
+
     /** One pass over the queue fronts: utilization, contention, activity. */
     void refreshQueueState();
 
@@ -199,6 +238,10 @@ class GpuDevice {
     PowerModel power_;
     DvfsGovernor governor_;
     ThermalModel thermal_;
+    NodeFabric* fabric_ = nullptr;        ///< owned by Simulation
+    std::uint64_t fabric_epoch_seen_ = 0; ///< last committed view priced
+    std::size_t fabric_kernels_ = 0;      ///< queued+running, this device
+    std::vector<FabricDemand> fabric_demands_;  ///< scratch: running transfers
 
     support::SimTime now_;
     std::vector<std::deque<QueueEntry>> queues_;

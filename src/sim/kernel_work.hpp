@@ -14,6 +14,7 @@
  * paper's "warm-up executions are slower" observation emerges.
  */
 
+#include <cstdint>
 #include <string>
 
 #include "sim/utilization.hpp"
@@ -23,10 +24,26 @@ namespace fingrav::sim {
 
 /** A kernel invocation as seen by the device. */
 struct KernelWork {
+    /** Sentinel fabric_group: allocate a fresh transfer id at launch. */
+    static constexpr std::uint64_t kAutoFabricGroup = ~std::uint64_t{0};
+
     std::string label;                   ///< e.g. "CB-4K-GEMM"
     support::Duration nominal_duration;  ///< execution time at f/fn == 1.0
     double freq_sensitivity = 0.9;       ///< clock-scaled share of the work
     UtilizationVector util;              ///< resource load while resident
+
+    /**
+     * Shared-node-fabric transfer id.  0 means the kernel's fabric_bw is
+     * on-package traffic only (cross-XCD/IOD) and places no demand on the
+     * node-level GPU-to-GPU fabric.  A non-zero id marks the kernel as one
+     * inter-GPU transfer: the per-device copies of a collective launched
+     * across the node carry the *same* id (they are the same bytes on the
+     * same links and must not contend with themselves), while distinct
+     * concurrent transfers carry distinct ids and share node bandwidth
+     * fairly (sim::NodeFabric).  Kernel models set kAutoFabricGroup to
+     * request a fresh id at launch/submit time.
+     */
+    std::uint64_t fabric_group = 0;
 };
 
 }  // namespace fingrav::sim

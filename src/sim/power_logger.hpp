@@ -27,7 +27,11 @@
  * segment per window, when the segment closes.  Delivering a stretch as
  * one bulk slice or as many sub-slices therefore yields bit-identical
  * samples — the property the event-driven device stepping relies on
- * (see docs/PERFORMANCE.md).
+ * (see docs/PERFORMANCE.md).  The same invariance is what lets the node
+ * stepper split stretches at fabric epoch barriers for free: a contended
+ * collective phase arrives as ordinary constant-power slices at the
+ * stretched utilization — no per-quantum re-slicing — and an epoch cut
+ * inside a constant-power interval cannot change any emitted sample.
  */
 
 #include <cstdint>

@@ -5,22 +5,35 @@
  * @file
  * Top-level container of a simulated node.
  *
- * Owns the GPUs of one node, the host-visible CPU clock domain, the master
- * event queue for scheduled host callbacks, and the root RNG from which
- * every stochastic component forks a private stream.  The runtime layer
- * (src/runtime/) drives this object; nothing here knows about kernels or
- * profiling methodology.
+ * Owns the GPUs of one node, the shared-fabric bandwidth arbiter that
+ * couples them during collectives, the host-visible CPU clock domain, the
+ * master event queue for scheduled host callbacks, and the root RNG from
+ * which every stochastic component forks a private stream.  The runtime
+ * layer (src/runtime/) drives this object; nothing here knows about
+ * kernels or profiling methodology.
+ *
+ * Node stepping is epoch-driven: between two fabric-demand changes (a
+ * collective starting or completing anywhere on the node) devices are
+ * independent, so advanceAllTo advances them in epochs — poll demand,
+ * commit the fabric view, advance every device to the earliest next
+ * fabric event — optionally in parallel (MachineConfig::advance_threads).
+ * The committed fabric view is immutable within an epoch and every device
+ * touches only its own state, so the parallel path is bit-identical to
+ * the serial one (docs/ARCHITECTURE.md).
  */
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "sim/clock_domain.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fabric.hpp"
 #include "sim/gpu_device.hpp"
 #include "sim/machine_config.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace fingrav::sim {
 
@@ -43,21 +56,46 @@ class Simulation {
     const GpuDevice& device(std::size_t i) const;
 
     /**
-     * Advance every device to `master` in one coordinated loop (devices
-     * behind the target step; devices already past it are untouched).
-     * Node-level sweeps use this instead of per-device advanceTo calls.
+     * Advance every device to `master` in fabric epochs (devices behind
+     * the target step; devices already past it are untouched).  Node-level
+     * sweeps use this instead of per-device advanceTo calls: it is the
+     * path that models shared-fabric contention between devices and, with
+     * advance_threads > 1, advances devices concurrently between epochs.
      */
     void advanceAllTo(support::SimTime master);
 
     /**
-     * Advance every device until it drains or `limit` is reached.
+     * Advance every device until it drains or `limit` is reached, in
+     * fabric epochs.
      *
      * @return The latest master time any device went idle (or `limit`).
      */
     support::SimTime advanceAllUntilIdle(support::SimTime limit);
 
+    /**
+     * Advance the node in fabric epochs until device `i` drains or
+     * `limit` is reached.  Sibling devices ride along to each epoch
+     * boundary so their fabric demand stays current — the coupled
+     * equivalent of GpuDevice::advanceUntilIdle, used by the runtime's
+     * synchronize while collectives are in flight.
+     *
+     * @return The master time device `i` went idle (or `limit`).
+     */
+    support::SimTime advanceDeviceUntilIdle(std::size_t i,
+                                            support::SimTime limit);
+
     /** Number of GPUs in the node. */
     std::size_t deviceCount() const { return devices_.size(); }
+
+    /** The shared node-fabric bandwidth arbiter. */
+    NodeFabric& fabric() { return fabric_; }
+    const NodeFabric& fabric() const { return fabric_; }
+
+    /** Override the advanceAllTo thread budget (1 = serial). */
+    void setAdvanceThreads(std::size_t threads);
+
+    /** Thread budget in force for node stepping. */
+    std::size_t advanceThreads() const { return advance_threads_; }
 
     /** The CPU (host) clock domain: ns resolution, no drift vs master. */
     const ClockDomain& cpuClock() const { return cpu_clock_; }
@@ -72,11 +110,26 @@ class Simulation {
     support::Rng forkRng(std::uint64_t stream_id) { return root_rng_.fork(stream_id); }
 
   private:
+    /**
+     * One coupled epoch over `active` devices: poll demand, commit the
+     * fabric view, probe the earliest next fabric event (capped at
+     * `limit`), and return that epoch boundary.
+     */
+    support::SimTime epochBoundary(const std::vector<std::size_t>& active,
+                                   support::SimTime limit);
+
+    /** Run fn(device_index) over `active`, pooled when configured. */
+    void forActive(const std::vector<std::size_t>& active,
+                   const std::function<void(std::size_t)>& fn);
+
     MachineConfig cfg_;
     support::Rng root_rng_;
     ClockDomain cpu_clock_;
     EventQueue events_;
+    NodeFabric fabric_;  ///< must outlive devices_ (devices hold a pointer)
     std::vector<std::unique_ptr<GpuDevice>> devices_;
+    std::size_t advance_threads_;
+    std::unique_ptr<support::ThreadPool> pool_;
 };
 
 }  // namespace fingrav::sim

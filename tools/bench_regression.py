@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare a BENCH_*.json against a baseline.
+
+Replaces the fixed speedup floors as the trend check (ROADMAP item): CI
+downloads the previous run's uploaded benchmark artifact and warns when
+any scenario regressed by more than the threshold relative to it.
+
+Comparison rules, per scenario:
+  * metrics named "speedup" (higher is better): warn when
+        current < baseline * (1 - threshold)
+  * metrics ending in "_wall_ms" (lower is better): warn when
+        current > baseline * (1 + threshold)
+  * notes named "bit_identical" / "bytes_conserved": warn on any value
+    that is not an affirmative "yes" (these are correctness canaries the
+    benches themselves enforce; the gate just surfaces them in the diff).
+
+Wall-clock numbers from shared CI runners are noisy, so regressions are
+*warnings* (GitHub "::warning::" annotations), not failures — the gate
+exits non-zero only on malformed input.  Scenarios present on one side
+only are reported and skipped.
+
+Usage:
+    bench_regression.py CURRENT.json BASELINE.json [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_regression: cannot read {path}: {exc}")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict):
+        sys.exit(f"bench_regression: {path} has no 'scenarios' object")
+    return doc.get("bench", "?"), scenarios
+
+
+def warn(message):
+    print(f"::warning::{message}")
+
+
+def compare_scenario(name, cur, base, threshold):
+    regressions = 0
+    for key, cur_val in cur.items():
+        # Correctness canaries need no baseline to judge.
+        if key in ("bit_identical", "bytes_conserved"):
+            if str(cur_val).lower() != "yes":
+                warn(f"{name}: {key} = {cur_val!r} (expected 'yes')")
+                regressions += 1
+            continue
+        if key not in base:
+            continue
+        base_val = base[key]
+        if not isinstance(cur_val, (int, float)) or not isinstance(
+            base_val, (int, float)
+        ):
+            continue
+        if key == "speedup" or key.endswith("_speedup"):
+            if base_val > 0 and cur_val < base_val * (1.0 - threshold):
+                warn(
+                    f"{name}: speedup {cur_val:.2f}x is "
+                    f"{(1 - cur_val / base_val) * 100:.0f}% below the "
+                    f"previous run's {base_val:.2f}x"
+                )
+                regressions += 1
+        elif key.endswith("_wall_ms"):
+            if base_val > 0 and cur_val > base_val * (1.0 + threshold):
+                warn(
+                    f"{name}: {key} {cur_val:.1f} ms is "
+                    f"{(cur_val / base_val - 1) * 100:.0f}% above the "
+                    f"previous run's {base_val:.1f} ms"
+                )
+                regressions += 1
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.20)
+    args = parser.parse_args()
+
+    cur_name, current = load(args.current)
+    base_name, baseline = load(args.baseline)
+    if cur_name != base_name:
+        warn(
+            f"comparing different benches: {cur_name!r} vs {base_name!r};"
+            " artifact names probably drifted"
+        )
+
+    regressions = 0
+    for name, scenario in current.items():
+        if name not in baseline:
+            print(f"bench_regression: new scenario {name!r} (no baseline)")
+            continue
+        regressions += compare_scenario(
+            name, scenario, baseline[name], args.threshold
+        )
+    for name in baseline:
+        if name not in current:
+            warn(f"scenario {name!r} disappeared from the benchmark")
+            regressions += 1
+
+    if regressions:
+        print(
+            f"bench_regression: {regressions} regression(s) beyond "
+            f"{args.threshold:.0%} — see warnings above"
+        )
+    else:
+        print(
+            f"bench_regression: {cur_name} within {args.threshold:.0%} "
+            "of the previous run"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
