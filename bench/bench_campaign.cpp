@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Campaign-engine benchmark: parallel multi-kernel profiling and
+ * cross-campaign run reuse, with bit-identity verification.
+ *
+ * Two scenarios track the third leg of the scaling story (after
+ * event-driven stepping, PR 1, and parallel node stepping, PR 2):
+ *
+ *  1. parallel_campaigns — the nine-kernel Fig. 10 campaign set (eight
+ *     collectives + CB-8K-GEMM) executed serially and fanned out over
+ *     CampaignRunner at up to eight threads.  Any bitwise divergence
+ *     between serial and parallel ProfileSets is a hard failure; the
+ *     wall-clock speedup floor (>= 3x at 8 threads) is enforced in full
+ *     mode when the host actually has eight hardware threads — on
+ *     smaller hosts the measured speedup is reported for the regression
+ *     gate to track.
+ *
+ *  2. sweep_reuse — the bench_ablation logger-window sweep run both
+ *     ways: re-executing the recorded campaign once per window vs
+ *     recording once (multi-window capture) and restitching per window.
+ *     Reused and re-executed ProfileSets must match bitwise (hard
+ *     failure otherwise); the reuse speedup floor (>= 5x) is enforced in
+ *     full mode — it is algorithmic (avoided re-simulation), so it holds
+ *     on any core count.
+ *
+ * Results go to BENCH_campaign.json via tools/bench_json.hpp; CI feeds
+ * the file through tools/bench_regression.py (docs/PERFORMANCE.md).
+ *
+ * Usage: bench_campaign [--smoke] [--out PATH]
+ *   --smoke   reduced run counts (CI); floors reported, not enforced
+ *   --out     output JSON path (default BENCH_campaign.json)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/recorded_campaign.hpp"
+#include "support/time_types.hpp"
+#include "tools/bench_json.hpp"
+
+namespace fc = fingrav::core;
+namespace fs = fingrav::support;
+namespace tools = fingrav::tools;
+using namespace fingrav::support::literals;
+
+namespace {
+
+double
+wallMs(const std::chrono::steady_clock::time_point& t0)
+{
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: the nine-kernel Fig. 10 campaign set, serial vs parallel
+// ---------------------------------------------------------------------------
+
+bool
+runParallelCampaigns(tools::BenchReport& report, bool smoke)
+{
+    const std::vector<std::string> labels{
+        "AG-64KB", "AG-128KB", "AG-512MB", "AG-1GB",
+        "AR-64KB", "AR-128KB", "AR-512MB", "AR-1GB",
+        "CB-8K-GEMM"};
+    fc::ProfilerOptions opts;
+    opts.runs_override = smoke ? 30 : 100;  // bench_fig10 uses 100
+
+    std::vector<fc::CampaignSpec> specs;
+    std::uint64_t seed = 10001;  // bench_fig10's seeds
+    for (const auto& label : labels)
+        specs.push_back({label, seed++, opts, 0, nullptr});
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+    const double serial_ms = wallMs(t0);
+
+    const std::size_t threads = 8;
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto parallel = fc::CampaignRunner(threads).run(specs);
+    const double parallel_ms = wallMs(t1);
+
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = fc::identicalProfileSets(serial[i], parallel[i]);
+    const double speedup =
+        parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+
+    std::size_t lois = 0;
+    for (const auto& set : serial)
+        lois += set.ssp.size();
+
+    const std::size_t hw = std::thread::hardware_concurrency();
+    auto& s = report.scenario("parallel_campaigns");
+    s.note("description", "9-kernel Fig. 10 set, serial vs 8-thread runner");
+    s.metric("campaigns", static_cast<std::int64_t>(labels.size()));
+    s.metric("runs_per_campaign",
+             static_cast<std::int64_t>(*opts.runs_override));
+    s.metric("serial_wall_ms", serial_ms);
+    s.metric("parallel_wall_ms", parallel_ms);
+    s.metric("speedup", speedup);
+    s.metric("threads", static_cast<std::int64_t>(threads));
+    s.metric("hardware_concurrency", static_cast<std::int64_t>(hw));
+    s.metric("ssp_lois", static_cast<std::int64_t>(lois));
+    s.note("bit_identical", identical ? "yes" : "NO");
+
+    std::cout << "parallel_campaigns: serial " << serial_ms
+              << " ms, parallel(" << threads << " threads, " << hw
+              << " hw) " << parallel_ms << " ms, speedup " << speedup
+              << "x, bit-identical: " << (identical ? "yes" : "NO") << "\n";
+
+    bool ok = identical;
+    if (!identical)
+        std::cerr << "FAIL: parallel campaigns diverged from serial\n";
+    // The wall-clock floor needs the cores to exist; the bit-identity
+    // contract above is the unconditional gate.
+    if (!smoke && hw >= threads && speedup < 3.0) {
+        std::cerr << "FAIL: campaign speedup " << speedup
+                  << "x below the 3x floor at " << threads << " threads\n";
+        ok = false;
+    }
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: window sweep via run reuse vs re-execution
+// ---------------------------------------------------------------------------
+
+bool
+runSweepReuse(tools::BenchReport& report, bool smoke)
+{
+    // The ablation's Section VI study: one kernel observed at six logger
+    // windows.  CB-8K-GEMM keeps execs-per-run moderate at 50 ms.
+    fc::CampaignSpec spec;
+    spec.label = "CB-8K-GEMM";
+    spec.seed = 13002;
+    spec.opts.runs_override = smoke ? 10 : 24;
+    spec.opts.collect_extra_runs = false;
+    const std::vector<fs::Duration> extras{5_ms, 10_ms, 20_ms, 35_ms, 50_ms};
+
+    // Reuse: record once, restitch per window.
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto recorded = fc::RecordedCampaign::record(spec, extras);
+    const double record_ms = wallMs(t0);
+    const std::size_t points = recorded.windows().size();
+
+    const auto t1 = std::chrono::steady_clock::now();
+    std::vector<fc::ProfileSet> reused;
+    for (std::size_t w = 0; w < points; ++w) {
+        fc::SweepPoint point;
+        point.window_index = w;
+        reused.push_back(recorded.restitch(point));
+    }
+    const double restitch_ms = wallMs(t1);
+    const double reuse_ms = record_ms + restitch_ms;
+
+    // Re-execute: a fresh recording (fresh simulation) per sweep point.
+    const auto t2 = std::chrono::steady_clock::now();
+    std::vector<fc::ProfileSet> reexecuted;
+    for (std::size_t w = 0; w < points; ++w) {
+        fc::SweepPoint point;
+        point.window_index = w;
+        reexecuted.push_back(
+            fc::RecordedCampaign::record(spec, extras).restitch(point));
+    }
+    const double reexec_ms = wallMs(t2);
+
+    bool identical = true;
+    for (std::size_t w = 0; identical && w < points; ++w)
+        identical = fc::identicalProfileSets(reused[w], reexecuted[w]);
+    const double speedup = reuse_ms > 0.0 ? reexec_ms / reuse_ms : 0.0;
+
+    auto& s = report.scenario("sweep_reuse");
+    s.note("description",
+           "6-window ablation sweep: re-execute per point vs record once "
+           "+ restitch");
+    s.metric("sweep_points", static_cast<std::int64_t>(points));
+    s.metric("runs", static_cast<std::int64_t>(recorded.runCount()));
+    s.metric("record_wall_ms", record_ms);
+    s.metric("restitch_wall_ms", restitch_ms);
+    s.metric("reuse_wall_ms", reuse_ms);
+    s.metric("reexecute_wall_ms", reexec_ms);
+    s.metric("speedup", speedup);
+    s.note("bit_identical", identical ? "yes" : "NO");
+
+    std::cout << "sweep_reuse: re-execute " << reexec_ms << " ms vs reuse "
+              << reuse_ms << " ms (record " << record_ms << " + restitch "
+              << restitch_ms << ") over " << points
+              << " windows, speedup " << speedup << "x, bit-identical: "
+              << (identical ? "yes" : "NO") << "\n";
+
+    bool ok = identical;
+    if (!identical)
+        std::cerr << "FAIL: reused ProfileSets diverged from serial "
+                     "re-execution\n";
+    if (!smoke && speedup < 5.0) {
+        std::cerr << "FAIL: sweep-reuse speedup " << speedup
+                  << "x below the 5x floor\n";
+        ok = false;
+    }
+    return ok;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_campaign.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_campaign [--smoke] [--out PATH]\n";
+            return 2;
+        }
+    }
+
+    tools::BenchReport report("campaign");
+    bool ok = true;
+    ok = runParallelCampaigns(report, smoke) && ok;
+    ok = runSweepReuse(report, smoke) && ok;
+
+    if (!report.write(out_path)) {
+        std::cerr << "bench_campaign: cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    if (!ok) {
+        std::cerr << "bench_campaign: FAILED (divergence or speedup "
+                     "floor)\n";
+        return 1;
+    }
+    return 0;
+}

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/profiler.hpp"
 #include "kernels/workloads.hpp"
 #include "support/table.hpp"
@@ -45,11 +46,23 @@ main()
     fc::ProfilerOptions opts;
     opts.runs_override = 100;  // collectives are long; 100 runs suffice
 
-    std::map<std::string, fc::ProfileSet> sets;
+    // Nine independent campaigns, fanned out over the campaign engine
+    // (bench_campaign measures this exact sweep serial vs parallel).
+    std::vector<fc::CampaignSpec> specs;
     std::uint64_t seed = 10001;
     for (const auto& label : labels) {
-        sets.emplace(label, an::profileOnFreshNode(label, seed++, opts));
-        std::cout << an::summarize(sets.at(label)) << "\n";
+        fc::CampaignSpec spec;
+        spec.label = label;
+        spec.seed = seed++;
+        spec.opts = opts;
+        specs.push_back(std::move(spec));
+    }
+    const auto results = fc::CampaignRunner().run(specs);
+
+    std::map<std::string, fc::ProfileSet> sets;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        sets.emplace(labels[i], results[i]);
+        std::cout << an::summarize(sets.at(labels[i])) << "\n";
     }
 
     double ref = 0.0;

@@ -21,6 +21,7 @@
 #include "analysis/report.hpp"
 #include "analysis/series.hpp"
 #include "baselines/baseline_profilers.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/energy.hpp"
 #include "fingrav/profiler.hpp"
 #include "kernels/workloads.hpp"
@@ -57,21 +58,34 @@ main()
         "paper: sync captures the power ramp; SSE!=SSP (up to 36% error); "
         "binning tightens the profile; 50 runs + regression ~= 200 runs");
 
-    const auto cfg = fingrav::sim::mi300xConfig();
-    const auto kernel = fk::kernelByLabel("CB-4K-GEMM", cfg);
-
-    // --- (a)+(b): full methodology, 200 runs -----------------------------
-    an::Campaign synced_campaign(5001);
     fc::ProfilerOptions opts;
-    const auto synced = synced_campaign.profiler(opts).profile(kernel);
-    std::cout << "\n[synced]   " << an::summarize(synced) << "\n";
 
-    an::Campaign unsynced_campaign(5001);  // same seed: same workload draw
-    bl::UnsyncedProfiler unsynced_profiler(unsynced_campaign.host(), opts,
-                                           unsynced_campaign.host()
-                                               .simulation()
-                                               .forkRng(8));
-    const auto unsynced = unsynced_profiler.profile(kernel);
+    // All four comparison campaigns ride the campaign engine at once:
+    // the full methodology, the two degraded baselines on the *same*
+    // seed (same workload draws, so the tenet is the only variable), and
+    // the 50-run resiliency campaign.
+    fc::CampaignSpec synced_spec{"CB-4K-GEMM", 5001, opts, 0, nullptr};
+    fc::CampaignSpec unsynced_spec{
+        "CB-4K-GEMM", 5001, opts, 0,
+        fc::makeProfileFn([](auto& h, const auto& o, auto rng) {
+            return bl::UnsyncedProfiler(h, o, std::move(rng));
+        })};
+    fc::CampaignSpec nobin_spec{
+        "CB-4K-GEMM", 5001, opts, 0,
+        fc::makeProfileFn([](auto& h, const auto& o, auto rng) {
+            return bl::NoBinningProfiler(h, o, std::move(rng));
+        })};
+    fc::ProfilerOptions small;
+    small.runs_override = 50;
+    fc::CampaignSpec small_spec{"CB-4K-GEMM", 5002, small, 0, nullptr};
+
+    const auto results = fc::CampaignRunner().run(
+        {synced_spec, unsynced_spec, nobin_spec, small_spec});
+    const auto& synced = results[0];
+    const auto& unsynced = results[1];
+    const auto& nobin = results[2];
+    const auto& few = results[3];
+    std::cout << "\n[synced]   " << an::summarize(synced) << "\n";
     std::cout << "[unsynced] " << an::summarize(unsynced) << "\n";
 
     // Timeline comparison: the synchronized profile shows the idle ->
@@ -99,12 +113,6 @@ main()
               << " %  (paper: up to 36 %)\n";
 
     // --- (c): binning on vs off ------------------------------------------
-    an::Campaign nobin_campaign(5001);
-    bl::NoBinningProfiler nobin_profiler(nobin_campaign.host(), opts,
-                                         nobin_campaign.host()
-                                             .simulation()
-                                             .forkRng(8));
-    const auto nobin = nobin_profiler.profile(kernel);
     const double bin_scatter = scatterAroundTrend(synced.ssp);
     const double nobin_scatter = scatterAroundTrend(nobin.ssp);
     std::cout << "(c) SSP scatter: binning " << bin_scatter
@@ -115,10 +123,6 @@ main()
               << ")  (paper: binning -> tighter profile)\n";
 
     // --- (d): 50-run resiliency -------------------------------------------
-    fc::ProfilerOptions small;
-    small.runs_override = 50;
-    an::Campaign small_campaign(5002);
-    const auto few = small_campaign.profiler(small).profile(kernel);
     const auto trend200 = synced.ssp.trend(fc::Rail::kTotal, 4);
     const auto trend50 = few.ssp.trend(fc::Rail::kTotal, 4);
     double max_dev_pct = 0.0;

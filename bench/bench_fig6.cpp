@@ -38,11 +38,7 @@ main()
         "paper: sharp rise -> throttle drop to SSE -> slight rise to SSP; "
         "warm-ups slower; SSE/SSP spread ~20%");
 
-    const auto cfg = fingrav::sim::mi300xConfig();
-    an::Campaign campaign(6001);
-    fc::ProfilerOptions opts;
-    const auto set =
-        campaign.profiler(opts).profile(fk::kernelByLabel("CB-8K-GEMM", cfg));
+    const auto set = an::profileOnFreshNode("CB-8K-GEMM", 6001);
     std::cout << "\n" << an::summarize(set) << "\n";
 
     // Timeline: total and XCD power against time in run, overlaid across

@@ -20,6 +20,7 @@
 
 #include "analysis/report.hpp"
 #include "analysis/series.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/profiler.hpp"
 #include "support/table.hpp"
 
@@ -39,11 +40,22 @@ main()
         "CB-8K-GEMM", "CB-4K-GEMM", "CB-2K-GEMM",
         "MB-8K-GEMV", "MB-4K-GEMV", "MB-2K-GEMV"};
 
-    std::map<std::string, fc::ProfileSet> sets;
+    // Six independent campaigns, fanned out over the campaign engine
+    // (bit-identical to the former serial profileOnFreshNode loop).
+    std::vector<fc::CampaignSpec> specs;
     std::uint64_t seed = 7001;
     for (const auto& label : labels) {
-        sets.emplace(label, an::profileOnFreshNode(label, seed++));
-        std::cout << an::summarize(sets.at(label)) << "\n";
+        fc::CampaignSpec spec;
+        spec.label = label;
+        spec.seed = seed++;
+        specs.push_back(std::move(spec));
+    }
+    const auto results = fc::CampaignRunner().run(specs);
+
+    std::map<std::string, fc::ProfileSet> sets;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        sets.emplace(labels[i], results[i]);
+        std::cout << an::summarize(sets.at(labels[i])) << "\n";
     }
 
     // Reference for relative power: the highest SSP total observed.

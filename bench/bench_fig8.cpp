@@ -16,6 +16,7 @@
 #include "analysis/ascii_plot.hpp"
 #include "analysis/report.hpp"
 #include "analysis/series.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/energy.hpp"
 #include "fingrav/profiler.hpp"
 #include "kernels/workloads.hpp"
@@ -34,11 +35,12 @@ main()
         "paper: power starts low, rises gradually to SSP; SSE/SSP spread "
         "80% (2K) vs 20% (8K)");
 
-    const auto cfg = fingrav::sim::mi300xConfig();
-
-    an::Campaign campaign2k(8001);
-    const auto set2k =
-        campaign2k.profiler({}).profile(fk::kernelByLabel("CB-2K-GEMM", cfg));
+    // Both campaigns ride the campaign engine concurrently.
+    const auto results = fc::CampaignRunner().run(
+        {{"CB-2K-GEMM", 8001, {}, 0, nullptr},
+         {"CB-8K-GEMM", 8002, {}, 0, nullptr}});
+    const auto& set2k = results[0];
+    const auto& set8k = results[1];
     std::cout << "\n" << an::summarize(set2k) << "\n";
 
     an::AsciiPlot plot(72, 16);
@@ -72,9 +74,6 @@ main()
     }
 
     // --- the 80 % vs 20 % comparison --------------------------------------
-    an::Campaign campaign8k(8002);
-    const auto set8k =
-        campaign8k.profiler({}).profile(fk::kernelByLabel("CB-8K-GEMM", cfg));
     const auto rep8k = fc::differentiationError(set8k);
 
     fs::TableWriter table({"kernel", "exec time (us)", "SSE (W)", "SSP (W)",

@@ -14,6 +14,7 @@
  * the power of whatever preceded them; compute-heavy long kernels do not.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <map>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/energy.hpp"
 #include "fingrav/profiler.hpp"
 #include "kernels/workloads.hpp"
@@ -63,30 +65,59 @@ main()
          {{"CB-8K-GEMM", 1}, {"CB-4K-GEMM", 1}}, "higher than SSP"},
     };
 
-    // Isolated SSP references (fresh node per campaign).
-    std::map<std::string, fc::ProfileSet> isolated;
+    // Isolated SSP references: one independent campaign per distinct
+    // main kernel, fanned out over the campaign engine.
     std::uint64_t seed = 9001;
     fc::ProfilerOptions opts;
     opts.runs_override = 150;  // plenty of LOIs for means; keeps runtime sane
+    std::vector<std::string> iso_labels;
+    std::vector<fc::CampaignSpec> iso_specs;
     for (const auto& c : cases) {
-        if (isolated.find(c.main) == isolated.end()) {
-            isolated.emplace(c.main,
-                             an::profileOnFreshNode(c.main, seed++, opts));
-            std::cout << "[isolated] " << an::summarize(isolated.at(c.main))
-                      << "\n";
-        }
+        if (std::find(iso_labels.begin(), iso_labels.end(), c.main) !=
+            iso_labels.end())
+            continue;
+        iso_labels.push_back(c.main);
+        fc::CampaignSpec spec;
+        spec.label = c.main;
+        spec.seed = seed++;
+        spec.opts = opts;
+        iso_specs.push_back(std::move(spec));
+    }
+    const auto iso_sets = fc::CampaignRunner().run(iso_specs);
+    std::map<std::string, fc::ProfileSet> isolated;
+    for (std::size_t i = 0; i < iso_labels.size(); ++i) {
+        isolated.emplace(iso_labels[i], iso_sets[i]);
+        std::cout << "[isolated] " << an::summarize(isolated.at(iso_labels[i]))
+                  << "\n";
     }
 
-    fs::TableWriter table({"case", "isolated SSP (W)", "interleaved (W)",
-                           "shift (%)", "paper direction", "match"});
+    // The interleaved campaigns are just as independent: each spec's
+    // profile_fn runs the Section V-C3 interleaved pipeline on its node.
+    std::vector<fc::CampaignSpec> inter_specs;
     for (const auto& c : cases) {
-        an::Campaign campaign(seed++);
         std::vector<fc::InterleaveItem> prelude;
         for (const auto& [label, count] : c.prelude)
             prelude.push_back({fk::kernelByLabel(label, cfg), count});
-        auto profiler = campaign.profiler(opts);
-        const auto inter = profiler.profileInterleaved(
-            fk::kernelByLabel(c.main, cfg), prelude, 6);
+        fc::CampaignSpec spec;
+        spec.label = c.main;
+        spec.seed = seed++;
+        spec.opts = opts;
+        spec.profile_fn = [prelude](fingrav::runtime::HostRuntime& host,
+                                    const fk::KernelModelPtr& kernel,
+                                    const fc::ProfilerOptions& o,
+                                    fingrav::support::Rng rng) {
+            return fc::Profiler(host, o, std::move(rng))
+                .profileInterleaved(kernel, prelude, 6);
+        };
+        inter_specs.push_back(std::move(spec));
+    }
+    const auto inter_sets = fc::CampaignRunner().run(inter_specs);
+
+    fs::TableWriter table({"case", "isolated SSP (W)", "interleaved (W)",
+                           "shift (%)", "paper direction", "match"});
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& c = cases[i];
+        const auto& inter = inter_sets[i];
         const auto& iso = isolated.at(c.main);
         const double shift = fc::interleavingShiftPct(inter, iso);
 

@@ -1,25 +1,27 @@
 /**
  * @file
- * Hot-path benchmark: event-driven stepping and incremental stitching
- * against their legacy references, with bit-identity verification.
+ * Hot-path benchmark: event-driven stepping and incremental stitching,
+ * with bit-identity verification.
  *
  * Two scenarios cover the paths that dominate every profiling campaign:
  *
  *  1. idle_heavy_long_window — short kernels separated by long idle gaps
- *     under a coarse (amd-smi style) power logger.  The legacy engine
- *     pays one slice per idle_step; the event engine pays one per window
- *     boundary or state event.  Target: >= 3x wall-time reduction.
+ *     under a coarse (amd-smi style) power logger.  The retired legacy
+ *     engine paid one logger slice per idle_step; the event engine pays
+ *     one per window boundary or state event.  With the legacy engine
+ *     gone (kQuantum retirement, PR 3) the scenario reports the event
+ *     engine's wall time and slice economy against the *analytic* legacy
+ *     slice count, and verifies run-to-run bit-identity (determinism)
+ *     in place of cross-engine equivalence.
  *
  *  2. stitch_10x_runs — the step-8 top-up loop: stitch after every
  *     appended run.  The reference re-stitches all runs from scratch each
  *     iteration with the quadratic pair scan; the incremental stitcher
- *     appends.  Target: >= 5x wall-time reduction.
+ *     appends.  Target: >= 5x wall-time reduction, bit-identical output.
  *
- * Both scenarios hard-fail on any output mismatch — the speedups only
- * count if execution logs, power samples and stitched profiles are
- * bit-identical to the reference.  Results (wall times, slice/sample
- * counts, speedups) are written to BENCH_hotpath.json via the tools/
- * emitter so the perf trajectory is tracked from this PR onward.
+ * Results (wall times, slice/sample counts, speedups) are written to
+ * BENCH_hotpath.json via the tools/ emitter so the perf trajectory is
+ * tracked across PRs (docs/PERFORMANCE.md).
  *
  * Usage: bench_hotpath [--smoke] [--out PATH]
  *   --smoke   reduced problem sizes, thresholds reported but not enforced
@@ -74,7 +76,7 @@ struct IdleHeavyResult {
 };
 
 IdleHeavyResult
-runIdleHeavy(sim::SteppingMode mode, int bursts, int repetitions)
+runIdleHeavy(int bursts, int repetitions)
 {
     sim::KernelWork work;
     work.label = "burst";
@@ -88,7 +90,6 @@ runIdleHeavy(sim::SteppingMode mode, int bursts, int repetitions)
     IdleHeavyResult best;
     for (int rep = 0; rep < repetitions; ++rep) {
         auto cfg = sim::mi300xConfig();
-        cfg.stepping = mode;
         sim::Simulation s(cfg, 1234, 1);
         auto& dev = s.device(0);
         auto& logger = dev.addLogger(50_ms);  // amd-smi style window
@@ -230,42 +231,52 @@ main(int argc, char** argv)
     {
         const int bursts = smoke ? 25 : 100;
         const int reps = smoke ? 2 : 3;
-        const auto quantum =
-            runIdleHeavy(sim::SteppingMode::kQuantum, bursts, reps);
-        const auto event =
-            runIdleHeavy(sim::SteppingMode::kEventDriven, bursts, reps);
+        const auto event = runIdleHeavy(bursts, reps);
+        // Determinism stands in for the retired cross-engine equivalence:
+        // a second execution must reproduce every output bitwise.
+        const auto again = runIdleHeavy(bursts, 1);
+        const bool identical = identicalOutputs(event, again);
 
-        const bool identical = identicalOutputs(quantum, event);
-        const double speedup =
-            event.wall_ms > 0.0 ? quantum.wall_ms / event.wall_ms : 0.0;
+        // The retired legacy feed paid >= sim_time / idle_step slices on
+        // this idle-heavy scenario; the event engine pays one slice per
+        // stretch.  The analytic ratio tracks the engine's slice economy.
+        const std::int64_t sim_ms =
+            static_cast<std::int64_t>(bursts) * 20 + 30;
+        const double legacy_slices =
+            static_cast<double>(sim_ms) * 1e6 /
+            static_cast<double>(sim::mi300xConfig().idle_step.nanos());
+        const double reduction =
+            event.stats.slices > 0
+                ? legacy_slices / static_cast<double>(event.stats.slices)
+                : 0.0;
 
         auto& s = report.scenario("idle_heavy_long_window");
         s.note("description",
                "bursty 1% duty cycle under a 50 ms logger window");
-        s.metric("sim_time_ms",
-                 static_cast<std::int64_t>(bursts) * 20 + 30);
-        s.metric("quantum_wall_ms", quantum.wall_ms);
+        s.metric("sim_time_ms", sim_ms);
         s.metric("event_wall_ms", event.wall_ms);
-        s.metric("speedup", speedup);
-        s.metric("quantum_slices", quantum.stats.slices);
         s.metric("event_slices", event.stats.slices);
         s.metric("stretches", event.stats.stretches);
+        // "*_speedup" so the CI regression gate tracks it (the gate only
+        // compares speedup/wall-ms-named metrics).
+        s.metric("legacy_equiv_slices", legacy_slices);
+        s.metric("slice_speedup", reduction);
         s.metric("samples", static_cast<std::uint64_t>(event.samples.size()));
         s.metric("executions", static_cast<std::uint64_t>(event.log.size()));
         s.note("bit_identical", identical ? "yes" : "NO");
 
-        std::cout << "idle_heavy_long_window: quantum " << quantum.wall_ms
-                  << " ms (" << quantum.stats.slices << " slices), event "
-                  << event.wall_ms << " ms (" << event.stats.slices
-                  << " slices), speedup " << speedup << "x, bit-identical: "
+        std::cout << "idle_heavy_long_window: event " << event.wall_ms
+                  << " ms (" << event.stats.slices << " slices vs "
+                  << legacy_slices << " legacy-equivalent), reduction "
+                  << reduction << "x, deterministic: "
                   << (identical ? "yes" : "NO") << "\n";
 
         if (!identical) {
-            std::cerr << "FAIL: stepping modes diverged\n";
+            std::cerr << "FAIL: stepping outputs not deterministic\n";
             ok = false;
         }
-        if (!smoke && speedup < 3.0) {
-            std::cerr << "FAIL: idle-heavy speedup " << speedup
+        if (!smoke && reduction < 3.0) {
+            std::cerr << "FAIL: slice reduction " << reduction
                       << "x below the 3x floor\n";
             ok = false;
         }

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/guidance.hpp"
 #include "fingrav/profiler.hpp"
+#include "fingrav/recorded_campaign.hpp"
 #include "support/table.hpp"
 
 namespace an = fingrav::analysis;
@@ -65,8 +67,18 @@ main()
     fs::TableWriter val({"kernel", "row", "exec (us)", "runs", "LOI target",
                          "LOIs got", "golden %", "validates"});
     std::uint64_t seed = 11001;
+    // One campaign per row, fanned out over the campaign engine.
+    std::vector<fc::CampaignSpec> row_specs;
     for (const auto& c : cases) {
-        const auto set = an::profileOnFreshNode(c.label, seed++);
+        fc::CampaignSpec spec;
+        spec.label = c.label;
+        spec.seed = seed++;
+        row_specs.push_back(std::move(spec));
+    }
+    const auto row_sets = fc::CampaignRunner().run(row_specs);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& c = cases[i];
+        const auto& set = row_sets[i];
         const auto target =
             set.guidance.recommendedLois(set.measured_exec_time);
         const bool ok = set.ssp.size() >= target &&
@@ -82,14 +94,21 @@ main()
                  "parameters):\n";
     val.print(std::cout);
 
-    // Why short kernels need 400 runs: LOI yield vs run count for
-    // CB-2K-GEMM.
+    // Why short kernels need 400 runs, and why the short rows allow a 5 %
+    // margin: both sweeps restitch one 400-run recording (cross-campaign
+    // run reuse), so every point sees the identical workload draws.
+    fc::CampaignSpec sweep_spec;
+    sweep_spec.label = "CB-2K-GEMM";
+    sweep_spec.seed = seed++;
+    sweep_spec.opts.runs_override = 400;
+    sweep_spec.opts.collect_extra_runs = false;  // show the raw yield
+    const auto recorded = fc::RecordedCampaign::record(sweep_spec);
+
     fs::TableWriter yield({"runs", "SSP LOIs", "LOIs per run"});
     for (std::size_t runs : {50u, 100u, 200u, 400u}) {
-        fc::ProfilerOptions opts;
-        opts.runs_override = runs;
-        opts.collect_extra_runs = false;  // show the raw yield
-        const auto set = an::profileOnFreshNode("CB-2K-GEMM", seed++, opts);
+        fc::SweepPoint point;
+        point.runs = runs;
+        const auto set = recorded.restitch(point);
         yield.addRow({std::to_string(runs), std::to_string(set.ssp.size()),
                       fs::TableWriter::num(
                           static_cast<double>(set.ssp.size()) /
@@ -98,15 +117,12 @@ main()
     std::cout << "\nLOI yield vs #runs (CB-2K-GEMM):\n";
     yield.print(std::cout);
 
-    // Why the short rows allow a 5 % margin: golden fraction vs margin for
-    // CB-2K-GEMM (measurement noise is a larger share of short kernels).
     fs::TableWriter margins({"margin (%)", "golden runs (%)"});
     for (double m : {0.01, 0.02, 0.05, 0.10}) {
-        fc::ProfilerOptions opts;
-        opts.runs_override = 150;
-        opts.margin_override = m;
-        opts.collect_extra_runs = false;
-        const auto set = an::profileOnFreshNode("CB-2K-GEMM", seed++, opts);
+        fc::SweepPoint point;
+        point.runs = 150;
+        point.margin = m;
+        const auto set = recorded.restitch(point);
         margins.addRow({fs::TableWriter::num(m * 100.0, 0),
                         fs::TableWriter::num(
                             set.binning.goldenFraction() * 100.0, 1)});

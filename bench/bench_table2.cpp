@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/energy.hpp"
 #include "fingrav/profiler.hpp"
 #include "kernels/workloads.hpp"
@@ -40,12 +41,20 @@ main()
     const auto cfg = fingrav::sim::mi300xConfig();
     std::uint64_t seed = 12001;
 
-    // Shared campaigns.
-    std::map<std::string, fc::ProfileSet> sets;
-    for (const auto* label :
-         {"CB-8K-GEMM", "CB-4K-GEMM", "CB-2K-GEMM", "MB-8K-GEMV"}) {
-        sets.emplace(label, an::profileOnFreshNode(label, seed++));
+    // Shared campaigns, fanned out over the campaign engine.
+    const std::vector<std::string> labels{
+        "CB-8K-GEMM", "CB-4K-GEMM", "CB-2K-GEMM", "MB-8K-GEMV"};
+    std::vector<fc::CampaignSpec> specs;
+    for (const auto& label : labels) {
+        fc::CampaignSpec spec;
+        spec.label = label;
+        spec.seed = seed++;
+        specs.push_back(std::move(spec));
     }
+    const auto results = fc::CampaignRunner().run(specs);
+    std::map<std::string, fc::ProfileSet> sets;
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        sets.emplace(labels[i], results[i]);
     auto mean = [&](const std::string& l, fc::Rail r) {
         return sets.at(l).ssp.meanPower(r);
     };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/profiler.hpp"
 #include "kernels/collective.hpp"
 #include "kernels/workloads.hpp"
@@ -77,9 +78,17 @@ main()
     opts.runs_override = 60;
     fs::TableWriter power({"kernel", "exec (us)", "total (W)", "IOD (W)",
                            "fabric-heavy?"});
+    // Four independent collective campaigns over the campaign engine.
+    const std::vector<std::string> labels{"AG-64KB", "AG-1GB", "AR-64KB",
+                                          "AR-1GB"};
+    std::vector<fc::CampaignSpec> specs;
     std::uint64_t seed = 31;
-    for (const auto* label : {"AG-64KB", "AG-1GB", "AR-64KB", "AR-1GB"}) {
-        const auto set = an::profileOnFreshNode(label, seed++, opts);
+    for (const auto& l : labels)
+        specs.push_back({l, seed++, opts, 0, nullptr});
+    const auto sets = fc::CampaignRunner().run(specs);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const auto& label = labels[i];
+        const auto& set = sets[i];
         power.addRow(
             {label,
              fs::TableWriter::num(set.measured_exec_time.toMicros(), 1),

@@ -13,6 +13,7 @@
 
 #include "analysis/report.hpp"
 #include "baselines/baseline_profilers.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/energy.hpp"
 #include "fingrav/profiler.hpp"
 #include "kernels/workloads.hpp"
@@ -42,85 +43,71 @@ profileScatter(const fc::PowerProfile& profile)
 int
 main()
 {
-    const auto cfg = fingrav::sim::mi300xConfig();
-    const auto kernel = fk::kernelByLabel("CB-2K-GEMM", cfg);
     fc::ProfilerOptions opts;
     opts.runs_override = 150;
 
     std::cout << "Kernel under study: CB-2K-GEMM (~33 us) on a 1 ms "
                  "averaging logger\n";
 
+    // All seven demonstration campaigns are independent, so they ride the
+    // campaign engine in one batch: per challenge, the degraded baseline
+    // and the FinGraV tenet share a seed (identical workload draws).
+    const char* kLabel = "CB-2K-GEMM";
+    std::vector<fc::CampaignSpec> specs{
+        {kLabel, 41, opts, 0,
+         fc::makeProfileFn([](auto& h, const auto& o, auto rng) {
+             return bl::CoarseLoggerProfiler(h, o, std::move(rng), 50_ms);
+         })},
+        {kLabel, 41, opts, 0, nullptr},
+        {kLabel, 42, opts, 0,
+         fc::makeProfileFn([](auto& h, const auto& o, auto rng) {
+             return bl::UnsyncedProfiler(h, o, std::move(rng));
+         })},
+        {kLabel, 42, opts, 0, nullptr},
+        {kLabel, 43, opts, 0,
+         fc::makeProfileFn([](auto& h, const auto& o, auto rng) {
+             return bl::NoBinningProfiler(h, o, std::move(rng));
+         })},
+        {kLabel, 43, opts, 0, nullptr},
+        {kLabel, 44, opts, 0, nullptr},
+    };
+    const auto sets = fc::CampaignRunner().run(specs);
+
     // --- C1: sampling period >> kernel time --------------------------------
-    {
-        an::Campaign c(41);
-        bl::CoarseLoggerProfiler coarse(c.host(), opts,
-                                        c.host().simulation().forkRng(8),
-                                        50_ms);
-        const auto set = coarse.profile(kernel);
-        std::cout << "\nC1  50 ms external logger: " << set.ssp.size()
-                  << " usable LOIs after " << set.runs_executed
-                  << " runs; SSE profile captured " << set.sse.size()
-                  << " LOIs (the kernel is invisible at this rate)\n";
-    }
-    {
-        an::Campaign c(41);
-        const auto set = c.profiler(opts).profile(kernel);
-        std::cout << "S1  1 ms on-GPU logger:    " << set.ssp.size()
-                  << " LOIs -> a dense fine-grain profile\n";
-    }
+    std::cout << "\nC1  50 ms external logger: " << sets[0].ssp.size()
+              << " usable LOIs after " << sets[0].runs_executed
+              << " runs; SSE profile captured " << sets[0].sse.size()
+              << " LOIs (the kernel is invisible at this rate)\n";
+    std::cout << "S1  1 ms on-GPU logger:    " << sets[1].ssp.size()
+              << " LOIs -> a dense fine-grain profile\n";
 
     // --- C2: CPU-GPU clock domains -----------------------------------------
-    {
-        an::Campaign c(42);
-        bl::UnsyncedProfiler unsynced(c.host(), opts,
-                                      c.host().simulation().forkRng(8));
-        const auto set = unsynced.profile(kernel);
-        std::cout << "\nC2  naive log alignment:   SSP reads "
-                  << set.ssp.meanPower() << " W with "
-                  << profileScatter(set.ssp)
-                  << " W scatter (samples attributed to the wrong "
-                     "executions)\n";
-    }
-    {
-        an::Campaign c(42);
-        const auto set = c.profiler(opts).profile(kernel);
-        std::cout << "S2  benchmarked time sync: SSP reads "
-                  << set.ssp.meanPower() << " W with "
-                  << profileScatter(set.ssp) << " W scatter (read delay "
-                  << set.read_delay_us << " us accounted)\n";
-    }
+    std::cout << "\nC2  naive log alignment:   SSP reads "
+              << sets[2].ssp.meanPower() << " W with "
+              << profileScatter(sets[2].ssp)
+              << " W scatter (samples attributed to the wrong executions)\n";
+    std::cout << "S2  benchmarked time sync: SSP reads "
+              << sets[3].ssp.meanPower() << " W with "
+              << profileScatter(sets[3].ssp) << " W scatter (read delay "
+              << sets[3].read_delay_us << " us accounted)\n";
 
     // --- C3: execution-time variation ---------------------------------------
-    {
-        an::Campaign c(43);
-        bl::NoBinningProfiler nobin(c.host(), opts,
-                                    c.host().simulation().forkRng(8));
-        const auto set = nobin.profile(kernel);
-        std::cout << "\nC3  no binning:            every run kept, "
-                  << "allocation outliers pollute the profile ("
-                  << profileScatter(set.ssp) << " W scatter)\n";
-    }
-    {
-        an::Campaign c(43);
-        const auto set = c.profiler(opts).profile(kernel);
-        std::cout << "S3  5 % binning margin:    "
-                  << set.binning.outlierCount() << "/"
-                  << set.binning.total_runs << " outlier runs discarded ("
-                  << profileScatter(set.ssp) << " W scatter)\n";
-    }
+    std::cout << "\nC3  no binning:            every run kept, "
+              << "allocation outliers pollute the profile ("
+              << profileScatter(sets[4].ssp) << " W scatter)\n";
+    std::cout << "S3  5 % binning margin:    " << sets[5].binning.outlierCount()
+              << "/" << sets[5].binning.total_runs
+              << " outlier runs discarded (" << profileScatter(sets[5].ssp)
+              << " W scatter)\n";
 
     // --- C4: power variance across executions --------------------------------
-    {
-        an::Campaign c(44);
-        const auto set = c.profiler(opts).profile(kernel);
-        const auto rep = fc::differentiationError(set);
-        std::cout << "\nC4  execution #4 (SSE) reads " << rep.sse_mean_w
-                  << " W; execution #" << set.ssp_exec_index + 1
-                  << " (SSP) reads " << rep.ssp_mean_w << " W\n"
-                  << "S4  without differentiation you would misreport "
-                     "power/energy by "
-                  << rep.error_pct << " %\n";
-    }
+    const auto rep = fc::differentiationError(sets[6]);
+    std::cout << "\nC4  execution #4 (SSE) reads " << rep.sse_mean_w
+              << " W; execution #" << sets[6].ssp_exec_index + 1
+              << " (SSP) reads " << rep.ssp_mean_w << " W\n"
+              << "S4  without differentiation you would misreport "
+                 "power/energy by "
+              << rep.error_pct << " %\n";
 
     std::cout << "\nSee bench/bench_fig5 and bench/bench_ablation for the "
                  "quantitative sweeps.\n";

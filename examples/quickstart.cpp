@@ -2,9 +2,12 @@
  * @file
  * Quickstart: profile one kernel with the full FinGraV methodology.
  *
- * Builds a simulated MI300X-class node, runs the nine-step pipeline on a
- * compute-bound 4K GEMM, and prints the stitched fine-grain power profile
- * with the SSE/SSP differentiation report.
+ * Describes the campaign as a CampaignSpec and hands it to the campaign
+ * engine, which builds a fresh simulated MI300X-class node (the full
+ * 8-GPU node automatically for collectives), runs the nine-step pipeline,
+ * and returns the stitched fine-grain power profile with the SSE/SSP
+ * differentiation report.  Pass several specs to CampaignRunner::run to
+ * profile a kernel *set* concurrently — see bench/bench_fig10.cpp.
  *
  *   $ ./examples/quickstart [kernel-label] [seed]
  *   e.g. ./examples/quickstart CB-2K-GEMM 7
@@ -16,19 +19,13 @@
 
 #include "analysis/ascii_plot.hpp"
 #include "analysis/series.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/energy.hpp"
 #include "fingrav/profiler.hpp"
-#include "kernels/workloads.hpp"
-#include "runtime/host_runtime.hpp"
-#include "sim/machine_config.hpp"
-#include "sim/simulation.hpp"
 #include "support/logging.hpp"
 
 namespace an = fingrav::analysis;
 namespace fc = fingrav::core;
-namespace fk = fingrav::kernels;
-namespace rt = fingrav::runtime;
-namespace sim = fingrav::sim;
 
 int
 main(int argc, char** argv)
@@ -36,20 +33,16 @@ main(int argc, char** argv)
     const std::string label = argc > 1 ? argv[1] : "CB-4K-GEMM";
     const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 1;
 
-    // 1. A simulated node: one MI300X-class GPU (the full 8-GPU node is
-    //    instantiated automatically when profiling collectives).
-    const sim::MachineConfig cfg = sim::mi300xConfig();
-    const auto kernel = fk::kernelByLabel(label, cfg);
-    sim::Simulation node(cfg, seed, kernel->isCollective() ? 0 : 1);
-    rt::HostRuntime host(node, node.forkRng(7));
+    // 1. Describe the campaign: kernel, seed, methodology knobs
+    //    (paper defaults: guidance-table run counts, 1 ms logger, CPU-GPU
+    //    sync, binning, SSE/SSP differentiation).
+    fc::CampaignSpec spec;
+    spec.label = label;
+    spec.seed = seed;
 
-    // 2. The FinGraV profiler with paper-default options: guidance-table
-    //    run counts, 1 ms logger, CPU-GPU sync, binning, SSE/SSP
-    //    differentiation.
-    fc::Profiler profiler(host, fc::ProfilerOptions{}, node.forkRng(8));
-
+    // 2. Run it on a fresh node.
     std::cout << "profiling " << label << " ..." << std::endl;
-    const fc::ProfileSet set = profiler.profile(kernel);
+    const fc::ProfileSet set = fc::CampaignRunner::runOne(spec);
 
     // 3. What came out.
     std::cout << "\nkernel            : " << set.label

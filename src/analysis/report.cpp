@@ -36,11 +36,13 @@ core::ProfileSet
 profileOnFreshNode(const std::string& label, std::uint64_t seed,
                    core::ProfilerOptions opts)
 {
-    const auto cfg = sim::mi300xConfig();
-    const auto kernel = kernels::kernelByLabel(label, cfg);
-    const std::size_t devices = kernel->isCollective() ? 0 : 1;
-    Campaign campaign(seed, devices, cfg);
-    return campaign.run(kernel, opts);
+    // Delegates to the campaign engine; CampaignRunner::runOne mirrors
+    // the Campaign construction bitwise, so results are unchanged.
+    core::CampaignSpec spec;
+    spec.label = label;
+    spec.seed = seed;
+    spec.opts = opts;
+    return core::CampaignRunner::runOne(spec);
 }
 
 std::string

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/profiler.hpp"
 #include "kernels/kernel_model.hpp"
 #include "runtime/host_runtime.hpp"
@@ -55,7 +56,9 @@ class Campaign {
 
 /**
  * Profile a paper kernel on a fresh node (devices chosen automatically:
- * full node for collectives, single GPU otherwise).
+ * full node for collectives, single GPU otherwise).  Thin wrapper over
+ * core::CampaignRunner::runOne; campaign *sets* should go through
+ * core::CampaignRunner::run to profile concurrently.
  */
 core::ProfileSet profileOnFreshNode(const std::string& label,
                                     std::uint64_t seed,

@@ -1,0 +1,107 @@
+#include "fingrav/campaign_runner.hpp"
+
+#include <thread>
+
+#include "kernels/workloads.hpp"
+#include "support/logging.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fingrav::core {
+
+namespace {
+
+std::size_t
+campaignDevices(const CampaignSpec& spec,
+                const kernels::KernelModelPtr& kernel)
+{
+    return spec.devices != 0 ? spec.devices
+                             : (kernel->isCollective() ? 0 : 1);
+}
+
+}  // namespace
+
+CampaignNode::CampaignNode(const CampaignSpec& spec,
+                           const sim::MachineConfig& cfg)
+    : kernel_(kernels::kernelByLabel(spec.label, cfg)),
+      sim_(cfg, spec.seed, campaignDevices(spec, kernel_)),
+      host_(sim_, sim_.forkRng(7))
+{
+}
+
+CampaignRunner::CampaignRunner(std::size_t threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = hw > 0 ? hw : 1;
+    }
+}
+
+ProfileSet
+CampaignRunner::runOne(const CampaignSpec& spec, const sim::MachineConfig& cfg)
+{
+    CampaignNode node(spec, cfg);
+    if (spec.profile_fn) {
+        return spec.profile_fn(node.host(), node.kernel(), spec.opts,
+                               node.profilerRng());
+    }
+    return Profiler(node.host(), spec.opts, node.profilerRng())
+        .profile(node.kernel());
+}
+
+std::vector<ProfileSet>
+CampaignRunner::run(const std::vector<CampaignSpec>& specs,
+                    const sim::MachineConfig& cfg) const
+{
+    std::vector<ProfileSet> results(specs.size());
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, specs.size() > 0 ? specs.size() : 1);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = runOne(specs[i], cfg);
+        return results;
+    }
+    // Campaigns are hermetic, so the pool only decides where each one
+    // executes; every result lands in its spec's slot regardless of
+    // completion order.
+    support::ThreadPool pool(workers);
+    pool.parallelFor(specs.size(), [&](std::size_t i) {
+        results[i] = runOne(specs[i], cfg);
+    });
+    return results;
+}
+
+bool
+identicalProfiles(const PowerProfile& a, const PowerProfile& b)
+{
+    if (a.label() != b.label() || a.kind() != b.kind() ||
+        a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a.points()[i] == b.points()[i]))
+            return false;
+    }
+    return true;
+}
+
+bool
+identicalProfileSets(const ProfileSet& a, const ProfileSet& b)
+{
+    return a.label == b.label &&
+           a.measured_exec_time == b.measured_exec_time &&
+           a.guidance.runs == b.guidance.runs &&
+           a.guidance.binning_margin == b.guidance.binning_margin &&
+           a.runs_executed == b.runs_executed &&
+           a.binning.bin_center == b.binning.bin_center &&
+           a.binning.golden_runs == b.binning.golden_runs &&
+           a.binning.total_runs == b.binning.total_runs &&
+           a.sse_exec_index == b.sse_exec_index &&
+           a.ssp_exec_index == b.ssp_exec_index &&
+           a.execs_per_run == b.execs_per_run &&
+           a.ssp_exec_time == b.ssp_exec_time &&
+           a.read_delay_us == b.read_delay_us &&
+           a.drift_ppm == b.drift_ppm && identicalProfiles(a.sse, b.sse) &&
+           identicalProfiles(a.ssp, b.ssp) &&
+           identicalProfiles(a.timeline, b.timeline);
+}
+
+}  // namespace fingrav::core

@@ -47,26 +47,75 @@ Profiler::Profiler(runtime::HostRuntime& host, ProfilerOptions opts,
 }
 
 support::Duration
-Profiler::measureExecTime(const kernels::KernelModelPtr& kernel)
+measureKernelExecTime(runtime::HostRuntime& host, support::Rng& rng,
+                      const kernels::KernelModelPtr& kernel,
+                      const ProfilerOptions& opts)
 {
     // Paper step 1: time the kernel a few times.  Warm-ups are excluded by
     // timing sse_executions + timing_reps executions and taking the median
     // of the trailing timing_reps.
-    RunExecutor exec(host_, rng_.fork(900));
+    RunExecutor exec(host, rng.fork(900));
     RunPlan plan;
     plan.main = kernel;
-    plan.device = opts_.device;
-    plan.main_execs_per_block = opts_.sse_executions + opts_.timing_reps;
-    plan.min_delay = opts_.min_delay;
-    plan.max_delay = opts_.min_delay;  // no need for phase randomness here
+    plan.device = opts.device;
+    plan.main_execs_per_block = opts.sse_executions + opts.timing_reps;
+    plan.min_delay = opts.min_delay;
+    plan.max_delay = opts.min_delay;  // no need for phase randomness here
     const auto rec = exec.executeRun(plan, 0, /*with_power=*/false);
 
     std::vector<double> tail_us;
-    for (std::size_t i = opts_.sse_executions;
+    for (std::size_t i = opts.sse_executions;
          i < rec.main_exec_indices.size(); ++i) {
         tail_us.push_back(rec.mainExecDuration(i).toMicros());
     }
     return support::Duration::micros(support::median(std::move(tail_us)));
+}
+
+std::size_t
+sspIndexFromExplore(const ProfileDifferentiator& differ, const TimeSync& sync,
+                    const RunRecord& explore,
+                    const std::vector<sim::PowerSample>& samples,
+                    std::size_t formula, const ProfilerOptions& opts,
+                    std::size_t explore_execs)
+{
+    std::vector<double> series;
+    series.reserve(samples.size());
+    for (const auto& s : samples)
+        series.push_back(s.total_w);
+    const std::size_t stable_sample = differ.detectStabilization(series);
+
+    std::size_t detected = explore_execs;
+    if (stable_sample < samples.size()) {
+        // The first stable sample's window ends at its timestamp; the SSP
+        // region starts with the first execution launched entirely after
+        // that window, so no SSP LOI straddles the settling transient.
+        const auto stable_cpu =
+            sync.gpuCounterToCpuNs(samples[stable_sample].gpu_timestamp);
+        for (std::size_t j = 0; j < explore.main_exec_indices.size(); ++j) {
+            if (explore.execs[explore.main_exec_indices[j]]
+                    .timing.cpu_start_ns >= stable_cpu) {
+                detected = j;
+                break;
+            }
+        }
+    }
+    return std::clamp<std::size_t>(std::max(formula, detected),
+                                   opts.sse_executions, explore_execs - 1);
+}
+
+std::size_t
+harvestExecutions(support::Duration exec_time, support::Duration window)
+{
+    return std::clamp<std::size_t>(
+        static_cast<std::size_t>(
+            std::ceil(1.5 * window.toMicros() / exec_time.toMicros())),
+        2, 64);
+}
+
+support::Duration
+Profiler::measureExecTime(const kernels::KernelModelPtr& kernel)
+{
+    return measureKernelExecTime(host_, rng_, kernel, opts_);
 }
 
 ProfileSet
@@ -110,41 +159,13 @@ Profiler::profile(const kernels::KernelModelPtr& kernel)
     plan.main_execs_per_block =
         std::clamp<std::size_t>(3 * formula, 20, formula + 128);
     const auto explore = exec.executeRun(plan, 0);
-
-    std::vector<double> series;
-    series.reserve(explore.samples.size());
-    for (const auto& s : explore.samples)
-        series.push_back(s.total_w);
-    const std::size_t stable_sample = differ_.detectStabilization(series);
-
-    std::size_t detected = plan.main_execs_per_block;
-    if (stable_sample < explore.samples.size()) {
-        // The first stable sample's window ends at its timestamp; the SSP
-        // region starts with the first execution launched entirely after
-        // that window, so no SSP LOI straddles the settling transient.
-        const auto stable_cpu = sync.gpuCounterToCpuNs(
-            explore.samples[stable_sample].gpu_timestamp);
-        for (std::size_t j = 0; j < explore.main_exec_indices.size(); ++j) {
-            if (explore.execs[explore.main_exec_indices[j]]
-                    .timing.cpu_start_ns >= stable_cpu) {
-                detected = j;
-                break;
-            }
-        }
-    }
     out.ssp_exec_index =
-        std::clamp<std::size_t>(std::max(formula, detected),
-                                opts_.sse_executions,
-                                plan.main_execs_per_block - 1);
+        sspIndexFromExplore(differ_, sync, explore, explore.samples,
+                            formula, opts_, plan.main_execs_per_block);
 
-    // Harvest region: keep executing past SSP for ~1.5 windows so several
-    // steady-state LOIs land per run.
-    const double texec_us = out.measured_exec_time.toMicros();
-    const auto harvest = std::clamp<std::size_t>(
-        static_cast<std::size_t>(
-            std::ceil(1.5 * window.toMicros() / texec_us)),
-        2, 64);
-    out.execs_per_run = out.ssp_exec_index + harvest;
+    out.execs_per_run =
+        out.ssp_exec_index + harvestExecutions(out.measured_exec_time,
+                                               window);
     plan.main_execs_per_block = out.execs_per_run;
 
     // ---- step 5: the runs ------------------------------------------------

@@ -112,6 +112,41 @@ struct ProfileSet {
     PowerProfile timeline;  ///< full-run view (Fig. 6 / Fig. 8 style)
 };
 
+/**
+ * Step 1 of the methodology: measure warm execution time (median of
+ * opts.timing_reps, after opts.sse_executions warm-ups) through a run
+ * executor forked on stream 900.  Shared by Profiler and
+ * RecordedCampaign so the recorded pipeline cannot drift from the live
+ * one.
+ */
+support::Duration measureKernelExecTime(runtime::HostRuntime& host,
+                                        support::Rng& rng,
+                                        const kernels::KernelModelPtr& kernel,
+                                        const ProfilerOptions& opts);
+
+/**
+ * Step-4 helper: the SSP execution index derived from an exploratory
+ * run — the step-4 formula refined by the stabilization scan over the
+ * run's sample `series`, mapped back to the first execution launched
+ * entirely after the first stable window, clamped to
+ * [opts.sse_executions, explore_execs - 1].
+ */
+std::size_t sspIndexFromExplore(const ProfileDifferentiator& differ,
+                                const TimeSync& sync,
+                                const RunRecord& explore,
+                                const std::vector<sim::PowerSample>& samples,
+                                std::size_t formula,
+                                const ProfilerOptions& opts,
+                                std::size_t explore_execs);
+
+/**
+ * Harvest region: executions to keep running past the SSP index so
+ * ~1.5 logger windows of steady-state LOIs land per run (clamped to
+ * [2, 64]).  Shared by Profiler and RecordedCampaign.
+ */
+std::size_t harvestExecutions(support::Duration exec_time,
+                              support::Duration window);
+
 /** The FinGraV profiler. */
 class Profiler {
   public:

@@ -1,0 +1,216 @@
+#include "fingrav/recorded_campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "fingrav/differentiation.hpp"
+#include "fingrav/stitcher.hpp"
+#include "kernels/workloads.hpp"
+#include "runtime/host_runtime.hpp"
+#include "sim/simulation.hpp"
+#include "support/logging.hpp"
+#include "support/statistics.hpp"
+
+namespace fingrav::core {
+
+namespace {
+
+using fingrav::support::Duration;
+
+}  // namespace
+
+RecordedCampaign
+RecordedCampaign::record(const CampaignSpec& spec,
+                         const std::vector<Duration>& extra_windows,
+                         const sim::MachineConfig& cfg)
+{
+    RecordedCampaign rc;
+    rc.spec_ = spec;
+    const auto& opts = rc.spec_.opts;
+    if (opts.timing_reps == 0)
+        support::fatal("RecordedCampaign: timing_reps must be >= 1");
+
+    // The fresh node comes from the same CampaignNode contract the
+    // runner uses, so record() replicates runOne's trajectory bitwise up
+    // to the point the pipelines intentionally diverge (the normalized
+    // calibration schedule below).
+    CampaignNode node(spec, cfg);
+    const auto& kernel = node.kernel();
+    runtime::HostRuntime& host = node.host();
+    support::Rng rng = node.profilerRng();
+    if (opts.device >= node.simulation().deviceCount())
+        support::fatal("RecordedCampaign: device ", opts.device,
+                       " out of range");
+    rc.tick_ = host.timestampTick(opts.device);
+
+    // ---- step 1: execution time + guidance (the Profiler's own helper,
+    // same executor fork id, so the pipelines cannot drift) ---------------
+    rc.measured_exec_time_ = measureKernelExecTime(host, rng, kernel, opts);
+    const auto guidance_table = GuidanceTable::paperDefault();
+    rc.guidance_ = guidance_table.lookup(rc.measured_exec_time_);
+
+    // ---- steps 2/7 prep: every sync variant a sweep can request ---------
+    // The recording normalizes the calibration schedule: both anchor
+    // styles are read up front (the delay-blind one costs one extra
+    // timestamp read), and the drift anchor is taken after the full pool.
+    // Re-executing record() reproduces the same schedule, which is what
+    // the bit-identity contract is stated against.
+    rc.sync_ = TimeSync::calibrate(host, opts.device);
+    rc.nodelay_sync_ = TimeSync::calibrateIgnoringDelay(host, opts.device);
+
+    // ---- windows --------------------------------------------------------
+    const auto primary = opts.logger_window.nanos() > 0
+                             ? opts.logger_window
+                             : cfg.logger_window;
+    rc.windows_.push_back(primary);
+    for (const auto& w : extra_windows) {
+        if (w.nanos() <= 0)
+            support::fatal("RecordedCampaign: non-positive extra window");
+        for (const auto& seen : rc.windows_) {
+            if (seen == w)
+                support::fatal("RecordedCampaign: duplicate window ",
+                               w.toMicros(), "us");
+        }
+        rc.windows_.push_back(w);
+    }
+
+    // ---- steps 3-4 per window: SSE/SSP indices --------------------------
+    const ProfileDifferentiator differ(opts.sse_executions,
+                                       opts.stability_eps);
+    std::vector<std::size_t> formula(rc.windows_.size());
+    std::size_t max_formula = 0;
+    for (std::size_t w = 0; w < rc.windows_.size(); ++w) {
+        formula[w] = differ.sspExecutionFormula(rc.measured_exec_time_,
+                                                rc.windows_[w]);
+        max_formula = std::max(max_formula, formula[w]);
+    }
+
+    RunExecutor exec(host, rng.fork(901));
+    RunPlan plan;
+    plan.main = kernel;
+    plan.device = opts.device;
+    plan.min_delay = opts.min_delay;
+    plan.max_delay = opts.max_delay;
+    plan.logger_window = rc.windows_.front();
+    plan.extra_windows.assign(rc.windows_.begin() + 1, rc.windows_.end());
+    plan.main_execs_per_block =
+        std::clamp<std::size_t>(3 * max_formula, 20, max_formula + 128);
+    const auto explore = exec.executeRun(plan, 0);
+
+    // The stabilization scan runs per window over that window's series,
+    // through the Profiler's own step-4 helpers (full-S2 translation).
+    rc.ssp_exec_index_.resize(rc.windows_.size());
+    std::size_t max_span = 0;
+    for (std::size_t w = 0; w < rc.windows_.size(); ++w) {
+        const auto& samples =
+            w == 0 ? explore.samples : explore.extra_samples[w - 1];
+        rc.ssp_exec_index_[w] =
+            sspIndexFromExplore(differ, *rc.sync_, explore, samples,
+                                formula[w], opts,
+                                plan.main_execs_per_block);
+        max_span = std::max(
+            max_span,
+            rc.ssp_exec_index_[w] +
+                harvestExecutions(rc.measured_exec_time_, rc.windows_[w]));
+    }
+    // Every window's harvest region must fit in one run.
+    rc.execs_per_run_ = max_span;
+    plan.main_execs_per_block = rc.execs_per_run_;
+
+    // ---- steps 5 + 8 budget: the pool at the maximum top-up budget ------
+    rc.base_runs_ = opts.runs_override.value_or(rc.guidance_.runs);
+    const std::size_t max_total =
+        opts.collect_extra_runs
+            ? static_cast<std::size_t>(
+                  static_cast<double>(rc.base_runs_) *
+                  (1.0 + opts.max_extra_run_factor))
+            : rc.base_runs_;
+    std::vector<RunRecord> pool;
+    pool.reserve(max_total);
+    for (std::size_t r = 0; r < max_total; ++r)
+        pool.push_back(exec.executeRun(plan, r));
+
+    // Drift anchor after the pool (the longer the span, the better the
+    // ppm estimate) for the kFinGraVDrift sweep point.
+    rc.drift_sync_ = rc.sync_;
+    rc.drift_sync_->addDriftAnchor(host, opts.device);
+
+    // ---- window-major views ---------------------------------------------
+    // Sample vectors are moved out of the pool (each window's samples are
+    // needed in exactly one view); exec metadata is copied per view.
+    rc.window_runs_.resize(rc.windows_.size());
+    for (std::size_t w = 1; w < rc.windows_.size(); ++w) {
+        auto& view = rc.window_runs_[w];
+        view.reserve(pool.size());
+        for (auto& run : pool) {
+            RunRecord v;
+            v.run_index = run.run_index;
+            v.execs = run.execs;
+            v.main_exec_indices = run.main_exec_indices;
+            v.samples = std::move(run.extra_samples[w - 1]);
+            v.run_start_cpu_ns = run.run_start_cpu_ns;
+            v.log_start_cpu_ns = run.log_start_cpu_ns;
+            view.push_back(std::move(v));
+        }
+    }
+    for (auto& run : pool)
+        run.extra_samples.clear();
+    rc.window_runs_[0] = std::move(pool);
+    return rc;
+}
+
+ProfileSet
+RecordedCampaign::restitch(const SweepPoint& point) const
+{
+    ProfilerOptions opts = spec_.opts;
+    if (point.margin.has_value())
+        opts.margin_override = point.margin;
+    if (point.binning.has_value())
+        opts.binning = *point.binning;
+    if (point.sync_mode.has_value())
+        opts.sync_mode = *point.sync_mode;
+    if (point.target_bin.has_value())
+        opts.target_bin = point.target_bin;
+
+    const std::size_t w = point.window_index;
+    if (w >= windows_.size())
+        support::fatal("RecordedCampaign::restitch: window index ", w,
+                       " out of range (", windows_.size(), " recorded)");
+
+    const TimeSync& sync =
+        opts.sync_mode == SyncMode::kNoDelayAccounting ? *nodelay_sync_
+        : opts.sync_mode == SyncMode::kFinGraVDrift    ? *drift_sync_
+                                                       : *sync_;
+
+    ProfileSet out;
+    out.label = spec_.label;
+    out.measured_exec_time = measured_exec_time_;
+    out.guidance = guidance_;
+    out.read_delay_us = sync.readDelay().toMicros();
+    if (opts.sync_mode == SyncMode::kFinGraVDrift)
+        out.drift_ppm = sync.estimatedDriftPpm();
+    out.sse_exec_index = opts.sse_executions - 1;
+    out.ssp_exec_index = ssp_exec_index_[w];
+    out.execs_per_run = execs_per_run_;
+
+    // Steps 6-9 plus the step-8 top-up decision loop, replayed from the
+    // recorded pool through the incremental stitcher.
+    const auto& runs = window_runs_[w];
+    ProfileStitcher stitcher(opts, sync, tick_);
+    std::size_t budget =
+        std::min(point.runs.value_or(base_runs_), runs.size());
+    stitcher.restitch(runs, budget, out);
+    if (!point.runs.has_value() && opts.collect_extra_runs) {
+        const std::size_t target =
+            out.guidance.recommendedLois(out.measured_exec_time);
+        while (out.ssp.size() < target && budget < runs.size()) {
+            ++budget;
+            stitcher.restitch(runs, budget, out);
+        }
+    }
+    out.runs_executed = budget;
+    return out;
+}
+
+}  // namespace fingrav::core

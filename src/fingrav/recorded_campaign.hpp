@@ -1,0 +1,127 @@
+#ifndef FINGRAV_FINGRAV_RECORDED_CAMPAIGN_HPP_
+#define FINGRAV_FINGRAV_RECORDED_CAMPAIGN_HPP_
+
+/**
+ * @file
+ * Cross-campaign run reuse for sweep studies.
+ *
+ * Window/margin/sync-mode sweeps (bench_ablation, the Section VI external
+ * logger discussion) used to re-execute the *same* simulated runs once
+ * per sweep point — the simulation dominated the cost while only the
+ * stitch-time parameters varied.  RecordedCampaign executes the campaign
+ * once and captures everything a restitch needs:
+ *
+ *  - every executed run up to the maximum top-up budget (replaying a
+ *    smaller budget is exact: run execution never depends on how many
+ *    runs follow, so a shorter campaign is a prefix of a longer one);
+ *  - the calibrated TimeSync in all three variants a sweep can request
+ *    (full S2, delay-blind Lang-style, and drift-compensated);
+ *  - a *multi-window* power log per run: the primary logger plus any
+ *    number of extra windows capture the same execution simultaneously
+ *    (RunPlan::extra_windows), so a logger-window sweep re-reads the
+ *    recorded samples of each window instead of re-simulating — one
+ *    execution observed at several averaging granularities, the setup a
+ *    real node runs when amd-smi polls next to the on-GPU logger;
+ *  - per-window SSE/SSP execution indices, derived at record time with
+ *    the same formula + stabilization scan the Profiler applies.
+ *
+ * restitch(SweepPoint) then replays steps 6-9 (golden selection, LOI/TOI
+ * alignment, stitching, and the step-8 top-up decision loop) from the
+ * recorded pool through the incremental ProfileStitcher.  Because the
+ * recording pipeline is deterministic, a restitch is bit-identical to
+ * re-executing the recorded plan from scratch and stitching at that
+ * sweep point — the property bench_campaign hard-fails on.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/profiler.hpp"
+#include "fingrav/run_executor.hpp"
+#include "fingrav/time_sync.hpp"
+#include "sim/machine_config.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::core {
+
+/** One stitch-time parameter point of a sweep study. */
+struct SweepPoint {
+    /**
+     * Run-budget prefix: stitch exactly min(runs, recorded) runs and skip
+     * the top-up loop (the #runs sweep).  Unset = the recorded base
+     * budget plus the step-8 top-up decision replayed from the pool.
+     */
+    std::optional<std::size_t> runs;
+    /** Binning-margin override (the margin sweep). */
+    std::optional<double> margin;
+    /** Binning on/off override. */
+    std::optional<bool> binning;
+    /** Timestamp-mapping mode (the sync-mode sweep). */
+    std::optional<SyncMode> sync_mode;
+    /** Section VI outlier profiling: target execution-time bin. */
+    std::optional<support::Duration> target_bin;
+    /** Which recorded window to stitch (0 = primary). */
+    std::size_t window_index = 0;
+};
+
+/** One executed campaign captured for stitch-time replay. */
+class RecordedCampaign {
+  public:
+    /**
+     * Execute `spec` once on a fresh node, capturing the run pool at the
+     * maximum top-up budget with loggers at the primary window plus
+     * `extra_windows` (all distinct).
+     */
+    static RecordedCampaign record(
+        const CampaignSpec& spec,
+        const std::vector<support::Duration>& extra_windows = {},
+        const sim::MachineConfig& cfg = sim::mi300xConfig());
+
+    /** Replay steps 6-9 at one sweep point; defaults reproduce the
+     *  recorded campaign's own parameters. */
+    ProfileSet restitch(const SweepPoint& point = {}) const;
+
+    /** Recorded windows; [0] is the primary. */
+    const std::vector<support::Duration>& windows() const
+    {
+        return windows_;
+    }
+
+    /** Executed runs in the pool (the maximum top-up budget). */
+    std::size_t runCount() const { return window_runs_.front().size(); }
+
+    /** Base (pre-top-up) run budget of the recorded options. */
+    std::size_t baseRuns() const { return base_runs_; }
+
+    /** Step-1 measured execution time. */
+    support::Duration measuredExecTime() const
+    {
+        return measured_exec_time_;
+    }
+
+    /** The spec as recorded. */
+    const CampaignSpec& spec() const { return spec_; }
+
+  private:
+    RecordedCampaign() = default;
+
+    CampaignSpec spec_;
+    support::Duration measured_exec_time_;
+    GuidanceEntry guidance_;
+    support::Duration tick_;
+    std::size_t base_runs_ = 0;
+    std::size_t execs_per_run_ = 0;
+    std::vector<support::Duration> windows_;
+    std::vector<std::size_t> ssp_exec_index_;  ///< per window
+    /** Per window: the full run pool with that window's samples. */
+    std::vector<std::vector<RunRecord>> window_runs_;
+    std::optional<TimeSync> sync_;          ///< full S2 calibration
+    std::optional<TimeSync> nodelay_sync_;  ///< Lang-style, delay-blind
+    std::optional<TimeSync> drift_sync_;    ///< + post-campaign drift anchor
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_RECORDED_CAMPAIGN_HPP_

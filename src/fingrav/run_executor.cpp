@@ -74,12 +74,30 @@ RunExecutor::executeRun(const RunPlan& plan, std::size_t run_index,
 
     const auto window = plan.logger_window.nanos() > 0 ? plan.logger_window
                                                        : cfg.logger_window;
+    auto longest = window;
+    for (std::size_t i = 0; i < plan.extra_windows.size(); ++i) {
+        const auto& w = plan.extra_windows[i];
+        if (w.nanos() <= 0)
+            support::fatal("RunExecutor: non-positive extra logger window");
+        if (w == window)
+            support::fatal("RunExecutor: extra window duplicates the "
+                           "primary (", w.toMicros(), "us)");
+        for (std::size_t j = 0; j < i; ++j) {
+            if (plan.extra_windows[j] == w)
+                support::fatal("RunExecutor: duplicate extra window (",
+                               w.toMicros(), "us)");
+        }
+        longest = std::max(longest, w);
+    }
     if (with_power) {
         rec.log_start_cpu_ns = host_.cpuNowNs();
         host_.startPowerLog(plan.device, window);
+        for (const auto& w : plan.extra_windows)
+            host_.startPowerLog(plan.device, w);
         // Capture engages at the next window-grid boundary; idle past one
-        // full window so the run's ramp-up is inside the capture.
-        host_.sleep(window);
+        // full window (the longest, under multi-window capture) so every
+        // logger has the run's ramp-up inside its capture.
+        host_.sleep(longest);
     }
 
     // Step 5's random delay: decorrelates kernel start from the window
@@ -138,8 +156,11 @@ RunExecutor::executeRun(const RunPlan& plan, std::size_t run_index,
     if (with_power) {
         // Let the window containing the final execution close before
         // stopping, so trailing LOIs are not lost with the partial window.
-        host_.sleep(window + support::Duration::micros(50.0));
-        rec.samples = host_.stopPowerLog(plan.device);
+        host_.sleep(longest + support::Duration::micros(50.0));
+        rec.samples = host_.stopPowerLog(plan.device, window);
+        rec.extra_samples.reserve(plan.extra_windows.size());
+        for (const auto& w : plan.extra_windows)
+            rec.extra_samples.push_back(host_.stopPowerLog(plan.device, w));
     }
 
     // Drain any remaining devices (collectives) and return to idle.

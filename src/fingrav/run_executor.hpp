@@ -50,6 +50,16 @@ struct RunPlan {
     support::Duration max_delay = support::Duration::millis(2.0);
     /** Logger averaging window; <= 0 selects the machine default (1 ms). */
     support::Duration logger_window;
+    /**
+     * Additional logger windows captured *simultaneously* with the
+     * primary one (multi-window capture: the same execution observed at
+     * several averaging granularities, e.g. the on-GPU 1 ms logger next
+     * to an amd-smi-style 50 ms one).  Windows must be positive, distinct
+     * from each other and from the primary.  The pre/post capture idle
+     * sleeps span the longest window so every capture engages.  Samples
+     * land in RunRecord::extra_samples, parallel to this list.
+     */
+    std::vector<support::Duration> extra_windows;
 };
 
 /** One observed kernel execution (CPU-domain bounds). */
@@ -65,6 +75,8 @@ struct RunRecord {
     std::vector<ExecObservation> execs;         ///< in execution order
     std::vector<std::size_t> main_exec_indices; ///< indices into execs
     std::vector<sim::PowerSample> samples;      ///< the run's power log
+    /** Per extra window (RunPlan::extra_windows order): that logger's log. */
+    std::vector<std::vector<sim::PowerSample>> extra_samples;
     std::int64_t run_start_cpu_ns = 0;          ///< first execution start
     std::int64_t log_start_cpu_ns = 0;          ///< power-log start call
 

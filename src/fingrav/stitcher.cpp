@@ -58,19 +58,22 @@ ProfileStitcher::sampleCpuNs(const RunRecord& run,
     return translateSample(opts_, *sync_, tick_, run, s);
 }
 
+namespace {
+
+/** Step-6 golden selection over the first `n` runs (see header). */
 void
-ProfileStitcher::selectGoldenRuns(const ProfilerOptions& opts,
-                                  const std::vector<RunRecord>& runs,
-                                  ProfileSet& out)
+selectGoldenPrefix(const ProfilerOptions& opts,
+                   const std::vector<RunRecord>& runs, std::size_t n,
+                   ProfileSet& out)
 {
     // Runs that recorded zero main executions cannot provide a
     // representative execution time (indexing size-1 underflowed before);
     // they are excluded from binning and count as outliers.
     std::vector<Duration> rep_times;
     std::vector<std::size_t> eligible;
-    rep_times.reserve(runs.size());
-    eligible.reserve(runs.size());
-    for (std::size_t i = 0; i < runs.size(); ++i) {
+    rep_times.reserve(n);
+    eligible.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
         if (runs[i].main_exec_indices.empty()) {
             support::warn("stitch: run ", runs[i].run_index,
                           " recorded no main executions; skipping");
@@ -100,16 +103,27 @@ ProfileStitcher::selectGoldenRuns(const ProfilerOptions& opts,
                                      ? support::Duration()
                                      : rep_times.front();
     }
-    out.binning.total_runs = runs.size();
+    out.binning.total_runs = n;
+}
+
+}  // namespace
+
+void
+ProfileStitcher::selectGoldenRuns(const ProfilerOptions& opts,
+                                  const std::vector<RunRecord>& runs,
+                                  ProfileSet& out)
+{
+    selectGoldenPrefix(opts, runs, runs.size(), out);
 }
 
 void
 ProfileStitcher::updateCaches(const std::vector<RunRecord>& runs,
-                              const ProfileSet& out)
+                              std::size_t n, const ProfileSet& out)
 {
-    FINGRAV_ASSERT(runs.size() >= run_caches_.size(),
+    FINGRAV_ASSERT(n >= run_caches_.size(),
                    "restitch: runs shrank between calls");
-    for (std::size_t i = run_caches_.size(); i < runs.size(); ++i) {
+    FINGRAV_ASSERT(n <= runs.size(), "restitch: prefix beyond runs");
+    for (std::size_t i = run_caches_.size(); i < n; ++i) {
         RunCache rc;
         rc.eligible = !runs[i].main_exec_indices.empty();
         if (rc.eligible)
@@ -178,8 +192,15 @@ void
 ProfileStitcher::restitch(const std::vector<RunRecord>& runs,
                           ProfileSet& out)
 {
-    updateCaches(runs, out);
-    selectGoldenRuns(opts_, runs, out);
+    restitch(runs, runs.size(), out);
+}
+
+void
+ProfileStitcher::restitch(const std::vector<RunRecord>& runs, std::size_t n,
+                          ProfileSet& out)
+{
+    updateCaches(runs, n, out);
+    selectGoldenPrefix(opts_, runs, n, out);
     const auto& golden = out.binning.golden_runs;
 
     // Incremental iff every previously stitched run is still golden, in

@@ -59,6 +59,15 @@ class ProfileStitcher {
      */
     void restitch(const std::vector<RunRecord>& runs, ProfileSet& out);
 
+    /**
+     * Prefix form: stitch only the first `n` elements of `runs` (n must
+     * not shrink between calls).  Lets a replay over a pre-recorded run
+     * pool (core::RecordedCampaign) grow the stitched prefix without
+     * copying records run by run.
+     */
+    void restitch(const std::vector<RunRecord>& runs, std::size_t n,
+                  ProfileSet& out);
+
     /** Full rebuilds performed so far (diagnostics; 1 = never re-built). */
     std::size_t rebuildCount() const { return rebuilds_; }
 
@@ -93,8 +102,8 @@ class ProfileStitcher {
     std::int64_t sampleCpuNs(const RunRecord& run,
                              const sim::PowerSample& s) const;
 
-    /** Extend per-run caches to cover `runs`. */
-    void updateCaches(const std::vector<RunRecord>& runs,
+    /** Extend per-run caches to cover the first `n` runs. */
+    void updateCaches(const std::vector<RunRecord>& runs, std::size_t n,
                       const ProfileSet& out);
 
     /** Append one golden run's points to the profiles (two-pointer). */

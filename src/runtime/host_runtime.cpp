@@ -26,7 +26,7 @@ constexpr auto kSyncLimit = fingrav::support::Duration::seconds(30.0);
 HostRuntime::HostRuntime(sim::Simulation& sim, support::Rng rng)
     : sim_(sim), rng_(std::move(rng)),
       cpu_now_(support::SimTime::fromNanos(0)),
-      loggers_(sim.deviceCount(), nullptr)
+      loggers_(sim.deviceCount())
 {
 }
 
@@ -187,35 +187,67 @@ HostRuntime::benchmarkTimestampReadDelay(std::size_t device,
                                     static_cast<std::int64_t>(iterations));
 }
 
+sim::PowerLogger*
+HostRuntime::findLogger(std::size_t device, support::Duration window) const
+{
+    for (auto* logger : loggers_[device]) {
+        if (logger->window() == window)
+            return logger;
+    }
+    return nullptr;
+}
+
 void
 HostRuntime::startPowerLog(std::size_t device, support::Duration window)
 {
     auto& dev = sim_.device(device);
     catchUpDevice(device);
-    if (loggers_[device] == nullptr) {
+    sim::PowerLogger* logger = nullptr;
+    if (window.nanos() > 0) {
+        logger = findLogger(device, window);
+    } else if (!loggers_[device].empty()) {
+        // Unspecified window: reuse the primary logger whatever its
+        // window (callers read the window back via powerLogWindow).
+        logger = loggers_[device].front();
+    }
+    if (logger == nullptr) {
         const auto w =
             window.nanos() > 0 ? window : sim_.config().logger_window;
-        loggers_[device] = &dev.addLogger(w);
-    } else if (window.nanos() > 0 &&
-               window != loggers_[device]->window()) {
-        support::fatal("startPowerLog: device ", device,
-                       " logger already exists with window ",
-                       loggers_[device]->window().toMicros(),
-                       "us; cannot switch to ", window.toMicros(), "us");
+        logger = &dev.addLogger(w);
+        loggers_[device].push_back(logger);
     }
-    loggers_[device]->clearSamples();
-    loggers_[device]->start(cpu_now_);
+    logger->clearSamples();
+    logger->start(cpu_now_);
 }
 
 std::vector<sim::PowerSample>
-HostRuntime::stopPowerLog(std::size_t device)
+HostRuntime::stopPowerLog(std::size_t device, support::Duration window)
 {
-    if (loggers_[device] == nullptr || !loggers_[device]->capturing())
-        support::fatal("stopPowerLog: no active capture on device ", device);
+    sim::PowerLogger* logger = nullptr;
+    if (window.nanos() > 0) {
+        logger = findLogger(device, window);
+        if (logger == nullptr || !logger->capturing())
+            support::fatal("stopPowerLog: no active capture with window ",
+                           window.toMicros(), "us on device ", device);
+    } else {
+        // Unaddressed stop: legal only while exactly one capture is live.
+        for (auto* candidate : loggers_[device]) {
+            if (!candidate->capturing())
+                continue;
+            if (logger != nullptr)
+                support::fatal("stopPowerLog: several captures active on "
+                               "device ", device,
+                               "; address the logger by window");
+            logger = candidate;
+        }
+        if (logger == nullptr)
+            support::fatal("stopPowerLog: no active capture on device ",
+                           device);
+    }
     catchUpDevice(device);
-    loggers_[device]->stop();
-    auto out = loggers_[device]->samples();
-    loggers_[device]->clearSamples();
+    logger->stop();
+    auto out = logger->samples();
+    logger->clearSamples();
     return out;
 }
 

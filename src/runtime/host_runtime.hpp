@@ -141,19 +141,26 @@ class HostRuntime {
     // ------------------------------------------------------------------
 
     /**
-     * Start capturing power samples on `device`.
-     *
-     * A logger with the requested window is created on first use (window
-     * <= 0 selects the machine default of 1 ms).  Restarting an active
-     * capture is a no-op.
+     * Start capturing power samples on `device` through a logger with the
+     * given averaging window (window <= 0 selects the machine default of
+     * 1 ms).  A device may run several loggers with distinct windows
+     * concurrently — the multi-window capture RecordedCampaign's window
+     * sweeps restitch from; the logger for a window is created on first
+     * use and persists for the device lifetime.
      */
     void startPowerLog(std::size_t device = 0,
                        support::Duration window = support::Duration());
 
     /**
-     * Stop the capture and return the samples accumulated since start.
+     * Stop a capture and return the samples accumulated since start.
+     *
+     * @param window  Which logger to stop; <= 0 addresses the single
+     *                capturing logger (fatal when several are capturing —
+     *                multi-window captures must address each by window).
      */
-    std::vector<sim::PowerSample> stopPowerLog(std::size_t device = 0);
+    std::vector<sim::PowerSample>
+    stopPowerLog(std::size_t device = 0,
+                 support::Duration window = support::Duration());
 
     /** GPU timestamp-counter tick length (public hardware knowledge). */
     support::Duration
@@ -163,16 +170,16 @@ class HostRuntime {
     }
 
     /**
-     * The averaging window of the power logger actually in effect on
-     * `device` — the existing logger's window when one was already
-     * created, the machine default otherwise.  Energy integration over
-     * returned samples must use this, not the config default.
+     * The averaging window of the device's *primary* power logger — the
+     * first one created on `device`, or the machine default when none
+     * exists yet.  Energy integration over returned samples must use
+     * this, not the config default.
      */
     support::Duration
     powerLogWindow(std::size_t device = 0) const
     {
-        return loggers_[device] != nullptr ? loggers_[device]->window()
-                                           : sim_.config().logger_window;
+        return !loggers_[device].empty() ? loggers_[device].front()->window()
+                                         : sim_.config().logger_window;
     }
 
     // ------------------------------------------------------------------
@@ -205,10 +212,15 @@ class HostRuntime {
     /** CPU clock reading for the current host time. */
     std::int64_t readCpuClock() const;
 
+    /** Logger for (device, window), created on first use; null = absent. */
+    sim::PowerLogger* findLogger(std::size_t device,
+                                 support::Duration window) const;
+
     sim::Simulation& sim_;
     support::Rng rng_;
     support::SimTime cpu_now_;
-    std::vector<sim::PowerLogger*> loggers_;  ///< per device, lazily created
+    /** Per device: loggers in creation order (front = primary window). */
+    std::vector<std::vector<sim::PowerLogger*>> loggers_;
 };
 
 }  // namespace fingrav::runtime

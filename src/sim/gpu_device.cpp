@@ -327,7 +327,6 @@ GpuDevice::nextLoggerCut(support::SimTime limit) const
 support::SimTime
 GpuDevice::stepLoop(support::SimTime limit, bool stop_on_idle)
 {
-    const bool quantum_mode = cfg_.stepping == SteppingMode::kQuantum;
     while (now_ < limit) {
         startReady();
         // Fabric-demand stretch terminator: when the committed node-fabric
@@ -411,26 +410,12 @@ GpuDevice::stepLoop(support::SimTime limit, bool stop_on_idle)
             break;  // can only happen when limit == now_
         const Duration dt = t_end - now_;
 
-        // ---- logger feed ------------------------------------------------
-        // kQuantum reproduces the legacy per-quantum delivery; the logger's
-        // segment accounting makes both feeds bit-identical.
-        if (quantum_mode) {
-            SimTime t = now_;
-            while (t < t_end) {
-                const Duration step =
-                    t_end - t < quantum ? t_end - t : quantum;
-                for (auto& logger : loggers_)
-                    logger->addSlice(t, step, rails);
-                t += step;
-                ++step_stats_.slices;
-            }
-        } else {
-            for (auto& logger : loggers_)
-                logger->addSlice(now_, dt, rails);
-            ++step_stats_.slices;
-        }
+        // ---- logger feed: one bulk slice per stretch --------------------
+        for (auto& logger : loggers_)
+            logger->addSlice(now_, dt, rails);
+        ++step_stats_.slices;
 
-        // ---- integrate the stretch (identical in both modes) ------------
+        // ---- integrate the stretch --------------------------------------
         governor_.update(dt, rails.total(), active);
         thermal_.update(dt, rails.total());
         ++step_stats_.stretches;

@@ -26,10 +26,12 @@
  * are nanosecond-accurate (the execution-time binning methodology, tenet
  * S3, depends on measuring genuine sub-percent run-to-run variation).
  *
- * SteppingMode::kQuantum replays the same stretch schedule but delivers
- * the logger feed in legacy power_step/idle_step sub-slices; the logger's
- * grouping-invariant accounting makes both modes bit-identical (tested by
- * tests/stepping_equivalence_test.cpp; see docs/PERFORMANCE.md).
+ * The legacy fixed-quantum engine (SteppingMode::kQuantum, retired after
+ * one release as scheduled in ROADMAP.md) replayed the same stretch
+ * schedule with a sub-sliced logger feed; the logger's grouping-invariant
+ * accounting made both bit-identical, so the retirement changed no
+ * output.  tests/stepping_equivalence_test.cpp now locks the event
+ * engine against recorded golden outputs instead.
  *
  * Devices advance independently *within a fabric epoch*; the runtime
  * (src/runtime/) aligns them with the host timeline at interaction points
@@ -88,7 +90,7 @@ class GpuDevice {
     /** Advancement-cost counters (see bench/bench_hotpath.cpp). */
     struct StepStats {
         std::uint64_t stretches = 0;  ///< constant-power intervals integrated
-        std::uint64_t slices = 0;     ///< logger-feed slices delivered
+        std::uint64_t slices = 0;     ///< logger-feed slices (== stretches)
     };
 
     /**

@@ -25,20 +25,6 @@
 
 namespace fingrav::sim {
 
-/**
- * How GpuDevice advances along the master time axis (docs/PERFORMANCE.md).
- *
- * Both modes share the same event-anchored integration semantics and emit
- * bit-identical execution logs and power samples; kQuantum additionally
- * sub-slices the power-logger feed at the legacy power_step/idle_step
- * quanta.  It is kept for one release as the equivalence reference and
- * fallback for the event-driven engine.
- */
-enum class SteppingMode {
-    kQuantum,      ///< legacy fixed-quantum slice delivery
-    kEventDriven,  ///< exact next-event advancement (default)
-};
-
 /** Compute/memory/interconnect envelope and simulation knobs of one GPU. */
 struct MachineConfig {
     // --- topology (paper Section II-A) ---
@@ -72,14 +58,16 @@ struct MachineConfig {
     /** GPU clock drift vs the CPU clock, parts-per-million. */
     double gpu_clock_drift_ppm = 4.0;
 
-    /** Maximum integration step of the device power engine while active. */
+    /**
+     * Integration bound while the DVFS governor is actively moving the
+     * clock (recovery slew, sustained backoff): stretches are capped at
+     * this quantum so the control-loop dynamics stay step-size calibrated.
+     * Quiescent stretches integrate in one exact step regardless.
+     */
     support::Duration power_step = support::Duration::micros(2.0);
 
-    /** Integration step while idle and settled (thermal only moves slowly). */
+    /** Floor of the thermal-feedback stretch cap (sim/gpu_device.cpp). */
     support::Duration idle_step = support::Duration::micros(50.0);
-
-    /** Time-advancement engine (kQuantum is the legacy reference). */
-    SteppingMode stepping = SteppingMode::kEventDriven;
 
     /**
      * Thread budget of Simulation::advanceAllTo / advanceAllUntilIdle

@@ -38,18 +38,18 @@ Simulation::setAdvanceThreads(std::size_t threads)
 }
 
 void
-Simulation::forActive(const std::vector<std::size_t>& active,
-                      const std::function<void(std::size_t)>& fn)
+Simulation::runEpochs(const std::function<std::size_t()>& leader,
+                      const std::function<void(std::size_t)>& item)
 {
-    if (advance_threads_ <= 1 || active.size() <= 1) {
-        for (const auto i : active)
-            fn(i);
-        return;
-    }
+    // Batched dispatch: the whole epoch loop runs inside one pool job —
+    // the leader section (poll, commit, probe) runs exclusively between
+    // rounds — instead of paying the job submission/wake handshake per
+    // epoch.  The epoch schedule is identical for every thread count, so
+    // results are bit-identical; with advance_threads <= 1 the pool has
+    // no workers and roundLoop degenerates to the plain serial loop.
     if (pool_ == nullptr)
         pool_ = std::make_unique<support::ThreadPool>(advance_threads_);
-    pool_->parallelFor(active.size(),
-                       [&](std::size_t k) { fn(active[k]); });
+    pool_->roundLoop(leader, item);
 }
 
 support::SimTime
@@ -76,19 +76,20 @@ Simulation::advanceAllTo(support::SimTime master)
 {
     std::vector<std::size_t> behind;
     behind.reserve(devices_.size());
-    for (;;) {
-        behind.clear();
-        for (std::size_t i = 0; i < devices_.size(); ++i) {
-            if (devices_[i]->localNow() < master)
-                behind.push_back(i);
-        }
-        if (behind.empty())
-            return;
-        const auto t_sync = epochBoundary(behind, master);
-        forActive(behind, [&](std::size_t i) {
-            devices_[i]->advanceTo(t_sync);
-        });
-    }
+    support::SimTime t_sync;
+    runEpochs(
+        [&]() -> std::size_t {
+            behind.clear();
+            for (std::size_t i = 0; i < devices_.size(); ++i) {
+                if (devices_[i]->localNow() < master)
+                    behind.push_back(i);
+            }
+            if (behind.empty())
+                return 0;
+            t_sync = epochBoundary(behind, master);
+            return behind.size();
+        },
+        [&](std::size_t k) { devices_[behind[k]]->advanceTo(t_sync); });
 }
 
 support::SimTime
@@ -99,27 +100,36 @@ Simulation::advanceAllUntilIdle(support::SimTime limit)
     std::vector<support::SimTime> reached(devices_.size());
     std::vector<std::size_t> active;
     active.reserve(devices_.size());
-    for (;;) {
-        active.clear();
-        for (std::size_t i = 0; i < devices_.size(); ++i) {
-            if (!done[i])
-                active.push_back(i);
-        }
-        if (active.empty())
-            return latest;
-        const auto t_sync = epochBoundary(active, limit);
-        forActive(active, [&](std::size_t i) {
-            reached[i] = devices_[i]->advanceUntilIdle(t_sync);
-        });
-        for (const auto i : active) {
-            // A drained device stops at its idle time and sits out the
-            // remaining epochs (its posted demand is zero from here on).
-            if (devices_[i]->idle() || t_sync >= limit) {
-                done[i] = 1;
-                latest = std::max(latest, reached[i]);
+    support::SimTime t_sync;
+    bool first = true;
+    runEpochs(
+        [&]() -> std::size_t {
+            if (!first) {
+                for (const auto i : active) {
+                    // A drained device stops at its idle time and sits out
+                    // the remaining epochs (its posted demand is zero from
+                    // here on).
+                    if (devices_[i]->idle() || t_sync >= limit) {
+                        done[i] = 1;
+                        latest = std::max(latest, reached[i]);
+                    }
+                }
             }
-        }
-    }
+            first = false;
+            active.clear();
+            for (std::size_t i = 0; i < devices_.size(); ++i) {
+                if (!done[i])
+                    active.push_back(i);
+            }
+            if (active.empty())
+                return 0;
+            t_sync = epochBoundary(active, limit);
+            return active.size();
+        },
+        [&](std::size_t k) {
+            reached[active[k]] = devices_[active[k]]->advanceUntilIdle(t_sync);
+        });
+    return latest;
 }
 
 support::SimTime
@@ -136,17 +146,22 @@ Simulation::advanceDeviceUntilIdle(std::size_t i, support::SimTime limit)
     std::vector<std::size_t> active(devices_.size());
     for (std::size_t j = 0; j < devices_.size(); ++j)
         active[j] = j;
-    for (;;) {
-        if (devices_[i]->idle() || devices_[i]->localNow() >= limit)
-            return devices_[i]->localNow();
-        const auto t_sync = epochBoundary(active, limit);
-        forActive(active, [&](std::size_t j) {
+    support::SimTime t_sync;
+    runEpochs(
+        [&]() -> std::size_t {
+            if (devices_[i]->idle() || devices_[i]->localNow() >= limit)
+                return 0;
+            t_sync = epochBoundary(active, limit);
+            return active.size();
+        },
+        [&](std::size_t k) {
+            const std::size_t j = active[k];
             if (j == i)
                 devices_[j]->advanceUntilIdle(t_sync);
             else
                 devices_[j]->advanceTo(t_sync);
         });
-    }
+    return devices_[i]->localNow();
 }
 
 GpuDevice&

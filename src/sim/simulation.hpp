@@ -19,7 +19,10 @@
  * fabric event — optionally in parallel (MachineConfig::advance_threads).
  * The committed fabric view is immutable within an epoch and every device
  * touches only its own state, so the parallel path is bit-identical to
- * the serial one (docs/ARCHITECTURE.md).
+ * the serial one (docs/ARCHITECTURE.md).  The parallel path batches the
+ * whole epoch loop into one thread-pool dispatch (ThreadPool::roundLoop):
+ * the poll/commit/probe leader section runs exclusively between rounds,
+ * so fine-grained epochs no longer pay a job submission handshake each.
  */
 
 #include <cstdint>
@@ -118,9 +121,15 @@ class Simulation {
     support::SimTime epochBoundary(const std::vector<std::size_t>& active,
                                    support::SimTime limit);
 
-    /** Run fn(device_index) over `active`, pooled when configured. */
-    void forActive(const std::vector<std::size_t>& active,
-                   const std::function<void(std::size_t)>& fn);
+    /**
+     * Drive an epoch loop: `leader` runs exclusively between rounds (poll
+     * demand, commit, probe the epoch boundary) and returns the item
+     * count of the next round (0 = done); `item(k)` advances one device.
+     * Serial when advance_threads <= 1, one batched pool dispatch
+     * otherwise — identical epoch schedule either way.
+     */
+    void runEpochs(const std::function<std::size_t()>& leader,
+                   const std::function<void(std::size_t)>& item);
 
     MachineConfig cfg_;
     support::Rng root_rng_;

@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include <condition_variable>
+
 namespace fingrav::support {
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -89,6 +91,86 @@ ThreadPool::parallelFor(std::size_t n,
     }
     if (first_error_)
         std::rethrow_exception(first_error_);
+}
+
+void
+ThreadPool::roundLoop(const std::function<std::size_t()>& leader,
+                      const std::function<void(std::size_t)>& fn)
+{
+    if (workers_.empty()) {
+        for (;;) {
+            const std::size_t n = leader();
+            if (n == 0)
+                return;
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+        }
+    }
+
+    // One participant per pool thread.  Each participant loops over
+    // rounds: arrive at the barrier; the last arriver runs the leader
+    // section (exclusively, under the barrier mutex — everyone else is
+    // asleep) and opens the next round; then every participant claims
+    // items through the shared counter.  The barrier mutex orders item
+    // writes before the leader's reads, so device state mutated in round
+    // r is visible to the leader computing round r+1.
+    struct RoundState {
+        std::mutex m;
+        std::condition_variable cv;
+        std::size_t arrived = 0;
+        std::uint64_t round = 0;
+        std::size_t count = 0;
+        bool done = false;
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr error;
+    } st;
+    const std::size_t participants = threads();
+
+    parallelFor(participants, [&](std::size_t) {
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lk(st.m);
+                if (++st.arrived == participants) {
+                    std::size_t n = 0;
+                    if (!st.error) {
+                        try {
+                            n = leader();
+                        } catch (...) {
+                            st.error = std::current_exception();
+                        }
+                    }
+                    st.count = n;
+                    st.done = (n == 0);
+                    st.next.store(0, std::memory_order_relaxed);
+                    st.arrived = 0;
+                    ++st.round;
+                    lk.unlock();
+                    st.cv.notify_all();
+                } else {
+                    st.cv.wait(lk, [&] { return st.round != seen; });
+                }
+            }
+            ++seen;
+            if (st.done)
+                return;
+            for (;;) {
+                const std::size_t i =
+                    st.next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= st.count)
+                    break;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(st.m);
+                    if (!st.error)
+                        st.error = std::current_exception();
+                }
+            }
+        }
+    });
+    if (st.error)
+        std::rethrow_exception(st.error);
 }
 
 }  // namespace fingrav::support

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * CampaignRunner / RecordedCampaign determinism contract.
+ *
+ * The campaign engine is only admissible if parallel execution is
+ * invisible in the results: ProfileSets must be bit-identical to the
+ * serial loop for any thread count, any spec order and any completion
+ * order, and sweep-reuse restitches must be bit-identical to re-executing
+ * the recorded campaign from scratch.  These tests lock all of that, plus
+ * the deterministic per-campaign RNG streams under concurrent starts.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/recorded_campaign.hpp"
+#include "kernels/workloads.hpp"
+#include "support/thread_pool.hpp"
+#include "support/time_types.hpp"
+
+namespace an = fingrav::analysis;
+namespace fc = fingrav::core;
+namespace fs = fingrav::support;
+using namespace fingrav::support::literals;
+
+namespace {
+
+/** Small mixed campaign set (compute, memory and collective kernels). */
+std::vector<fc::CampaignSpec>
+mixedSpecs()
+{
+    fc::ProfilerOptions cheap;
+    cheap.runs_override = 10;
+    cheap.collect_extra_runs = false;
+
+    std::vector<fc::CampaignSpec> specs;
+    for (const char* label :
+         {"CB-2K-GEMM", "MB-4K-GEMV", "AG-64KB", "CB-4K-GEMM",
+          "AR-128KB", "MB-2K-GEMV"}) {
+        fc::CampaignSpec spec;
+        spec.label = label;
+        spec.seed = 4000 + specs.size();
+        spec.opts = cheap;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+fc::CampaignSpec
+recordSpec()
+{
+    fc::CampaignSpec spec;
+    spec.label = "CB-8K-GEMM";
+    spec.seed = 5150;
+    spec.opts.runs_override = 8;
+    spec.opts.max_extra_run_factor = 0.5;
+    return spec;
+}
+
+}  // namespace
+
+TEST(CampaignRunner, ParallelBitIdenticalToSerialAcrossThreadCounts)
+{
+    const auto specs = mixedSpecs();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+    ASSERT_EQ(serial.size(), specs.size());
+    for (const std::size_t threads : {2u, 8u}) {
+        const auto parallel = fc::CampaignRunner(threads).run(specs);
+        ASSERT_EQ(parallel.size(), specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            EXPECT_TRUE(fc::identicalProfileSets(serial[i], parallel[i]))
+                << specs[i].label << " diverged at " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(CampaignRunner, SpecOrderDoesNotPerturbResults)
+{
+    // Campaigns are hermetic: submitting the specs in reverse (a proxy
+    // for arbitrary completion order) must reproduce each campaign
+    // bitwise.
+    auto specs = mixedSpecs();
+    const auto forward = fc::CampaignRunner(4).run(specs);
+    std::vector<fc::CampaignSpec> reversed(specs.rbegin(), specs.rend());
+    const auto backward = fc::CampaignRunner(4).run(reversed);
+    ASSERT_EQ(forward.size(), backward.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_TRUE(fc::identicalProfileSets(
+            forward[i], backward[specs.size() - 1 - i]))
+            << specs[i].label;
+    }
+}
+
+TEST(CampaignRunner, RunnerReplicatesLegacyCampaignPath)
+{
+    // runOne mirrors analysis::Campaign construction (runtime rng stream
+    // 7, profiler stream 8), so the ported benches reproduce the exact
+    // pre-runner numbers.
+    fc::ProfilerOptions opts;
+    opts.runs_override = 12;
+    opts.collect_extra_runs = false;
+
+    an::Campaign legacy(91);
+    const auto expected = legacy.run(
+        fingrav::kernels::kernelByLabel("CB-2K-GEMM", legacy.config()),
+        opts);
+
+    fc::CampaignSpec spec;
+    spec.label = "CB-2K-GEMM";
+    spec.seed = 91;
+    spec.opts = opts;
+    const auto actual = fc::CampaignRunner::runOne(spec);
+    EXPECT_TRUE(fc::identicalProfileSets(expected, actual));
+    // And the profileOnFreshNode wrapper rides the same path.
+    const auto wrapped = an::profileOnFreshNode("CB-2K-GEMM", 91, opts);
+    EXPECT_TRUE(fc::identicalProfileSets(expected, wrapped));
+}
+
+TEST(RecordedCampaign, SweepReuseBitIdenticalToReExecution)
+{
+    // One recording, many restitches vs one fresh re-execution per sweep
+    // point: bit-identical ProfileSets either way.
+    const auto spec = recordSpec();
+    const std::vector<fs::Duration> extra{5_ms, 10_ms};
+    const auto recorded = fc::RecordedCampaign::record(spec, extra);
+    ASSERT_EQ(recorded.windows().size(), 3u);
+    ASSERT_GT(recorded.runCount(), 0u);
+
+    std::vector<fc::SweepPoint> points;
+    points.push_back({});  // the recorded campaign's own parameters
+    fc::SweepPoint margin;
+    margin.margin = 0.10;
+    points.push_back(margin);
+    fc::SweepPoint nobin;
+    nobin.binning = false;
+    points.push_back(nobin);
+    fc::SweepPoint sync;
+    sync.sync_mode = fc::SyncMode::kNoDelayAccounting;
+    points.push_back(sync);
+    fc::SweepPoint drift;
+    drift.sync_mode = fc::SyncMode::kFinGraVDrift;
+    points.push_back(drift);
+    fc::SweepPoint coarse;
+    coarse.window_index = 2;
+    points.push_back(coarse);
+    fc::SweepPoint prefix;
+    prefix.runs = 5;
+    points.push_back(prefix);
+
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        const auto reused = recorded.restitch(points[p]);
+        const auto reexecuted =
+            fc::RecordedCampaign::record(spec, extra).restitch(points[p]);
+        EXPECT_TRUE(fc::identicalProfileSets(reused, reexecuted))
+            << "sweep point " << p;
+    }
+}
+
+TEST(RecordedCampaign, SweepPointsBehaveAsSpecified)
+{
+    const auto recorded = fc::RecordedCampaign::record(recordSpec(), {20_ms});
+
+    fc::SweepPoint prefix;
+    prefix.runs = 4;
+    const auto small = recorded.restitch(prefix);
+    EXPECT_EQ(small.runs_executed, 4u);
+    EXPECT_EQ(small.binning.total_runs, 4u);
+
+    const auto fine = recorded.restitch({});
+    fc::SweepPoint coarse_point;
+    coarse_point.window_index = 1;
+    const auto coarse = recorded.restitch(coarse_point);
+    // A 20x coarser window yields at most as many LOIs per unit time and
+    // a later SSP execution index.
+    EXPECT_GE(coarse.ssp_exec_index, fine.ssp_exec_index);
+    ASSERT_FALSE(fine.ssp.empty());
+
+    fc::SweepPoint nodelay;
+    nodelay.sync_mode = fc::SyncMode::kNoDelayAccounting;
+    EXPECT_EQ(recorded.restitch(nodelay).read_delay_us, 0.0);
+    fc::SweepPoint drift;
+    drift.sync_mode = fc::SyncMode::kFinGraVDrift;
+    EXPECT_NE(recorded.restitch(drift).drift_ppm, 0.0);
+}
+
+TEST(RecordedCampaign, ConcurrentRecordingDeterministic)
+{
+    // Deterministic per-campaign RNG streams under concurrent campaign
+    // start: recordings racing on a pool reproduce the serial recording.
+    const auto spec = recordSpec();
+    const auto reference = fc::RecordedCampaign::record(spec).restitch({});
+
+    std::vector<fc::ProfileSet> raced(4);
+    fs::ThreadPool pool(4);
+    pool.parallelFor(raced.size(), [&](std::size_t i) {
+        raced[i] = fc::RecordedCampaign::record(spec).restitch({});
+    });
+    for (std::size_t i = 0; i < raced.size(); ++i) {
+        EXPECT_TRUE(fc::identicalProfileSets(reference, raced[i]))
+            << "racer " << i;
+    }
+}

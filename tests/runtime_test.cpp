@@ -145,13 +145,28 @@ TEST(HostRuntime, StopWithoutStartIsUserError)
     EXPECT_THROW(host.stopPowerLog(), fs::FatalError);
 }
 
-TEST(HostRuntime, MismatchedLoggerWindowIsUserError)
+TEST(HostRuntime, MultiWindowCapture)
 {
+    // A device may run several loggers with distinct windows at once (the
+    // multi-window capture RecordedCampaign window sweeps restitch from).
     sim::Simulation s(quietConfig(), 11, 1);
     rt::HostRuntime host(s, s.forkRng(1));
     host.startPowerLog(0, 1_ms);
-    host.stopPowerLog(0);
-    EXPECT_THROW(host.startPowerLog(0, 50_ms), fs::FatalError);
+    host.startPowerLog(0, 10_ms);
+    host.sleep(25_ms);
+    const auto k = fk::makeSquareGemm(8192, s.config());
+    host.timedRun(k->workAt(1.0));
+    host.sleep(12_ms);
+    // With several captures live, an unaddressed stop is ambiguous.
+    EXPECT_THROW(host.stopPowerLog(0), fs::FatalError);
+    const auto fine = host.stopPowerLog(0, 1_ms);
+    const auto coarse = host.stopPowerLog(0, 10_ms);
+    EXPECT_GT(fine.size(), 5 * coarse.size());
+    ASSERT_GE(coarse.size(), 2u);
+    // The primary window is the first-created logger's.
+    EXPECT_EQ(host.powerLogWindow(0), 1_ms);
+    // Stopping an already-stopped window is a user error.
+    EXPECT_THROW(host.stopPowerLog(0, 10_ms), fs::FatalError);
 }
 
 TEST(HostRuntime, CollectiveRunsOnAllDevices)

@@ -1,21 +1,29 @@
 /**
  * @file
- * Equivalence of the two device-stepping engines.
+ * Golden-output lock for the event-driven device stepping engine.
  *
- * SteppingMode::kEventDriven advances whole constant-power stretches in
- * one slice; SteppingMode::kQuantum replays the same stretch schedule but
- * delivers the power-logger feed in legacy power_step/idle_step
- * sub-slices.  Both must produce *bit-identical* execution logs and power
- * samples for a fixed seed — the property that makes the event-driven
- * engine a safe drop-in.  The scenarios deliberately cover every stretch
- * terminator: kernel completions, delayed ready times, multi-queue
- * contention, DVFS excursions/holds/recovery, boost-budget expiry, idle
- * parking, multi-logger window grids (with measurement noise), capture
- * restarts, and host-driven runs.
+ * History: PR 1 introduced exact next-event advancement behind a
+ * SteppingMode toggle, with the legacy fixed-quantum engine retained as a
+ * bit-identity reference; PR 2 shipped with the equivalence suite green,
+ * and PR 3 retired the legacy engine on the ROADMAP schedule.  With the
+ * reference gone, this suite locks the event engine against *recorded*
+ * golden outputs of the same seeded scenarios the equivalence tests used
+ * to cover (every stretch terminator: kernel completions, delayed ready
+ * times, multi-queue contention, DVFS excursions/holds/recovery,
+ * boost-budget expiry, idle parking, multi-logger window grids with
+ * measurement noise, capture restarts, and host-driven runs) plus
+ * run-to-run determinism and the slice-economy property the engine
+ * exists for.
+ *
+ * Set FINGRAV_PRINT_GOLDEN=1 to dump the current outputs in the golden
+ * format when the engine changes *deliberately*.
  */
 
+#include <cmath>
 #include <cstdint>
-#include <tuple>
+#include <cstdlib>
+#include <iostream>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -87,14 +95,14 @@ struct ScenarioResult {
 };
 
 /**
- * A seeded multi-queue, multi-logger scenario driven directly against the
- * device, identical under both modes by construction.
+ * The seeded multi-queue, multi-logger scenario the equivalence suite
+ * drove against both engines; unchanged so the goldens recorded at
+ * retirement time still apply.
  */
 ScenarioResult
-runDeviceScenario(sim::SteppingMode mode)
+runDeviceScenario()
 {
     auto cfg = sim::mi300xConfig();
-    cfg.stepping = mode;
     sim::Simulation s(cfg, 777, 1);
     auto& dev = s.device(0);
 
@@ -130,84 +138,172 @@ runDeviceScenario(sim::SteppingMode mode)
             dev.stepStats()};
 }
 
-void
-expectIdentical(const ScenarioResult& q, const ScenarioResult& e)
+/** One recorded golden execution record. */
+struct GoldenExec {
+    std::uint64_t id;
+    const char* label;
+    std::int64_t start_ns;
+    std::int64_t end_ns;
+    std::size_t queue;
+};
+
+double
+sumTotalW(const std::vector<sim::PowerSample>& samples)
 {
-    ASSERT_EQ(q.log.size(), e.log.size());
-    for (std::size_t i = 0; i < q.log.size(); ++i) {
-        EXPECT_EQ(q.log[i].id, e.log[i].id) << i;
-        EXPECT_EQ(q.log[i].label, e.log[i].label) << i;
-        EXPECT_EQ(q.log[i].start.nanos(), e.log[i].start.nanos()) << i;
-        EXPECT_EQ(q.log[i].end.nanos(), e.log[i].end.nanos()) << i;
-        EXPECT_EQ(q.log[i].queue, e.log[i].queue) << i;
+    double sum = 0.0;
+    for (const auto& s : samples)
+        sum += s.total_w;
+    return sum;
+}
+
+void
+expectIdentical(const ScenarioResult& a, const ScenarioResult& b)
+{
+    ASSERT_EQ(a.log.size(), b.log.size());
+    for (std::size_t i = 0; i < a.log.size(); ++i) {
+        EXPECT_EQ(a.log[i].id, b.log[i].id) << i;
+        EXPECT_EQ(a.log[i].label, b.log[i].label) << i;
+        EXPECT_EQ(a.log[i].start.nanos(), b.log[i].start.nanos()) << i;
+        EXPECT_EQ(a.log[i].end.nanos(), b.log[i].end.nanos()) << i;
+        EXPECT_EQ(a.log[i].queue, b.log[i].queue) << i;
     }
-    ASSERT_EQ(q.samples_slow.size(), e.samples_slow.size());
-    for (std::size_t i = 0; i < q.samples_slow.size(); ++i)
-        EXPECT_TRUE(q.samples_slow[i] == e.samples_slow[i]) << "slow " << i;
-    ASSERT_EQ(q.samples_fast.size(), e.samples_fast.size());
-    for (std::size_t i = 0; i < q.samples_fast.size(); ++i)
-        EXPECT_TRUE(q.samples_fast[i] == e.samples_fast[i]) << "fast " << i;
+    ASSERT_EQ(a.samples_slow.size(), b.samples_slow.size());
+    for (std::size_t i = 0; i < a.samples_slow.size(); ++i)
+        EXPECT_TRUE(a.samples_slow[i] == b.samples_slow[i]) << "slow " << i;
+    ASSERT_EQ(a.samples_fast.size(), b.samples_fast.size());
+    for (std::size_t i = 0; i < a.samples_fast.size(); ++i)
+        EXPECT_TRUE(a.samples_fast[i] == b.samples_fast[i]) << "fast " << i;
 }
 
 }  // namespace
 
-TEST(SteppingEquivalence, DeviceScenarioBitIdentical)
+TEST(SteppingGolden, DeviceScenarioMatchesRecordedOutputs)
 {
-    const auto quantum = runDeviceScenario(sim::SteppingMode::kQuantum);
-    const auto event = runDeviceScenario(sim::SteppingMode::kEventDriven);
-    ASSERT_FALSE(quantum.log.empty());
-    ASSERT_FALSE(quantum.samples_slow.empty());
-    ASSERT_FALSE(quantum.samples_fast.empty());
-    expectIdentical(quantum, event);
-}
+    const auto r = runDeviceScenario();
 
-TEST(SteppingEquivalence, SharedStretchScheduleAcrossModes)
-{
-    const auto quantum = runDeviceScenario(sim::SteppingMode::kQuantum);
-    const auto event = runDeviceScenario(sim::SteppingMode::kEventDriven);
-    // The stretch schedule is shared; only the logger feed is sub-sliced
-    // by the legacy mode.
-    EXPECT_EQ(quantum.stats.stretches, event.stats.stretches);
-    EXPECT_GT(quantum.stats.slices, event.stats.slices);
-    EXPECT_EQ(event.stats.slices, event.stats.stretches);
-}
-
-TEST(SteppingEquivalence, IdleHeavyLongWindowCollapsesSliceCount)
-{
-    // The regime the event engine exists for: long idle gaps observed by a
-    // coarse (amd-smi style) logger.  The legacy feed pays one slice per
-    // idle_step; the event engine pays one per window boundary/event.
-    auto run = [](sim::SteppingMode mode) {
-        auto cfg = sim::mi300xConfig();
-        cfg.stepping = mode;
-        sim::Simulation s(cfg, 99, 1);
-        auto& dev = s.device(0);
-        auto& logger = dev.addLogger(10_ms);
-        logger.start(dev.localNow());
-        for (int i = 0; i < 5; ++i) {
-            dev.submit(lightKernel(150_us),
-                       fs::SimTime::fromNanos(i * 100'000'000));
+    if (std::getenv("FINGRAV_PRINT_GOLDEN") != nullptr) {
+        std::cout.precision(17);
+        std::cout << "// golden execution log\n";
+        for (const auto& e : r.log) {
+            std::cout << "    {" << e.id << ", \"" << e.label << "\", "
+                      << e.start.nanos() << ", " << e.end.nanos() << ", "
+                      << e.queue << "},\n";
         }
-        dev.advanceUntilIdle(fs::SimTime::fromNanos(600'000'000));
-        dev.advanceTo(fs::SimTime::fromNanos(600'000'000));
-        return std::make_pair(dev.stepStats(), logger.samples());
+        std::cout << "// slow " << r.samples_slow.size() << " samples, sum "
+                  << sumTotalW(r.samples_slow) << "\n"
+                  << "// fast " << r.samples_fast.size() << " samples, sum "
+                  << sumTotalW(r.samples_fast) << "\n"
+                  << "// slow first/last gpu ts "
+                  << r.samples_slow.front().gpu_timestamp << " "
+                  << r.samples_slow.back().gpu_timestamp << "\n"
+                  << "// fast first/last gpu ts "
+                  << r.samples_fast.front().gpu_timestamp << " "
+                  << r.samples_fast.back().gpu_timestamp << "\n"
+                  << "// stretches " << r.stats.stretches << " slices "
+                  << r.stats.slices << "\n";
+    }
+
+    // Recorded at kQuantum retirement time, when the event engine was
+    // still verified bit-identical to the legacy reference.  The exact
+    // integer nanoseconds and tight power sums are products of long
+    // double-precision chains, so they are pinned to the reference
+    // toolchain (g++/libstdc++, x86-64, default CMake Release flags — no
+    // -ffast-math / forced FMA contraction); on a deliberately changed
+    // engine or toolchain, regenerate with FINGRAV_PRINT_GOLDEN=1 after
+    // re-validating determinism.
+    static const GoldenExec kGoldenLog[] = {
+        {7, "memory", 3200000, 3823644, 1},
+        {1, "compute", 3000000, 3912648, 0},
+        {9, "light", 4000000, 4297800, 2},
+        {2, "compute", 3912648, 4971582, 0},
+        {3, "compute", 4971582, 5929040, 0},
+        {4, "compute", 5929040, 6856675, 0},
+        {5, "compute", 6856675, 7757111, 0},
+        {6, "compute", 7757111, 8632609, 0},
+        {8, "memory", 9000000, 9299252, 1},
+        {10, "compute", 91000000, 91954654, 0},
     };
-    const auto [qstats, qsamples] = run(sim::SteppingMode::kQuantum);
-    const auto [estats, esamples] = run(sim::SteppingMode::kEventDriven);
-    ASSERT_EQ(qsamples.size(), esamples.size());
-    for (std::size_t i = 0; i < qsamples.size(); ++i)
-        EXPECT_TRUE(qsamples[i] == esamples[i]) << i;
-    // 600 ms of mostly idle at 50 us quanta vs ~60 window boundaries.
-    EXPECT_GT(qstats.slices, 20 * estats.slices);
+    const std::size_t kGoldenSlowSamples = 124;
+    const std::size_t kGoldenFastSamples = 415;
+    const double kGoldenSlowSumW = 17429.436084262787;
+    const double kGoldenFastSumW = 58161.236673252381;
+    const std::int64_t kGoldenSlowFirstTs = 4345861300000;
+    const std::int64_t kGoldenSlowLastTs = 4345873600000;
+    const std::int64_t kGoldenFastFirstTs = 4345861140000;
+    const std::int64_t kGoldenFastLastTs = 4345873590000;
+    const std::uint64_t kGoldenStretches = 3645;
+
+    ASSERT_EQ(r.log.size(), std::size(kGoldenLog));
+    for (std::size_t i = 0; i < r.log.size(); ++i) {
+        EXPECT_EQ(r.log[i].id, kGoldenLog[i].id) << i;
+        EXPECT_EQ(r.log[i].label, kGoldenLog[i].label) << i;
+        EXPECT_EQ(r.log[i].start.nanos(), kGoldenLog[i].start_ns) << i;
+        EXPECT_EQ(r.log[i].end.nanos(), kGoldenLog[i].end_ns) << i;
+        EXPECT_EQ(r.log[i].queue, kGoldenLog[i].queue) << i;
+    }
+    ASSERT_EQ(r.samples_slow.size(), kGoldenSlowSamples);
+    ASSERT_EQ(r.samples_fast.size(), kGoldenFastSamples);
+    EXPECT_NEAR(sumTotalW(r.samples_slow), kGoldenSlowSumW,
+                1e-9 * std::abs(kGoldenSlowSumW));
+    EXPECT_NEAR(sumTotalW(r.samples_fast), kGoldenFastSumW,
+                1e-9 * std::abs(kGoldenFastSumW));
+    EXPECT_EQ(r.samples_slow.front().gpu_timestamp, kGoldenSlowFirstTs);
+    EXPECT_EQ(r.samples_slow.back().gpu_timestamp, kGoldenSlowLastTs);
+    EXPECT_EQ(r.samples_fast.front().gpu_timestamp, kGoldenFastFirstTs);
+    EXPECT_EQ(r.samples_fast.back().gpu_timestamp, kGoldenFastLastTs);
+    EXPECT_EQ(r.stats.stretches, kGoldenStretches);
+    // With the sub-sliced legacy feed gone, the engine delivers exactly
+    // one logger slice per stretch.
+    EXPECT_EQ(r.stats.slices, r.stats.stretches);
 }
 
-TEST(SteppingEquivalence, InstrumentedRunsBitIdentical)
+TEST(SteppingGolden, DeviceScenarioDeterministic)
+{
+    // The same seeded scenario must reproduce bitwise across runs — the
+    // in-binary invariance check that backs the recorded goldens.
+    const auto a = runDeviceScenario();
+    const auto b = runDeviceScenario();
+    ASSERT_FALSE(a.log.empty());
+    ASSERT_FALSE(a.samples_slow.empty());
+    ASSERT_FALSE(a.samples_fast.empty());
+    expectIdentical(a, b);
+}
+
+TEST(SteppingGolden, IdleHeavyLongWindowSliceEconomy)
+{
+    // The regime the event engine exists for: long idle gaps observed by
+    // a coarse (amd-smi style) logger.  The retired legacy feed paid one
+    // slice per idle_step; the event engine pays one per window boundary
+    // or state event.  Lock the economy against the analytic legacy cost.
+    auto cfg = sim::mi300xConfig();
+    sim::Simulation s(cfg, 99, 1);
+    auto& dev = s.device(0);
+    auto& logger = dev.addLogger(10_ms);
+    logger.start(dev.localNow());
+    for (int i = 0; i < 5; ++i) {
+        dev.submit(lightKernel(150_us),
+                   fs::SimTime::fromNanos(i * 100'000'000));
+    }
+    dev.advanceUntilIdle(fs::SimTime::fromNanos(600'000'000));
+    dev.advanceTo(fs::SimTime::fromNanos(600'000'000));
+
+    const auto stats = dev.stepStats();
+    EXPECT_EQ(stats.slices, stats.stretches);
+    // 600 ms of mostly idle: the legacy feed would have paid at least
+    // sim_time / idle_step slices (more while kernels ran); the event
+    // engine pays a slice per 10 ms window boundary or state event.
+    const std::uint64_t legacy_floor =
+        static_cast<std::uint64_t>(600'000'000 / cfg.idle_step.nanos());
+    EXPECT_GT(legacy_floor, 20 * stats.slices);
+    EXPECT_EQ(logger.samples().size(), 59u);
+}
+
+TEST(SteppingGolden, InstrumentedRunsDeterministic)
 {
     // Host-runtime level: full instrumented profiling runs (launch/sync
-    // overheads, random delays, power log start/stop) must also match.
-    auto execute = [](sim::SteppingMode mode) {
+    // overheads, random delays, power log start/stop) reproduce bitwise.
+    auto execute = [] {
         auto cfg = sim::mi300xConfig();
-        cfg.stepping = mode;
         auto simulation = std::make_unique<sim::Simulation>(cfg, 4242, 1);
         auto host = std::make_unique<rt::HostRuntime>(
             *simulation, simulation->forkRng(7));
@@ -220,23 +316,21 @@ TEST(SteppingEquivalence, InstrumentedRunsBitIdentical)
             runs.push_back(exec.executeRun(plan, r));
         return runs;
     };
-    const auto quantum = execute(sim::SteppingMode::kQuantum);
-    const auto event = execute(sim::SteppingMode::kEventDriven);
-    ASSERT_EQ(quantum.size(), event.size());
-    for (std::size_t r = 0; r < quantum.size(); ++r) {
-        const auto& a = quantum[r];
-        const auto& b = event[r];
-        EXPECT_EQ(a.run_start_cpu_ns, b.run_start_cpu_ns) << r;
-        EXPECT_EQ(a.log_start_cpu_ns, b.log_start_cpu_ns) << r;
-        ASSERT_EQ(a.execs.size(), b.execs.size()) << r;
-        for (std::size_t i = 0; i < a.execs.size(); ++i) {
-            EXPECT_EQ(a.execs[i].timing.cpu_start_ns,
-                      b.execs[i].timing.cpu_start_ns);
-            EXPECT_EQ(a.execs[i].timing.cpu_end_ns,
-                      b.execs[i].timing.cpu_end_ns);
+    const auto a = execute();
+    const auto b = execute();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        EXPECT_EQ(a[r].run_start_cpu_ns, b[r].run_start_cpu_ns) << r;
+        EXPECT_EQ(a[r].log_start_cpu_ns, b[r].log_start_cpu_ns) << r;
+        ASSERT_EQ(a[r].execs.size(), b[r].execs.size()) << r;
+        for (std::size_t i = 0; i < a[r].execs.size(); ++i) {
+            EXPECT_EQ(a[r].execs[i].timing.cpu_start_ns,
+                      b[r].execs[i].timing.cpu_start_ns);
+            EXPECT_EQ(a[r].execs[i].timing.cpu_end_ns,
+                      b[r].execs[i].timing.cpu_end_ns);
         }
-        ASSERT_EQ(a.samples.size(), b.samples.size()) << r;
-        for (std::size_t i = 0; i < a.samples.size(); ++i)
-            EXPECT_TRUE(a.samples[i] == b.samples[i]) << r << ":" << i;
+        ASSERT_EQ(a[r].samples.size(), b[r].samples.size()) << r;
+        for (std::size_t i = 0; i < a[r].samples.size(); ++i)
+            EXPECT_TRUE(a[r].samples[i] == b[r].samples[i]) << r << ":" << i;
     }
 }

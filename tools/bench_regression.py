@@ -5,6 +5,12 @@ Replaces the fixed speedup floors as the trend check (ROADMAP item): CI
 downloads the previous run's uploaded benchmark artifact and warns when
 any scenario regressed by more than the threshold relative to it.
 
+A missing baseline is *informational*, not an error: a bench that has
+never run before (e.g. a freshly added BENCH_campaign.json) has nothing
+to regress against, so the gate prints the current per-metric table and
+exits clean; the artifact this run uploads becomes the next run's
+baseline.
+
 Comparison rules, per scenario:
   * metrics named "speedup" (higher is better): warn when
         current < baseline * (1 - threshold)
@@ -14,17 +20,21 @@ Comparison rules, per scenario:
     that is not an affirmative "yes" (these are correctness canaries the
     benches themselves enforce; the gate just surfaces them in the diff).
 
+A per-metric delta table is printed for every scenario so the run log
+shows the full trajectory, not only the violations.
+
 Wall-clock numbers from shared CI runners are noisy, so regressions are
 *warnings* (GitHub "::warning::" annotations), not failures — the gate
 exits non-zero only on malformed input.  Scenarios present on one side
 only are reported and skipped.
 
 Usage:
-    bench_regression.py CURRENT.json BASELINE.json [--threshold 0.20]
+    bench_regression.py CURRENT.json [BASELINE.json] [--threshold 0.20]
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -44,14 +54,49 @@ def warn(message):
     print(f"::warning::{message}")
 
 
-def compare_scenario(name, cur, base, threshold):
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_metric_table(name, cur, base=None):
+    """Per-metric delta table for one scenario (base may be absent)."""
+    rows = []
+    for key, cur_val in cur.items():
+        base_val = base.get(key) if base else None
+        delta = ""
+        if (
+            isinstance(cur_val, (int, float))
+            and isinstance(base_val, (int, float))
+            and not isinstance(cur_val, bool)
+            and base_val
+        ):
+            delta = f"{(cur_val / base_val - 1) * 100:+.1f}%"
+        rows.append((key, fmt(cur_val),
+                     fmt(base_val) if base_val is not None else "-", delta))
+    width = max((len(r[0]) for r in rows), default=8)
+    print(f"  {name}:")
+    header = f"    {'metric':<{width}}  {'current':>12}  {'baseline':>12}  delta"
+    print(header)
+    for key, cur_s, base_s, delta in rows:
+        print(f"    {key:<{width}}  {cur_s:>12}  {base_s:>12}  {delta}")
+
+
+def check_canaries(name, cur):
     regressions = 0
     for key, cur_val in cur.items():
-        # Correctness canaries need no baseline to judge.
         if key in ("bit_identical", "bytes_conserved"):
             if str(cur_val).lower() != "yes":
                 warn(f"{name}: {key} = {cur_val!r} (expected 'yes')")
                 regressions += 1
+    return regressions
+
+
+def compare_scenario(name, cur, base, threshold):
+    regressions = check_canaries(name, cur)
+    for key, cur_val in cur.items():
+        if key in ("bit_identical", "bytes_conserved"):
             continue
         if key not in base:
             continue
@@ -82,11 +127,31 @@ def compare_scenario(name, cur, base, threshold):
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("current")
-    parser.add_argument("baseline")
+    parser.add_argument("baseline", nargs="?")
     parser.add_argument("--threshold", type=float, default=0.20)
     args = parser.parse_args()
 
     cur_name, current = load(args.current)
+
+    if args.baseline is None or not os.path.exists(args.baseline):
+        # First run of a new bench: nothing to regress against.  The
+        # correctness canaries still apply; metrics print informationally.
+        missing = args.baseline or "(none given)"
+        print(
+            f"bench_regression: no baseline for {cur_name!r} "
+            f"({missing}); informational run — current metrics:"
+        )
+        regressions = 0
+        for name, scenario in current.items():
+            regressions += check_canaries(name, scenario)
+            print_metric_table(name, scenario)
+        if regressions:
+            print(
+                f"bench_regression: {regressions} correctness canary "
+                "warning(s) — see above"
+            )
+        return 0
+
     base_name, baseline = load(args.baseline)
     if cur_name != base_name:
         warn(
@@ -95,10 +160,14 @@ def main():
         )
 
     regressions = 0
+    print(f"bench_regression: {cur_name} vs previous run:")
     for name, scenario in current.items():
         if name not in baseline:
             print(f"bench_regression: new scenario {name!r} (no baseline)")
+            regressions += check_canaries(name, scenario)
+            print_metric_table(name, scenario)
             continue
+        print_metric_table(name, scenario, baseline[name])
         regressions += compare_scenario(
             name, scenario, baseline[name], args.threshold
         )
