@@ -68,7 +68,7 @@ main()
 
     // One 400-run recording backs the run-budget, margin and sync-mode
     // sweeps: the largest budget any point needs, replayed as prefixes.
-    fc::CampaignSpec spec;
+    fc::ScenarioSpec spec;
     spec.label = "CB-2K-GEMM";
     spec.seed = 13001;
     spec.opts.runs_override = 400;
@@ -132,7 +132,7 @@ main()
     // Multi-window recording: the 1 ms on-GPU logger and 10/50 ms
     // external (amd-smi style) loggers observe the *same* 120 runs; each
     // sweep point restitches its window's samples.
-    fc::CampaignSpec window_spec;
+    fc::ScenarioSpec window_spec;
     window_spec.label = "CB-2K-GEMM";
     window_spec.seed = 13002;
     window_spec.opts.runs_override = 120;

@@ -71,7 +71,7 @@ runParallelCampaigns(tools::BenchReport& report, bool smoke)
     fc::ProfilerOptions opts;
     opts.runs_override = smoke ? 30 : 100;  // bench_fig10 uses 100
 
-    std::vector<fc::CampaignSpec> specs;
+    std::vector<fc::ScenarioSpec> specs;
     std::uint64_t seed = 10001;  // bench_fig10's seeds
     for (const auto& label : labels)
         specs.push_back({label, seed++, opts, 0, nullptr});
@@ -136,7 +136,7 @@ runSweepReuse(tools::BenchReport& report, bool smoke)
 {
     // The ablation's Section VI study: one kernel observed at six logger
     // windows.  CB-8K-GEMM keeps execs-per-run moderate at 50 ms.
-    fc::CampaignSpec spec;
+    fc::ScenarioSpec spec;
     spec.label = "CB-8K-GEMM";
     spec.seed = 13002;
     spec.opts.runs_override = smoke ? 10 : 24;

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Contended-phase profiling benchmark: the scenario layer end to end.
+ *
+ * The paper profiles kernels in isolation; the scenario layer profiles
+ * them *while* a configurable background load contends the shared node
+ * fabric (ROADMAP "Contended-phase profiling").  Three scenarios:
+ *
+ *  1. contended_profile — a 512 MB all-reduce taken through the full
+ *     methodology isolated and under steady injected fabric demand.
+ *     Reports per-phase SSP (normalized-TOI bins) for both, the
+ *     execution stretch and the conservation check: fair-share stretch
+ *     must equal the distinct-transfer demand total (allocated share x
+ *     stretched time moves the original payload).  Hard failure if the
+ *     contended and isolated ProfileSets are bitwise IDENTICAL — the
+ *     coupling this bench exists to track would be dead — or if bytes
+ *     are not conserved.
+ *
+ *  2. phased_contention — the same collective against a *periodic*
+ *     background transfer (kernel-based, on another device): contention
+ *     now covers only part of the campaign, so the stitched profile
+ *     carries a mix of contended- and uncontended-flagged LOIs — the
+ *     per-LOI contention annotation reports split on.
+ *
+ *  3. thread_identity — the full scenario set executed by CampaignRunner
+ *     at 1, 2 and 8 threads.  Any bitwise divergence is a hard failure:
+ *     background launches ride a dedicated per-campaign RNG stream, so
+ *     scenarios keep the campaign engine's bit-identity contract.
+ *
+ * Results go to BENCH_contention.json via tools/bench_json.hpp; CI runs
+ * tools/bench_regression.py over it like the other gates
+ * (docs/PERFORMANCE.md).
+ *
+ * Usage: bench_contention [--smoke] [--out PATH]
+ *   --smoke   reduced run counts (CI); numbers reported, gates still on
+ *   --out     output JSON path (default BENCH_contention.json)
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/scenario.hpp"
+#include "kernels/workloads.hpp"
+#include "sim/machine_config.hpp"
+#include "support/time_types.hpp"
+#include "tools/bench_json.hpp"
+
+namespace an = fingrav::analysis;
+namespace fc = fingrav::core;
+namespace fk = fingrav::kernels;
+namespace fs = fingrav::support;
+namespace tools = fingrav::tools;
+using namespace fingrav::support::literals;
+
+namespace {
+
+constexpr const char* kKernel = "AR-512MB";
+constexpr double kInjectedDemand = 0.6;
+
+/** The three specs of the benchmark: isolated, steady, phased. */
+std::vector<fc::ScenarioSpec>
+benchSpecs(bool smoke)
+{
+    fc::ProfilerOptions opts;
+    opts.runs_override = smoke ? 4 : 10;
+    opts.collect_extra_runs = false;
+
+    fc::ScenarioSpec isolated;
+    isolated.label = kKernel;
+    isolated.seed = 20001;
+    isolated.opts = opts;
+
+    // Steady contention: raw fabric demand injected for the whole
+    // campaign — every phase of every execution is contended.
+    fc::ScenarioSpec steady = isolated;
+    fc::BackgroundLoad inject;
+    inject.kind = fc::BackgroundKind::kFabricDemand;
+    inject.demand = kInjectedDemand;
+    steady.background.push_back(inject);
+
+    // Phased contention: a periodic background transfer on device 1 —
+    // kernel-based, so the contended spans come from real executions and
+    // only part of the campaign is contended.
+    fc::ScenarioSpec phased = isolated;
+    fc::BackgroundLoad transfer;
+    transfer.kind = fc::BackgroundKind::kKernel;
+    transfer.kernel = kKernel;
+    transfer.device = 1;
+    transfer.offset = 500_us;
+    transfer.period = 8_ms;
+    transfer.duty_cycle = 0.4;
+    phased.background.push_back(transfer);
+
+    return {isolated, steady, phased};
+}
+
+bool
+runContendedProfile(tools::BenchReport& report,
+                    const std::vector<fc::ProfileSet>& sets)
+{
+    const auto& isolated = sets[0];
+    const auto& steady = sets[1];
+
+    const bool distinct = !fc::identicalProfileSets(isolated, steady);
+    const auto delta = an::contentionDelta(isolated, steady);
+
+    // Conservation: under fair share the foreground's allocated share is
+    // u / (u + d), so the stretched execution moves share x time = the
+    // uncontended payload exactly when stretch == u + d.
+    const auto cfg = fingrav::sim::mi300xConfig();
+    const double u =
+        fk::kernelByLabel(kKernel, cfg)->workAt(1.0).util.fabric_bw;
+    const double expected_stretch = std::max(1.0, u + kInjectedDemand);
+    const double bytes_ratio = delta.exec_stretch / expected_stretch;
+    const bool conserved = bytes_ratio > 0.92 && bytes_ratio < 1.08;
+
+    auto& s = report.scenario("contended_profile");
+    s.note("description",
+           "512 MB all-reduce isolated vs steady injected fabric demand");
+    s.metric("isolated_ssp_w", isolated.ssp.meanPower());
+    s.metric("contended_ssp_w", steady.ssp.meanPower());
+    s.metric("ssp_delta_pct", delta.ssp_delta_pct);
+    s.metric("exec_stretch", delta.exec_stretch);
+    s.metric("expected_stretch", expected_stretch);
+    s.metric("bytes_ratio", bytes_ratio);
+    s.metric("contended_loi_frac", delta.contended_loi_frac);
+    s.metric("foreground_demand", u);
+    s.metric("injected_demand", kInjectedDemand);
+    s.note("profiles_distinct", distinct ? "yes" : "NO (dead coupling)");
+    s.note("bytes_conserved", conserved ? "yes" : "NO");
+
+    std::cout << "contended_profile: " << kKernel << " isolated "
+              << isolated.ssp.meanPower() << " W vs contended "
+              << steady.ssp.meanPower() << " W, exec stretch "
+              << delta.exec_stretch << "x (expected " << expected_stretch
+              << "x), contended LOI coverage "
+              << delta.contended_loi_frac * 100.0 << " %\n\n"
+              << an::contentionReport(delta) << "\n";
+
+    if (!distinct)
+        std::cerr << "FAIL: contended profile is bitwise identical to the "
+                     "isolated one (dead coupling)\n";
+    if (!conserved)
+        std::cerr << "FAIL: bytes not conserved (stretch " << bytes_ratio
+                  << "x of the fair-share expectation)\n";
+    return distinct && conserved;
+}
+
+bool
+runPhasedContention(tools::BenchReport& report,
+                    const std::vector<fc::ProfileSet>& sets)
+{
+    const auto& isolated = sets[0];
+    const auto& phased = sets[2];
+
+    const bool distinct = !fc::identicalProfileSets(isolated, phased);
+    const double frac =
+        phased.ssp.empty()
+            ? 0.0
+            : static_cast<double>(phased.ssp.contendedCount()) /
+                  static_cast<double>(phased.ssp.size());
+    const bool mixed = frac > 0.0 && frac < 1.0;
+
+    auto& s = report.scenario("phased_contention");
+    s.note("description",
+           "periodic background transfer: mixed contended/uncontended LOIs");
+    s.metric("ssp_lois", static_cast<std::int64_t>(phased.ssp.size()));
+    s.metric("contended_lois",
+             static_cast<std::int64_t>(phased.ssp.contendedCount()));
+    s.metric("contended_loi_frac", frac);
+    s.metric("uncontended_ssp_w", phased.ssp.meanPowerWhere(false));
+    s.metric("contended_ssp_w", phased.ssp.meanPowerWhere(true));
+    s.note("profiles_distinct", distinct ? "yes" : "NO");
+    s.note("mixed_phases", mixed ? "yes" : "no");
+
+    std::cout << "phased_contention: " << phased.ssp.contendedCount() << "/"
+              << phased.ssp.size() << " SSP LOIs contended ("
+              << frac * 100.0 << " %), uncontended "
+              << phased.ssp.meanPowerWhere(false) << " W vs contended "
+              << phased.ssp.meanPowerWhere(true) << " W\n";
+
+    if (!distinct)
+        std::cerr << "FAIL: phased-contention profile identical to the "
+                     "isolated one\n";
+    return distinct;
+}
+
+bool
+runThreadIdentity(tools::BenchReport& report,
+                  const std::vector<fc::ScenarioSpec>& specs,
+                  const std::vector<fc::ProfileSet>& serial)
+{
+    bool identical = true;
+    for (const std::size_t threads : {2u, 8u}) {
+        const auto parallel = fc::CampaignRunner(threads).run(specs);
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            if (!fc::identicalProfileSets(serial[i], parallel[i])) {
+                std::cerr << "FAIL: spec " << i << " diverged at "
+                          << threads << " runner threads\n";
+                identical = false;
+            }
+        }
+    }
+
+    auto& s = report.scenario("thread_identity");
+    s.note("description",
+           "scenario set at 1/2/8 runner threads, bitwise comparison");
+    s.metric("specs", static_cast<std::int64_t>(serial.size()));
+    s.note("bit_identical", identical ? "yes" : "NO");
+    std::cout << "thread_identity: 1/2/8-thread scenario results "
+              << (identical ? "bit-identical" : "DIVERGED") << "\n";
+    return identical;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_contention.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_contention [--smoke] [--out PATH]\n";
+            return 2;
+        }
+    }
+
+    tools::BenchReport report("contention");
+    const auto specs = benchSpecs(smoke);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    bool ok = true;
+    ok = runContendedProfile(report, serial) && ok;
+    ok = runPhasedContention(report, serial) && ok;
+    ok = runThreadIdentity(report, specs, serial) && ok;
+
+    if (!report.write(out_path)) {
+        std::cerr << "bench_contention: cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    if (!ok) {
+        std::cerr << "bench_contention: FAILED (dead coupling, broken "
+                     "conservation or parallel divergence)\n";
+        return 1;
+    }
+    return 0;
+}

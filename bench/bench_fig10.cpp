@@ -48,10 +48,10 @@ main()
 
     // Nine independent campaigns, fanned out over the campaign engine
     // (bench_campaign measures this exact sweep serial vs parallel).
-    std::vector<fc::CampaignSpec> specs;
+    std::vector<fc::ScenarioSpec> specs;
     std::uint64_t seed = 10001;
     for (const auto& label : labels) {
-        fc::CampaignSpec spec;
+        fc::ScenarioSpec spec;
         spec.label = label;
         spec.seed = seed++;
         spec.opts = opts;

@@ -64,20 +64,20 @@ main()
     // the full methodology, the two degraded baselines on the *same*
     // seed (same workload draws, so the tenet is the only variable), and
     // the 50-run resiliency campaign.
-    fc::CampaignSpec synced_spec{"CB-4K-GEMM", 5001, opts, 0, nullptr};
-    fc::CampaignSpec unsynced_spec{
+    fc::ScenarioSpec synced_spec{"CB-4K-GEMM", 5001, opts, 0, nullptr};
+    fc::ScenarioSpec unsynced_spec{
         "CB-4K-GEMM", 5001, opts, 0,
         fc::makeProfileFn([](auto& h, const auto& o, auto rng) {
             return bl::UnsyncedProfiler(h, o, std::move(rng));
         })};
-    fc::CampaignSpec nobin_spec{
+    fc::ScenarioSpec nobin_spec{
         "CB-4K-GEMM", 5001, opts, 0,
         fc::makeProfileFn([](auto& h, const auto& o, auto rng) {
             return bl::NoBinningProfiler(h, o, std::move(rng));
         })};
     fc::ProfilerOptions small;
     small.runs_override = 50;
-    fc::CampaignSpec small_spec{"CB-4K-GEMM", 5002, small, 0, nullptr};
+    fc::ScenarioSpec small_spec{"CB-4K-GEMM", 5002, small, 0, nullptr};
 
     const auto results = fc::CampaignRunner().run(
         {synced_spec, unsynced_spec, nobin_spec, small_spec});

@@ -42,10 +42,10 @@ main()
 
     // Six independent campaigns, fanned out over the campaign engine
     // (bit-identical to the former serial profileOnFreshNode loop).
-    std::vector<fc::CampaignSpec> specs;
+    std::vector<fc::ScenarioSpec> specs;
     std::uint64_t seed = 7001;
     for (const auto& label : labels) {
-        fc::CampaignSpec spec;
+        fc::ScenarioSpec spec;
         spec.label = label;
         spec.seed = seed++;
         specs.push_back(std::move(spec));

@@ -35,10 +35,11 @@ main()
         "paper: power starts low, rises gradually to SSP; SSE/SSP spread "
         "80% (2K) vs 20% (8K)");
 
-    // Both campaigns ride the campaign engine concurrently.
+    // Both campaigns ride the campaign engine concurrently, as isolated
+    // scenarios on the unified spec type.
     const auto results = fc::CampaignRunner().run(
-        {{"CB-2K-GEMM", 8001, {}, 0, nullptr},
-         {"CB-8K-GEMM", 8002, {}, 0, nullptr}});
+        std::vector<fc::ScenarioSpec>{{"CB-2K-GEMM", 8001, {}, 0, nullptr},
+                                      {"CB-8K-GEMM", 8002, {}, 0, nullptr}});
     const auto& set2k = results[0];
     const auto& set8k = results[1];
     std::cout << "\n" << an::summarize(set2k) << "\n";

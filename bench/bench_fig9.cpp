@@ -71,13 +71,13 @@ main()
     fc::ProfilerOptions opts;
     opts.runs_override = 150;  // plenty of LOIs for means; keeps runtime sane
     std::vector<std::string> iso_labels;
-    std::vector<fc::CampaignSpec> iso_specs;
+    std::vector<fc::ScenarioSpec> iso_specs;
     for (const auto& c : cases) {
         if (std::find(iso_labels.begin(), iso_labels.end(), c.main) !=
             iso_labels.end())
             continue;
         iso_labels.push_back(c.main);
-        fc::CampaignSpec spec;
+        fc::ScenarioSpec spec;
         spec.label = c.main;
         spec.seed = seed++;
         spec.opts = opts;
@@ -93,12 +93,12 @@ main()
 
     // The interleaved campaigns are just as independent: each spec's
     // profile_fn runs the Section V-C3 interleaved pipeline on its node.
-    std::vector<fc::CampaignSpec> inter_specs;
+    std::vector<fc::ScenarioSpec> inter_specs;
     for (const auto& c : cases) {
         std::vector<fc::InterleaveItem> prelude;
         for (const auto& [label, count] : c.prelude)
             prelude.push_back({fk::kernelByLabel(label, cfg), count});
-        fc::CampaignSpec spec;
+        fc::ScenarioSpec spec;
         spec.label = c.main;
         spec.seed = seed++;
         spec.opts = opts;

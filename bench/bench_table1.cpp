@@ -68,9 +68,9 @@ main()
                          "LOIs got", "golden %", "validates"});
     std::uint64_t seed = 11001;
     // One campaign per row, fanned out over the campaign engine.
-    std::vector<fc::CampaignSpec> row_specs;
+    std::vector<fc::ScenarioSpec> row_specs;
     for (const auto& c : cases) {
-        fc::CampaignSpec spec;
+        fc::ScenarioSpec spec;
         spec.label = c.label;
         spec.seed = seed++;
         row_specs.push_back(std::move(spec));
@@ -97,7 +97,7 @@ main()
     // Why short kernels need 400 runs, and why the short rows allow a 5 %
     // margin: both sweeps restitch one 400-run recording (cross-campaign
     // run reuse), so every point sees the identical workload draws.
-    fc::CampaignSpec sweep_spec;
+    fc::ScenarioSpec sweep_spec;
     sweep_spec.label = "CB-2K-GEMM";
     sweep_spec.seed = seed++;
     sweep_spec.opts.runs_override = 400;

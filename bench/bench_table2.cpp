@@ -44,9 +44,9 @@ main()
     // Shared campaigns, fanned out over the campaign engine.
     const std::vector<std::string> labels{
         "CB-8K-GEMM", "CB-4K-GEMM", "CB-2K-GEMM", "MB-8K-GEMV"};
-    std::vector<fc::CampaignSpec> specs;
+    std::vector<fc::ScenarioSpec> specs;
     for (const auto& label : labels) {
-        fc::CampaignSpec spec;
+        fc::ScenarioSpec spec;
         spec.label = label;
         spec.seed = seed++;
         specs.push_back(std::move(spec));

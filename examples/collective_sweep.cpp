@@ -81,7 +81,7 @@ main()
     // Four independent collective campaigns over the campaign engine.
     const std::vector<std::string> labels{"AG-64KB", "AG-1GB", "AR-64KB",
                                           "AR-1GB"};
-    std::vector<fc::CampaignSpec> specs;
+    std::vector<fc::ScenarioSpec> specs;
     std::uint64_t seed = 31;
     for (const auto& l : labels)
         specs.push_back({l, seed++, opts, 0, nullptr});

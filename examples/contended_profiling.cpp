@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Contended-phase profiling: what does a collective look like when the
+ * fabric is busy?
+ *
+ * The paper profiles every kernel in isolation, but production
+ * collectives almost never run on quiet fabric.  The scenario layer lets
+ * a campaign *declare* its environment: a ScenarioSpec names the
+ * foreground kernel plus a list of BackgroundLoads — kernels on other
+ * devices or raw bandwidth demand on the shared node fabric — with
+ * offset/period/duty-cycle scheduling.  Everything else (the nine-step
+ * methodology, the campaign engine, bit-reproducibility) is unchanged.
+ *
+ * Three experiments on a 512 MB all-reduce:
+ *   1. isolation (the paper's setup) — the baseline SSP profile;
+ *   2. steady contention — injected fabric demand for the whole
+ *      campaign: the collective stretches by the fair-share factor and
+ *      runs hotter on the IOD rail, visible per phase;
+ *   3. bursty contention — a periodic background transfer: only some
+ *      LOIs land in contended spans, and the per-LOI contention flag
+ *      splits the profile into its uncontended and contended populations.
+ *
+ *   $ ./examples/contended_profiling
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/scenario.hpp"
+#include "support/time_types.hpp"
+
+namespace an = fingrav::analysis;
+namespace fc = fingrav::core;
+using namespace fingrav::support::literals;
+
+int
+main()
+{
+    fc::ProfilerOptions opts;
+    opts.runs_override = 12;
+    opts.collect_extra_runs = false;
+
+    // 1. The paper's setup: the collective alone on the node.
+    fc::ScenarioSpec isolated;
+    isolated.label = "AR-512MB";
+    isolated.seed = 77;
+    isolated.opts = opts;
+
+    // 2. Steady environment pressure: 60 % of one GPU's achievable
+    //    fabric bandwidth, injected for the whole campaign.
+    fc::ScenarioSpec steady = isolated;
+    fc::BackgroundLoad inject;
+    inject.kind = fc::BackgroundKind::kFabricDemand;
+    inject.demand = 0.6;
+    steady.background.push_back(inject);
+
+    // 3. Bursty environment: a real 512 MB all-reduce transfer launched
+    //    on device 1 every 8 ms, active ~40 % of each cycle.
+    fc::ScenarioSpec bursty = isolated;
+    fc::BackgroundLoad transfer;
+    transfer.kind = fc::BackgroundKind::kKernel;
+    transfer.kernel = "AR-512MB";
+    transfer.device = 1;
+    transfer.offset = 500_us;
+    transfer.period = 8_ms;
+    transfer.duty_cycle = 0.4;
+    bursty.background.push_back(transfer);
+
+    // One batch, three environments; the runner fans them out and each
+    // campaign stays bit-reproducible (background launches ride their own
+    // RNG stream).
+    std::cout << "profiling AR-512MB in three environments ...\n";
+    const auto sets =
+        fc::CampaignRunner().run({isolated, steady, bursty});
+
+    std::cout << "\n[isolated] " << an::summarize(sets[0]) << "\n";
+    std::cout << "[steady]   " << an::summarize(sets[1]) << "\n";
+    std::cout << "[bursty]   " << an::summarize(sets[2]) << "\n";
+
+    // Steady contention: every phase is slower and hotter.
+    std::cout << "\n== steady contention vs isolation ==\n"
+              << an::contentionReport(an::contentionDelta(sets[0], sets[1]));
+    std::cout << "\nThe stretch equals the distinct-transfer demand total "
+                 "(fair share), and\nthe extra power lives in the IOD rail "
+                 "— saturated SerDes, exactly the\npaper's Fig. 10 story "
+                 "with the contention knob turned on.\n";
+
+    // Bursty contention: the per-LOI flag separates the populations.
+    const auto& ssp = sets[2].ssp;
+    std::cout << "\n== bursty contention ==\n"
+              << ssp.contendedCount() << " of " << ssp.size()
+              << " SSP LOIs landed in contended spans:\n"
+              << "  uncontended mean " << ssp.meanPowerWhere(false)
+              << " W\n  contended mean   " << ssp.meanPowerWhere(true)
+              << " W\n";
+    std::cout << "\nSplitting on the flag recovers both regimes from ONE "
+                 "campaign — no need\nto guess which runs overlapped the "
+                 "background burst.\n";
+
+    an::dumpProfileCsv(sets[0].ssp, "contended_profiling_isolated");
+    an::dumpProfileCsv(sets[1].ssp, "contended_profiling_steady");
+    an::dumpProfileCsv(sets[2].ssp, "contended_profiling_bursty");
+    std::cout << "\nCSV dumps under fingrav_out/contended_profiling_*.csv\n";
+    return 0;
+}

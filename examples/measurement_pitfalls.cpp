@@ -53,7 +53,7 @@ main()
     // campaign engine in one batch: per challenge, the degraded baseline
     // and the FinGraV tenet share a seed (identical workload draws).
     const char* kLabel = "CB-2K-GEMM";
-    std::vector<fc::CampaignSpec> specs{
+    std::vector<fc::ScenarioSpec> specs{
         {kLabel, 41, opts, 0,
          fc::makeProfileFn([](auto& h, const auto& o, auto rng) {
              return bl::CoarseLoggerProfiler(h, o, std::move(rng), 50_ms);

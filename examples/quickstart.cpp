@@ -2,12 +2,14 @@
  * @file
  * Quickstart: profile one kernel with the full FinGraV methodology.
  *
- * Describes the campaign as a CampaignSpec and hands it to the campaign
+ * Describes the campaign as a ScenarioSpec and hands it to the campaign
  * engine, which builds a fresh simulated MI300X-class node (the full
  * 8-GPU node automatically for collectives), runs the nine-step pipeline,
  * and returns the stitched fine-grain power profile with the SSE/SSP
  * differentiation report.  Pass several specs to CampaignRunner::run to
- * profile a kernel *set* concurrently — see bench/bench_fig10.cpp.
+ * profile a kernel *set* concurrently — see bench/bench_fig10.cpp — or
+ * add ScenarioSpec::background loads to profile under a contended
+ * environment — see examples/contended_profiling.cpp.
  *
  *   $ ./examples/quickstart [kernel-label] [seed]
  *   e.g. ./examples/quickstart CB-2K-GEMM 7
@@ -36,7 +38,7 @@ main(int argc, char** argv)
     // 1. Describe the campaign: kernel, seed, methodology knobs
     //    (paper defaults: guidance-table run counts, 1 ms logger, CPU-GPU
     //    sync, binning, SSE/SSP differentiation).
-    fc::CampaignSpec spec;
+    fc::ScenarioSpec spec;
     spec.label = label;
     spec.seed = seed;
 

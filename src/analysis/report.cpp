@@ -1,5 +1,6 @@
 #include "analysis/report.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
@@ -36,9 +37,10 @@ core::ProfileSet
 profileOnFreshNode(const std::string& label, std::uint64_t seed,
                    core::ProfilerOptions opts)
 {
-    // Delegates to the campaign engine; CampaignRunner::runOne mirrors
-    // the Campaign construction bitwise, so results are unchanged.
-    core::CampaignSpec spec;
+    // Delegates to the campaign engine as an isolated scenario;
+    // CampaignNode mirrors the legacy Campaign construction bitwise for
+    // background-free scenarios, so results are unchanged.
+    core::ScenarioSpec spec;
     spec.label = label;
     spec.seed = seed;
     spec.opts = opts;
@@ -54,8 +56,107 @@ summarize(const core::ProfileSet& set)
         << set.binning.golden_runs.size() << ", "
         << set.binning.outlierCount() << " outliers), SSE idx "
         << set.sse_exec_index << ", SSP idx " << set.ssp_exec_index
-        << ", LOIs sse/ssp " << set.sse.size() << "/" << set.ssp.size()
-        << ", SSP power " << set.ssp.meanPower() << " W";
+        << ", LOIs sse/ssp " << set.sse.size() << "/" << set.ssp.size();
+    // Custom profile_fn pipelines may apply no guidance target at all.
+    if (set.loi_target > 0) {
+        oss << ", LOI yield " << set.ssp.size() << "/" << set.loi_target
+            << " (" << static_cast<int>(set.loiYield() * 100.0 + 0.5)
+            << "%)";
+    }
+    oss << ", SSP power " << set.ssp.meanPower() << " W";
+    if (const auto contended = set.ssp.contendedCount(); contended > 0)
+        oss << ", contended LOIs " << contended << "/" << set.ssp.size();
+    return oss.str();
+}
+
+double
+ContentionPhase::deltaPct() const
+{
+    if (isolated_lois == 0 || contended_lois == 0 || isolated_w == 0.0)
+        return 0.0;
+    return (contended_w - isolated_w) / isolated_w * 100.0;
+}
+
+ContentionDelta
+contentionDelta(const core::ProfileSet& isolated,
+                const core::ProfileSet& contended, std::size_t phases)
+{
+    if (phases == 0)
+        support::fatal("contentionDelta: need at least one phase");
+    if (isolated.label != contended.label)
+        support::warn("contentionDelta: comparing different kernels (",
+                      isolated.label, " vs ", contended.label, ")");
+
+    ContentionDelta out;
+    if (isolated.ssp_exec_time.nanos() > 0) {
+        out.exec_stretch = contended.ssp_exec_time.toMicros() /
+                           isolated.ssp_exec_time.toMicros();
+    }
+    const double iso_w = isolated.ssp.meanPower();
+    if (iso_w > 0.0) {
+        out.ssp_delta_pct =
+            (contended.ssp.meanPower() - iso_w) / iso_w * 100.0;
+    }
+    if (!contended.ssp.empty()) {
+        out.contended_loi_frac =
+            static_cast<double>(contended.ssp.contendedCount()) /
+            static_cast<double>(contended.ssp.size());
+    }
+
+    // Phases are normalized-TOI bins: the contended execution is longer,
+    // so absolute TOIs do not correspond — fractions of each execution do.
+    out.phases.resize(phases);
+    for (std::size_t i = 0; i < phases; ++i) {
+        out.phases[i].frac_lo =
+            static_cast<double>(i) / static_cast<double>(phases);
+        out.phases[i].frac_hi =
+            static_cast<double>(i + 1) / static_cast<double>(phases);
+    }
+    auto bin_of = [&](double frac) {
+        const auto b = static_cast<std::size_t>(
+            std::clamp(frac, 0.0, 1.0) * static_cast<double>(phases));
+        return std::min(b, phases - 1);
+    };
+    for (const auto& p : isolated.ssp.points()) {
+        auto& phase = out.phases[bin_of(p.toi_frac)];
+        phase.isolated_w += p.sample.total_w;
+        ++phase.isolated_lois;
+    }
+    for (const auto& p : contended.ssp.points()) {
+        auto& phase = out.phases[bin_of(p.toi_frac)];
+        phase.contended_w += p.sample.total_w;
+        ++phase.contended_lois;
+    }
+    for (auto& phase : out.phases) {
+        if (phase.isolated_lois > 0)
+            phase.isolated_w /= static_cast<double>(phase.isolated_lois);
+        if (phase.contended_lois > 0)
+            phase.contended_w /= static_cast<double>(phase.contended_lois);
+    }
+    return out;
+}
+
+std::string
+contentionReport(const ContentionDelta& delta)
+{
+    std::ostringstream oss;
+    oss << "exec stretch " << delta.exec_stretch << "x, SSP power shift "
+        << delta.ssp_delta_pct << " %, contended LOI coverage "
+        << delta.contended_loi_frac * 100.0 << " %\n";
+    support::TableWriter table({"phase (frac of exec)", "isolated (W)",
+                                "contended (W)", "delta (%)",
+                                "LOIs iso/cont"});
+    for (const auto& p : delta.phases) {
+        std::ostringstream range;
+        range << p.frac_lo << "-" << p.frac_hi;
+        table.addRow({range.str(),
+                      support::TableWriter::num(p.isolated_w, 1),
+                      support::TableWriter::num(p.contended_w, 1),
+                      support::TableWriter::num(p.deltaPct(), 1),
+                      std::to_string(p.isolated_lois) + "/" +
+                          std::to_string(p.contended_lois)});
+    }
+    table.print(oss);
     return oss.str();
 }
 

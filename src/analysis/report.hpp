@@ -56,9 +56,10 @@ class Campaign {
 
 /**
  * Profile a paper kernel on a fresh node (devices chosen automatically:
- * full node for collectives, single GPU otherwise).  Thin wrapper over
- * core::CampaignRunner::runOne; campaign *sets* should go through
- * core::CampaignRunner::run to profile concurrently.
+ * full node for collectives, single GPU otherwise).  Builds an isolated
+ * core::ScenarioSpec and hands it to core::CampaignRunner::runOne;
+ * campaign *sets* should go through core::CampaignRunner::run to profile
+ * concurrently.
  */
 core::ProfileSet profileOnFreshNode(const std::string& label,
                                     std::uint64_t seed,
@@ -66,6 +67,41 @@ core::ProfileSet profileOnFreshNode(const std::string& label,
 
 /** One-line summary of a campaign (label, exec time, LOIs, golden runs). */
 std::string summarize(const core::ProfileSet& set);
+
+/** One normalized-TOI phase of a contention comparison. */
+struct ContentionPhase {
+    double frac_lo = 0.0;        ///< phase start, fraction of exec time
+    double frac_hi = 0.0;        ///< phase end
+    double isolated_w = 0.0;     ///< mean isolated SSP power in the phase
+    double contended_w = 0.0;    ///< mean contended SSP power in the phase
+    std::size_t isolated_lois = 0;
+    std::size_t contended_lois = 0;
+
+    /** Contended-vs-isolated power shift, percent (0 when no LOIs). */
+    double deltaPct() const;
+};
+
+/**
+ * Per-phase SSP comparison of the same kernel profiled in isolation and
+ * under a scenario environment: execution-time stretch, contended-LOI
+ * coverage, and the SSP power delta per normalized-TOI phase (phases are
+ * fractions of execution time because the contended execution runs
+ * longer — the paper-style per-phase view).
+ */
+struct ContentionDelta {
+    double exec_stretch = 0.0;       ///< contended/isolated SSP exec time
+    double ssp_delta_pct = 0.0;      ///< overall mean SSP power shift, %
+    double contended_loi_frac = 0.0; ///< contended-flagged share of LOIs
+    std::vector<ContentionPhase> phases;
+};
+
+/** Compare isolated vs contended ProfileSets of one kernel. */
+ContentionDelta contentionDelta(const core::ProfileSet& isolated,
+                                const core::ProfileSet& contended,
+                                std::size_t phases = 4);
+
+/** Printable per-phase contention-delta table. */
+std::string contentionReport(const ContentionDelta& delta);
 
 /** Dump a profile as CSV under ./fingrav_out/<name>.csv (best effort). */
 void dumpProfileCsv(const core::PowerProfile& profile,

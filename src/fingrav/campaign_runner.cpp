@@ -1,5 +1,7 @@
 #include "fingrav/campaign_runner.hpp"
 
+#include <algorithm>
+#include <mutex>
 #include <thread>
 
 #include "kernels/workloads.hpp"
@@ -11,20 +13,43 @@ namespace fingrav::core {
 namespace {
 
 std::size_t
-campaignDevices(const CampaignSpec& spec,
-                const kernels::KernelModelPtr& kernel)
+scenarioDevices(const ScenarioSpec& spec,
+                const kernels::KernelModelPtr& kernel,
+                const sim::MachineConfig& cfg)
 {
-    return spec.devices != 0 ? spec.devices
-                             : (kernel->isCollective() ? 0 : 1);
+    if (spec.devices != 0)
+        return spec.devices;
+    if (kernel->isCollective())
+        return 0;  // full node
+    // Non-collective foreground: one GPU, plus enough devices to host
+    // every background kernel load — capped at the node size (a load on
+    // a device the node does not have is rejected downstream).
+    std::size_t devices = 1;
+    for (const auto& load : spec.background) {
+        if (load.kind == BackgroundKind::kKernel)
+            devices = std::max(devices, load.device + 1);
+    }
+    return std::min(devices, cfg.node_gpus);
 }
 
 }  // namespace
 
-CampaignNode::CampaignNode(const CampaignSpec& spec,
+CampaignNode::CampaignNode(const ScenarioSpec& spec,
                            const sim::MachineConfig& cfg)
     : kernel_(kernels::kernelByLabel(spec.label, cfg)),
-      sim_(cfg, spec.seed, campaignDevices(spec, kernel_)),
+      sim_(cfg, spec.seed, scenarioDevices(spec, kernel_, cfg)),
       host_(sim_, sim_.forkRng(7))
+{
+    // The background channel is armed off dedicated root stream 9; an
+    // empty background list arms nothing, so an isolated scenario's node
+    // is bitwise the pre-scenario node (forking is a pure function of
+    // the root seed and never perturbs streams 7/8).
+    host_.armBackground(buildBackgroundStreams(spec, sim_), sim_.forkRng(9));
+}
+
+CampaignNode::CampaignNode(const CampaignSpec& spec,
+                           const sim::MachineConfig& cfg)
+    : CampaignNode(ScenarioSpec::fromCampaign(spec), cfg)
 {
 }
 
@@ -37,7 +62,7 @@ CampaignRunner::CampaignRunner(std::size_t threads) : threads_(threads)
 }
 
 ProfileSet
-CampaignRunner::runOne(const CampaignSpec& spec, const sim::MachineConfig& cfg)
+CampaignRunner::runOne(const ScenarioSpec& spec, const sim::MachineConfig& cfg)
 {
     CampaignNode node(spec, cfg);
     if (spec.profile_fn) {
@@ -48,8 +73,14 @@ CampaignRunner::runOne(const CampaignSpec& spec, const sim::MachineConfig& cfg)
         .profile(node.kernel());
 }
 
+ProfileSet
+CampaignRunner::runOne(const CampaignSpec& spec, const sim::MachineConfig& cfg)
+{
+    return runOne(ScenarioSpec::fromCampaign(spec), cfg);
+}
+
 std::vector<ProfileSet>
-CampaignRunner::run(const std::vector<CampaignSpec>& specs,
+CampaignRunner::run(const std::vector<ScenarioSpec>& specs,
                     const sim::MachineConfig& cfg) const
 {
     std::vector<ProfileSet> results(specs.size());
@@ -60,14 +91,47 @@ CampaignRunner::run(const std::vector<CampaignSpec>& specs,
             results[i] = runOne(specs[i], cfg);
         return results;
     }
+    // Nested-oversubscription guard: campaign workers multiply with each
+    // node's advance-thread pool.  Node stepping is bit-identical for any
+    // advance thread count, so capping only relocates work — it never
+    // changes results — and keeps distributed-sharding-sized campaign
+    // sets from drowning the host in threads.
+    sim::MachineConfig effective = cfg;
+    const std::size_t advance = std::max<std::size_t>(1, cfg.advance_threads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0 && workers * advance > hw) {
+        const std::size_t cap = std::max<std::size_t>(1, hw / workers);
+        if (cap < advance) {
+            static std::once_flag warned;
+            std::call_once(warned, [&] {
+                support::warn("CampaignRunner: ", workers, " campaign "
+                              "threads x ", advance, " advance threads "
+                              "exceed ", hw, " hardware threads; capping "
+                              "per-campaign advance threads at ", cap,
+                              " (results unchanged)");
+            });
+            effective.advance_threads = cap;
+        }
+    }
     // Campaigns are hermetic, so the pool only decides where each one
     // executes; every result lands in its spec's slot regardless of
     // completion order.
     support::ThreadPool pool(workers);
     pool.parallelFor(specs.size(), [&](std::size_t i) {
-        results[i] = runOne(specs[i], cfg);
+        results[i] = runOne(specs[i], effective);
     });
     return results;
+}
+
+std::vector<ProfileSet>
+CampaignRunner::run(const std::vector<CampaignSpec>& specs,
+                    const sim::MachineConfig& cfg) const
+{
+    std::vector<ScenarioSpec> scenarios;
+    scenarios.reserve(specs.size());
+    for (const auto& spec : specs)
+        scenarios.push_back(ScenarioSpec::fromCampaign(spec));
+    return run(scenarios, cfg);
 }
 
 bool
@@ -98,6 +162,7 @@ identicalProfileSets(const ProfileSet& a, const ProfileSet& b)
            a.ssp_exec_index == b.ssp_exec_index &&
            a.execs_per_run == b.execs_per_run &&
            a.ssp_exec_time == b.ssp_exec_time &&
+           a.loi_target == b.loi_target &&
            a.read_delay_us == b.read_delay_us &&
            a.drift_ppm == b.drift_ppm && identicalProfiles(a.sse, b.sse) &&
            identicalProfiles(a.ssp, b.ssp) &&

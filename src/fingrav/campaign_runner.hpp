@@ -3,38 +3,46 @@
 
 /**
  * @file
- * Campaign-level execution engine: concurrent multi-kernel profiling.
+ * Campaign-level execution engine: concurrent multi-scenario profiling.
  *
- * A profiling *campaign* — one kernel taken through the full nine-step
+ * A profiling *campaign* — one scenario taken through the full nine-step
  * methodology on a fresh node — is hermetic: it owns its Simulation, its
- * HostRuntime and every RNG stream, all derived from the campaign seed.
- * Campaigns are therefore embarrassingly parallel (the paper profiles
- * each kernel in isolation; Section IV-B), and every figure/table
- * reproduction is a set of independent campaigns.  CampaignRunner fans a
- * spec list out over a support::ThreadPool, one node per campaign, and
- * returns ProfileSets in spec order — bit-identical to the serial loop
- * for any thread count and any completion order, because no state is
- * shared between campaigns and each result lands in its spec's slot.
+ * HostRuntime, its background channel and every RNG stream, all derived
+ * from the scenario seed.  Campaigns are therefore embarrassingly
+ * parallel (the paper profiles each kernel in isolation; Section IV-B),
+ * and every figure/table reproduction is a set of independent scenarios.
+ * CampaignRunner fans a spec list out over a support::ThreadPool, one
+ * node per campaign, and returns ProfileSets in spec order —
+ * bit-identical to the serial loop for any thread count and any
+ * completion order, because no state is shared between campaigns and
+ * each result lands in its spec's slot.
  *
  * Determinism contract:
  *  - a campaign's entire trajectory is a pure function of (spec, machine
  *    config): Simulation(cfg, seed) owns the root RNG; the runtime forks
- *    stream 7 and the profiler stream 8, exactly as the serial
- *    analysis::Campaign always did, so runner results replicate the
- *    legacy per-campaign loops bitwise;
+ *    stream 7, the profiler stream 8 and the background channel stream 9,
+ *    exactly as the serial analysis::Campaign always did (plus the
+ *    channel), so runner results replicate the legacy per-campaign loops
+ *    bitwise when the scenario has no background;
  *  - the pool only decides *where* a campaign executes, never what it
  *    sees: specs never share a Simulation, a device, a logger or an Rng.
+ *
+ * Nested oversubscription: campaign-level threads multiply with
+ * MachineConfig::advance_threads (the node stepper's pool).  When the
+ * product would exceed the hardware, run() caps the per-campaign advance
+ * threads — results are unchanged (node stepping is bit-identical for
+ * any advance thread count), only the thread placement is.
  *
  * For sweep studies that re-examine the *same* executions under varied
  * stitch-time parameters, see fingrav/recorded_campaign.hpp.
  */
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "fingrav/profiler.hpp"
+#include "fingrav/scenario.hpp"
 #include "kernels/kernel_model.hpp"
 #include "runtime/host_runtime.hpp"
 #include "sim/machine_config.hpp"
@@ -44,55 +52,23 @@
 namespace fingrav::core {
 
 /**
- * Custom profiling procedure for one campaign (defaults to the full
- * FinGraV Profiler).  Lets baseline profilers (src/baselines/) and other
- * degraded pipelines ride the same runner without a layering cycle.
- */
-using ProfileFn = std::function<ProfileSet(
-    runtime::HostRuntime& host, const kernels::KernelModelPtr& kernel,
-    const ProfilerOptions& opts, support::Rng rng)>;
-
-/**
- * Adapt a profiler factory `(host, opts, rng) -> profiler-with-.profile`
- * into a ProfileFn — the one-liner that puts a baseline profiler
- * (src/baselines/) on the runner.
- */
-template <typename MakeProfiler>
-ProfileFn
-makeProfileFn(MakeProfiler make_profiler)
-{
-    return ProfileFn([make_profiler](runtime::HostRuntime& host,
-                                     const kernels::KernelModelPtr& kernel,
-                                     const ProfilerOptions& opts,
-                                     support::Rng rng) {
-        return make_profiler(host, opts, std::move(rng)).profile(kernel);
-    });
-}
-
-/** One independent profiling campaign. */
-struct CampaignSpec {
-    std::string label;          ///< kernel label (kernels/workloads.hpp)
-    std::uint64_t seed = 1;     ///< root seed; campaigns are bit-reproducible
-    ProfilerOptions opts;       ///< methodology knobs
-    /** GPUs to instantiate; 0 = auto (full node for collectives, 1 GPU
-     *  otherwise, as analysis::profileOnFreshNode always chose). */
-    std::size_t devices = 0;
-    /** Custom profiling procedure; null = core::Profiler::profile. */
-    ProfileFn profile_fn;
-};
-
-/**
- * The fresh node of one campaign: kernel, simulation, runtime.
+ * The fresh node of one campaign: kernel, simulation, runtime, armed
+ * background channel.
  *
  * This class *is* the bit-identity contract of campaign construction —
- * resolved kernel, auto device count (full node for collectives, 1 GPU
- * otherwise), runtime RNG = root stream 7, profiler RNG = root stream 8
- * (profilerRng()) — mirroring analysis::Campaign exactly.  Both
- * CampaignRunner::runOne and RecordedCampaign::record build on it, so
- * the live and recorded pipelines cannot drift apart.
+ * resolved kernel, auto device count (full node for collectives, enough
+ * devices for the background loads, 1 GPU otherwise), runtime RNG = root
+ * stream 7, profiler RNG = root stream 8 (profilerRng()), background
+ * channel = root stream 9 — mirroring analysis::Campaign exactly for
+ * background-free scenarios.  Both CampaignRunner::runOne and
+ * RecordedCampaign::record build on it, so the live and recorded
+ * pipelines cannot drift apart.
  */
 class CampaignNode {
   public:
+    CampaignNode(const ScenarioSpec& spec, const sim::MachineConfig& cfg);
+
+    /** Legacy campaign description: an isolated-environment scenario. */
     CampaignNode(const CampaignSpec& spec, const sim::MachineConfig& cfg);
 
     const kernels::KernelModelPtr& kernel() const { return kernel_; }
@@ -121,18 +97,33 @@ class CampaignRunner {
     std::size_t threads() const { return threads_; }
 
     /**
-     * Execute one campaign on a fresh node (serial, on this thread).
-     * Construction mirrors analysis::Campaign, so results are
-     * bit-identical to the legacy profileOnFreshNode path.
+     * Execute one scenario on a fresh node (serial, on this thread).
+     */
+    static ProfileSet runOne(const ScenarioSpec& spec,
+                             const sim::MachineConfig& cfg =
+                                 sim::mi300xConfig());
+
+    /**
+     * Legacy overload: execute one campaign description.  Construction
+     * mirrors analysis::Campaign, so results are bit-identical to the
+     * pre-scenario profileOnFreshNode path.
      */
     static ProfileSet runOne(const CampaignSpec& spec,
                              const sim::MachineConfig& cfg =
                                  sim::mi300xConfig());
 
     /**
-     * Execute every campaign, fanned out over the pool; results are in
-     * spec order and bit-identical to running the specs serially.
+     * Execute every scenario, fanned out over the pool; results are in
+     * spec order and bit-identical to running the specs serially.  When
+     * campaign threads x cfg.advance_threads oversubscribes the
+     * hardware, per-campaign advance threads are capped (logged once;
+     * results unchanged).
      */
+    std::vector<ProfileSet> run(const std::vector<ScenarioSpec>& specs,
+                                const sim::MachineConfig& cfg =
+                                    sim::mi300xConfig()) const;
+
+    /** Legacy overload: lifts each CampaignSpec into a scenario. */
     std::vector<ProfileSet> run(const std::vector<CampaignSpec>& specs,
                                 const sim::MachineConfig& cfg =
                                     sim::mi300xConfig()) const;

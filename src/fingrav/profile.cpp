@@ -85,6 +85,29 @@ PowerProfile::maxPower(Rail rail) const
     return v;
 }
 
+std::size_t
+PowerProfile::contendedCount() const
+{
+    std::size_t n = 0;
+    for (const auto& p : points_)
+        n += p.contended ? 1 : 0;
+    return n;
+}
+
+double
+PowerProfile::meanPowerWhere(bool contended, Rail rail) const
+{
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto& p : points_) {
+        if (p.contended != contended)
+            continue;
+        acc += railValue(p.sample, rail);
+        ++n;
+    }
+    return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
 support::PolyFitResult
 PowerProfile::trend(Rail rail, std::size_t degree) const
 {

@@ -48,6 +48,14 @@ struct ProfilePoint {
     sim::PowerSample sample;    ///< the LOI (per-rail window averages)
     std::size_t run_index = 0;  ///< which run produced it
     std::size_t exec_index = 0; ///< which execution within the run
+    /**
+     * Contention state active when this LOI closed: true when the
+     * sample's timestamp fell inside a background-active interval of its
+     * run (scenario environments; fingrav/scenario.hpp).  Always false
+     * for isolated campaigns, so reports can split SSP/SSE into
+     * uncontended vs contended phases.
+     */
+    bool contended = false;
 };
 
 /** Bitwise point equality (stitcher equivalence checks). */
@@ -56,7 +64,8 @@ operator==(const ProfilePoint& a, const ProfilePoint& b)
 {
     return a.toi_us == b.toi_us && a.toi_frac == b.toi_frac &&
            a.run_time_us == b.run_time_us && a.sample == b.sample &&
-           a.run_index == b.run_index && a.exec_index == b.exec_index;
+           a.run_index == b.run_index && a.exec_index == b.exec_index &&
+           a.contended == b.contended;
 }
 
 /** Profile flavour per the paper's S4 differentiation. */
@@ -101,6 +110,13 @@ class PowerProfile {
     /** Min/max of a rail across all points; 0 when empty. */
     double minPower(Rail rail = Rail::kTotal) const;
     double maxPower(Rail rail = Rail::kTotal) const;
+
+    /** LOIs flagged as contended (scenario environments). */
+    std::size_t contendedCount() const;
+
+    /** Mean of a rail over points with the given contention flag; 0 when
+     *  no point carries that flag. */
+    double meanPowerWhere(bool contended, Rail rail = Rail::kTotal) const;
 
     /**
      * Degree-`degree` least-squares trend of a rail over TOI (the paper's

@@ -130,6 +130,7 @@ Profiler::profile(const kernels::KernelModelPtr& kernel)
     // ---- step 1: execution time + guidance lookup -----------------------
     out.measured_exec_time = measureExecTime(kernel);
     out.guidance = guidance_.lookup(out.measured_exec_time);
+    out.loi_target = out.guidance.recommendedLois(out.measured_exec_time);
 
     // ---- step 2/7 prep: CPU-GPU time sync -------------------------------
     TimeSync sync = TimeSync::calibrate(host_, opts_.device);
@@ -192,12 +193,10 @@ Profiler::profile(const kernels::KernelModelPtr& kernel)
     // Appended runs are stitched incrementally; the stitcher rebuilds only
     // when a new run shifts the modal execution-time bin.
     if (opts_.collect_extra_runs) {
-        const std::size_t target =
-            out.guidance.recommendedLois(out.measured_exec_time);
         const auto max_total = static_cast<std::size_t>(
             static_cast<double>(base_runs) *
             (1.0 + opts_.max_extra_run_factor));
-        while (out.ssp.size() < target && runs.size() < max_total) {
+        while (out.ssp.size() < out.loi_target && runs.size() < max_total) {
             runs.push_back(exec.executeRun(plan, runs.size()));
             out.runs_executed = runs.size();
             stitcher.restitch(runs, out);
@@ -224,6 +223,7 @@ Profiler::profileInterleaved(const kernels::KernelModelPtr& main,
     out.label = main->label();
     out.measured_exec_time = measureExecTime(main);
     out.guidance = guidance_.lookup(out.measured_exec_time);
+    out.loi_target = out.guidance.recommendedLois(out.measured_exec_time);
 
     TimeSync sync = TimeSync::calibrate(host_, opts_.device);
     if (opts_.sync_mode == SyncMode::kNoDelayAccounting)
@@ -258,12 +258,10 @@ Profiler::profileInterleaved(const kernels::KernelModelPtr& main,
     stitcher.restitch(runs, out);
 
     if (opts_.collect_extra_runs) {
-        const std::size_t target =
-            out.guidance.recommendedLois(out.measured_exec_time);
         const auto max_total = static_cast<std::size_t>(
             static_cast<double>(base_runs) *
             (1.0 + opts_.max_extra_run_factor));
-        while (out.ssp.size() < target && runs.size() < max_total) {
+        while (out.ssp.size() < out.loi_target && runs.size() < max_total) {
             runs.push_back(exec.executeRun(plan, runs.size()));
             out.runs_executed = runs.size();
             stitcher.restitch(runs, out);

@@ -104,12 +104,28 @@ struct ProfileSet {
     std::size_t ssp_exec_index = 0;
     std::size_t execs_per_run = 0;
     support::Duration ssp_exec_time;       ///< mean golden SSP duration
+    /** The guidance table's LOI collection target for this campaign (the
+     *  step-8 top-up goal); 0 when no guidance was applied. */
+    std::size_t loi_target = 0;
     double read_delay_us = 0.0;            ///< benchmarked S2 delay
     double drift_ppm = 0.0;                ///< estimated (drift mode only)
 
     PowerProfile sse;       ///< steady-state-execution profile
     PowerProfile ssp;       ///< steady-state-power profile
     PowerProfile timeline;  ///< full-run view (Fig. 6 / Fig. 8 style)
+
+    /**
+     * Achieved SSP-LOI yield against the guidance target (1.0 = target
+     * met) — the observable guidance-table autotuning needs to derive
+     * #runs from instead of the static Table I (ROADMAP).
+     */
+    double
+    loiYield() const
+    {
+        return loi_target > 0 ? static_cast<double>(ssp.size()) /
+                                    static_cast<double>(loi_target)
+                              : 0.0;
+    }
 };
 
 /**

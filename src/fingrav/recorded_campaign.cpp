@@ -25,6 +25,14 @@ RecordedCampaign::record(const CampaignSpec& spec,
                          const std::vector<Duration>& extra_windows,
                          const sim::MachineConfig& cfg)
 {
+    return record(ScenarioSpec::fromCampaign(spec), extra_windows, cfg);
+}
+
+RecordedCampaign
+RecordedCampaign::record(const ScenarioSpec& spec,
+                         const std::vector<Duration>& extra_windows,
+                         const sim::MachineConfig& cfg)
+{
     RecordedCampaign rc;
     rc.spec_ = spec;
     const auto& opts = rc.spec_.opts;
@@ -151,6 +159,7 @@ RecordedCampaign::record(const CampaignSpec& spec,
             v.samples = std::move(run.extra_samples[w - 1]);
             v.run_start_cpu_ns = run.run_start_cpu_ns;
             v.log_start_cpu_ns = run.log_start_cpu_ns;
+            v.contended_cpu_ns = run.contended_cpu_ns;
             view.push_back(std::move(v));
         }
     }
@@ -187,6 +196,7 @@ RecordedCampaign::restitch(const SweepPoint& point) const
     out.label = spec_.label;
     out.measured_exec_time = measured_exec_time_;
     out.guidance = guidance_;
+    out.loi_target = guidance_.recommendedLois(measured_exec_time_);
     out.read_delay_us = sync.readDelay().toMicros();
     if (opts.sync_mode == SyncMode::kFinGraVDrift)
         out.drift_ppm = sync.estimatedDriftPpm();
@@ -202,9 +212,7 @@ RecordedCampaign::restitch(const SweepPoint& point) const
         std::min(point.runs.value_or(base_runs_), runs.size());
     stitcher.restitch(runs, budget, out);
     if (!point.runs.has_value() && opts.collect_extra_runs) {
-        const std::size_t target =
-            out.guidance.recommendedLois(out.measured_exec_time);
-        while (out.ssp.size() < target && budget < runs.size()) {
+        while (out.ssp.size() < out.loi_target && budget < runs.size()) {
             ++budget;
             stitcher.restitch(runs, budget, out);
         }

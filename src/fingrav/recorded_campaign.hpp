@@ -72,8 +72,17 @@ class RecordedCampaign {
     /**
      * Execute `spec` once on a fresh node, capturing the run pool at the
      * maximum top-up budget with loggers at the primary window plus
-     * `extra_windows` (all distinct).
+     * `extra_windows` (all distinct).  The scenario's background loads
+     * run while the pool is recorded, so contended-phase campaigns sweep
+     * like isolated ones; each captured run carries its contention
+     * intervals and restitches annotate LOIs from them.
      */
+    static RecordedCampaign record(
+        const ScenarioSpec& spec,
+        const std::vector<support::Duration>& extra_windows = {},
+        const sim::MachineConfig& cfg = sim::mi300xConfig());
+
+    /** Legacy overload: lifts the campaign description into a scenario. */
     static RecordedCampaign record(
         const CampaignSpec& spec,
         const std::vector<support::Duration>& extra_windows = {},
@@ -102,12 +111,12 @@ class RecordedCampaign {
     }
 
     /** The spec as recorded. */
-    const CampaignSpec& spec() const { return spec_; }
+    const ScenarioSpec& spec() const { return spec_; }
 
   private:
     RecordedCampaign() = default;
 
-    CampaignSpec spec_;
+    ScenarioSpec spec_;
     support::Duration measured_exec_time_;
     GuidanceEntry guidance_;
     support::Duration tick_;

@@ -16,6 +16,19 @@ RunRecord::mainExecDuration(std::size_t i) const
     return execs[main_exec_indices[i]].timing.duration();
 }
 
+bool
+RunRecord::contendedAt(std::int64_t cpu_ns) const
+{
+    // Intervals are merged and ascending: binary-search the first
+    // interval ending after the instant and test containment.
+    const auto it = std::upper_bound(
+        contended_cpu_ns.begin(), contended_cpu_ns.end(), cpu_ns,
+        [](std::int64_t t, const std::pair<std::int64_t, std::int64_t>& iv) {
+            return t < iv.second;
+        });
+    return it != contended_cpu_ns.end() && cpu_ns >= it->first;
+}
+
 RunExecutor::RunExecutor(runtime::HostRuntime& host, support::Rng rng)
     : host_(host), rng_(std::move(rng))
 {
@@ -165,6 +178,15 @@ RunExecutor::executeRun(const RunPlan& plan, std::size_t run_index,
 
     // Drain any remaining devices (collectives) and return to idle.
     host_.synchronizeAll();
+
+    // Scenario environments: attach the contention state that was live
+    // during the run's capture (everything the channel launched has
+    // completed by now — the drain above waited for it — so kernel
+    // intervals carry exact bounds).
+    if (with_power && host_.backgroundArmed()) {
+        rec.contended_cpu_ns = host_.backgroundActiveCpuIntervals(
+            rec.log_start_cpu_ns, host_.cpuClockAt(host_.masterNow()));
+    }
     return rec;
 }
 

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kernels/kernel_model.hpp"
@@ -79,9 +80,19 @@ struct RunRecord {
     std::vector<std::vector<sim::PowerSample>> extra_samples;
     std::int64_t run_start_cpu_ns = 0;          ///< first execution start
     std::int64_t log_start_cpu_ns = 0;          ///< power-log start call
+    /**
+     * Contention state active during the run: background-active CPU-clock
+     * intervals (merged, ascending) overlapping the run's capture, from
+     * the runtime's background channel.  Empty for isolated campaigns.
+     * The stitcher annotates each LOI against these intervals.
+     */
+    std::vector<std::pair<std::int64_t, std::int64_t>> contended_cpu_ns;
 
     /** CPU-measured duration of the i-th main execution. */
     support::Duration mainExecDuration(std::size_t i) const;
+
+    /** True when the CPU-clock instant fell inside a contended interval. */
+    bool contendedAt(std::int64_t cpu_ns) const;
 };
 
 /** Executes RunPlans against a host runtime. */

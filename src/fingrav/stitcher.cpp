@@ -170,6 +170,7 @@ ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
             p.sample = run.samples[k];
             p.run_index = run.run_index;
             p.exec_index = j;
+            p.contended = run.contendedAt(cpu[k]);
             if (j == out.sse_exec_index)
                 out.sse.add(p);
             if (j >= out.ssp_exec_index)
@@ -184,6 +185,7 @@ ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
             static_cast<double>(cpu[k] - run.run_start_cpu_ns) / 1e3;
         p.sample = run.samples[k];
         p.run_index = run.run_index;
+        p.contended = run.contendedAt(cpu[k]);
         out.timeline.add(p);
     }
 }
@@ -275,6 +277,7 @@ ProfileStitcher::stitchReference(const ProfilerOptions& opts,
                 p.sample = s;
                 p.run_index = run.run_index;
                 p.exec_index = j;
+                p.contended = run.contendedAt(cpu);
                 if (j == out.sse_exec_index)
                     out.sse.add(p);
                 if (j >= out.ssp_exec_index)
@@ -289,6 +292,7 @@ ProfileStitcher::stitchReference(const ProfilerOptions& opts,
                 static_cast<double>(cpu - run.run_start_cpu_ns) / 1e3;
             p.sample = s;
             p.run_index = run.run_index;
+            p.contended = run.contendedAt(cpu);
             out.timeline.add(p);
         }
     }

@@ -75,13 +75,19 @@ paperKernels(const sim::MachineConfig& cfg)
 KernelModelPtr
 kernelByLabel(const std::string& label, const sim::MachineConfig& cfg)
 {
-    for (auto& k : paperKernels(cfg)) {
+    const auto all = paperKernels(cfg);
+    for (auto& k : all) {
         if (k->label() == label)
             return k;
     }
+    std::string available;
+    for (const auto& k : all) {
+        if (!available.empty())
+            available += ", ";
+        available += k->label();
+    }
     support::fatal("kernelByLabel: unknown kernel '", label,
-                   "' (expected a paper label such as CB-8K-GEMM, "
-                   "MB-4K-GEMV, AG-1GB, AR-64KB)");
+                   "'; available paper labels: ", available);
 }
 
 }  // namespace fingrav::kernels

@@ -1,0 +1,235 @@
+#include "runtime/background_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/gpu_device.hpp"
+#include "support/logging.hpp"
+
+namespace fingrav::runtime {
+
+BackgroundChannel::BackgroundChannel(sim::Simulation& sim,
+                                     std::vector<BackgroundStream> streams,
+                                     support::Rng rng)
+    : sim_(sim), streams_(std::move(streams)), states_(streams_.size()),
+      rng_(std::move(rng)), log_cursor_(sim.deviceCount(), 0)
+{
+    if (streams_.empty())
+        support::fatal("BackgroundChannel: no streams (arm only when the "
+                       "scenario has background loads)");
+    for (const auto& s : streams_) {
+        if (s.inject_demand <= 0.0 && s.device >= sim_.deviceCount())
+            support::fatal("BackgroundChannel: stream device ", s.device,
+                           " out of range (", sim_.deviceCount(),
+                           " devices)");
+    }
+}
+
+bool
+BackgroundChannel::nextEvent(std::size_t i, support::SimTime* when,
+                             bool* is_off) const
+{
+    const auto& s = streams_[i];
+    const auto& st = states_[i];
+    if (st.on) {
+        // Injection off-event closes the current active window.
+        *when = s.first + s.period * static_cast<double>(st.next_cycle - 1) +
+                s.active;
+        *is_off = true;
+        return true;
+    }
+    if (s.cycles != 0 && st.next_cycle >= s.cycles)
+        return false;
+    *when = s.first + s.period * static_cast<double>(st.next_cycle);
+    *is_off = false;
+    return true;
+}
+
+bool
+BackgroundChannel::hasPending() const
+{
+    support::SimTime when;
+    bool off;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        if (nextEvent(i, &when, &off))
+            return true;
+    }
+    return false;
+}
+
+support::SimTime
+BackgroundChannel::nextDue() const
+{
+    bool found = false;
+    auto best = support::SimTime::fromNanos(0);
+    support::SimTime when;
+    bool off;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        if (nextEvent(i, &when, &off) && (!found || when < best)) {
+            best = when;
+            found = true;
+        }
+    }
+    FINGRAV_ASSERT(found, "nextDue called with no pending events");
+    return best;
+}
+
+void
+BackgroundChannel::publishInjection()
+{
+    sim_.fabric().injectDemand(injected_);
+}
+
+void
+BackgroundChannel::fire(std::size_t i, support::SimTime when, bool is_off)
+{
+    auto& s = streams_[i];
+    auto& st = states_[i];
+    if (is_off) {
+        // Close the injection window: retire this stream's transfer.
+        injected_.erase(
+            std::remove_if(injected_.begin(), injected_.end(),
+                           [&](const sim::FabricDemand& d) {
+                               return d.group == st.group;
+                           }),
+            injected_.end());
+        publishInjection();
+        st.on = false;
+        st.group = 0;
+        return;
+    }
+    ++st.next_cycle;
+    if (s.inject_demand > 0.0) {
+        st.group = sim_.fabric().allocGroup();
+        injected_.push_back({st.group, s.inject_demand});
+        publishInjection();
+        windows_.emplace_back(when, when + s.active);
+        st.on = true;
+        return;
+    }
+    // Kernel burst: queued at the cycle start in one device queue, so the
+    // copies run back-to-back and occupy roughly the active span.
+    auto& dev = sim_.device(s.device);
+    for (std::size_t l = 0; l < s.launches_per_cycle; ++l) {
+        sim::KernelWork work = s.work;
+        if (s.jitter_sigma > 0.0) {
+            work.nominal_duration =
+                work.nominal_duration * rng_.lognormalJitter(s.jitter_sigma);
+        }
+        // A drain may have carried the device past the cycle start (the
+        // channel never rewinds time); the launch slips to the device
+        // present in that case — deterministically.
+        const auto ready = std::max(when, dev.localNow());
+        Launch launch;
+        launch.device = s.device;
+        launch.submitted = ready;
+        launch.exec_id = dev.submit(work, ready, s.queue);
+        launches_.push_back(launch);
+    }
+}
+
+void
+BackgroundChannel::pump(support::SimTime horizon)
+{
+    for (;;) {
+        // Earliest pending event at or before the horizon; off-events
+        // win time ties so adjacent windows never double-count, and the
+        // stream index breaks exact ties — a fixed, deterministic order.
+        std::size_t best = streams_.size();
+        auto best_when = horizon;
+        bool best_off = false;
+        for (std::size_t i = 0; i < streams_.size(); ++i) {
+            support::SimTime when;
+            bool off;
+            if (!nextEvent(i, &when, &off) || when > horizon)
+                continue;
+            if (best == streams_.size() || when < best_when ||
+                (when == best_when && off && !best_off)) {
+                best = i;
+                best_when = when;
+                best_off = off;
+            }
+        }
+        if (best == streams_.size())
+            return;
+        fire(best, best_when, best_off);
+    }
+}
+
+void
+BackgroundChannel::harvestCompletions()
+{
+    for (auto& launch : launches_) {
+        if (launch.resolved)
+            continue;
+        auto& log = sim_.device(launch.device).executionLog();
+        for (std::size_t k = log_cursor_[launch.device]; k < log.size();
+             ++k) {
+            if (log[k].id == launch.exec_id) {
+                launch.submitted = log[k].start;
+                launch.end = log[k].end;
+                launch.resolved = true;
+                break;
+            }
+        }
+    }
+    // Advance per-device cursors past fully-scanned prefixes lazily: the
+    // cursor only moves when every unresolved launch on the device is
+    // newer than the prefix, which the simple rule below approximates by
+    // snapping to the log size once all launches are resolved.
+    bool all_resolved = true;
+    for (const auto& launch : launches_)
+        all_resolved = all_resolved && launch.resolved;
+    if (all_resolved) {
+        for (std::size_t d = 0; d < log_cursor_.size(); ++d)
+            log_cursor_[d] = sim_.device(d).executionLog().size();
+    }
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+BackgroundChannel::activeCpuIntervals(std::int64_t from_ns,
+                                      std::int64_t to_ns)
+{
+    harvestCompletions();
+    const auto& clock = sim_.cpuClock();
+    // Queries advance monotonically (one per run, in run order), so
+    // history that resolved entirely before this query's window can
+    // never be asked for again — prune it, keeping the per-run cost
+    // proportional to the run instead of the whole campaign.
+    std::erase_if(launches_, [&](const Launch& launch) {
+        return launch.resolved &&
+               clock.domainTime(launch.end).nanos() <= from_ns;
+    });
+    std::erase_if(windows_, [&](const auto& w) {
+        return clock.domainTime(w.second).nanos() <= from_ns;
+    });
+    std::vector<std::pair<std::int64_t, std::int64_t>> raw;
+    raw.reserve(launches_.size() + windows_.size());
+    auto add = [&](support::SimTime a, support::SimTime b) {
+        const std::int64_t lo = clock.domainTime(a).nanos();
+        const std::int64_t hi = clock.domainTime(b).nanos();
+        if (hi <= from_ns || lo >= to_ns || hi <= lo)
+            return;
+        raw.emplace_back(std::max(lo, from_ns), std::min(hi, to_ns));
+    };
+    for (const auto& launch : launches_) {
+        const auto end = launch.resolved
+                             ? launch.end
+                             : sim_.device(launch.device).localNow();
+        add(launch.submitted, end);
+    }
+    for (const auto& w : windows_)
+        add(w.first, w.second);
+
+    std::sort(raw.begin(), raw.end());
+    std::vector<std::pair<std::int64_t, std::int64_t>> merged;
+    for (const auto& iv : raw) {
+        if (!merged.empty() && iv.first <= merged.back().second)
+            merged.back().second = std::max(merged.back().second, iv.second);
+        else
+            merged.push_back(iv);
+    }
+    return merged;
+}
+
+}  // namespace fingrav::runtime

@@ -1,0 +1,150 @@
+#ifndef FINGRAV_RUNTIME_BACKGROUND_CHANNEL_HPP_
+#define FINGRAV_RUNTIME_BACKGROUND_CHANNEL_HPP_
+
+/**
+ * @file
+ * Deterministic background-launch channel of the host runtime.
+ *
+ * Models the *environment* a kernel is profiled in: an independent
+ * driver process that launches kernels on (usually) other devices of the
+ * node, or injects raw bandwidth demand on the shared fabric, on a fixed
+ * schedule.  The scenario layer (fingrav/scenario.hpp) compiles
+ * declarative BackgroundLoads into BackgroundStreams; HostRuntime arms
+ * one channel per node and *pumps* it before device time moves, so every
+ * scheduled event fires at its exact master time:
+ *
+ *  - pump(horizon) submits/applies every event due at or before the
+ *    horizon, in (time, stream) order — called before any device
+ *    advance whose target is known;
+ *  - drains with an open-ended target (synchronize-until-idle) are split
+ *    at nextDue() boundaries by the runtime, so launches due *during* a
+ *    foreground execution land mid-execution and the contended phase is
+ *    priced live;
+ *  - end-of-run drains (synchronizeAll) do not pump: the environment
+ *    never drains, so cycle starts falling inside a drain slip to the
+ *    next host interaction instead of keeping the node busy forever.
+ *
+ * Determinism: the channel owns a dedicated RNG stream (forked from the
+ * simulation root by the scenario layer), draws are made in event order,
+ * and all scheduling is in master time — the trajectory is a pure
+ * function of (streams, seed) regardless of who pumps when, as long as
+ * the pump points themselves are deterministic (they are: the runtime's
+ * call sites depend only on host-visible state).
+ *
+ * The channel also records when its background work was *actually*
+ * active (kernel intervals from the device execution logs of its own
+ * launches — knowledge any real background driver has about its own
+ * kernels — and injection windows as commanded).  The run executor
+ * attaches these intervals to each RunRecord so the stitcher can
+ * annotate every LOI with the contention state in force during it.
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/fabric.hpp"
+#include "sim/kernel_work.hpp"
+#include "sim/simulation.hpp"
+#include "support/rng.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::runtime {
+
+/** One compiled background stream (see fingrav/scenario.hpp). */
+struct BackgroundStream {
+    /** Kernel template (ignored for injection streams). */
+    sim::KernelWork work;
+    /** > 0: raw fabric-demand injection instead of kernel launches. */
+    double inject_demand = 0.0;
+    std::size_t device = 1;        ///< executing device (kernel streams)
+    std::size_t queue = 1;         ///< device queue (kernel streams)
+    support::SimTime first;        ///< master time of cycle 0 start
+    support::Duration period;      ///< cycle length (ignored when cycles==1)
+    support::Duration active;      ///< active span per cycle
+    std::size_t launches_per_cycle = 1;  ///< kernel copies queued per cycle
+    std::size_t cycles = 1;        ///< 0 = unbounded
+    double jitter_sigma = 0.0;     ///< per-launch duration jitter (kernels)
+};
+
+/** Drives BackgroundStreams against a simulation (owned by HostRuntime). */
+class BackgroundChannel {
+  public:
+    /**
+     * @param sim      Node to drive; must outlive the channel.
+     * @param streams  Compiled streams (non-empty; validated upstream).
+     * @param rng      Dedicated channel randomness (per-launch jitter).
+     */
+    BackgroundChannel(sim::Simulation& sim,
+                      std::vector<BackgroundStream> streams,
+                      support::Rng rng);
+
+    BackgroundChannel(const BackgroundChannel&) = delete;
+    BackgroundChannel& operator=(const BackgroundChannel&) = delete;
+
+    /** True while any stream still has scheduled events. */
+    bool hasPending() const;
+
+    /** Master time of the earliest pending event (hasPending() first). */
+    support::SimTime nextDue() const;
+
+    /** Fire every event due at or before `horizon`, in schedule order. */
+    void pump(support::SimTime horizon);
+
+    /**
+     * Background-active CPU-clock intervals overlapping [from_ns, to_ns],
+     * merged and ascending: completed kernel launches carry their exact
+     * execution bounds (from the launching device's log), in-flight ones
+     * extend to the device's present, injection windows are as commanded.
+     * Successive calls must not move `from_ns` backwards (the run
+     * executor queries once per run, in run order): history resolved
+     * before the query window is pruned so per-run cost stays bounded.
+     */
+    std::vector<std::pair<std::int64_t, std::int64_t>>
+    activeCpuIntervals(std::int64_t from_ns, std::int64_t to_ns);
+
+  private:
+    struct StreamState {
+        std::size_t next_cycle = 0;  ///< cycle of the next on-event
+        bool on = false;             ///< injection currently active
+        std::uint64_t group = 0;     ///< injected transfer id while on
+    };
+
+    /** One submitted kernel launch awaiting/holding its exact bounds. */
+    struct Launch {
+        std::size_t device = 0;
+        std::uint64_t exec_id = 0;
+        support::SimTime submitted;
+        support::SimTime end;       ///< valid once resolved
+        bool resolved = false;
+    };
+
+    /** Next event time of stream `i` (on or off), or nullopt when done. */
+    bool nextEvent(std::size_t i, support::SimTime* when,
+                   bool* is_off) const;
+
+    /** Fire stream `i`'s next event. */
+    void fire(std::size_t i, support::SimTime when, bool is_off);
+
+    /** Re-post the current injected-demand set to the fabric. */
+    void publishInjection();
+
+    /** Resolve completed launches against the device execution logs. */
+    void harvestCompletions();
+
+    sim::Simulation& sim_;
+    std::vector<BackgroundStream> streams_;
+    std::vector<StreamState> states_;
+    support::Rng rng_;
+
+    std::vector<Launch> launches_;
+    std::vector<std::size_t> log_cursor_;  ///< per device
+    /** Injection windows as commanded, master time, append-ordered. */
+    std::vector<std::pair<support::SimTime, support::SimTime>> windows_;
+    /** Currently injected transfers (one entry per active demand cycle). */
+    std::vector<sim::FabricDemand> injected_;
+};
+
+}  // namespace fingrav::runtime
+
+#endif  // FINGRAV_RUNTIME_BACKGROUND_CHANNEL_HPP_

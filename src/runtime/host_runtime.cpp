@@ -58,8 +58,40 @@ HostRuntime::sleep(support::Duration d)
 }
 
 void
-HostRuntime::catchUpDevice(std::size_t device)
+HostRuntime::pumpBackground(support::SimTime horizon)
 {
+    if (background_ != nullptr)
+        background_->pump(horizon);
+}
+
+void
+HostRuntime::armBackground(std::vector<BackgroundStream> streams,
+                           support::Rng rng)
+{
+    if (streams.empty())
+        return;  // isolated scenario: keep the legacy runtime bitwise
+    if (background_ != nullptr)
+        support::fatal("armBackground: channel already armed");
+    background_ = std::make_unique<BackgroundChannel>(
+        sim_, std::move(streams), std::move(rng));
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+HostRuntime::backgroundActiveCpuIntervals(std::int64_t from_ns,
+                                          std::int64_t to_ns)
+{
+    if (background_ == nullptr)
+        return {};
+    return background_->activeCpuIntervals(from_ns, to_ns);
+}
+
+void
+HostRuntime::catchUpDevice(std::size_t device, bool pump_background)
+{
+    // Background events due by the host present must be in the device
+    // queues (or on the fabric) before anyone advances past them.
+    if (pump_background)
+        pumpBackground(cpu_now_);
     // While collectives are in flight the devices are fabric-coupled:
     // catching one up alone would price contention from a stale sibling
     // snapshot, so the whole node rides to the host present together.
@@ -103,19 +135,42 @@ HostRuntime::launchOnAllDevices(const sim::KernelWork& work,
 void
 HostRuntime::synchronize(std::size_t device)
 {
+    synchronizeImpl(device, /*pump_background=*/true);
+}
+
+void
+HostRuntime::synchronizeImpl(std::size_t device, bool pump_background)
+{
+    if (pump_background)
+        pumpBackground(cpu_now_);
     auto& dev = sim_.device(device);
     if (dev.idle()) {
-        catchUpDevice(device);
+        catchUpDevice(device, pump_background);
         cpu_now_ += kSyncPollCost;
         return;
     }
     // While node-fabric transfers are outstanding the drain must step the
     // whole node in fabric epochs, or contended collectives would finish
     // at uncontended speed; otherwise the legacy single-device drain.
+    // With a background channel armed, the drain is additionally split at
+    // the channel's due times: a background launch (or injected-demand
+    // toggle) scheduled *during* the drain fires at its exact master
+    // time, so the contended phase of a foreground execution is priced
+    // from the environment that was live while it ran.
     const auto limit = cpu_now_ + kSyncLimit;
-    const auto done = sim_.fabric().coupled()
-                          ? sim_.advanceDeviceUntilIdle(device, limit)
-                          : dev.advanceUntilIdle(limit);
+    auto done = cpu_now_;
+    for (;;) {
+        auto bound = limit;
+        if (pump_background && background_ != nullptr &&
+            background_->hasPending())
+            bound = std::min(limit, background_->nextDue());
+        done = sim_.fabric().coupled()
+                   ? sim_.advanceDeviceUntilIdle(device, bound)
+                   : dev.advanceUntilIdle(bound);
+        if (dev.idle() || bound == limit)
+            break;
+        pumpBackground(bound);
+    }
     if (!dev.idle())
         support::fatal("HostRuntime::synchronize: device ", device,
                        " did not drain within the watchdog window");
@@ -132,15 +187,22 @@ HostRuntime::synchronizeAll()
 {
     // Batched pre-pass: bring every device to the host present in one
     // coordinated loop, then drain them in order.  The per-device sync
-    // overhead/jitter accounting below is unchanged.
+    // overhead/jitter accounting below is unchanged.  Already-due
+    // background events are submitted first, but the drains themselves do
+    // not feed the channel: the environment never drains, so an
+    // end-of-run synchronizeAll drains the node against the submitted
+    // environment only and later cycle starts slip to the next host
+    // interaction.
+    pumpBackground(cpu_now_);
     sim_.advanceAllTo(cpu_now_);
     for (std::size_t d = 0; d < sim_.deviceCount(); ++d)
-        synchronize(d);
+        synchronizeImpl(d, /*pump_background=*/false);
 }
 
 void
 HostRuntime::advanceAllDevices()
 {
+    pumpBackground(cpu_now_);
     sim_.advanceAllTo(cpu_now_);
 }
 

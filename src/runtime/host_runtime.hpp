@@ -21,8 +21,11 @@
  */
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "runtime/background_channel.hpp"
 #include "sim/gpu_device.hpp"
 #include "sim/kernel_work.hpp"
 #include "sim/power_logger.hpp"
@@ -123,6 +126,33 @@ class HostRuntime {
     HostTiming timedRun(const sim::KernelWork& work, std::size_t device = 0);
 
     // ------------------------------------------------------------------
+    // Background-launch channel (scenario environments)
+    // ------------------------------------------------------------------
+
+    /**
+     * Arm the background-launch channel with compiled streams (see
+     * fingrav/scenario.hpp).  The channel is a deterministic environment
+     * driver: events fire at their scheduled master times, interleaved
+     * with foreground drains, off the dedicated `rng` stream.  Empty
+     * stream lists are a no-op, so an isolated scenario's runtime is
+     * bitwise indistinguishable from a pre-scenario one.  May be armed
+     * at most once, before any background event is due.
+     */
+    void armBackground(std::vector<BackgroundStream> streams,
+                       support::Rng rng);
+
+    /** True when a background channel is armed. */
+    bool backgroundArmed() const { return background_ != nullptr; }
+
+    /**
+     * Background-active CPU-clock intervals overlapping [from_ns, to_ns]
+     * (merged, ascending); empty without an armed channel.  This is the
+     * contention-state record the stitcher annotates LOIs with.
+     */
+    std::vector<std::pair<std::int64_t, std::int64_t>>
+    backgroundActiveCpuIntervals(std::int64_t from_ns, std::int64_t to_ns);
+
+    // ------------------------------------------------------------------
     // GPU timestamp counter (tenet S2)
     // ------------------------------------------------------------------
 
@@ -205,9 +235,24 @@ class HostRuntime {
   private:
     /**
      * Advance a device's state up to the host present (the whole node
-     * when fabric-coupled — see synchronize).
+     * when fabric-coupled — see synchronize).  `pump_background` is
+     * false only inside synchronizeAll's no-pump drains, so an idle
+     * device's catch-up there cannot feed the channel either.
      */
-    void catchUpDevice(std::size_t device);
+    void catchUpDevice(std::size_t device, bool pump_background = true);
+
+    /**
+     * Drain one device.  With `pump_background`, the drain is split at
+     * background due times so environment events land mid-drain (the
+     * per-execution synchronize); without, the device drains against the
+     * already-submitted environment only (the end-of-run synchronizeAll
+     * — the environment never drains, so feeding it there would never
+     * terminate).
+     */
+    void synchronizeImpl(std::size_t device, bool pump_background);
+
+    /** Fire background events due at or before `horizon` (if armed). */
+    void pumpBackground(support::SimTime horizon);
 
     /** CPU clock reading for the current host time. */
     std::int64_t readCpuClock() const;
@@ -221,6 +266,8 @@ class HostRuntime {
     support::SimTime cpu_now_;
     /** Per device: loggers in creation order (front = primary window). */
     std::vector<std::vector<sim::PowerLogger*>> loggers_;
+    /** Scenario environment driver; null = no background (legacy path). */
+    std::unique_ptr<BackgroundChannel> background_;
 };
 
 }  // namespace fingrav::runtime

@@ -82,7 +82,10 @@ FabricModel::utilization(support::Bytes bytes, support::Duration t) const
 // ---------------------------------------------------------------------------
 
 NodeFabric::NodeFabric(const MachineConfig& cfg, std::size_t devices)
-    : pending_(devices), committed_(devices)
+    // One demand slot per device plus the host-injection slot (index
+    // `devices`), so injected background demand rides the same
+    // pending/committed epoch machinery as kernel demand.
+    : devices_(devices), pending_(devices + 1), committed_(devices + 1)
 {
     if (devices == 0)
         support::fatal("NodeFabric: node must contain at least one GPU");
@@ -94,9 +97,16 @@ void
 NodeFabric::postDemand(std::size_t device,
                        const std::vector<FabricDemand>& demands)
 {
-    FINGRAV_ASSERT(device < pending_.size(),
+    FINGRAV_ASSERT(device < devices_,
                    "NodeFabric: device index out of range");
     pending_[device] = demands;
+}
+
+void
+NodeFabric::injectDemand(const std::vector<FabricDemand>& demands)
+{
+    pending_[devices_] = demands;
+    injected_ = !demands.empty();
 }
 
 double
@@ -140,7 +150,7 @@ double
 NodeFabric::sharedDemand(std::size_t device,
                          const std::vector<FabricDemand>& own) const
 {
-    FINGRAV_ASSERT(device < committed_.size(),
+    FINGRAV_ASSERT(device < devices_,
                    "NodeFabric: device index out of range");
     return distinctDemand(device, own);
 }

@@ -145,19 +145,31 @@ class NodeFabric {
     }
 
     /**
-     * True while any node-fabric kernel is queued or running anywhere —
-     * the runtime routes per-device synchronization through the coupled
-     * node stepper while this holds.
+     * True while any node-fabric kernel is queued or running anywhere,
+     * or host-injected background demand is active — the runtime routes
+     * per-device synchronization through the coupled node stepper while
+     * this holds.
      */
     bool
     coupled() const
     {
-        return outstanding_.load(std::memory_order_relaxed) > 0;
+        return outstanding_.load(std::memory_order_relaxed) > 0 ||
+               injected_;
     }
 
     /** Replace `device`'s pending demand list (its running transfers). */
     void postDemand(std::size_t device,
                     const std::vector<FabricDemand>& demands);
+
+    /**
+     * Replace the host-injected background demand (scenario-layer
+     * environment pressure; runtime/background_channel.hpp).  Injected
+     * transfers occupy a dedicated arbiter slot beyond the device slots
+     * and participate in the distinct-transfer total exactly like remote
+     * kernels' demand.  Host-thread-only, between advances; published at
+     * the next epoch commit.
+     */
+    void injectDemand(const std::vector<FabricDemand>& demands);
 
     /**
      * Total node demand seen by `device`: its own (live, uncommitted)
@@ -192,11 +204,13 @@ class NodeFabric {
                           const std::vector<FabricDemand>& own) const;
 
     std::optional<FabricModel> model_;
+    std::size_t devices_ = 0;  ///< device slot count (slot devices_ = injection)
     std::vector<std::vector<FabricDemand>> pending_;
     std::vector<std::vector<FabricDemand>> committed_;
     std::uint64_t epoch_ = 0;
     std::uint64_t next_group_ = 1;
     std::atomic<std::int64_t> outstanding_{0};
+    bool injected_ = false;  ///< host-injected demand pending/active
 };
 
 }  // namespace fingrav::sim

@@ -19,6 +19,7 @@
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/recorded_campaign.hpp"
 #include "kernels/workloads.hpp"
+#include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 #include "support/time_types.hpp"
 
@@ -186,6 +187,33 @@ TEST(RecordedCampaign, SweepPointsBehaveAsSpecified)
     fc::SweepPoint drift;
     drift.sync_mode = fc::SyncMode::kFinGraVDrift;
     EXPECT_NE(recorded.restitch(drift).drift_ppm, 0.0);
+}
+
+TEST(RecordedCampaign, RestitchWithEmptyExtraWindowsList)
+{
+    // A recording with no extra windows is the single-window common case:
+    // exactly one recorded window (the primary), restitch({}) replays it,
+    // and addressing any other window index is a user error.
+    auto spec = recordSpec();
+    spec.opts.runs_override = 4;
+    spec.opts.collect_extra_runs = false;  // budget = base: no top-up pool
+    const auto recorded = fc::RecordedCampaign::record(spec, {});
+    ASSERT_EQ(recorded.windows().size(), 1u);
+
+    const auto set = recorded.restitch({});
+    EXPECT_FALSE(set.ssp.empty());
+    EXPECT_EQ(set.runs_executed, recorded.baseRuns());
+
+    fc::SweepPoint primary;
+    primary.window_index = 0;
+    EXPECT_TRUE(fc::identicalProfileSets(set, recorded.restitch(primary)));
+    // Deterministic: a fresh single-window recording restitches bitwise.
+    EXPECT_TRUE(fc::identicalProfileSets(
+        set, fc::RecordedCampaign::record(spec, {}).restitch({})));
+
+    fc::SweepPoint beyond;
+    beyond.window_index = 1;
+    EXPECT_THROW(recorded.restitch(beyond), fs::FatalError);
 }
 
 TEST(RecordedCampaign, ConcurrentRecordingDeterministic)

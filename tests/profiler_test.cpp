@@ -93,6 +93,19 @@ TEST(Guidance, BoundaryAndValidation)
     EXPECT_EQ(table.lookup(49.9_us).runs, 400u);
 
     EXPECT_THROW(fc::GuidanceTable({}), fs::FatalError);
+
+    // Clamping at both ends: times below the first row's range take the
+    // first row, times at/above the last row's end take the last row.
+    const fc::GuidanceTable custom({{10_us, 20_us, 100, 1_us, 0.05},
+                                    {20_us, 40_us, 50, 2_us, 0.02}});
+    EXPECT_EQ(custom.lookup(0_us).runs, 100u);
+    EXPECT_EQ(custom.lookup(9.9_us).runs, 100u);
+    EXPECT_EQ(custom.lookup(40_us).runs, 50u);
+    EXPECT_EQ(custom.lookup(fs::Duration::seconds(3.0)).runs, 50u);
+    // The paper table's own ends clamp the same way.
+    EXPECT_EQ(table.lookup(0_us).runs, table.rows().front().runs);
+    EXPECT_EQ(table.lookup(fs::Duration::seconds(7200.0)).runs,
+              table.rows().back().runs);
     EXPECT_THROW(
         fc::GuidanceTable({{10_us, 5_us, 100, 1_us, 0.05}}),
         fs::FatalError);

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Scenario-layer contract: declarative environments over the campaign
+ * engine.
+ *
+ * Locks the properties the scenario refactor is only admissible with:
+ *  - legacy CampaignSpec descriptions are replicated bitwise by their
+ *    scenario lift (an isolated scenario IS the pre-scenario campaign);
+ *  - scenario trajectories are deterministic — re-running a spec, and
+ *    fanning a spec set over 1/2/8 runner threads, reproduce results
+ *    bitwise (background launches ride a dedicated root-RNG stream);
+ *  - background loads fire on their declared schedule (offset, period,
+ *    duty-cycle burst sizing, cycle caps) on the declared device;
+ *  - contended scenarios produce *different* profiles than isolation and
+ *    annotate LOIs with the contention state active during them;
+ *  - RecordedCampaign::record over a scenario restitches bit-identically
+ *    to re-execution, contention annotations included.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/recorded_campaign.hpp"
+#include "fingrav/scenario.hpp"
+#include "kernels/workloads.hpp"
+#include "support/logging.hpp"
+#include "support/time_types.hpp"
+
+namespace an = fingrav::analysis;
+namespace fc = fingrav::core;
+namespace fs = fingrav::support;
+using namespace fingrav::support::literals;
+
+namespace {
+
+fc::ProfilerOptions
+cheapOpts()
+{
+    fc::ProfilerOptions opts;
+    opts.runs_override = 4;
+    opts.collect_extra_runs = false;
+    return opts;
+}
+
+/** Steady injected fabric demand for the whole campaign. */
+fc::BackgroundLoad
+steadyDemand(double demand)
+{
+    fc::BackgroundLoad load;
+    load.kind = fc::BackgroundKind::kFabricDemand;
+    load.demand = demand;
+    return load;
+}
+
+fc::ScenarioSpec
+contendedCollective(std::uint64_t seed)
+{
+    fc::ScenarioSpec spec;
+    spec.label = "AR-512MB";
+    spec.seed = seed;
+    spec.opts = cheapOpts();
+    spec.background.push_back(steadyDemand(0.6));
+    return spec;
+}
+
+}  // namespace
+
+TEST(Scenario, LegacyCampaignSpecReplicatedBitwise)
+{
+    fc::ProfilerOptions opts;
+    opts.runs_override = 10;
+    opts.collect_extra_runs = false;
+
+    fc::CampaignSpec legacy;
+    legacy.label = "CB-2K-GEMM";
+    legacy.seed = 91;
+    legacy.opts = opts;
+
+    // The pre-scenario construction (analysis::Campaign: runtime stream
+    // 7, profiler stream 8) is the reference trajectory.
+    an::Campaign reference(91);
+    const auto expected = reference.run(
+        fingrav::kernels::kernelByLabel("CB-2K-GEMM", reference.config()),
+        opts);
+
+    // Legacy spec through the runner, its scenario lift, and a hand-built
+    // isolated scenario must all replicate it bitwise.
+    EXPECT_TRUE(fc::identicalProfileSets(
+        expected, fc::CampaignRunner::runOne(legacy)));
+    EXPECT_TRUE(fc::identicalProfileSets(
+        expected,
+        fc::CampaignRunner::runOne(fc::ScenarioSpec::fromCampaign(legacy))));
+    fc::ScenarioSpec isolated;
+    isolated.label = legacy.label;
+    isolated.seed = legacy.seed;
+    isolated.opts = legacy.opts;
+    EXPECT_TRUE(fc::identicalProfileSets(
+        expected, fc::CampaignRunner::runOne(isolated)));
+}
+
+TEST(Scenario, TrajectoryIsDeterministic)
+{
+    const auto spec = contendedCollective(321);
+    const auto a = fc::CampaignRunner::runOne(spec);
+    const auto b = fc::CampaignRunner::runOne(spec);
+    EXPECT_TRUE(fc::identicalProfileSets(a, b));
+    ASSERT_FALSE(a.ssp.empty());
+}
+
+TEST(Scenario, RunnerBitIdenticalAcrossThreadCountsWithBackgrounds)
+{
+    // A mixed scenario set: isolated, steadily contended, and a bursty
+    // kernel background — the background channel must not leak any
+    // nondeterminism into the campaign engine's thread-identity contract.
+    std::vector<fc::ScenarioSpec> specs;
+    fc::ScenarioSpec isolated;
+    isolated.label = "AR-512MB";
+    isolated.seed = 500;
+    isolated.opts = cheapOpts();
+    specs.push_back(isolated);
+    specs.push_back(contendedCollective(501));
+    fc::ScenarioSpec bursty = isolated;
+    bursty.seed = 502;
+    fc::BackgroundLoad transfer;
+    transfer.kernel = "AR-512MB";
+    transfer.device = 1;
+    transfer.offset = 300_us;
+    transfer.period = 9_ms;
+    transfer.duty_cycle = 0.3;
+    bursty.background.push_back(transfer);
+    specs.push_back(bursty);
+
+    const auto serial = fc::CampaignRunner(1).run(specs);
+    for (const std::size_t threads : {2u, 8u}) {
+        const auto parallel = fc::CampaignRunner(threads).run(specs);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_TRUE(fc::identicalProfileSets(serial[i], parallel[i]))
+                << "spec " << i << " diverged at " << threads << " threads";
+        }
+    }
+}
+
+TEST(Scenario, BackgroundKernelLoadsFollowTheirSchedule)
+{
+    // Two cycles of a three-launch burst on device 1, starting 1 ms in.
+    fc::ScenarioSpec spec;
+    spec.label = "CB-2K-GEMM";
+    spec.seed = 7;
+    fc::BackgroundLoad load;
+    load.kernel = "CB-2K-GEMM";
+    load.device = 1;
+    load.offset = 1_ms;
+    load.period = 200_us;
+    load.duty_cycle = 0.5;  // ~100 us of a ~33 us kernel -> 3 launches
+    load.cycles = 2;
+    spec.background.push_back(load);
+
+    const auto cfg = fingrav::sim::mi300xConfig();
+    fc::CampaignNode node(spec, cfg);
+    // Auto device count: one for the foreground plus the background host.
+    ASSERT_EQ(node.simulation().deviceCount(), 2u);
+
+    auto& host = node.host();
+    host.sleep(5_ms);
+    host.synchronizeAll();
+
+    // Duty-cycle sizing: enough copies to occupy ~50% of each 200 us
+    // cycle at the kernel's nominal (warm) rate.
+    const auto nominal = fingrav::kernels::kernelByLabel("CB-2K-GEMM", cfg)
+                             ->workAt(1.0)
+                             .nominal_duration;
+    const auto burst = std::max<std::size_t>(
+        1, static_cast<std::size_t>((0.5 * 200'000.0) /
+                                    static_cast<double>(nominal.nanos())));
+    const auto& log = host.deviceExecutionLog(1);
+    ASSERT_EQ(log.size(), burst * 2);
+    // Cycle starts honour offset and period; the burst runs back-to-back.
+    EXPECT_EQ(log.front().start.nanos(), 1'000'000);
+    EXPECT_EQ(log[burst].start.nanos(), 1'200'000);
+    for (std::size_t i = 1; i < burst; ++i)
+        EXPECT_EQ(log[i].start.nanos(), log[i - 1].end.nanos());
+    // No third cycle: the cap held.
+    host.sleep(5_ms);
+    host.synchronizeAll();
+    EXPECT_EQ(host.deviceExecutionLog(1).size(), burst * 2);
+}
+
+TEST(Scenario, OneShotLoadsAndValidation)
+{
+    // period <= 0 declares a one-shot load...
+    fc::ScenarioSpec spec;
+    spec.label = "CB-2K-GEMM";
+    spec.seed = 8;
+    fc::BackgroundLoad load;
+    load.kernel = "CB-4K-GEMM";
+    load.device = 1;
+    load.offset = 500_us;
+    spec.background.push_back(load);
+    const auto cfg = fingrav::sim::mi300xConfig();
+    fc::CampaignNode node(spec, cfg);
+    auto& host = node.host();
+    host.sleep(3_ms);
+    host.synchronizeAll();
+    EXPECT_EQ(host.deviceExecutionLog(1).size(), 1u);
+
+    // ...and malformed loads are user errors.
+    auto bad = spec;
+    bad.background[0].cycles = 3;  // multiple cycles need a period
+    EXPECT_THROW(fc::CampaignNode(bad, cfg), fs::FatalError);
+    bad = spec;
+    bad.background[0].duty_cycle = 0.0;
+    EXPECT_THROW(fc::CampaignNode(bad, cfg), fs::FatalError);
+    bad = spec;
+    bad.background[0].kernel = "NOT-A-KERNEL";
+    EXPECT_THROW(fc::CampaignNode(bad, cfg), fs::FatalError);
+    bad = spec;
+    bad.background[0].device = 9;  // beyond the full node
+    EXPECT_THROW(fc::CampaignNode(bad, cfg), fs::FatalError);
+    bad = spec;
+    bad.background[0].kind = fc::BackgroundKind::kFabricDemand;
+    bad.background[0].demand = -1.0;
+    EXPECT_THROW(fc::CampaignNode(bad, cfg), fs::FatalError);
+}
+
+TEST(Scenario, ContendedProfileDiffersAndAnnotatesLois)
+{
+    fc::ScenarioSpec isolated;
+    isolated.label = "AR-512MB";
+    isolated.seed = 611;
+    isolated.opts = cheapOpts();
+    auto contended = isolated;
+    contended.background.push_back(steadyDemand(0.6));
+
+    const auto sets =
+        fc::CampaignRunner(1).run({isolated, contended});
+    const auto& iso = sets[0];
+    const auto& cont = sets[1];
+    ASSERT_FALSE(iso.ssp.empty());
+    ASSERT_FALSE(cont.ssp.empty());
+
+    // Dead-coupling guard: the environment must be visible in the data.
+    EXPECT_FALSE(fc::identicalProfileSets(iso, cont));
+    // Fair share: the contended collective runs longer...
+    EXPECT_GT(cont.ssp_exec_time.toMicros(),
+              1.2 * iso.ssp_exec_time.toMicros());
+    // ...and the annotation splits the LOIs: all contended under steady
+    // demand, none in isolation.
+    EXPECT_EQ(iso.ssp.contendedCount(), 0u);
+    EXPECT_EQ(cont.ssp.contendedCount(), cont.ssp.size());
+    EXPECT_EQ(cont.timeline.contendedCount(), cont.timeline.size());
+
+    // The analysis report sees the same split.
+    const auto delta = an::contentionDelta(iso, cont);
+    EXPECT_GT(delta.exec_stretch, 1.2);
+    EXPECT_DOUBLE_EQ(delta.contended_loi_frac, 1.0);
+}
+
+TEST(Scenario, LoiYieldRecordedAgainstGuidanceTarget)
+{
+    fc::ScenarioSpec spec;
+    spec.label = "CB-2K-GEMM";
+    spec.seed = 19;
+    spec.opts = cheapOpts();
+    const auto set = fc::CampaignRunner::runOne(spec);
+    ASSERT_GT(set.loi_target, 0u);
+    EXPECT_EQ(set.loi_target,
+              set.guidance.recommendedLois(set.measured_exec_time));
+    EXPECT_DOUBLE_EQ(set.loiYield(),
+                     static_cast<double>(set.ssp.size()) /
+                         static_cast<double>(set.loi_target));
+}
+
+TEST(Scenario, RecordedScenarioRestitchMatchesReExecution)
+{
+    // Sweep reuse extends to contended campaigns: one recording under a
+    // live background restitches bit-identically to a fresh re-execution,
+    // contention annotations included.
+    auto spec = contendedCollective(888);
+    spec.opts.runs_override = 3;
+
+    const auto recorded = fc::RecordedCampaign::record(spec);
+    const auto reused = recorded.restitch({});
+    const auto reexecuted = fc::RecordedCampaign::record(spec).restitch({});
+    EXPECT_TRUE(fc::identicalProfileSets(reused, reexecuted));
+    ASSERT_FALSE(reused.ssp.empty());
+    EXPECT_EQ(reused.ssp.contendedCount(), reused.ssp.size());
+}
