@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Distributed-sharding benchmark: multi-process campaign placement with
+ * bit-identity verification and dispatch-overhead accounting.
+ *
+ * Two scenarios track the fourth leg of the scaling story (after
+ * event-driven stepping, parallel node stepping and campaign-level
+ * threading):
+ *
+ *  1. shard_identity — the nine-kernel Fig. 10 campaign set plus one
+ *     background-load scenario executed serially, through
+ *     ThreadPoolBackend, and through ShardBackend at 2 and 4 worker
+ *     processes (`fingrav_cli --worker` over the codec wire protocol).
+ *     Any bitwise divergence between any pair is a hard failure, as is
+ *     any spec that did NOT travel over the wire (a quiet in-process
+ *     fallback would fake the identity gate).  Wall clocks for every
+ *     placement feed the regression gate.
+ *
+ *  2. dispatch_overhead — the amortization story: the same campaign
+ *     set dispatched through ShardBackend at a small and a large run
+ *     budget.  Worker spawn + serialization is a fixed per-shard cost,
+ *     so its share of the wall clock must shrink as the per-campaign
+ *     simulation grows; the bench reports the absolute overhead and
+ *     its percentage at both budgets (identity enforced here too).
+ *
+ * Results go to BENCH_shard.json via tools/bench_json.hpp; CI feeds the
+ * file through tools/bench_regression.py (docs/PERFORMANCE.md).
+ *
+ * Usage: bench_shard [--smoke] [--out PATH] [--worker PATH]
+ *   --smoke   reduced run counts (CI)
+ *   --out     output JSON path (default BENCH_shard.json)
+ *   --worker  fingrav_cli binary (default: next to this executable)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/execution_backend.hpp"
+#include "fingrav/shard_backend.hpp"
+#include "tools/bench_json.hpp"
+
+namespace an = fingrav::analysis;
+namespace fc = fingrav::core;
+namespace tools = fingrav::tools;
+
+namespace {
+
+std::vector<std::string> g_worker_command;
+
+double
+wallMs(const std::chrono::steady_clock::time_point& t0)
+{
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+bool
+identicalSets(const std::vector<fc::ProfileSet>& a,
+              const std::vector<fc::ProfileSet>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!fc::identicalProfileSets(a[i], b[i]))
+            return false;
+    }
+    return true;
+}
+
+/** Run the set through N worker processes; fails hard on divergence or
+ *  on any spec that silently skipped the wire. */
+bool
+runSharded(const std::vector<fc::ScenarioSpec>& specs,
+           const std::vector<fc::ProfileSet>& reference,
+           std::size_t shards, double& wall_ms)
+{
+    fc::ShardOptions opts;
+    opts.shards = shards;
+    opts.worker_command = g_worker_command;
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = fc::CampaignRunner(backend).run(specs);
+    wall_ms = wallMs(t0);
+
+    if (!identicalSets(reference, results)) {
+        std::cerr << "FAIL: " << shards << "-shard results diverged from "
+                     "the in-process reference\n";
+        return false;
+    }
+    const auto& stats = backend->lastStats();
+    if (stats.remote_specs != specs.size()) {
+        std::cerr << "FAIL: only " << stats.remote_specs << "/"
+                  << specs.size() << " specs crossed the wire at "
+                  << shards << " shards (" << stats.fallback_specs
+                  << " fell back; worker: " << g_worker_command.front()
+                  << ")\n";
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: N-shard vs in-process identity (the hard gate)
+// ---------------------------------------------------------------------------
+
+bool
+runShardIdentity(tools::BenchReport& report, bool smoke)
+{
+    const auto specs = an::fig10ScenarioSet(smoke ? 20 : 60);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+    const double serial_ms = wallMs(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto pooled =
+        fc::CampaignRunner(
+            std::make_shared<fc::ThreadPoolBackend>(std::size_t{8}))
+            .run(specs);
+    const double pooled_ms = wallMs(t1);
+
+    bool ok = identicalSets(serial, pooled);
+    if (!ok)
+        std::cerr << "FAIL: thread-pool results diverged from serial\n";
+
+    double shard2_ms = 0.0;
+    double shard4_ms = 0.0;
+    ok = runSharded(specs, serial, 2, shard2_ms) && ok;
+    ok = runSharded(specs, serial, 4, shard4_ms) && ok;
+
+    auto& s = report.scenario("shard_identity");
+    s.note("description",
+           "Fig. 10 set + contended scenario: serial vs thread pool vs "
+           "2/4 worker processes, bitwise identity enforced");
+    s.metric("campaigns", static_cast<std::int64_t>(specs.size()));
+    s.metric("runs_per_campaign",
+             static_cast<std::int64_t>(*specs.front().opts.runs_override));
+    s.metric("serial_wall_ms", serial_ms);
+    s.metric("threadpool_wall_ms", pooled_ms);
+    s.metric("shard2_wall_ms", shard2_ms);
+    s.metric("shard4_wall_ms", shard4_ms);
+    s.metric("shard4_speedup",
+             shard4_ms > 0.0 ? serial_ms / shard4_ms : 0.0);
+    s.note("bit_identical", ok ? "yes" : "NO");
+
+    std::cout << "shard_identity: serial " << serial_ms
+              << " ms, thread pool " << pooled_ms << " ms, 2-shard "
+              << shard2_ms << " ms, 4-shard " << shard4_ms
+              << " ms, bit-identical: " << (ok ? "yes" : "NO") << "\n";
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: dispatch-overhead amortization
+// ---------------------------------------------------------------------------
+
+bool
+runDispatchOverhead(tools::BenchReport& report, bool smoke)
+{
+    const std::size_t small_runs = smoke ? 4 : 8;
+    const std::size_t large_runs = smoke ? 24 : 80;
+    bool ok = true;
+
+    double small_overhead_pct = 0.0;
+    double large_overhead_pct = 0.0;
+    double small_overhead_ms = 0.0;
+    double large_overhead_ms = 0.0;
+
+    auto& s = report.scenario("dispatch_overhead");
+    for (const bool large : {false, true}) {
+        const auto specs = an::fig10ScenarioSet(large ? large_runs : small_runs);
+
+        // The 2-thread pool is the placement-matched in-process
+        // reference for the 2-worker dispatch.
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto inproc =
+            fc::CampaignRunner(
+                std::make_shared<fc::ThreadPoolBackend>(std::size_t{2}))
+                .run(specs);
+        const double inproc_ms = wallMs(t0);
+
+        double shard_ms = 0.0;
+        ok = runSharded(specs, inproc, 2, shard_ms) && ok;
+
+        const double overhead_ms = shard_ms - inproc_ms;
+        const double overhead_pct =
+            inproc_ms > 0.0 ? overhead_ms / inproc_ms * 100.0 : 0.0;
+        if (large) {
+            large_overhead_ms = overhead_ms;
+            large_overhead_pct = overhead_pct;
+        } else {
+            small_overhead_ms = overhead_ms;
+            small_overhead_pct = overhead_pct;
+        }
+        const char* tag = large ? "large" : "small";
+        s.metric(std::string(tag) + "_runs",
+                 static_cast<std::int64_t>(large ? large_runs : small_runs));
+        s.metric(std::string(tag) + "_inproc_wall_ms", inproc_ms);
+        s.metric(std::string(tag) + "_shard_wall_ms", shard_ms);
+        s.metric(std::string(tag) + "_overhead_ms", overhead_ms);
+        s.metric(std::string(tag) + "_overhead_pct", overhead_pct);
+    }
+    s.note("description",
+           "2-worker dispatch vs 2-thread in-process at small and large "
+           "run budgets: fixed spawn+codec cost amortizes as campaigns "
+           "grow");
+    s.note("bit_identical", ok ? "yes" : "NO");
+
+    std::cout << "dispatch_overhead: small-budget overhead "
+              << small_overhead_ms << " ms (" << small_overhead_pct
+              << " %), large-budget overhead " << large_overhead_ms
+              << " ms (" << large_overhead_pct
+              << " %), bit-identical: " << (ok ? "yes" : "NO") << "\n";
+    return ok;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_shard.json";
+    g_worker_command = fc::defaultWorkerCommand(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--worker" && i + 1 < argc) {
+            g_worker_command = {argv[++i], "--worker"};
+        } else {
+            std::cerr << "usage: bench_shard [--smoke] [--out PATH] "
+                         "[--worker PATH]\n";
+            return 2;
+        }
+    }
+
+    tools::BenchReport report("shard");
+    bool ok = true;
+    ok = runShardIdentity(report, smoke) && ok;
+    ok = runDispatchOverhead(report, smoke) && ok;
+
+    if (!report.write(out_path)) {
+        std::cerr << "bench_shard: cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    if (!ok) {
+        std::cerr << "bench_shard: FAILED (divergence or specs that "
+                     "never crossed the wire)\n";
+        return 1;
+    }
+    return 0;
+}

@@ -47,6 +47,38 @@ profileOnFreshNode(const std::string& label, std::uint64_t seed,
     return core::CampaignRunner::runOne(spec);
 }
 
+std::vector<core::ScenarioSpec>
+fig10ScenarioSet(std::size_t runs, bool with_contended)
+{
+    core::ProfilerOptions opts;
+    opts.runs_override = runs;
+    opts.collect_extra_runs = false;
+
+    std::vector<core::ScenarioSpec> specs;
+    std::uint64_t seed = 10001;  // bench_fig10's seeds
+    for (const char* label :
+         {"AG-64KB", "AG-128KB", "AG-512MB", "AG-1GB", "AR-64KB",
+          "AR-128KB", "AR-512MB", "AR-1GB", "CB-8K-GEMM"}) {
+        core::ScenarioSpec spec;
+        spec.label = label;
+        spec.seed = seed++;
+        spec.opts = opts;
+        specs.push_back(std::move(spec));
+    }
+    if (with_contended) {
+        core::ScenarioSpec contended;
+        contended.label = "AR-512MB";
+        contended.seed = seed;
+        contended.opts = opts;
+        core::BackgroundLoad demand;
+        demand.kind = core::BackgroundKind::kFabricDemand;
+        demand.demand = 0.6;
+        contended.background.push_back(demand);
+        specs.push_back(std::move(contended));
+    }
+    return specs;
+}
+
 std::string
 summarize(const core::ProfileSet& set)
 {
@@ -66,6 +98,25 @@ summarize(const core::ProfileSet& set)
     oss << ", SSP power " << set.ssp.meanPower() << " W";
     if (const auto contended = set.ssp.contendedCount(); contended > 0)
         oss << ", contended LOIs " << contended << "/" << set.ssp.size();
+    return oss.str();
+}
+
+std::string
+summarize(const core::ProfileSet& set,
+          const core::AutotuneResult& autotune)
+{
+    std::ostringstream oss;
+    oss << summarize(set) << ", autotuned runs " << autotune.runs_needed
+        << " vs Table I " << autotune.recommended_runs << " (target "
+        << autotune.loi_target << " LOIs ";
+    if (autotune.target_met) {
+        oss << "met";
+        if (autotune.budgetDelta() > 0)
+            oss << ", " << autotune.budgetDelta() << " runs to spare";
+    } else {
+        oss << "NOT met within the " << autotune.pool_runs << "-run pool";
+    }
+    oss << ")";
     return oss.str();
 }
 

@@ -16,6 +16,7 @@
 
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/profiler.hpp"
+#include "fingrav/recorded_campaign.hpp"
 #include "kernels/kernel_model.hpp"
 #include "runtime/host_runtime.hpp"
 #include "sim/machine_config.hpp"
@@ -65,8 +66,28 @@ core::ProfileSet profileOnFreshNode(const std::string& label,
                                     std::uint64_t seed,
                                     core::ProfilerOptions opts = {});
 
+/**
+ * The nine-kernel Fig. 10 campaign set (bench_fig10's labels and seed
+ * base 10001) at the given run budget (no step-8 top-up), optionally
+ * plus one AR-512MB scenario under steady 60 % injected fabric demand.
+ * The shared spec list the sharding identity gates compare placements
+ * on (tests/shard_test.cpp, bench_shard) — one definition, so the
+ * gates cannot desynchronize.
+ */
+std::vector<core::ScenarioSpec> fig10ScenarioSet(
+    std::size_t runs, bool with_contended = true);
+
 /** One-line summary of a campaign (label, exec time, LOIs, golden runs). */
 std::string summarize(const core::ProfileSet& set);
+
+/**
+ * Summary extended with the guidance-autotuning observable: the LOI
+ * yield line gains the run budget the campaign *actually* needed
+ * (core::RecordedCampaign::autotuneBudget) next to Table I's static
+ * recommendation.
+ */
+std::string summarize(const core::ProfileSet& set,
+                      const core::AutotuneResult& autotune);
 
 /** One normalized-TOI phase of a contention comparison. */
 struct ContentionPhase {

@@ -1,12 +1,10 @@
 #include "fingrav/campaign_runner.hpp"
 
 #include <algorithm>
-#include <mutex>
-#include <thread>
+#include <utility>
 
 #include "kernels/workloads.hpp"
 #include "support/logging.hpp"
-#include "support/thread_pool.hpp"
 
 namespace fingrav::core {
 
@@ -53,12 +51,17 @@ CampaignNode::CampaignNode(const CampaignSpec& spec,
 {
 }
 
-CampaignRunner::CampaignRunner(std::size_t threads) : threads_(threads)
+CampaignRunner::CampaignRunner(std::size_t threads)
+    : backend_(std::make_shared<ThreadPoolBackend>(threads))
 {
-    if (threads_ == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads_ = hw > 0 ? hw : 1;
-    }
+    threads_ = static_cast<ThreadPoolBackend&>(*backend_).threads();
+}
+
+CampaignRunner::CampaignRunner(std::shared_ptr<ExecutionBackend> backend)
+    : threads_(0), backend_(std::move(backend))
+{
+    if (!backend_)
+        support::fatal("CampaignRunner: null execution backend");
 }
 
 ProfileSet
@@ -83,43 +86,12 @@ std::vector<ProfileSet>
 CampaignRunner::run(const std::vector<ScenarioSpec>& specs,
                     const sim::MachineConfig& cfg) const
 {
-    std::vector<ProfileSet> results(specs.size());
-    const std::size_t workers =
-        std::min<std::size_t>(threads_, specs.size() > 0 ? specs.size() : 1);
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < specs.size(); ++i)
-            results[i] = runOne(specs[i], cfg);
-        return results;
+    auto results = backend_->execute(specs, cfg);
+    if (results.size() != specs.size()) {
+        support::panic("execution backend '", backend_->name(),
+                       "' returned ", results.size(), " results for ",
+                       specs.size(), " specs");
     }
-    // Nested-oversubscription guard: campaign workers multiply with each
-    // node's advance-thread pool.  Node stepping is bit-identical for any
-    // advance thread count, so capping only relocates work — it never
-    // changes results — and keeps distributed-sharding-sized campaign
-    // sets from drowning the host in threads.
-    sim::MachineConfig effective = cfg;
-    const std::size_t advance = std::max<std::size_t>(1, cfg.advance_threads);
-    const unsigned hw = std::thread::hardware_concurrency();
-    if (hw > 0 && workers * advance > hw) {
-        const std::size_t cap = std::max<std::size_t>(1, hw / workers);
-        if (cap < advance) {
-            static std::once_flag warned;
-            std::call_once(warned, [&] {
-                support::warn("CampaignRunner: ", workers, " campaign "
-                              "threads x ", advance, " advance threads "
-                              "exceed ", hw, " hardware threads; capping "
-                              "per-campaign advance threads at ", cap,
-                              " (results unchanged)");
-            });
-            effective.advance_threads = cap;
-        }
-    }
-    // Campaigns are hermetic, so the pool only decides where each one
-    // executes; every result lands in its spec's slot regardless of
-    // completion order.
-    support::ThreadPool pool(workers);
-    pool.parallelFor(specs.size(), [&](std::size_t i) {
-        results[i] = runOne(specs[i], effective);
-    });
     return results;
 }
 

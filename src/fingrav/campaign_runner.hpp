@@ -11,11 +11,15 @@
  * from the scenario seed.  Campaigns are therefore embarrassingly
  * parallel (the paper profiles each kernel in isolation; Section IV-B),
  * and every figure/table reproduction is a set of independent scenarios.
- * CampaignRunner fans a spec list out over a support::ThreadPool, one
- * node per campaign, and returns ProfileSets in spec order —
- * bit-identical to the serial loop for any thread count and any
- * completion order, because no state is shared between campaigns and
- * each result lands in its spec's slot.
+ * CampaignRunner owns that spec-order/bit-identity contract and
+ * delegates *placement* to a pluggable core::ExecutionBackend
+ * (fingrav/execution_backend.hpp): the default ThreadPoolBackend fans
+ * specs over a support::ThreadPool, one node per campaign; ShardBackend
+ * (fingrav/shard_backend.hpp) dispatches spec shards to worker
+ * processes over the codec wire format.  Either way run() returns
+ * ProfileSets in spec order — bit-identical to the serial loop for any
+ * thread count, shard count and any completion order, because no state
+ * is shared between campaigns and each result lands in its spec's slot.
  *
  * Determinism contract:
  *  - a campaign's entire trajectory is a pure function of (spec, machine
@@ -24,23 +28,20 @@
  *    exactly as the serial analysis::Campaign always did (plus the
  *    channel), so runner results replicate the legacy per-campaign loops
  *    bitwise when the scenario has no background;
- *  - the pool only decides *where* a campaign executes, never what it
- *    sees: specs never share a Simulation, a device, a logger or an Rng.
- *
- * Nested oversubscription: campaign-level threads multiply with
- * MachineConfig::advance_threads (the node stepper's pool).  When the
- * product would exceed the hardware, run() caps the per-campaign advance
- * threads — results are unchanged (node stepping is bit-identical for
- * any advance thread count), only the thread placement is.
+ *  - the backend only decides *where* a campaign executes, never what
+ *    it sees: specs never share a Simulation, a device, a logger or an
+ *    Rng (the ExecutionBackend admissibility contract).
  *
  * For sweep studies that re-examine the *same* executions under varied
  * stitch-time parameters, see fingrav/recorded_campaign.hpp.
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "fingrav/execution_backend.hpp"
 #include "fingrav/profiler.hpp"
 #include "fingrav/scenario.hpp"
 #include "kernels/kernel_model.hpp"
@@ -84,17 +85,28 @@ class CampaignNode {
     runtime::HostRuntime host_;
 };
 
-/** Fans independent campaigns out over a thread pool. */
+/** Executes independent campaigns through a placement backend. */
 class CampaignRunner {
   public:
     /**
+     * In-process placement (ThreadPoolBackend).
+     *
      * @param threads  Campaign-level concurrency including the calling
      *                 thread; 0 = hardware concurrency, 1 = serial.
      */
     explicit CampaignRunner(std::size_t threads = 0);
 
-    /** Thread budget in force. */
+    /**
+     * Custom placement: any admissible ExecutionBackend (e.g.
+     * core::ShardBackend for multi-process execution).
+     */
+    explicit CampaignRunner(std::shared_ptr<ExecutionBackend> backend);
+
+    /** Thread budget in force (0 when a custom backend decides). */
     std::size_t threads() const { return threads_; }
+
+    /** The placement backend in force. */
+    ExecutionBackend& backend() const { return *backend_; }
 
     /**
      * Execute one scenario on a fresh node (serial, on this thread).
@@ -113,11 +125,9 @@ class CampaignRunner {
                                  sim::mi300xConfig());
 
     /**
-     * Execute every scenario, fanned out over the pool; results are in
-     * spec order and bit-identical to running the specs serially.  When
-     * campaign threads x cfg.advance_threads oversubscribes the
-     * hardware, per-campaign advance threads are capped (logged once;
-     * results unchanged).
+     * Execute every scenario through the backend; results are in spec
+     * order and bit-identical to running the specs serially, whatever
+     * the backend's placement (threads, worker processes, retries).
      */
     std::vector<ProfileSet> run(const std::vector<ScenarioSpec>& specs,
                                 const sim::MachineConfig& cfg =
@@ -130,6 +140,7 @@ class CampaignRunner {
 
   private:
     std::size_t threads_;
+    std::shared_ptr<ExecutionBackend> backend_;
 };
 
 /** Bitwise profile equality (parallel/serial and reuse/re-execute gates). */

@@ -1,0 +1,858 @@
+#include "fingrav/codec.hpp"
+
+#include <bit>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "support/logging.hpp"
+
+namespace fingrav::core::codec {
+
+namespace {
+
+using fingrav::support::Duration;
+
+/** Hard cap on string/vector lengths: a corrupted length field must not
+ *  turn into a multi-gigabyte allocation before the checksum/bounds
+ *  checks have a chance to fire. */
+constexpr std::uint64_t kMaxElementCount = 1ULL << 28;
+
+}  // namespace
+
+std::uint64_t
+checkedCount(std::uint64_t n, const char* what)
+{
+    if (n > kMaxElementCount)
+        support::fatal("codec: implausible ", what, " count ", n);
+    return n;
+}
+
+const char*
+toString(FrameType type)
+{
+    switch (type) {
+      case FrameType::kScenarioSpec:
+        return "scenario-spec";
+      case FrameType::kProfileSet:
+        return "profile-set";
+      case FrameType::kShardRequest:
+        return "shard-request";
+      case FrameType::kShardResult:
+        return "shard-result";
+      case FrameType::kShardDone:
+        return "shard-done";
+      case FrameType::kWorkerError:
+        return "worker-error";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+void
+Encoder::u8(std::uint8_t v)
+{
+    bytes_.push_back(v);
+}
+
+void
+Encoder::u16(std::uint16_t v)
+{
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+Encoder::u32(std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+Encoder::u64(std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+Encoder::i64(std::int64_t v)
+{
+    u64(static_cast<std::uint64_t>(v));
+}
+
+void
+Encoder::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+Encoder::boolean(bool v)
+{
+    u8(v ? 1 : 0);
+}
+
+void
+Encoder::str(const std::string& v)
+{
+    u32(static_cast<std::uint32_t>(v.size()));
+    bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void
+Encoder::duration(Duration v)
+{
+    i64(v.nanos());
+}
+
+void
+Encoder::optU64(const std::optional<std::size_t>& v)
+{
+    boolean(v.has_value());
+    if (v.has_value())
+        u64(*v);
+}
+
+void
+Encoder::optF64(const std::optional<double>& v)
+{
+    boolean(v.has_value());
+    if (v.has_value())
+        f64(*v);
+}
+
+void
+Encoder::optDuration(const std::optional<Duration>& v)
+{
+    boolean(v.has_value());
+    if (v.has_value())
+        duration(*v);
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+const std::uint8_t*
+Decoder::need(std::size_t n)
+{
+    if (size_ - pos_ < n) {
+        support::fatal("codec: truncated payload (need ", n, " bytes, ",
+                       size_ - pos_, " left)");
+    }
+    const std::uint8_t* at = data_ + pos_;
+    pos_ += n;
+    return at;
+}
+
+std::uint8_t
+Decoder::u8()
+{
+    return *need(1);
+}
+
+std::uint16_t
+Decoder::u16()
+{
+    const std::uint8_t* p = need(2);
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+Decoder::u32()
+{
+    const std::uint8_t* p = need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Decoder::u64()
+{
+    const std::uint8_t* p = need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::int64_t
+Decoder::i64()
+{
+    return static_cast<std::int64_t>(u64());
+}
+
+double
+Decoder::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+bool
+Decoder::boolean()
+{
+    const std::uint8_t v = u8();
+    if (v > 1)
+        support::fatal("codec: corrupt boolean value ", int(v));
+    return v == 1;
+}
+
+std::string
+Decoder::str()
+{
+    const std::uint64_t n = checkedCount(u32(), "string");
+    const std::uint8_t* p = need(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+Duration
+Decoder::duration()
+{
+    return Duration::nanos(i64());
+}
+
+std::optional<std::size_t>
+Decoder::optU64()
+{
+    if (!boolean())
+        return std::nullopt;
+    return static_cast<std::size_t>(u64());
+}
+
+std::optional<double>
+Decoder::optF64()
+{
+    if (!boolean())
+        return std::nullopt;
+    return f64();
+}
+
+std::optional<Duration>
+Decoder::optDuration()
+{
+    if (!boolean())
+        return std::nullopt;
+    return duration();
+}
+
+void
+Decoder::expectEnd(const char* what) const
+{
+    if (!atEnd()) {
+        support::fatal("codec: ", remaining(), " trailing bytes after ",
+                       what);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+encodeProfilerOptions(Encoder& enc, const ProfilerOptions& opts)
+{
+    enc.u64(opts.device);
+    enc.optU64(opts.runs_override);
+    enc.optF64(opts.margin_override);
+    enc.u64(opts.sse_executions);
+    enc.u64(opts.timing_reps);
+    enc.duration(opts.min_delay);
+    enc.duration(opts.max_delay);
+    enc.u8(static_cast<std::uint8_t>(opts.sync_mode));
+    enc.boolean(opts.binning);
+    enc.boolean(opts.collect_extra_runs);
+    enc.f64(opts.max_extra_run_factor);
+    enc.f64(opts.stability_eps);
+    enc.duration(opts.logger_window);
+    enc.optDuration(opts.target_bin);
+}
+
+ProfilerOptions
+decodeProfilerOptions(Decoder& dec)
+{
+    ProfilerOptions opts;
+    opts.device = dec.u64();
+    opts.runs_override = dec.optU64();
+    opts.margin_override = dec.optF64();
+    opts.sse_executions = dec.u64();
+    opts.timing_reps = dec.u64();
+    opts.min_delay = dec.duration();
+    opts.max_delay = dec.duration();
+    const std::uint8_t mode = dec.u8();
+    if (mode > static_cast<std::uint8_t>(SyncMode::kCoarseAlign))
+        support::fatal("codec: invalid sync mode ", int(mode));
+    opts.sync_mode = static_cast<SyncMode>(mode);
+    opts.binning = dec.boolean();
+    opts.collect_extra_runs = dec.boolean();
+    opts.max_extra_run_factor = dec.f64();
+    opts.stability_eps = dec.f64();
+    opts.logger_window = dec.duration();
+    opts.target_bin = dec.optDuration();
+    return opts;
+}
+
+void
+encodeBackgroundLoad(Encoder& enc, const BackgroundLoad& load)
+{
+    enc.u8(static_cast<std::uint8_t>(load.kind));
+    enc.str(load.kernel);
+    enc.f64(load.demand);
+    enc.u64(load.device);
+    enc.u64(load.queue);
+    enc.duration(load.offset);
+    enc.duration(load.period);
+    enc.f64(load.duty_cycle);
+    enc.u64(load.cycles);
+    enc.f64(load.jitter_sigma);
+}
+
+BackgroundLoad
+decodeBackgroundLoad(Decoder& dec)
+{
+    BackgroundLoad load;
+    const std::uint8_t kind = dec.u8();
+    if (kind > static_cast<std::uint8_t>(BackgroundKind::kFabricDemand))
+        support::fatal("codec: invalid background kind ", int(kind));
+    load.kind = static_cast<BackgroundKind>(kind);
+    load.kernel = dec.str();
+    load.demand = dec.f64();
+    load.device = dec.u64();
+    load.queue = dec.u64();
+    load.offset = dec.duration();
+    load.period = dec.duration();
+    load.duty_cycle = dec.f64();
+    load.cycles = dec.u64();
+    load.jitter_sigma = dec.f64();
+    return load;
+}
+
+}  // namespace
+
+void
+encodeScenarioSpec(Encoder& enc, const ScenarioSpec& spec)
+{
+    if (spec.profile_fn) {
+        support::fatal("codec: a ScenarioSpec with a custom profile_fn "
+                       "cannot cross the wire (", spec.label,
+                       "); run it on the in-process path");
+    }
+    enc.str(spec.label);
+    enc.u64(spec.seed);
+    encodeProfilerOptions(enc, spec.opts);
+    enc.u64(spec.devices);
+    enc.u32(static_cast<std::uint32_t>(spec.background.size()));
+    for (const auto& load : spec.background)
+        encodeBackgroundLoad(enc, load);
+}
+
+ScenarioSpec
+decodeScenarioSpec(Decoder& dec)
+{
+    ScenarioSpec spec;
+    spec.label = dec.str();
+    spec.seed = dec.u64();
+    spec.opts = decodeProfilerOptions(dec);
+    spec.devices = dec.u64();
+    const std::uint64_t loads = checkedCount(dec.u32(), "background-load");
+    spec.background.reserve(loads);
+    for (std::uint64_t i = 0; i < loads; ++i)
+        spec.background.push_back(decodeBackgroundLoad(dec));
+    return spec;
+}
+
+// ---------------------------------------------------------------------------
+// ProfileSet
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+encodeProfilePoint(Encoder& enc, const ProfilePoint& p)
+{
+    enc.f64(p.toi_us);
+    enc.f64(p.toi_frac);
+    enc.f64(p.run_time_us);
+    enc.i64(p.sample.gpu_timestamp);
+    enc.f64(p.sample.total_w);
+    enc.f64(p.sample.xcd_w);
+    enc.f64(p.sample.iod_w);
+    enc.f64(p.sample.hbm_w);
+    enc.u64(p.run_index);
+    enc.u64(p.exec_index);
+    enc.boolean(p.contended);
+}
+
+ProfilePoint
+decodeProfilePoint(Decoder& dec)
+{
+    ProfilePoint p;
+    p.toi_us = dec.f64();
+    p.toi_frac = dec.f64();
+    p.run_time_us = dec.f64();
+    p.sample.gpu_timestamp = dec.i64();
+    p.sample.total_w = dec.f64();
+    p.sample.xcd_w = dec.f64();
+    p.sample.iod_w = dec.f64();
+    p.sample.hbm_w = dec.f64();
+    p.run_index = dec.u64();
+    p.exec_index = dec.u64();
+    p.contended = dec.boolean();
+    return p;
+}
+
+void
+encodePowerProfile(Encoder& enc, const PowerProfile& profile)
+{
+    enc.str(profile.label());
+    enc.u8(static_cast<std::uint8_t>(profile.kind()));
+    enc.u32(static_cast<std::uint32_t>(profile.size()));
+    for (const auto& p : profile.points())
+        encodeProfilePoint(enc, p);
+}
+
+PowerProfile
+decodePowerProfile(Decoder& dec)
+{
+    const std::string label = dec.str();
+    const std::uint8_t kind = dec.u8();
+    if (kind > static_cast<std::uint8_t>(ProfileKind::kTimeline))
+        support::fatal("codec: invalid profile kind ", int(kind));
+    PowerProfile profile(label, static_cast<ProfileKind>(kind));
+    const std::uint64_t points = checkedCount(dec.u32(), "profile-point");
+    for (std::uint64_t i = 0; i < points; ++i)
+        profile.add(decodeProfilePoint(dec));
+    return profile;
+}
+
+void
+encodeGuidanceEntry(Encoder& enc, const GuidanceEntry& entry)
+{
+    enc.duration(entry.exec_lo);
+    enc.duration(entry.exec_hi);
+    enc.u64(entry.runs);
+    enc.duration(entry.loi_per);
+    enc.f64(entry.binning_margin);
+}
+
+GuidanceEntry
+decodeGuidanceEntry(Decoder& dec)
+{
+    GuidanceEntry entry;
+    entry.exec_lo = dec.duration();
+    entry.exec_hi = dec.duration();
+    entry.runs = dec.u64();
+    entry.loi_per = dec.duration();
+    entry.binning_margin = dec.f64();
+    return entry;
+}
+
+void
+encodeBinningResult(Encoder& enc, const BinningResult& binning)
+{
+    enc.duration(binning.bin_center);
+    enc.u32(static_cast<std::uint32_t>(binning.golden_runs.size()));
+    for (const std::size_t run : binning.golden_runs)
+        enc.u64(run);
+    enc.u64(binning.total_runs);
+}
+
+BinningResult
+decodeBinningResult(Decoder& dec)
+{
+    BinningResult binning;
+    binning.bin_center = dec.duration();
+    const std::uint64_t golden = checkedCount(dec.u32(), "golden-run");
+    binning.golden_runs.reserve(golden);
+    for (std::uint64_t i = 0; i < golden; ++i)
+        binning.golden_runs.push_back(dec.u64());
+    binning.total_runs = dec.u64();
+    return binning;
+}
+
+}  // namespace
+
+void
+encodeProfileSet(Encoder& enc, const ProfileSet& set)
+{
+    enc.str(set.label);
+    enc.duration(set.measured_exec_time);
+    encodeGuidanceEntry(enc, set.guidance);
+    enc.u64(set.runs_executed);
+    encodeBinningResult(enc, set.binning);
+    enc.u64(set.sse_exec_index);
+    enc.u64(set.ssp_exec_index);
+    enc.u64(set.execs_per_run);
+    enc.duration(set.ssp_exec_time);
+    enc.u64(set.loi_target);
+    enc.f64(set.read_delay_us);
+    enc.f64(set.drift_ppm);
+    encodePowerProfile(enc, set.sse);
+    encodePowerProfile(enc, set.ssp);
+    encodePowerProfile(enc, set.timeline);
+}
+
+ProfileSet
+decodeProfileSet(Decoder& dec)
+{
+    ProfileSet set;
+    set.label = dec.str();
+    set.measured_exec_time = dec.duration();
+    set.guidance = decodeGuidanceEntry(dec);
+    set.runs_executed = dec.u64();
+    set.binning = decodeBinningResult(dec);
+    set.sse_exec_index = dec.u64();
+    set.ssp_exec_index = dec.u64();
+    set.execs_per_run = dec.u64();
+    set.ssp_exec_time = dec.duration();
+    set.loi_target = dec.u64();
+    set.read_delay_us = dec.f64();
+    set.drift_ppm = dec.f64();
+    set.sse = decodePowerProfile(dec);
+    set.ssp = decodePowerProfile(dec);
+    set.timeline = decodePowerProfile(dec);
+    return set;
+}
+
+// ---------------------------------------------------------------------------
+// MachineConfig (declaration order; nested params appended)
+// ---------------------------------------------------------------------------
+
+void
+encodeMachineConfig(Encoder& enc, const sim::MachineConfig& cfg)
+{
+    enc.u64(cfg.num_xcds);
+    enc.u64(cfg.cus_per_xcd);
+    enc.u64(cfg.num_iods);
+    enc.u64(cfg.num_hbm_stacks);
+    enc.f64(cfg.peak_matrix_flops);
+    enc.f64(cfg.peak_vector_flops);
+    enc.f64(cfg.hbm_bandwidth);
+    enc.f64(cfg.llc_bandwidth);
+    enc.i64(cfg.llc_capacity);
+    enc.i64(cfg.l2_capacity_per_xcd);
+    enc.i64(cfg.hbm_capacity);
+    enc.u64(cfg.node_gpus);
+    enc.u64(cfg.fabric_links);
+    enc.f64(cfg.fabric_link_bandwidth);
+    enc.f64(cfg.boost_frequency_hz);
+    enc.f64(cfg.nominal_frequency_hz);
+    enc.f64(cfg.idle_frequency_hz);
+    enc.duration(cfg.timestamp_tick);
+    enc.f64(cfg.gpu_clock_drift_ppm);
+    enc.duration(cfg.power_step);
+    enc.duration(cfg.idle_step);
+    enc.u64(cfg.advance_threads);
+    enc.duration(cfg.logger_window);
+    enc.f64(cfg.logger_noise_w);
+    enc.duration(cfg.launch_overhead);
+    enc.duration(cfg.sync_overhead);
+    enc.duration(cfg.timestamp_read_delay);
+    enc.f64(cfg.timestamp_read_jitter);
+    enc.f64(cfg.exec_time_sigma);
+    enc.f64(cfg.outlier_run_probability);
+    enc.f64(cfg.outlier_slowdown_min);
+    enc.f64(cfg.outlier_slowdown_max);
+
+    const auto& p = cfg.power;
+    enc.f64(p.xcd_idle_w);
+    enc.f64(p.iod_idle_w);
+    enc.f64(p.hbm_idle_w);
+    enc.f64(p.misc_w);
+    enc.f64(p.xcd_dyn_w);
+    enc.f64(p.xcd_residency_weight);
+    enc.f64(p.xcd_issue_weight);
+    enc.f64(p.iod_llc_w);
+    enc.f64(p.iod_hbmphy_w);
+    enc.f64(p.iod_fabric_w);
+    enc.f64(p.hbm_dyn_w);
+    enc.f64(p.leakage_fraction);
+    enc.f64(p.leakage_temp_coeff);
+    enc.f64(p.t_ref_c);
+    enc.f64(p.voltage_floor);
+
+    const auto& d = cfg.dvfs;
+    enc.f64(d.boost_ratio);
+    enc.f64(d.min_ratio);
+    enc.f64(d.idle_ratio);
+    enc.f64(d.sustained_limit_w);
+    enc.f64(d.peak_limit_w);
+    enc.duration(d.fast_tau);
+    enc.duration(d.slow_tau);
+    enc.f64(d.excursion_cut);
+    enc.duration(d.excursion_hold);
+    enc.f64(d.kp_per_us);
+    enc.f64(d.recovery_per_us);
+    enc.duration(d.idle_park_delay);
+    enc.duration(d.boost_budget);
+    enc.f64(d.nominal_ratio);
+    enc.f64(d.recovery_guard);
+
+    const auto& t = cfg.thermal;
+    enc.f64(t.ambient_c);
+    enc.f64(t.resistance_c_per_w);
+    enc.duration(t.time_constant);
+}
+
+sim::MachineConfig
+decodeMachineConfig(Decoder& dec)
+{
+    sim::MachineConfig cfg;
+    cfg.num_xcds = dec.u64();
+    cfg.cus_per_xcd = dec.u64();
+    cfg.num_iods = dec.u64();
+    cfg.num_hbm_stacks = dec.u64();
+    cfg.peak_matrix_flops = dec.f64();
+    cfg.peak_vector_flops = dec.f64();
+    cfg.hbm_bandwidth = dec.f64();
+    cfg.llc_bandwidth = dec.f64();
+    cfg.llc_capacity = dec.i64();
+    cfg.l2_capacity_per_xcd = dec.i64();
+    cfg.hbm_capacity = dec.i64();
+    cfg.node_gpus = dec.u64();
+    cfg.fabric_links = dec.u64();
+    cfg.fabric_link_bandwidth = dec.f64();
+    cfg.boost_frequency_hz = dec.f64();
+    cfg.nominal_frequency_hz = dec.f64();
+    cfg.idle_frequency_hz = dec.f64();
+    cfg.timestamp_tick = dec.duration();
+    cfg.gpu_clock_drift_ppm = dec.f64();
+    cfg.power_step = dec.duration();
+    cfg.idle_step = dec.duration();
+    cfg.advance_threads = dec.u64();
+    cfg.logger_window = dec.duration();
+    cfg.logger_noise_w = dec.f64();
+    cfg.launch_overhead = dec.duration();
+    cfg.sync_overhead = dec.duration();
+    cfg.timestamp_read_delay = dec.duration();
+    cfg.timestamp_read_jitter = dec.f64();
+    cfg.exec_time_sigma = dec.f64();
+    cfg.outlier_run_probability = dec.f64();
+    cfg.outlier_slowdown_min = dec.f64();
+    cfg.outlier_slowdown_max = dec.f64();
+
+    auto& p = cfg.power;
+    p.xcd_idle_w = dec.f64();
+    p.iod_idle_w = dec.f64();
+    p.hbm_idle_w = dec.f64();
+    p.misc_w = dec.f64();
+    p.xcd_dyn_w = dec.f64();
+    p.xcd_residency_weight = dec.f64();
+    p.xcd_issue_weight = dec.f64();
+    p.iod_llc_w = dec.f64();
+    p.iod_hbmphy_w = dec.f64();
+    p.iod_fabric_w = dec.f64();
+    p.hbm_dyn_w = dec.f64();
+    p.leakage_fraction = dec.f64();
+    p.leakage_temp_coeff = dec.f64();
+    p.t_ref_c = dec.f64();
+    p.voltage_floor = dec.f64();
+
+    auto& d = cfg.dvfs;
+    d.boost_ratio = dec.f64();
+    d.min_ratio = dec.f64();
+    d.idle_ratio = dec.f64();
+    d.sustained_limit_w = dec.f64();
+    d.peak_limit_w = dec.f64();
+    d.fast_tau = dec.duration();
+    d.slow_tau = dec.duration();
+    d.excursion_cut = dec.f64();
+    d.excursion_hold = dec.duration();
+    d.kp_per_us = dec.f64();
+    d.recovery_per_us = dec.f64();
+    d.idle_park_delay = dec.duration();
+    d.boost_budget = dec.duration();
+    d.nominal_ratio = dec.f64();
+    d.recovery_guard = dec.f64();
+
+    auto& t = cfg.thermal;
+    t.ambient_c = dec.f64();
+    t.resistance_c_per_w = dec.f64();
+    t.time_constant = dec.duration();
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-value helpers
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+encode(const ScenarioSpec& spec)
+{
+    Encoder enc;
+    encodeScenarioSpec(enc, spec);
+    return enc.bytes();
+}
+
+std::vector<std::uint8_t>
+encode(const ProfileSet& set)
+{
+    Encoder enc;
+    encodeProfileSet(enc, set);
+    return enc.bytes();
+}
+
+std::vector<std::uint8_t>
+encode(const sim::MachineConfig& cfg)
+{
+    Encoder enc;
+    encodeMachineConfig(enc, cfg);
+    return enc.bytes();
+}
+
+ScenarioSpec
+decodeScenarioSpec(const std::vector<std::uint8_t>& bytes)
+{
+    Decoder dec(bytes);
+    auto spec = decodeScenarioSpec(dec);
+    dec.expectEnd("ScenarioSpec");
+    return spec;
+}
+
+ProfileSet
+decodeProfileSet(const std::vector<std::uint8_t>& bytes)
+{
+    Decoder dec(bytes);
+    auto set = decodeProfileSet(dec);
+    dec.expectEnd("ProfileSet");
+    return set;
+}
+
+sim::MachineConfig
+decodeMachineConfig(const std::vector<std::uint8_t>& bytes)
+{
+    Decoder dec(bytes);
+    auto cfg = decodeMachineConfig(dec);
+    dec.expectEnd("MachineConfig");
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+std::uint64_t
+fnv1a64(const std::uint8_t* data, std::size_t size)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t>& payload)
+{
+    Encoder header;
+    header.u32(kMagic);
+    header.u16(kVersion);
+    header.u16(static_cast<std::uint16_t>(type));
+    header.u64(payload.size());
+    header.u64(fnv1a64(payload.data(), payload.size()));
+    std::vector<std::uint8_t> out = header.bytes();
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+FrameHeader
+decodeFrameHeader(const std::uint8_t* data)
+{
+    Decoder dec(data, kFrameHeaderBytes);
+    const std::uint32_t magic = dec.u32();
+    if (magic != kMagic)
+        support::fatal("codec: bad frame magic 0x", std::hex, magic);
+    const std::uint16_t version = dec.u16();
+    if (version != kVersion) {
+        support::fatal("codec: frame version ", version,
+                       " does not match this build's version ", kVersion,
+                       "; driver and worker binaries must match");
+    }
+    FrameHeader header;
+    const std::uint16_t type = dec.u16();
+    if (type < static_cast<std::uint16_t>(FrameType::kScenarioSpec) ||
+        type > static_cast<std::uint16_t>(FrameType::kWorkerError))
+        support::fatal("codec: unknown frame type ", type);
+    header.type = static_cast<FrameType>(type);
+    // Validated here so every reader — stream- or fd-based — rejects a
+    // corrupt length before trusting it with an allocation.
+    header.payload_len = checkedCount(dec.u64(), "frame-payload byte");
+    header.checksum = dec.u64();
+    return header;
+}
+
+void
+verifyFramePayload(const FrameHeader& header, const std::uint8_t* payload)
+{
+    const std::uint64_t sum =
+        fnv1a64(payload, static_cast<std::size_t>(header.payload_len));
+    if (sum != header.checksum) {
+        support::fatal("codec: ", toString(header.type),
+                       " frame payload checksum mismatch (corrupt or "
+                       "truncated stream)");
+    }
+}
+
+bool
+writeFrame(std::ostream& out, FrameType type,
+           const std::vector<std::uint8_t>& payload)
+{
+    const auto wire = encodeFrame(type, payload);
+    out.write(reinterpret_cast<const char*>(wire.data()),
+              static_cast<std::streamsize>(wire.size()));
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+std::optional<Frame>
+readFrame(std::istream& in)
+{
+    std::uint8_t header_bytes[kFrameHeaderBytes];
+    in.read(reinterpret_cast<char*>(header_bytes), kFrameHeaderBytes);
+    if (in.gcount() == 0 && in.eof())
+        return std::nullopt;  // clean EOF on the frame boundary
+    if (static_cast<std::size_t>(in.gcount()) != kFrameHeaderBytes)
+        support::fatal("codec: truncated frame header (", in.gcount(),
+                       " of ", kFrameHeaderBytes, " bytes)");
+    const auto header = decodeFrameHeader(header_bytes);
+    Frame frame;
+    frame.type = header.type;
+    frame.payload.resize(static_cast<std::size_t>(header.payload_len));
+    if (header.payload_len > 0) {
+        in.read(reinterpret_cast<char*>(frame.payload.data()),
+                static_cast<std::streamsize>(header.payload_len));
+        if (static_cast<std::uint64_t>(in.gcount()) != header.payload_len)
+            support::fatal("codec: truncated ", toString(header.type),
+                           " frame payload");
+    }
+    verifyFramePayload(header, frame.payload.data());
+    return frame;
+}
+
+Frame
+parseFrame(const std::vector<std::uint8_t>& bytes)
+{
+    if (bytes.size() < kFrameHeaderBytes)
+        support::fatal("codec: frame shorter than its header");
+    const auto header = decodeFrameHeader(bytes.data());
+    if (bytes.size() - kFrameHeaderBytes != header.payload_len)
+        support::fatal("codec: frame length mismatch (header claims ",
+                       header.payload_len, " payload bytes, buffer has ",
+                       bytes.size() - kFrameHeaderBytes, ")");
+    Frame frame;
+    frame.type = header.type;
+    frame.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+    verifyFramePayload(header, frame.payload.data());
+    return frame;
+}
+
+}  // namespace fingrav::core::codec

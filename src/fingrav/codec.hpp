@@ -1,0 +1,233 @@
+#ifndef FINGRAV_FINGRAV_CODEC_HPP_
+#define FINGRAV_FINGRAV_CODEC_HPP_
+
+/**
+ * @file
+ * Versioned canonical binary encoding for the campaign wire contract.
+ *
+ * Distributed campaign sharding (fingrav/shard_backend.hpp) ships
+ * hermetic scenarios to worker processes and slot-addressed results
+ * back; the encoding defined here is the wire contract both sides speak.
+ * Three properties it must hold, in order of importance:
+ *
+ *  - *Round-trip exactness.*  decode(encode(x)) reproduces every field
+ *    of x bit-for-bit — doubles travel as their IEEE-754 bit patterns,
+ *    simulated time as raw nanosecond counts — so a ProfileSet computed
+ *    in a worker and reassembled by the driver is indistinguishable from
+ *    one computed in-process (the ShardBackend bit-identity gate).
+ *
+ *  - *Canonical form.*  Equal values encode to equal bytes: fixed-width
+ *    little-endian integers, length-prefixed strings and vectors, fields
+ *    in declaration order, no padding, no optional representations.
+ *
+ *  - *Versioned framing.*  Every frame carries the codec version and an
+ *    FNV-1a payload checksum; a reader confronted with a foreign
+ *    version, a corrupt header or a truncated/mangled payload fails
+ *    cleanly (support::FatalError) instead of decoding garbage.
+ *    Any change to any encoded layout MUST bump kCodecVersion — there
+ *    is deliberately no per-field tagging; the version is the schema.
+ *
+ * What crosses the wire: ScenarioSpec (foreground kernel reference,
+ * BackgroundLoad schedules, seeds, profiler options), MachineConfig
+ * (so a worker rebuilds the exact node the driver would have), and
+ * ProfileSet (SSE/SSP/timeline points including contention flags,
+ * guidance/LOI-yield fields, sync calibration outputs).  A ScenarioSpec
+ * carrying a custom profile_fn cannot cross the wire (a std::function
+ * has no canonical bytes); encodeScenarioSpec rejects it and the
+ * ShardBackend keeps such specs on the in-process path.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fingrav/profiler.hpp"
+#include "fingrav/scenario.hpp"
+#include "sim/machine_config.hpp"
+#include "support/time_types.hpp"
+
+namespace fingrav::core::codec {
+
+/** "FGRV" in little-endian byte order. */
+inline constexpr std::uint32_t kMagic = 0x56524746u;
+
+/** Schema version; bump on ANY layout change (docs/ARCHITECTURE.md). */
+inline constexpr std::uint16_t kVersion = 1;
+
+/** Frame payload types. */
+enum class FrameType : std::uint16_t {
+    kScenarioSpec = 1,  ///< one ScenarioSpec (tests, tooling)
+    kProfileSet = 2,    ///< one ProfileSet (tests, tooling)
+    kShardRequest = 3,  ///< MachineConfig + [(slot, ScenarioSpec)]
+    kShardResult = 4,   ///< one (slot, ProfileSet) — streamed per spec
+    kShardDone = 5,     ///< u32 result count: clean shard completion
+    kWorkerError = 6,   ///< string: worker-side fatal diagnostic
+};
+
+/** Printable frame-type name. */
+const char* toString(FrameType type);
+
+/**
+ * Append-only canonical byte builder.  All integers little-endian,
+ * doubles as IEEE-754 bit patterns, strings/vectors length-prefixed.
+ */
+class Encoder {
+  public:
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    void f64(double v);
+    void boolean(bool v);
+    void str(const std::string& v);
+    void duration(support::Duration v);
+
+    void optU64(const std::optional<std::size_t>& v);
+    void optF64(const std::optional<double>& v);
+    void optDuration(const std::optional<support::Duration>& v);
+
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Bounds-checked reader over an encoded payload.  Every read that would
+ * cross the end of the buffer throws support::FatalError ("truncated"),
+ * as does any enum/length field outside its valid range — a corrupted
+ * or foreign payload can never silently decode.
+ */
+class Decoder {
+  public:
+    Decoder(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Decoder(const std::vector<std::uint8_t>& buffer)
+        : Decoder(buffer.data(), buffer.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64();
+    double f64();
+    bool boolean();
+    std::string str();
+    support::Duration duration();
+
+    std::optional<std::size_t> optU64();
+    std::optional<double> optF64();
+    std::optional<support::Duration> optDuration();
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return size_ - pos_; }
+
+    /** True once the payload is fully consumed. */
+    bool atEnd() const { return pos_ == size_; }
+
+    /** Fail unless the payload was consumed exactly. */
+    void expectEnd(const char* what) const;
+
+  private:
+    const std::uint8_t* need(std::size_t n);
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Payload codecs (field-by-field, declaration order; see kVersion rule)
+// ---------------------------------------------------------------------------
+
+void encodeScenarioSpec(Encoder& enc, const ScenarioSpec& spec);
+ScenarioSpec decodeScenarioSpec(Decoder& dec);
+
+void encodeProfileSet(Encoder& enc, const ProfileSet& set);
+ProfileSet decodeProfileSet(Decoder& dec);
+
+void encodeMachineConfig(Encoder& enc, const sim::MachineConfig& cfg);
+sim::MachineConfig decodeMachineConfig(Decoder& dec);
+
+/** Convenience whole-value round trips (tests, tooling). */
+std::vector<std::uint8_t> encode(const ScenarioSpec& spec);
+std::vector<std::uint8_t> encode(const ProfileSet& set);
+std::vector<std::uint8_t> encode(const sim::MachineConfig& cfg);
+ScenarioSpec decodeScenarioSpec(const std::vector<std::uint8_t>& bytes);
+ProfileSet decodeProfileSet(const std::vector<std::uint8_t>& bytes);
+sim::MachineConfig decodeMachineConfig(
+    const std::vector<std::uint8_t>& bytes);
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/** magic(4) + version(2) + type(2) + payload_len(8) + checksum(8). */
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+/** Parsed frame header (payload follows on the wire). */
+struct FrameHeader {
+    FrameType type = FrameType::kShardDone;
+    std::uint64_t payload_len = 0;
+    std::uint64_t checksum = 0;
+};
+
+/** FNV-1a 64-bit payload checksum. */
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size);
+
+/**
+ * Guard for wire-derived lengths/counts: fatal when `n` is implausibly
+ * large (a corrupted field must never be trusted with an allocation).
+ * Every length the codec itself decodes is already guarded; custom
+ * payload decoders (shard requests/results) must apply it to their own
+ * count fields too.
+ */
+std::uint64_t checkedCount(std::uint64_t n, const char* what);
+
+/** Serialize header + payload into one wire buffer. */
+std::vector<std::uint8_t> encodeFrame(
+    FrameType type, const std::vector<std::uint8_t>& payload);
+
+/**
+ * Parse and validate a frame header; fatal on bad magic or a version
+ * other than kVersion (the version-mismatch rejection contract).
+ * `data` must hold kFrameHeaderBytes.
+ */
+FrameHeader decodeFrameHeader(const std::uint8_t* data);
+
+/** Fatal unless the payload matches the header's checksum. */
+void verifyFramePayload(const FrameHeader& header,
+                        const std::uint8_t* payload);
+
+/** One frame read off a stream. */
+struct Frame {
+    FrameType type = FrameType::kShardDone;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Write one frame; returns false on stream failure. */
+bool writeFrame(std::ostream& out, FrameType type,
+                const std::vector<std::uint8_t>& payload);
+
+/**
+ * Read one frame.  Clean EOF on the frame boundary returns nullopt;
+ * EOF inside a frame, bad magic, foreign version or checksum mismatch
+ * is fatal.
+ */
+std::optional<Frame> readFrame(std::istream& in);
+
+/** Parse a whole in-memory frame (header + payload, exact size). */
+Frame parseFrame(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace fingrav::core::codec
+
+#endif  // FINGRAV_FINGRAV_CODEC_HPP_

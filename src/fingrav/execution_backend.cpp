@@ -1,0 +1,65 @@
+#include "fingrav/execution_backend.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "fingrav/campaign_runner.hpp"
+#include "support/logging.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fingrav::core {
+
+ThreadPoolBackend::ThreadPoolBackend(std::size_t threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = hw > 0 ? hw : 1;
+    }
+}
+
+std::vector<ProfileSet>
+ThreadPoolBackend::execute(const std::vector<ScenarioSpec>& specs,
+                           const sim::MachineConfig& cfg)
+{
+    std::vector<ProfileSet> results(specs.size());
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, specs.size() > 0 ? specs.size() : 1);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = CampaignRunner::runOne(specs[i], cfg);
+        return results;
+    }
+    // Nested-oversubscription guard: campaign workers multiply with each
+    // node's advance-thread pool.  Node stepping is bit-identical for any
+    // advance thread count, so capping only relocates work — it never
+    // changes results — and keeps distributed-sharding-sized campaign
+    // sets from drowning the host in threads.
+    sim::MachineConfig effective = cfg;
+    const std::size_t advance = std::max<std::size_t>(1, cfg.advance_threads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0 && workers * advance > hw) {
+        const std::size_t cap = std::max<std::size_t>(1, hw / workers);
+        if (cap < advance) {
+            static std::once_flag warned;
+            std::call_once(warned, [&] {
+                support::warn("ThreadPoolBackend: ", workers, " campaign "
+                              "threads x ", advance, " advance threads "
+                              "exceed ", hw, " hardware threads; capping "
+                              "per-campaign advance threads at ", cap,
+                              " (results unchanged)");
+            });
+            effective.advance_threads = cap;
+        }
+    }
+    // Campaigns are hermetic, so the pool only decides where each one
+    // executes; every result lands in its spec's slot regardless of
+    // completion order.
+    support::ThreadPool pool(workers);
+    pool.parallelFor(specs.size(), [&](std::size_t i) {
+        results[i] = CampaignRunner::runOne(specs[i], effective);
+    });
+    return results;
+}
+
+}  // namespace fingrav::core

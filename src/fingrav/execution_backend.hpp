@@ -1,0 +1,85 @@
+#ifndef FINGRAV_FINGRAV_EXECUTION_BACKEND_HPP_
+#define FINGRAV_FINGRAV_EXECUTION_BACKEND_HPP_
+
+/**
+ * @file
+ * Pluggable campaign placement: where a spec list executes.
+ *
+ * CampaignRunner's public contract — run(specs) returns ProfileSets in
+ * spec order, bit-identical to the serial loop — never depended on
+ * campaigns executing in the caller's address space; it only depended on
+ * campaigns being hermetic (pure functions of (spec, machine config))
+ * and results being slot-addressed.  ExecutionBackend makes that split
+ * explicit: the runner owns the contract, a backend owns placement.
+ *
+ *  - ThreadPoolBackend: the classic in-process path — specs fanned over
+ *    a support::ThreadPool, one fresh node per campaign, with the
+ *    nested-oversubscription guard capping per-campaign advance threads.
+ *
+ *  - ShardBackend (fingrav/shard_backend.hpp): specs partitioned into
+ *    shards and dispatched to worker *processes* over the codec wire
+ *    format, with an in-process fallback for failed workers.
+ *
+ * Backend admissibility: execute() must return exactly specs.size()
+ * results with results[i] produced from specs[i], each bit-identical to
+ * CampaignRunner::runOne(specs[i], cfg).  Placement — threads,
+ * processes, machines, retry and completion order — must be invisible
+ * in the results (tests/shard_test.cpp, bench_shard's hard-fail gate).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "fingrav/profiler.hpp"
+#include "fingrav/scenario.hpp"
+#include "sim/machine_config.hpp"
+
+namespace fingrav::core {
+
+/** Where a campaign spec list executes; see file comment for the
+ *  admissibility contract. */
+class ExecutionBackend {
+  public:
+    virtual ~ExecutionBackend() = default;
+
+    /** Short placement name for diagnostics ("thread-pool", "shard"). */
+    virtual const char* name() const = 0;
+
+    /** Execute every spec; results in spec order (see contract above). */
+    virtual std::vector<ProfileSet> execute(
+        const std::vector<ScenarioSpec>& specs,
+        const sim::MachineConfig& cfg) = 0;
+};
+
+/**
+ * The in-process placement: campaigns fanned over a support::ThreadPool.
+ *
+ * Nested oversubscription: campaign-level threads multiply with
+ * MachineConfig::advance_threads (the node stepper's pool).  When the
+ * product would exceed the hardware, execute() caps the per-campaign
+ * advance threads — results are unchanged (node stepping is
+ * bit-identical for any advance thread count), only thread placement is.
+ */
+class ThreadPoolBackend final : public ExecutionBackend {
+  public:
+    /**
+     * @param threads  Campaign-level concurrency including the calling
+     *                 thread; 0 = hardware concurrency, 1 = serial.
+     */
+    explicit ThreadPoolBackend(std::size_t threads = 0);
+
+    /** Thread budget in force. */
+    std::size_t threads() const { return threads_; }
+
+    const char* name() const override { return "thread-pool"; }
+
+    std::vector<ProfileSet> execute(const std::vector<ScenarioSpec>& specs,
+                                    const sim::MachineConfig& cfg) override;
+
+  private:
+    std::size_t threads_;
+};
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_EXECUTION_BACKEND_HPP_

@@ -116,8 +116,9 @@ struct ProfileSet {
 
     /**
      * Achieved SSP-LOI yield against the guidance target (1.0 = target
-     * met) — the observable guidance-table autotuning needs to derive
-     * #runs from instead of the static Table I (ROADMAP).
+     * met) — the observable guidance-table autotuning derives #runs
+     * from instead of the static Table I
+     * (RecordedCampaign::autotuneBudget).
      */
     double
     loiYield() const

@@ -221,4 +221,57 @@ RecordedCampaign::restitch(const SweepPoint& point) const
     return out;
 }
 
+AutotuneResult
+RecordedCampaign::autotuneBudget(std::size_t loi_target,
+                                 std::size_t window_index) const
+{
+    if (window_index >= windows_.size())
+        support::fatal("RecordedCampaign::autotuneBudget: window index ",
+                       window_index, " out of range (", windows_.size(),
+                       " recorded)");
+    const ProfilerOptions& opts = spec_.opts;
+    const TimeSync& sync =
+        opts.sync_mode == SyncMode::kNoDelayAccounting ? *nodelay_sync_
+        : opts.sync_mode == SyncMode::kFinGraVDrift    ? *drift_sync_
+                                                       : *sync_;
+
+    AutotuneResult out;
+    out.loi_target = loi_target > 0
+                         ? loi_target
+                         : guidance_.recommendedLois(measured_exec_time_);
+    out.recommended_runs = base_runs_;
+    out.pool_runs = runCount();
+    out.window_index = window_index;
+
+    // Replay prefixes through the incremental stitcher: each +1 run is
+    // stitched on top of the previous prefix, so the whole scan costs
+    // one pass over the pool, not one restitch per candidate budget.
+    // Golden-run selection can shift as runs arrive, so the scan is a
+    // genuine replay, not a monotonic counter.
+    ProfileSet set;
+    set.label = spec_.label;
+    set.guidance = guidance_;
+    set.sse_exec_index = opts.sse_executions - 1;
+    set.ssp_exec_index = ssp_exec_index_[window_index];
+
+    const auto& runs = window_runs_[window_index];
+    ProfileStitcher stitcher(opts, sync, tick_);
+    std::size_t budget = 0;
+    std::size_t lois = 0;
+    while (budget < runs.size()) {
+        ++budget;
+        stitcher.restitch(runs, budget, set);
+        lois = set.ssp.size();
+        if (lois >= out.loi_target)
+            break;
+    }
+    out.runs_needed = budget;
+    out.target_met = lois >= out.loi_target;
+    out.achieved_yield =
+        out.loi_target > 0
+            ? static_cast<double>(lois) / static_cast<double>(out.loi_target)
+            : 0.0;
+    return out;
+}
+
 }  // namespace fingrav::core

@@ -66,6 +66,39 @@ struct SweepPoint {
     std::size_t window_index = 0;
 };
 
+/**
+ * Outcome of guidance-table autotuning (ROADMAP): the run budget a
+ * campaign *actually* needed to meet its LOI target, derived by
+ * replaying run-pool prefixes, vs Table I's static recommendation.
+ */
+struct AutotuneResult {
+    /** The LOI target replayed against (the guidance target unless the
+     *  caller overrode it). */
+    std::size_t loi_target = 0;
+    /** Smallest run-pool prefix whose stitched SSP met the target; the
+     *  full pool size when the target was never met. */
+    std::size_t runs_needed = 0;
+    /** True when some prefix met the target within the recorded pool. */
+    bool target_met = false;
+    /** Table I's static #runs recommendation (the recorded base budget,
+     *  including any runs_override). */
+    std::size_t recommended_runs = 0;
+    /** Runs available in the recorded pool (the max top-up budget). */
+    std::size_t pool_runs = 0;
+    /** SSP-LOI yield at runs_needed (>= 1.0 when the target was met). */
+    double achieved_yield = 0.0;
+    /** The recorded window the replay stitched (0 = primary). */
+    std::size_t window_index = 0;
+
+    /** Runs saved (+) or missing (-) vs the static recommendation. */
+    std::int64_t
+    budgetDelta() const
+    {
+        return static_cast<std::int64_t>(recommended_runs) -
+               static_cast<std::int64_t>(runs_needed);
+    }
+};
+
 /** One executed campaign captured for stitch-time replay. */
 class RecordedCampaign {
   public:
@@ -91,6 +124,21 @@ class RecordedCampaign {
     /** Replay steps 6-9 at one sweep point; defaults reproduce the
      *  recorded campaign's own parameters. */
     ProfileSet restitch(const SweepPoint& point = {}) const;
+
+    /**
+     * Guidance-table autotuning (ROADMAP): replay run-pool prefixes
+     * through the incremental stitcher, growing the budget one run at a
+     * time until the stitched SSP meets `loi_target`, and report the
+     * budget actually needed next to Table I's static recommendation.
+     * The replay is stitch-time only — no re-simulation — so tuning is
+     * as cheap as one restitch pass over the pool.
+     *
+     * @param loi_target    Target SSP-LOI count; 0 = the guidance
+     *                      table's own recommendation for this kernel.
+     * @param window_index  Recorded window to stitch (0 = primary).
+     */
+    AutotuneResult autotuneBudget(std::size_t loi_target = 0,
+                                  std::size_t window_index = 0) const;
 
     /** Recorded windows; [0] is the primary. */
     const std::vector<support::Duration>& windows() const

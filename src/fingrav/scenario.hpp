@@ -148,8 +148,10 @@ struct CampaignSpec {
 
 /**
  * One declarative profiling scenario: the unified spec type every
- * figure/table bench rides, and the spec/result contract unit for
- * distributed campaign sharding (ROADMAP).
+ * figure/table bench rides, and the spec/result contract unit
+ * distributed campaign sharding serializes (fingrav/codec.hpp encodes
+ * every field except profile_fn, which is process-local and keeps a
+ * spec on the in-process execution path — fingrav/shard_backend.hpp).
  */
 struct ScenarioSpec {
     std::string label;          ///< foreground kernel label

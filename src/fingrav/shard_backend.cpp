@@ -1,0 +1,441 @@
+#include "fingrav/shard_backend.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/codec.hpp"
+#include "support/logging.hpp"
+
+namespace fingrav::core {
+
+namespace {
+
+/**
+ * A worker whose driver-side pipe has gone away must surface as an
+ * EPIPE write error (handled: the shard falls back in-process), not as
+ * a process-killing SIGPIPE.  Installed once, only if the disposition
+ * is still the default — an embedding application's handler is kept.
+ */
+void
+ignoreSigpipeOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        struct sigaction current {};
+        if (sigaction(SIGPIPE, nullptr, &current) == 0 &&
+            current.sa_handler == SIG_DFL) {
+            struct sigaction ignore {};
+            ignore.sa_handler = SIG_IGN;
+            sigaction(SIGPIPE, &ignore, nullptr);
+        }
+    });
+}
+
+/** Wait for fd readiness; true when ready, false on timeout/error.
+ *  timeout_ms <= 0 waits forever (every byte of progress re-arms the
+ *  timeout, so it bounds *inactivity*, not total shard time). */
+bool
+awaitReady(int fd, short events, long timeout_ms)
+{
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    for (;;) {
+        const int n = ::poll(&pfd, 1, timeout_ms > 0
+                                          ? static_cast<int>(timeout_ms)
+                                          : -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        return n > 0;  // 0 = timeout: the worker is treated as dead
+    }
+}
+
+bool
+writeAll(int fd, const std::uint8_t* data, std::size_t size,
+         long timeout_ms)
+{
+    while (size > 0) {
+        if (!awaitReady(fd, POLLOUT, timeout_ms))
+            return false;
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** False on EOF, error or inactivity timeout before `size` bytes. */
+bool
+readExact(int fd, std::uint8_t* data, std::size_t size, long timeout_ms)
+{
+    while (size > 0) {
+        if (!awaitReady(fd, POLLIN, timeout_ms))
+            return false;
+        const ssize_t n = ::read(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+closeFd(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/** One spawned shard worker and its outstanding slots. */
+struct WorkerProc {
+    long pid = -1;
+    int to_child = -1;    ///< request pipe, driver write end
+    int from_child = -1;  ///< response pipe, driver read end
+    std::vector<std::size_t> slots;  ///< spec indices, shard order
+    bool failed = false;
+};
+
+/** fork/exec the worker argv with stdin/stdout piped; stderr shared. */
+bool
+spawnWorker(const std::vector<std::string>& argv, WorkerProc& worker)
+{
+    int to_child[2];    // driver -> worker stdin
+    int from_child[2];  // worker stdout -> driver
+    if (::pipe(to_child) != 0)
+        return false;
+    if (::pipe(from_child) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Each worker leads its own process group, so a fault injector
+        // (or operator) can kill the worker *and* anything it forked in
+        // one signal — otherwise an orphaned grandchild keeps the
+        // response pipe open and the driver never sees EOF.
+        ::setpgid(0, 0);
+        ::dup2(to_child[0], STDIN_FILENO);
+        ::dup2(from_child[1], STDOUT_FILENO);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        std::vector<char*> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const auto& arg : argv)
+            cargv.push_back(const_cast<char*>(arg.c_str()));
+        cargv.push_back(nullptr);
+        ::execvp(cargv[0], cargv.data());
+        // Exec failure: exit without running any atexit handlers of the
+        // forked image; the driver sees EOF and falls back.
+        ::_exit(127);
+    }
+    // Mirror the child's setpgid so the group exists before this call
+    // returns, whichever side runs first (the classic double-setpgid
+    // idiom; EACCES after the child exec'd means the child already won).
+    ::setpgid(pid, pid);
+    worker.pid = pid;
+    worker.to_child = to_child[1];
+    worker.from_child = from_child[0];
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeShardRequest(const sim::MachineConfig& cfg,
+                   const std::vector<ScenarioSpec>& specs,
+                   const std::vector<std::size_t>& slots)
+{
+    codec::Encoder enc;
+    codec::encodeMachineConfig(enc, cfg);
+    enc.u32(static_cast<std::uint32_t>(slots.size()));
+    for (const std::size_t slot : slots) {
+        enc.u64(slot);
+        codec::encodeScenarioSpec(enc, specs[slot]);
+    }
+    return enc.bytes();
+}
+
+/** One frame off the worker's stdout; nullopt = EOF/corrupt/foreign/
+ *  inactivity timeout. */
+std::optional<codec::Frame>
+readWorkerFrame(int fd, long timeout_ms)
+{
+    std::uint8_t header_bytes[codec::kFrameHeaderBytes];
+    if (!readExact(fd, header_bytes, codec::kFrameHeaderBytes, timeout_ms))
+        return std::nullopt;
+    try {
+        const auto header = codec::decodeFrameHeader(header_bytes);
+        codec::Frame frame;
+        frame.type = header.type;
+        frame.payload.resize(static_cast<std::size_t>(header.payload_len));
+        if (header.payload_len > 0 &&
+            !readExact(fd, frame.payload.data(), frame.payload.size(),
+                       timeout_ms))
+            return std::nullopt;
+        codec::verifyFramePayload(header, frame.payload.data());
+        return frame;
+    } catch (const support::FatalError& e) {
+        support::warn("ShardBackend: worker stream rejected: ", e.what());
+        return std::nullopt;
+    }
+}
+
+}  // namespace
+
+ShardBackend::ShardBackend(ShardOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.shards == 0)
+        support::fatal("ShardBackend: shards must be >= 1");
+    if (opts_.worker_command.empty())
+        opts_.worker_command = {"./fingrav_cli", "--worker"};
+}
+
+std::vector<ProfileSet>
+ShardBackend::execute(const std::vector<ScenarioSpec>& specs,
+                      const sim::MachineConfig& cfg)
+{
+    stats_ = {};
+    std::vector<ProfileSet> results(specs.size());
+    if (specs.empty())
+        return results;
+    ignoreSigpipeOnce();
+
+    // profile_fn specs have no wire form: they stay in-process.
+    std::vector<std::size_t> remote;
+    std::vector<std::size_t> fallback;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].profile_fn) {
+            fallback.push_back(i);
+            ++stats_.local_specs;
+        } else {
+            remote.push_back(i);
+        }
+    }
+
+    // Round-robin the remote slots over the shards so heterogeneous
+    // campaign costs spread; results are slot-addressed, so the
+    // partition shape is invisible in the output.
+    const std::size_t shard_count =
+        std::min(opts_.shards, std::max<std::size_t>(remote.size(), 1));
+    std::vector<WorkerProc> workers(shard_count);
+    for (std::size_t k = 0; k < remote.size(); ++k)
+        workers[k % shard_count].slots.push_back(remote[k]);
+
+    // Nested-oversubscription guard, mirrored from ThreadPoolBackend:
+    // worker processes multiply with each node's advance-thread pool,
+    // and node stepping is bit-identical for any advance thread count,
+    // so capping the config we ship only relocates work.
+    sim::MachineConfig effective = cfg;
+    const std::size_t advance = std::max<std::size_t>(1, cfg.advance_threads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0 && shard_count * advance > hw) {
+        const std::size_t cap = std::max<std::size_t>(1, hw / shard_count);
+        if (cap < advance) {
+            static std::once_flag warned;
+            std::call_once(warned, [&] {
+                support::warn("ShardBackend: ", shard_count, " workers x ",
+                              advance, " advance threads exceed ", hw,
+                              " hardware threads; capping per-campaign "
+                              "advance threads at ", cap,
+                              " (results unchanged)");
+            });
+            effective.advance_threads = cap;
+        }
+    }
+
+    // Dispatch: spawn every worker and hand it its shard.  Workers read
+    // the whole request before computing, so sequential request writes
+    // cannot deadlock; computation overlaps across workers from the
+    // moment each one is spawned.
+    for (std::size_t s = 0; s < workers.size(); ++s) {
+        WorkerProc& worker = workers[s];
+        if (worker.slots.empty())
+            continue;
+        if (!spawnWorker(opts_.worker_command, worker)) {
+            support::warn("ShardBackend: cannot spawn worker '",
+                          opts_.worker_command.front(), "' for shard ", s,
+                          " (", std::strerror(errno),
+                          "); falling back in-process");
+            worker.failed = true;
+            continue;
+        }
+        ++stats_.shards_launched;
+        const auto request =
+            encodeShardRequest(effective, specs, worker.slots);
+        const auto wire =
+            codec::encodeFrame(codec::FrameType::kShardRequest, request);
+        if (!writeAll(worker.to_child, wire.data(), wire.size(),
+                      opts_.io_timeout_ms)) {
+            support::warn("ShardBackend: worker for shard ", s,
+                          " rejected its request (",
+                          std::strerror(errno),
+                          "); falling back in-process");
+            worker.failed = true;
+        }
+        closeFd(worker.to_child);
+        if (opts_.spawn_hook)
+            opts_.spawn_hook(s, worker.pid);
+    }
+
+    // Reassemble: results stream back one frame per completed spec and
+    // land in their slots; a worker that stops short forfeits only its
+    // unfinished slots.  Reading shard-by-shard is fine — workers
+    // compute concurrently regardless of the order we drain them in.
+    for (std::size_t s = 0; s < workers.size(); ++s) {
+        WorkerProc& worker = workers[s];
+        if (worker.slots.empty())
+            continue;
+        std::set<std::size_t> pending(worker.slots.begin(),
+                                      worker.slots.end());
+        bool done = false;
+        while (!worker.failed && !done) {
+            const auto frame =
+                readWorkerFrame(worker.from_child, opts_.io_timeout_ms);
+            if (!frame.has_value()) {
+                if (!pending.empty()) {
+                    support::warn("ShardBackend: worker for shard ", s,
+                                  " died or stalled with ",
+                                  pending.size(),
+                                  " spec(s) outstanding; falling back "
+                                  "in-process");
+                    worker.failed = true;
+                }
+                break;
+            }
+            try {
+                switch (frame->type) {
+                  case codec::FrameType::kShardResult: {
+                    codec::Decoder dec(frame->payload);
+                    const std::size_t slot =
+                        static_cast<std::size_t>(dec.u64());
+                    auto set = codec::decodeProfileSet(dec);
+                    dec.expectEnd("shard result");
+                    if (pending.erase(slot) == 0) {
+                        support::fatal("shard ", s,
+                                       " returned unexpected slot ", slot);
+                    }
+                    results[slot] = std::move(set);
+                    ++stats_.remote_specs;
+                    break;
+                  }
+                  case codec::FrameType::kShardDone: {
+                    codec::Decoder dec(frame->payload);
+                    const std::uint32_t count = dec.u32();
+                    dec.expectEnd("shard done");
+                    if (!pending.empty() ||
+                        count != worker.slots.size()) {
+                        support::fatal("shard ", s, " completed with ",
+                                       pending.size(),
+                                       " spec(s) unaccounted for");
+                    }
+                    done = true;
+                    break;
+                  }
+                  case codec::FrameType::kWorkerError: {
+                    codec::Decoder dec(frame->payload);
+                    support::warn("ShardBackend: worker for shard ", s,
+                                  " reported: ", dec.str());
+                    worker.failed = true;
+                    break;
+                  }
+                  default:
+                    support::fatal("shard ", s,
+                                   " sent unexpected frame type '",
+                                   codec::toString(frame->type), "'");
+                }
+            } catch (const support::FatalError& e) {
+                support::warn("ShardBackend: shard ", s,
+                              " protocol error: ", e.what(),
+                              "; falling back in-process");
+                worker.failed = true;
+            }
+        }
+        closeFd(worker.from_child);
+        closeFd(worker.to_child);
+        if (worker.pid > 0) {
+            // A failed worker may still be alive (stalled past the
+            // inactivity timeout): kill its whole process group first
+            // so the blocking reap below cannot hang on it.
+            if (worker.failed)
+                ::kill(-static_cast<pid_t>(worker.pid), SIGKILL);
+            ::waitpid(static_cast<pid_t>(worker.pid), nullptr, 0);
+        }
+        if (worker.failed) {
+            ++stats_.shard_failures;
+            for (const std::size_t slot : worker.slots) {
+                if (pending.count(slot))
+                    fallback.push_back(slot);
+            }
+        }
+    }
+
+    // Fallback: every forfeited or process-local slot re-executes on the
+    // in-process path — the same runOne the workers bottom out in, so
+    // the output is bit-identical however the work was placed.
+    if (!fallback.empty()) {
+        std::sort(fallback.begin(), fallback.end());
+        std::vector<ScenarioSpec> local_specs;
+        local_specs.reserve(fallback.size());
+        for (const std::size_t slot : fallback)
+            local_specs.push_back(specs[slot]);
+        auto local_results =
+            ThreadPoolBackend(opts_.fallback_threads)
+                .execute(local_specs, cfg);
+        for (std::size_t k = 0; k < fallback.size(); ++k)
+            results[fallback[k]] = std::move(local_results[k]);
+        stats_.fallback_specs = fallback.size() - stats_.local_specs;
+    }
+    return results;
+}
+
+std::vector<std::string>
+defaultWorkerCommand(const std::string& argv0)
+{
+    const auto slash = argv0.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+    if (base == "fingrav_cli")
+        return {argv0, "--worker"};
+    const std::string dir =
+        slash == std::string::npos ? "." : argv0.substr(0, slash);
+    return {dir + "/fingrav_cli", "--worker"};
+}
+
+}  // namespace fingrav::core

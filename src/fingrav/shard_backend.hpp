@@ -1,0 +1,137 @@
+#ifndef FINGRAV_FINGRAV_SHARD_BACKEND_HPP_
+#define FINGRAV_FINGRAV_SHARD_BACKEND_HPP_
+
+/**
+ * @file
+ * Multi-process campaign placement: spec shards dispatched to workers.
+ *
+ * ShardBackend partitions a spec list into shards (round-robin, so
+ * heterogeneous campaign costs spread across workers), dispatches each
+ * shard to a worker subprocess (`fingrav_cli --worker` by default) over
+ * a length-prefixed stdin/stdout frame protocol (fingrav/codec.hpp),
+ * and reassembles the streamed results into their spec slots.  This is
+ * the process-level unit of the ROADMAP's distributed-sharding item:
+ * the same wire contract carries shards to other machines once a
+ * transport replaces the local pipe pair.
+ *
+ * Protocol (driver -> worker on stdin, worker -> driver on stdout):
+ *
+ *   driver: kShardRequest { MachineConfig, [(slot, ScenarioSpec)] }
+ *   worker: kShardResult  { slot, ProfileSet }      (one per spec,
+ *                                                    in shard order)
+ *   worker: kShardDone    { result count }          (clean completion)
+ *
+ * The worker executes specs with CampaignRunner::runOne — the exact
+ * code path every other backend bottoms out in — so a shipped result is
+ * bit-identical to computing it in-process (codec round-trips are
+ * exact).  Results are slot-addressed; shard membership, worker count
+ * and completion order are invisible in run()'s output.
+ *
+ * Failure handling: a worker that cannot be spawned, dies mid-shard
+ * (killed, crashed, exec failure), writes a kWorkerError frame, or
+ * produces a short/corrupt/foreign-version stream forfeits its
+ * *unfinished* slots; results streamed before the failure are kept
+ * (they are already bit-exact).  Every forfeited slot is re-executed on
+ * the in-process fallback path, so run() degrades to ThreadPoolBackend
+ * behaviour — never to an error — and stays bit-identical.  Specs
+ * carrying a custom profile_fn never leave the process (a std::function
+ * has no wire form); they always execute on the fallback path.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fingrav/execution_backend.hpp"
+
+namespace fingrav::core {
+
+/** ShardBackend configuration. */
+struct ShardOptions {
+    /** Worker subprocess count; specs are round-robined across them.
+     *  Clamped to the spec count; 0 is a user error. */
+    std::size_t shards = 2;
+
+    /**
+     * Worker argv (argv[0] = executable path).  Empty selects
+     * {"./fingrav_cli", "--worker"} (cwd-relative); callers that know
+     * their own argv[0] should pass defaultWorkerCommand(argv0) to
+     * resolve the worker next to themselves in the build tree.
+     */
+    std::vector<std::string> worker_command;
+
+    /**
+     * Thread budget of the in-process fallback path (profile_fn specs
+     * and forfeited shards); 0 = hardware concurrency, matching the
+     * "degrades to ThreadPoolBackend behaviour" contract — results are
+     * bit-identical for any value.
+     */
+    std::size_t fallback_threads = 0;
+
+    /**
+     * Per-syscall I/O inactivity timeout, milliseconds: a worker pipe
+     * that moves no bytes for this long is treated as dead — the
+     * worker's process group is killed and its unfinished slots fall
+     * back in-process.  0 (the default) waits forever: a legitimate
+     * shard may compute for arbitrarily long between result frames, so
+     * only deployments that know their per-spec ceiling should set it.
+     */
+    long io_timeout_ms = 0;
+
+    /**
+     * Test hook: invoked after a shard's request has been written, with
+     * the shard index and worker pid (worker-kill fault injection).
+     * Null in production.
+     */
+    std::function<void(std::size_t shard, long pid)> spawn_hook;
+};
+
+/** What one execute() call observed (fallback-path test observability). */
+struct ShardStats {
+    std::size_t shards_launched = 0;   ///< worker subprocesses spawned
+    std::size_t shard_failures = 0;    ///< workers that forfeited slots
+    std::size_t remote_specs = 0;      ///< results received over the wire
+    std::size_t fallback_specs = 0;    ///< specs re-run in-process
+    std::size_t local_specs = 0;       ///< profile_fn specs (never shipped)
+};
+
+/**
+ * Multi-process placement over the codec wire protocol.
+ *
+ * Not reentrant: execute() accumulates the stats lastStats() reports,
+ * so one instance must serve one run() at a time — concurrent drivers
+ * should hold one ShardBackend each (workers are per-call resources;
+ * nothing else is shared).
+ */
+class ShardBackend final : public ExecutionBackend {
+  public:
+    explicit ShardBackend(ShardOptions opts);
+
+    const char* name() const override { return "shard"; }
+
+    std::vector<ProfileSet> execute(const std::vector<ScenarioSpec>& specs,
+                                    const sim::MachineConfig& cfg) override;
+
+    /** Observations of the most recent execute() call. */
+    const ShardStats& lastStats() const { return stats_; }
+
+    /** The options in force (worker command resolved). */
+    const ShardOptions& options() const { return opts_; }
+
+  private:
+    ShardOptions opts_;
+    ShardStats stats_;
+};
+
+/**
+ * The default worker argv for a driver whose own executable path is
+ * `argv0`: {"<dir(argv0)>/fingrav_cli", "--worker"} — benches, tests
+ * and the CLI all sit next to fingrav_cli in the build tree.  The CLI
+ * itself passes its own argv[0] and gets {argv0, "--worker"}.
+ */
+std::vector<std::string> defaultWorkerCommand(const std::string& argv0);
+
+}  // namespace fingrav::core
+
+#endif  // FINGRAV_FINGRAV_SHARD_BACKEND_HPP_

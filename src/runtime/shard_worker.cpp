@@ -1,0 +1,101 @@
+#include "runtime/shard_worker.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/codec.hpp"
+#include "support/logging.hpp"
+
+namespace fingrav::runtime {
+
+namespace {
+
+namespace codec = fingrav::core::codec;
+
+/** Best-effort error report; the driver may already have hung up. */
+void
+sendError(std::ostream& out, const std::string& message)
+{
+    codec::Encoder enc;
+    enc.str(message);
+    codec::writeFrame(out, codec::FrameType::kWorkerError, enc.bytes());
+}
+
+/** One decoded shard request. */
+struct ShardRequest {
+    sim::MachineConfig cfg;
+    std::vector<std::pair<std::uint64_t, core::ScenarioSpec>> items;
+};
+
+ShardRequest
+decodeShardRequest(const std::vector<std::uint8_t>& payload)
+{
+    codec::Decoder dec(payload);
+    ShardRequest request;
+    request.cfg = codec::decodeMachineConfig(dec);
+    const auto count = codec::checkedCount(dec.u32(), "shard-request spec");
+    request.items.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t slot = dec.u64();
+        request.items.emplace_back(slot, codec::decodeScenarioSpec(dec));
+    }
+    dec.expectEnd("shard request");
+    return request;
+}
+
+}  // namespace
+
+int
+runShardWorker(std::istream& in, std::ostream& out)
+{
+    for (;;) {
+        std::optional<codec::Frame> frame;
+        try {
+            frame = codec::readFrame(in);
+        } catch (const support::FatalError& e) {
+            sendError(out, e.what());
+            return 1;
+        }
+        if (!frame.has_value())
+            return 0;  // clean EOF: the driver closed the request stream
+        if (frame->type != codec::FrameType::kShardRequest) {
+            sendError(out, std::string("worker expected a shard-request "
+                                       "frame, got ") +
+                               codec::toString(frame->type));
+            return 1;
+        }
+        try {
+            const auto request = decodeShardRequest(frame->payload);
+            std::size_t completed = 0;
+            for (const auto& [slot, spec] : request.items) {
+                // One fresh hermetic node per spec, the same runOne the
+                // in-process backends use: results shipped back are
+                // bit-identical to local execution.
+                auto set = core::CampaignRunner::runOne(spec, request.cfg);
+                codec::Encoder enc;
+                enc.u64(slot);
+                codec::encodeProfileSet(enc, set);
+                if (!codec::writeFrame(
+                        out, codec::FrameType::kShardResult, enc.bytes()))
+                    return 1;  // driver hung up; nothing left to report to
+                ++completed;
+            }
+            codec::Encoder enc;
+            enc.u32(static_cast<std::uint32_t>(completed));
+            if (!codec::writeFrame(out, codec::FrameType::kShardDone,
+                                   enc.bytes()))
+                return 1;
+        } catch (const std::exception& e) {
+            // FatalError (user-level: bad label, bad schedule) and
+            // anything else (bad_alloc, logic errors) alike: report and
+            // let the driver re-place the shard, never std::terminate.
+            sendError(out, e.what());
+            return 1;
+        }
+    }
+}
+
+}  // namespace fingrav::runtime

@@ -1,0 +1,42 @@
+#ifndef FINGRAV_RUNTIME_SHARD_WORKER_HPP_
+#define FINGRAV_RUNTIME_SHARD_WORKER_HPP_
+
+/**
+ * @file
+ * Worker-process bootstrap for distributed campaign sharding.
+ *
+ * `fingrav_cli --worker` calls runShardWorker(std::cin, std::cout): a
+ * serve loop that reads kShardRequest frames (machine config + a list
+ * of slot-addressed ScenarioSpecs) off stdin, executes each spec on a
+ * fresh hermetic node via core::CampaignRunner::runOne — the exact code
+ * path the in-process backends bottom out in — and streams one
+ * kShardResult frame per completed spec back on stdout, closing each
+ * request with a kShardDone frame.  Streaming per spec means a worker
+ * killed mid-shard forfeits only its unfinished slots; everything
+ * already written is checksummed, slot-addressed and bit-exact
+ * (fingrav/codec.hpp, fingrav/shard_backend.hpp).
+ *
+ * stdout belongs to the protocol: the worker must never print there.
+ * Callers route diagnostics to stderr (the CLI lowers the log level so
+ * inform() cannot leak into the frame stream).  A user-level failure
+ * (unknown kernel label, invalid background schedule) is reported as a
+ * kWorkerError frame and a nonzero exit, so the driver can re-place the
+ * shard on its fallback path instead of hanging.
+ */
+
+#include <iosfwd>
+
+namespace fingrav::runtime {
+
+/**
+ * Serve shard requests until clean EOF on `in`.
+ *
+ * @return Process exit code: 0 after a clean EOF on a frame boundary,
+ *         1 after a protocol violation or a fatal execution error (a
+ *         kWorkerError frame is emitted first when possible).
+ */
+int runShardWorker(std::istream& in, std::ostream& out);
+
+}  // namespace fingrav::runtime
+
+#endif  // FINGRAV_RUNTIME_SHARD_WORKER_HPP_

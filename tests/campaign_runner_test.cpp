@@ -216,6 +216,65 @@ TEST(RecordedCampaign, RestitchWithEmptyExtraWindowsList)
     EXPECT_THROW(recorded.restitch(beyond), fs::FatalError);
 }
 
+TEST(RecordedCampaign, AutotuneBudgetFindsMinimalPrefix)
+{
+    // Guidance-table autotuning (ROADMAP): the autotuner replays
+    // run-pool prefixes until the LOI target is met; the reported
+    // budget must be minimal and consistent with restitch().
+    const auto recorded = fc::RecordedCampaign::record(recordSpec());
+    const auto tuned = recorded.autotuneBudget();
+
+    EXPECT_EQ(tuned.recommended_runs, recorded.baseRuns());
+    EXPECT_EQ(tuned.pool_runs, recorded.runCount());
+    EXPECT_GT(tuned.loi_target, 0u);
+    ASSERT_GE(tuned.runs_needed, 1u);
+    ASSERT_LE(tuned.runs_needed, recorded.runCount());
+
+    // The budget it reports really meets the target...
+    fc::SweepPoint at_budget;
+    at_budget.runs = tuned.runs_needed;
+    const auto met = recorded.restitch(at_budget);
+    if (tuned.target_met) {
+        EXPECT_GE(met.ssp.size(), tuned.loi_target);
+        EXPECT_GE(tuned.achieved_yield, 1.0);
+        // ...and one run fewer does not (minimality).
+        if (tuned.runs_needed > 1) {
+            fc::SweepPoint one_less;
+            one_less.runs = tuned.runs_needed - 1;
+            EXPECT_LT(recorded.restitch(one_less).ssp.size(),
+                      tuned.loi_target);
+        }
+    } else {
+        EXPECT_EQ(tuned.runs_needed, recorded.runCount());
+        EXPECT_LT(tuned.achieved_yield, 1.0);
+    }
+}
+
+TEST(RecordedCampaign, AutotuneBudgetHonoursExplicitTargets)
+{
+    const auto recorded = fc::RecordedCampaign::record(recordSpec());
+
+    // A trivial target is met by the first prefix.
+    const auto easy = recorded.autotuneBudget(1);
+    EXPECT_TRUE(easy.target_met);
+    EXPECT_EQ(easy.loi_target, 1u);
+    EXPECT_GE(easy.achieved_yield, 1.0);
+
+    // An unreachable target exhausts the pool and reports the miss —
+    // the observable that tells operators Table I under-budgets here.
+    const auto impossible = recorded.autotuneBudget(1000000);
+    EXPECT_FALSE(impossible.target_met);
+    EXPECT_EQ(impossible.runs_needed, recorded.runCount());
+    EXPECT_LT(impossible.achieved_yield, 1.0);
+    EXPECT_LT(impossible.budgetDelta(), 0);
+
+    // Targets are monotone: a harder target never needs fewer runs.
+    const auto harder = recorded.autotuneBudget(easy.loi_target + 4);
+    EXPECT_GE(harder.runs_needed, easy.runs_needed);
+
+    EXPECT_THROW(recorded.autotuneBudget(0, 5), fs::FatalError);
+}
+
 TEST(RecordedCampaign, ConcurrentRecordingDeterministic)
 {
     // Deterministic per-campaign RNG streams under concurrent campaign

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Wire-codec contract: exact round trips, canonical form, clean
+ * rejection of anything that is not a well-formed current-version frame.
+ *
+ * Distributed sharding is only admissible because decode(encode(x))
+ * reproduces x bit-for-bit — these tests drive randomized ScenarioSpecs
+ * and ProfileSets (including IEEE-754 edge values: -0.0, denormals,
+ * infinities) through the codec and require exact equality, then attack
+ * the framing with truncation, corruption and a foreign version, all of
+ * which must fail with support::FatalError rather than decode garbage.
+ */
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/codec.hpp"
+#include "fingrav/scenario.hpp"
+#include "sim/machine_config.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/time_types.hpp"
+
+namespace fc = fingrav::core;
+namespace codec = fingrav::core::codec;
+namespace fs = fingrav::support;
+
+namespace {
+
+/** A few IEEE-754 edge values a canonical codec must preserve. */
+double
+edgeDouble(fs::Rng& rng)
+{
+    switch (rng.uniformInt(0, 5)) {
+      case 0:
+        return -0.0;
+      case 1:
+        return std::numeric_limits<double>::denorm_min();
+      case 2:
+        return std::numeric_limits<double>::infinity();
+      case 3:
+        return -std::numeric_limits<double>::max();
+      case 4:
+        return 1.0 + std::numeric_limits<double>::epsilon();
+      default:
+        return rng.uniform(-1e12, 1e12);
+    }
+}
+
+fs::Duration
+randomDuration(fs::Rng& rng)
+{
+    return fs::Duration::nanos(rng.uniformInt(-5'000'000, 5'000'000'000LL));
+}
+
+fc::BackgroundLoad
+randomLoad(fs::Rng& rng)
+{
+    fc::BackgroundLoad load;
+    load.kind = rng.uniformInt(0, 1) == 0 ? fc::BackgroundKind::kKernel
+                                          : fc::BackgroundKind::kFabricDemand;
+    load.kernel = rng.uniformInt(0, 1) == 0 ? "AR-512MB" : "MB-4K-GEMV";
+    load.demand = rng.uniform(0.0, 1.5);
+    load.device = static_cast<std::size_t>(rng.uniformInt(0, 7));
+    load.queue = static_cast<std::size_t>(rng.uniformInt(0, 3));
+    load.offset = randomDuration(rng);
+    load.period = randomDuration(rng);
+    load.duty_cycle = rng.uniform(0.01, 1.0);
+    load.cycles = static_cast<std::size_t>(rng.uniformInt(0, 12));
+    load.jitter_sigma = rng.uniformInt(0, 1) == 0 ? -1.0 : rng.uniform(0, 1);
+    return load;
+}
+
+fc::ScenarioSpec
+randomSpec(fs::Rng& rng)
+{
+    fc::ScenarioSpec spec;
+    spec.label = rng.uniformInt(0, 1) == 0 ? "CB-8K-GEMM" : "AG-1GB";
+    spec.seed = static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 30));
+    spec.devices = static_cast<std::size_t>(rng.uniformInt(0, 8));
+    auto& opts = spec.opts;
+    opts.device = static_cast<std::size_t>(rng.uniformInt(0, 7));
+    if (rng.uniformInt(0, 1))
+        opts.runs_override = static_cast<std::size_t>(rng.uniformInt(1, 200));
+    if (rng.uniformInt(0, 1))
+        opts.margin_override = rng.uniform(0.0, 0.3);
+    opts.sse_executions = static_cast<std::size_t>(rng.uniformInt(1, 8));
+    opts.timing_reps = static_cast<std::size_t>(rng.uniformInt(1, 9));
+    opts.min_delay = randomDuration(rng);
+    opts.max_delay = randomDuration(rng);
+    opts.sync_mode = static_cast<fc::SyncMode>(rng.uniformInt(0, 3));
+    opts.binning = rng.uniformInt(0, 1) == 1;
+    opts.collect_extra_runs = rng.uniformInt(0, 1) == 1;
+    opts.max_extra_run_factor = edgeDouble(rng);
+    opts.stability_eps = rng.uniform(0.001, 0.2);
+    opts.logger_window = randomDuration(rng);
+    if (rng.uniformInt(0, 1))
+        opts.target_bin = randomDuration(rng);
+    const std::size_t loads = static_cast<std::size_t>(rng.uniformInt(0, 4));
+    for (std::size_t i = 0; i < loads; ++i)
+        spec.background.push_back(randomLoad(rng));
+    return spec;
+}
+
+fc::PowerProfile
+randomProfile(fs::Rng& rng, const std::string& label, fc::ProfileKind kind)
+{
+    fc::PowerProfile profile(label, kind);
+    const std::size_t points = static_cast<std::size_t>(rng.uniformInt(0, 40));
+    for (std::size_t i = 0; i < points; ++i) {
+        fc::ProfilePoint p;
+        p.toi_us = edgeDouble(rng);
+        p.toi_frac = rng.uniform(0.0, 1.0);
+        p.run_time_us = edgeDouble(rng);
+        p.sample.gpu_timestamp = rng.uniformInt(-1, 1LL << 60);
+        p.sample.total_w = edgeDouble(rng);
+        p.sample.xcd_w = edgeDouble(rng);
+        p.sample.iod_w = edgeDouble(rng);
+        p.sample.hbm_w = edgeDouble(rng);
+        p.run_index = static_cast<std::size_t>(rng.uniformInt(0, 300));
+        p.exec_index = static_cast<std::size_t>(rng.uniformInt(0, 300));
+        p.contended = rng.uniformInt(0, 1) == 1;
+        profile.add(p);
+    }
+    return profile;
+}
+
+fc::ProfileSet
+randomSet(fs::Rng& rng)
+{
+    fc::ProfileSet set;
+    set.label = "AR-128KB";
+    set.measured_exec_time = randomDuration(rng);
+    set.guidance.exec_lo = randomDuration(rng);
+    set.guidance.exec_hi = randomDuration(rng);
+    set.guidance.runs = static_cast<std::size_t>(rng.uniformInt(1, 500));
+    set.guidance.loi_per = randomDuration(rng);
+    set.guidance.binning_margin = rng.uniform(0.0, 0.3);
+    set.runs_executed = static_cast<std::size_t>(rng.uniformInt(0, 500));
+    set.binning.bin_center = randomDuration(rng);
+    const std::size_t golden = static_cast<std::size_t>(rng.uniformInt(0, 20));
+    for (std::size_t i = 0; i < golden; ++i)
+        set.binning.golden_runs.push_back(
+            static_cast<std::size_t>(rng.uniformInt(0, 500)));
+    set.binning.total_runs = static_cast<std::size_t>(rng.uniformInt(0, 500));
+    set.sse_exec_index = static_cast<std::size_t>(rng.uniformInt(0, 20));
+    set.ssp_exec_index = static_cast<std::size_t>(rng.uniformInt(0, 400));
+    set.execs_per_run = static_cast<std::size_t>(rng.uniformInt(1, 400));
+    set.ssp_exec_time = randomDuration(rng);
+    set.loi_target = static_cast<std::size_t>(rng.uniformInt(0, 100));
+    set.read_delay_us = edgeDouble(rng);
+    set.drift_ppm = edgeDouble(rng);
+    set.sse = randomProfile(rng, set.label, fc::ProfileKind::kSse);
+    set.ssp = randomProfile(rng, set.label, fc::ProfileKind::kSsp);
+    set.timeline = randomProfile(rng, set.label, fc::ProfileKind::kTimeline);
+    return set;
+}
+
+void
+expectSpecsEqual(const fc::ScenarioSpec& a, const fc::ScenarioSpec& b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.devices, b.devices);
+    EXPECT_EQ(a.opts.device, b.opts.device);
+    EXPECT_EQ(a.opts.runs_override, b.opts.runs_override);
+    EXPECT_EQ(a.opts.margin_override, b.opts.margin_override);
+    EXPECT_EQ(a.opts.sse_executions, b.opts.sse_executions);
+    EXPECT_EQ(a.opts.timing_reps, b.opts.timing_reps);
+    EXPECT_EQ(a.opts.min_delay, b.opts.min_delay);
+    EXPECT_EQ(a.opts.max_delay, b.opts.max_delay);
+    EXPECT_EQ(a.opts.sync_mode, b.opts.sync_mode);
+    EXPECT_EQ(a.opts.binning, b.opts.binning);
+    EXPECT_EQ(a.opts.collect_extra_runs, b.opts.collect_extra_runs);
+    // Bit-pattern compare so -0.0 / inf round trips count as exact.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.opts.max_extra_run_factor),
+              std::bit_cast<std::uint64_t>(b.opts.max_extra_run_factor));
+    EXPECT_EQ(a.opts.stability_eps, b.opts.stability_eps);
+    EXPECT_EQ(a.opts.logger_window, b.opts.logger_window);
+    EXPECT_EQ(a.opts.target_bin, b.opts.target_bin);
+    ASSERT_EQ(a.background.size(), b.background.size());
+    for (std::size_t i = 0; i < a.background.size(); ++i) {
+        const auto& la = a.background[i];
+        const auto& lb = b.background[i];
+        EXPECT_EQ(la.kind, lb.kind);
+        EXPECT_EQ(la.kernel, lb.kernel);
+        EXPECT_EQ(la.demand, lb.demand);
+        EXPECT_EQ(la.device, lb.device);
+        EXPECT_EQ(la.queue, lb.queue);
+        EXPECT_EQ(la.offset, lb.offset);
+        EXPECT_EQ(la.period, lb.period);
+        EXPECT_EQ(la.duty_cycle, lb.duty_cycle);
+        EXPECT_EQ(la.cycles, lb.cycles);
+        EXPECT_EQ(la.jitter_sigma, lb.jitter_sigma);
+    }
+}
+
+}  // namespace
+
+TEST(Codec, ScenarioSpecRoundTripExact)
+{
+    fs::Rng rng(20250731);
+    for (int i = 0; i < 25; ++i) {
+        const auto spec = randomSpec(rng);
+        const auto bytes = codec::encode(spec);
+        const auto decoded = codec::decodeScenarioSpec(bytes);
+        expectSpecsEqual(spec, decoded);
+        // Canonical: re-encoding the decoded value reproduces the bytes.
+        EXPECT_EQ(bytes, codec::encode(decoded));
+    }
+}
+
+TEST(Codec, ProfileSetRoundTripExact)
+{
+    fs::Rng rng(777);
+    for (int i = 0; i < 15; ++i) {
+        const auto set = randomSet(rng);
+        const auto bytes = codec::encode(set);
+        const auto decoded = codec::decodeProfileSet(bytes);
+        // identicalProfileSets is the same bitwise gate the shard
+        // backends are held to.
+        EXPECT_TRUE(fc::identicalProfileSets(set, decoded));
+        EXPECT_EQ(bytes, codec::encode(decoded));
+    }
+}
+
+TEST(Codec, MachineConfigRoundTripExact)
+{
+    auto cfg = fingrav::sim::mi300xConfig();
+    cfg.advance_threads = 3;
+    cfg.logger_noise_w = -0.0;  // sign bit must survive
+    cfg.dvfs.boost_budget = fs::Duration::micros(1234.5);
+    cfg.thermal.ambient_c = 17.25;
+    const auto bytes = codec::encode(cfg);
+    const auto decoded = codec::decodeMachineConfig(bytes);
+    EXPECT_EQ(bytes, codec::encode(decoded));
+    EXPECT_EQ(decoded.advance_threads, 3u);
+    EXPECT_EQ(std::signbit(decoded.logger_noise_w), true);
+    EXPECT_EQ(decoded.dvfs.boost_budget, fs::Duration::micros(1234.5));
+    EXPECT_EQ(decoded.thermal.ambient_c, 17.25);
+}
+
+TEST(Codec, ProfileFnSpecCannotCrossTheWire)
+{
+    fc::ScenarioSpec spec;
+    spec.label = "CB-2K-GEMM";
+    spec.profile_fn = [](fingrav::runtime::HostRuntime&,
+                         const fingrav::kernels::KernelModelPtr&,
+                         const fc::ProfilerOptions&,
+                         fs::Rng) { return fc::ProfileSet{}; };
+    EXPECT_THROW(codec::encode(spec), fs::FatalError);
+}
+
+TEST(Codec, TrailingBytesRejected)
+{
+    fs::Rng rng(42);
+    auto bytes = codec::encode(randomSpec(rng));
+    bytes.push_back(0xab);
+    EXPECT_THROW(codec::decodeScenarioSpec(bytes), fs::FatalError);
+}
+
+TEST(Codec, TruncatedPayloadFailsCleanly)
+{
+    fs::Rng rng(43);
+    const auto bytes = codec::encode(randomSet(rng));
+    // Every proper prefix must fail; probe a spread of cut points.
+    for (std::size_t cut : {std::size_t{0}, std::size_t{1},
+                            bytes.size() / 3, bytes.size() - 1}) {
+        std::vector<std::uint8_t> short_bytes(bytes.begin(),
+                                              bytes.begin() + cut);
+        EXPECT_THROW(codec::decodeProfileSet(short_bytes), fs::FatalError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(Codec, FrameRoundTripAndCleanEof)
+{
+    fs::Rng rng(44);
+    const auto payload = codec::encode(randomSpec(rng));
+    std::stringstream stream;
+    ASSERT_TRUE(codec::writeFrame(
+        stream, codec::FrameType::kScenarioSpec, payload));
+    ASSERT_TRUE(codec::writeFrame(stream, codec::FrameType::kShardDone, {}));
+
+    const auto first = codec::readFrame(stream);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->type, codec::FrameType::kScenarioSpec);
+    EXPECT_EQ(first->payload, payload);
+    const auto second = codec::readFrame(stream);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->type, codec::FrameType::kShardDone);
+    // Clean EOF on the frame boundary is not an error.
+    EXPECT_FALSE(codec::readFrame(stream).has_value());
+}
+
+TEST(Codec, TruncatedFrameFailsCleanly)
+{
+    fs::Rng rng(45);
+    const auto wire = codec::encodeFrame(codec::FrameType::kScenarioSpec,
+                                         codec::encode(randomSpec(rng)));
+    // Header cut short.
+    {
+        std::stringstream stream;
+        stream.write(reinterpret_cast<const char*>(wire.data()),
+                     static_cast<std::streamsize>(codec::kFrameHeaderBytes -
+                                                  3));
+        EXPECT_THROW(codec::readFrame(stream), fs::FatalError);
+    }
+    // Payload cut short.
+    {
+        std::stringstream stream;
+        stream.write(reinterpret_cast<const char*>(wire.data()),
+                     static_cast<std::streamsize>(wire.size() - 5));
+        EXPECT_THROW(codec::readFrame(stream), fs::FatalError);
+    }
+    EXPECT_THROW(codec::parseFrame({wire.begin(), wire.end() - 5}),
+                 fs::FatalError);
+}
+
+TEST(Codec, CorruptedPayloadFailsCleanly)
+{
+    fs::Rng rng(46);
+    auto wire = codec::encodeFrame(codec::FrameType::kProfileSet,
+                                   codec::encode(randomSet(rng)));
+    wire[codec::kFrameHeaderBytes +
+         (wire.size() - codec::kFrameHeaderBytes) / 2] ^= 0x40;
+    EXPECT_THROW(codec::parseFrame(wire), fs::FatalError);
+}
+
+TEST(Codec, BadMagicRejected)
+{
+    auto wire = codec::encodeFrame(codec::FrameType::kShardDone, {});
+    wire[0] ^= 0xff;
+    EXPECT_THROW(codec::parseFrame(wire), fs::FatalError);
+}
+
+TEST(Codec, VersionMismatchRejected)
+{
+    auto wire = codec::encodeFrame(codec::FrameType::kShardDone, {});
+    // The version field sits right after the 4-byte magic.
+    wire[4] = static_cast<std::uint8_t>(codec::kVersion + 1);
+    try {
+        codec::parseFrame(wire);
+        FAIL() << "foreign version must be rejected";
+    } catch (const fs::FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+}
+
+TEST(Codec, ImplausiblePayloadLengthRejectedBeforeAllocation)
+{
+    // A corrupt header must be rejected at the length field — the
+    // reader (driver or worker) must never trust it with a
+    // multi-gigabyte allocation before the checksum can fire.
+    auto wire = codec::encodeFrame(codec::FrameType::kShardDone, {});
+    for (std::size_t i = 8; i < 16; ++i)  // payload_len, past magic+ver+type
+        wire[i] = 0xff;
+    std::stringstream stream;
+    stream.write(reinterpret_cast<const char*>(wire.data()),
+                 static_cast<std::streamsize>(wire.size()));
+    EXPECT_THROW(codec::readFrame(stream), fs::FatalError);
+    EXPECT_THROW(codec::decodeFrameHeader(wire.data()), fs::FatalError);
+}
+
+TEST(Codec, UnknownFrameTypeRejected)
+{
+    auto wire = codec::encodeFrame(codec::FrameType::kShardDone, {});
+    wire[6] = 0x7f;  // type field, past magic + version
+    EXPECT_THROW(codec::parseFrame(wire), fs::FatalError);
+}

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * ShardBackend determinism contract: multi-process placement must be
+ * invisible in the results.
+ *
+ * The gates, in order of importance:
+ *  - N-shard execution (1/2/4 workers) is bitwise equal to
+ *    ThreadPoolBackend and to the serial loop for the Fig. 10
+ *    nine-kernel set, including a scenario with background loads;
+ *  - a worker killed mid-shard (or producing garbage, or refusing to
+ *    answer) forfeits its slots to the in-process fallback path with
+ *    results still bitwise identical;
+ *  - specs carrying a process-local profile_fn never cross the wire;
+ *  - the CLI rejects unknown flags with the usage text and a nonzero
+ *    exit (the trailing-junk satellite).
+ *
+ * The worker binary is the real `fingrav_cli --worker`, resolved via
+ * the FINGRAV_CLI_PATH compile definition (CMakeLists.txt).
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/execution_backend.hpp"
+#include "fingrav/shard_backend.hpp"
+#include "support/logging.hpp"
+
+#ifndef FINGRAV_CLI_PATH
+#error "FINGRAV_CLI_PATH must point at the fingrav_cli binary"
+#endif
+
+namespace fc = fingrav::core;
+namespace fs = fingrav::support;
+
+namespace {
+
+std::vector<std::string>
+realWorker()
+{
+    return {FINGRAV_CLI_PATH, "--worker"};
+}
+
+/**
+ * The Fig. 10 nine-kernel set at a test-sized run budget, plus one
+ * scenario profiled under fabric contention (the background-load gate)
+ * — the same shared definition bench_shard gates on.
+ */
+std::vector<fc::ScenarioSpec>
+fig10Specs()
+{
+    return fingrav::analysis::fig10ScenarioSet(6);
+}
+
+void
+expectAllIdentical(const std::vector<fc::ProfileSet>& expected,
+                   const std::vector<fc::ProfileSet>& actual,
+                   const std::vector<fc::ScenarioSpec>& specs,
+                   const char* what)
+{
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_TRUE(fc::identicalProfileSets(expected[i], actual[i]))
+            << specs[i].label << " diverged (" << what << ")";
+    }
+}
+
+}  // namespace
+
+TEST(ShardBackend, NShardBitIdenticalToThreadPoolAndSerial)
+{
+    const auto specs = fig10Specs();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+    const auto pooled =
+        fc::CampaignRunner(
+            std::make_shared<fc::ThreadPoolBackend>(std::size_t{4}))
+            .run(specs);
+    expectAllIdentical(serial, pooled, specs, "thread pool vs serial");
+
+    for (const std::size_t shards : {1u, 2u, 4u}) {
+        fc::ShardOptions opts;
+        opts.shards = shards;
+        opts.worker_command = realWorker();
+        auto backend = std::make_shared<fc::ShardBackend>(opts);
+        const auto sharded = fc::CampaignRunner(backend).run(specs);
+        expectAllIdentical(serial, sharded, specs, "sharded vs serial");
+        // Everything must actually have crossed the wire — a backend
+        // that quietly fell back in-process would pass identity gates
+        // while proving nothing about the codec or the workers.
+        EXPECT_EQ(backend->lastStats().remote_specs, specs.size())
+            << shards << " shards";
+        EXPECT_EQ(backend->lastStats().shard_failures, 0u);
+        EXPECT_EQ(backend->lastStats().fallback_specs, 0u);
+    }
+}
+
+TEST(ShardBackend, WorkerDeathMidShardRecoversViaFallback)
+{
+    // A worker that consumes its shard and exits without answering is a
+    // deterministic stand-in for a mid-shard kill: every slot forfeits.
+    const auto specs = fig10Specs();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 2;
+    opts.worker_command = {"/bin/sh", "-c", "cat > /dev/null; exit 137"};
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, sharded, specs, "dead workers");
+    EXPECT_EQ(backend->lastStats().shard_failures, 2u);
+    EXPECT_EQ(backend->lastStats().fallback_specs, specs.size());
+    EXPECT_EQ(backend->lastStats().remote_specs, 0u);
+}
+
+TEST(ShardBackend, SigkilledWorkerRecoversViaFallback)
+{
+    // A real kill signal, delivered deterministically: the worker never
+    // reads or writes (sleep), so SIGKILL always lands mid-shard.
+    const auto specs = fig10Specs();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 2;
+    opts.worker_command = {"/bin/sh", "-c", "sleep 30"};
+    // Workers lead their own process group, so the kill reaches the
+    // shell AND the sleep it forked — the pipe closes immediately.
+    opts.spawn_hook = [](std::size_t, long pid) {
+        ::kill(-static_cast<pid_t>(pid), SIGKILL);
+    };
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, sharded, specs, "sigkilled workers");
+    EXPECT_EQ(backend->lastStats().shard_failures, 2u);
+    EXPECT_EQ(backend->lastStats().fallback_specs, specs.size());
+}
+
+TEST(ShardBackend, StalledWorkerTimesOutAndRecoversViaFallback)
+{
+    // A worker that stays alive but stops making progress must trip the
+    // opt-in inactivity timeout, be killed, and forfeit to the fallback
+    // path — a stalled-but-alive process must never hang execute().
+    auto specs = fig10Specs();
+    specs.resize(2);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 1;
+    opts.worker_command = {"/bin/sh", "-c", "cat > /dev/null; sleep 30"};
+    opts.io_timeout_ms = 200;
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    expectAllIdentical(serial, sharded, specs, "stalled worker");
+    EXPECT_EQ(backend->lastStats().shard_failures, 1u);
+    EXPECT_EQ(backend->lastStats().fallback_specs, specs.size());
+    // Recovery must come from the timeout, not the 30 s sleep ending.
+    EXPECT_LT(wall_s, 10.0);
+}
+
+TEST(ShardBackend, GarbageWorkerStreamRecoversViaFallback)
+{
+    // Streams that are not frames (bad magic) must be rejected cleanly
+    // and fall back, never decoded.
+    auto specs = fig10Specs();
+    specs.resize(3);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 1;
+    opts.worker_command = {"/bin/sh", "-c",
+                           "cat > /dev/null; printf "
+                           "'garbagegarbagegarbagegarbage'"};
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, sharded, specs, "garbage stream");
+    EXPECT_EQ(backend->lastStats().shard_failures, 1u);
+}
+
+TEST(ShardBackend, MissingWorkerBinaryRecoversViaFallback)
+{
+    const std::vector<fc::ScenarioSpec> specs{fig10Specs().front()};
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 1;
+    opts.worker_command = {"/nonexistent/fingrav_worker", "--worker"};
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, sharded, specs, "missing binary");
+    EXPECT_EQ(backend->lastStats().shard_failures, 1u);
+}
+
+TEST(ShardBackend, ProfileFnSpecsStayInProcess)
+{
+    // A custom profiling procedure has no wire form; the backend must
+    // keep it local while still sharding its wire-safe siblings.
+    auto specs = fig10Specs();
+    specs.resize(3);
+    fc::ScenarioSpec custom = specs[1];
+    custom.profile_fn = fc::makeProfileFn(
+        [](fingrav::runtime::HostRuntime& host,
+           const fc::ProfilerOptions& opts, fs::Rng rng) {
+            return fc::Profiler(host, opts, std::move(rng));
+        });
+    specs[1] = custom;
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 2;
+    opts.worker_command = realWorker();
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, sharded, specs, "profile_fn mix");
+    EXPECT_EQ(backend->lastStats().local_specs, 1u);
+    EXPECT_EQ(backend->lastStats().remote_specs, 2u);
+    EXPECT_EQ(backend->lastStats().shard_failures, 0u);
+}
+
+TEST(ShardBackend, ShardCountBeyondSpecCountClamps)
+{
+    auto specs = fig10Specs();
+    specs.resize(2);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 16;
+    opts.worker_command = realWorker();
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, sharded, specs, "clamped shards");
+    EXPECT_LE(backend->lastStats().shards_launched, specs.size());
+    EXPECT_EQ(backend->lastStats().remote_specs, specs.size());
+}
+
+TEST(ShardBackend, ZeroShardsIsAUserError)
+{
+    fc::ShardOptions opts;
+    opts.shards = 0;
+    EXPECT_THROW(fc::ShardBackend{opts}, fs::FatalError);
+}
+
+TEST(FingravCli, UnknownFlagRejectedWithUsage)
+{
+    // The trailing-junk satellite: an unknown --flag after a command
+    // must print the usage text and exit nonzero (2), not be ignored.
+    const std::string cmd = std::string(FINGRAV_CLI_PATH) +
+                            " profile CB-2K-GEMM --frobnicate 2>&1";
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[256];
+    while (std::fgets(buffer, sizeof buffer, pipe) != nullptr)
+        output += buffer;
+    const int status = ::pclose(pipe);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 2);
+    EXPECT_NE(output.find("unknown option '--frobnicate'"),
+              std::string::npos);
+    EXPECT_NE(output.find("usage:"), std::string::npos);
+    EXPECT_NE(output.find("--shards"), std::string::npos)
+        << "usage text must list the new flags";
+}
+
+TEST(FingravCli, TrailingJunkAfterListRejected)
+{
+    const std::string cmd =
+        std::string(FINGRAV_CLI_PATH) + " list extra-junk 2>&1";
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[256];
+    while (std::fgets(buffer, sizeof buffer, pipe) != nullptr)
+        output += buffer;
+    const int status = ::pclose(pipe);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 2);
+    EXPECT_NE(output.find("usage:"), std::string::npos);
+}

@@ -11,6 +11,13 @@
  *       Profile two kernels and compare rails side by side.
  *   fingrav coschedule <kernel-a> <kernel-b> [options]
  *       Evaluate recommendation-R1 co-scheduling of a pair.
+ *   fingrav campaign <label> [<label>...] [options]
+ *       Profile a set of paper kernels as one campaign set — in
+ *       process by default, sharded across worker subprocesses of this
+ *       same binary with --shards N.
+ *   fingrav --worker
+ *       Shard-worker mode: serve length-prefixed campaign requests on
+ *       stdin/stdout (spawned by --shards drivers; not for humans).
  *
  * Common options:
  *   --runs N          override the guidance-table run count
@@ -21,6 +28,13 @@
  *   --no-binning      keep every run (tenet S3 off)
  *   --csv NAME        dump profiles to fingrav_out/NAME_{sse,ssp}.csv
  *   --quiet           summary only, no plot
+ *   --shards N        dispatch campaigns to N worker processes
+ *                     (profile/campaign; paper labels only)
+ *   --autotune        also report the autotuned run budget vs Table I
+ *                     (profile; paper labels only)
+ *
+ * Unknown options after a command are rejected with the usage text and
+ * a nonzero exit — trailing junk is never silently ignored.
  *
  * Custom kernels (instead of a paper label):
  *   gemm:M,N,K        e.g. gemm:8192,8192,8192
@@ -28,19 +42,25 @@
  *   ag:BYTES | ar:BYTES   e.g. ag:1000000000
  */
 
+#include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/ascii_plot.hpp"
 #include "analysis/report.hpp"
 #include "analysis/series.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/concurrency.hpp"
 #include "fingrav/energy.hpp"
 #include "fingrav/profiler.hpp"
+#include "fingrav/recorded_campaign.hpp"
+#include "fingrav/shard_backend.hpp"
 #include "kernels/workloads.hpp"
 #include "runtime/host_runtime.hpp"
+#include "runtime/shard_worker.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/simulation.hpp"
 #include "support/logging.hpp"
@@ -60,6 +80,8 @@ struct CliOptions {
     std::uint64_t seed = 1;
     std::string csv;
     bool quiet = false;
+    std::size_t shards = 0;  ///< 0 = in-process execution
+    bool autotune = false;
 };
 
 [[noreturn]] void
@@ -69,11 +91,18 @@ usage(const char* argv0)
         << "usage: " << argv0 << " <command> [args]\n"
         << "  list                                 list built-in kernels\n"
         << "  profile <kernel> [options]           run a FinGraV campaign\n"
+        << "  campaign <label> [<label>...]        profile a kernel set\n"
         << "  compare <kernel-a> <kernel-b>        compare two kernels\n"
         << "  coschedule <kernel-a> <kernel-b>     evaluate R1 co-scheduling\n"
+        << "  --worker                             serve shard requests on\n"
+        << "                                       stdin/stdout (internal)\n"
         << "options: --runs N --margin F --window MS --seed N\n"
         << "         --sync fingrav|drift|lang|none --no-binning\n"
         << "         --csv NAME --quiet\n"
+        << "         --shards N   dispatch campaigns to N worker processes\n"
+        << "                      (profile/campaign; paper labels only)\n"
+        << "         --autotune   report the autotuned run budget vs\n"
+        << "                      Table I (profile; paper labels only)\n"
         << "kernels: paper labels (CB-8K-GEMM, MB-4K-GEMV, AG-1GB, ...)\n"
         << "         or gemm:M,N,K | gemv:M | ag:BYTES | ar:BYTES\n";
     std::exit(2);
@@ -115,9 +144,14 @@ parseKernel(const std::string& spec, const sim::MachineConfig& cfg)
     return fk::kernelByLabel(spec, cfg);
 }
 
-/** Parse trailing --flag options into CliOptions. */
+/**
+ * Parse trailing --flag options into CliOptions.  Anything that is not
+ * a recognised option is rejected with the usage text and a nonzero
+ * exit — a typo must never be silently ignored.
+ */
 CliOptions
-parseOptions(const std::vector<std::string>& args, std::size_t from)
+parseOptions(const std::vector<std::string>& args, std::size_t from,
+             const char* argv0)
 {
     CliOptions out;
     for (std::size_t i = from; i < args.size(); ++i) {
@@ -127,15 +161,47 @@ parseOptions(const std::vector<std::string>& args, std::size_t from)
                 fs::fatal(a, " needs a value");
             return args[++i];
         };
+        // Malformed numbers get the same usage-text rejection as
+        // unknown flags — never std::terminate out of stoull/stod, and
+        // never stoull's silent wrap of "-1" or half-parse of "10x".
+        auto unsigned_value = [&]() -> std::uint64_t {
+            const auto& value = next();
+            try {
+                if (value.empty() ||
+                    value.find_first_not_of("0123456789") !=
+                        std::string::npos)
+                    throw std::invalid_argument(value);
+                return std::stoull(value);
+            } catch (const std::exception&) {
+                std::cerr << "error: " << a
+                          << " needs a non-negative integer, got '"
+                          << value << "'\n";
+                usage(argv0);
+            }
+        };
+        auto double_value = [&]() -> double {
+            const auto& value = next();
+            try {
+                std::size_t parsed = 0;
+                const double out = std::stod(value, &parsed);
+                if (parsed != value.size())
+                    throw std::invalid_argument(value);
+                return out;
+            } catch (const std::exception&) {
+                std::cerr << "error: " << a << " needs a number, got '"
+                          << value << "'\n";
+                usage(argv0);
+            }
+        };
         if (a == "--runs") {
-            out.profiler.runs_override = std::stoull(next());
+            out.profiler.runs_override = unsigned_value();
         } else if (a == "--margin") {
-            out.profiler.margin_override = std::stod(next());
+            out.profiler.margin_override = double_value();
         } else if (a == "--window") {
             out.profiler.logger_window =
-                fs::Duration::millis(std::stod(next()));
+                fs::Duration::millis(double_value());
         } else if (a == "--seed") {
-            out.seed = std::stoull(next());
+            out.seed = unsigned_value();
         } else if (a == "--sync") {
             const auto& mode = next();
             if (mode == "fingrav")
@@ -154,11 +220,51 @@ parseOptions(const std::vector<std::string>& args, std::size_t from)
             out.csv = next();
         } else if (a == "--quiet") {
             out.quiet = true;
+        } else if (a == "--shards") {
+            out.shards = unsigned_value();
+        } else if (a == "--autotune") {
+            out.autotune = true;
         } else {
-            fs::fatal("unknown option: ", a);
+            std::cerr << "error: unknown option '" << a << "'\n";
+            usage(argv0);
         }
     }
     return out;
+}
+
+/** A --shards backend: worker subprocesses of this same binary. */
+std::shared_ptr<fc::ShardBackend>
+makeShardBackend(const CliOptions& opts, const char* argv0)
+{
+    fc::ShardOptions shard_opts;
+    shard_opts.shards = opts.shards;
+    shard_opts.worker_command = fc::defaultWorkerCommand(argv0);
+    return std::make_shared<fc::ShardBackend>(std::move(shard_opts));
+}
+
+/**
+ * Report where the sharded specs actually executed.  The fallback path
+ * keeps results correct when workers die, but a user who asked for
+ * --shards deserves a hard signal whenever the wire path degraded —
+ * and so does the CI step exercising this path end to end (a partially
+ * broken protocol must not hide behind the in-process recovery).
+ */
+int
+reportShardDelivery(const fc::ShardBackend& backend)
+{
+    const auto& stats = backend.lastStats();
+    std::cout << "shards: " << stats.remote_specs
+              << " spec(s) over the wire, " << stats.fallback_specs
+              << " recovered in-process, " << stats.local_specs
+              << " process-local\n";
+    if (stats.fallback_specs > 0) {
+        std::cerr << "error: " << stats.fallback_specs << " spec(s) "
+                     "failed to execute remotely (" << stats.shard_failures
+                  << " worker failure(s)); results above are correct but "
+                     "were recovered in-process\n";
+        return 1;
+    }
+    return 0;
 }
 
 fc::ProfileSet
@@ -173,9 +279,13 @@ runCampaign(const std::string& spec, const CliOptions& opts)
 }
 
 void
-printProfile(const fc::ProfileSet& set, const CliOptions& opts)
+printProfile(const fc::ProfileSet& set, const CliOptions& opts,
+             const fc::AutotuneResult* autotune = nullptr)
 {
-    std::cout << an::summarize(set) << "\n";
+    if (autotune != nullptr)
+        std::cout << an::summarize(set, *autotune) << "\n";
+    else
+        std::cout << an::summarize(set) << "\n";
     const auto rep = fc::differentiationError(set);
     std::cout << "SSE " << rep.sse_mean_w << " W | SSP " << rep.ssp_mean_w
               << " W | differentiation error " << rep.error_pct
@@ -197,8 +307,13 @@ printProfile(const fc::ProfileSet& set, const CliOptions& opts)
 }
 
 int
-cmdList()
+cmdList(const std::vector<std::string>& args, const char* argv0)
 {
+    if (args.size() > 2) {
+        std::cerr << "error: unexpected argument '" << args[2]
+                  << "' after 'list'\n";
+        usage(argv0);
+    }
     const auto cfg = sim::mi300xConfig();
     fs::TableWriter table({"label", "class", "exec@nominal (us)",
                            "op:byte"});
@@ -219,21 +334,110 @@ cmdList()
 }
 
 int
-cmdProfile(const std::vector<std::string>& args)
+cmdProfile(const std::vector<std::string>& args, const char* argv0)
 {
     if (args.size() < 3)
         fs::fatal("profile needs a kernel spec");
-    const auto opts = parseOptions(args, 3);
+    const auto opts = parseOptions(args, 3, argv0);
+
+    // The sharded and autotuned paths ride the scenario layer, which
+    // resolves kernels by paper label (kernelByLabel rejects shorthand
+    // specs with the full label list).
+    if (opts.autotune) {
+        if (opts.shards > 0) {
+            fs::fatal("--autotune cannot be combined with --shards: "
+                      "autotuning replays a locally recorded run pool");
+        }
+        fc::ScenarioSpec spec;
+        spec.label = args[2];
+        spec.seed = opts.seed;
+        spec.opts = opts.profiler;
+        const auto recorded = fc::RecordedCampaign::record(spec);
+        const auto set = recorded.restitch({});
+        const auto autotune = recorded.autotuneBudget();
+        printProfile(set, opts, &autotune);
+        return 0;
+    }
+    if (opts.shards > 0) {
+        fc::ScenarioSpec spec;
+        spec.label = args[2];
+        spec.seed = opts.seed;
+        spec.opts = opts.profiler;
+        const auto backend = makeShardBackend(opts, argv0);
+        const auto results = fc::CampaignRunner(backend).run(
+            std::vector<fc::ScenarioSpec>{spec});
+        printProfile(results.front(), opts);
+        return reportShardDelivery(*backend);
+    }
     printProfile(runCampaign(args[2], opts), opts);
     return 0;
 }
 
 int
-cmdCompare(const std::vector<std::string>& args)
+cmdCampaign(const std::vector<std::string>& args, const char* argv0)
+{
+    // Kernel labels run up to the first --flag.
+    std::vector<std::string> labels;
+    std::size_t first_flag = 2;
+    while (first_flag < args.size() &&
+           args[first_flag].rfind("--", 0) != 0)
+        labels.push_back(args[first_flag++]);
+    if (labels.empty())
+        fs::fatal("campaign needs at least one paper kernel label");
+    const auto opts = parseOptions(args, first_flag, argv0);
+    if (opts.autotune) {
+        fs::fatal("--autotune applies to 'profile', not 'campaign' "
+                  "(autotuning replays one locally recorded run pool)");
+    }
+
+    std::vector<fc::ScenarioSpec> specs;
+    specs.reserve(labels.size());
+    std::uint64_t seed = opts.seed;
+    for (const auto& label : labels) {
+        fc::ScenarioSpec spec;
+        spec.label = label;
+        spec.seed = seed++;
+        spec.opts = opts.profiler;
+        specs.push_back(std::move(spec));
+    }
+
+    std::shared_ptr<fc::ShardBackend> shard_backend;
+    if (opts.shards > 0)
+        shard_backend = makeShardBackend(opts, argv0);
+    const auto runner = shard_backend
+                            ? fc::CampaignRunner(shard_backend)
+                            : fc::CampaignRunner();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runner.run(specs);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    for (const auto& set : results)
+        std::cout << an::summarize(set) << "\n";
+    std::cout << results.size() << " campaigns via "
+              << runner.backend().name() << " backend";
+    if (opts.shards > 0)
+        std::cout << " (" << opts.shards << " shards)";
+    std::cout << " in " << wall_ms << " ms\n";
+    if (!opts.csv.empty()) {
+        for (const auto& set : results)
+            an::dumpProfileCsv(set.ssp, opts.csv + "_" + set.label);
+        std::cout << "CSV written to fingrav_out/" << opts.csv
+                  << "_*.csv\n";
+    }
+    return shard_backend ? reportShardDelivery(*shard_backend) : 0;
+}
+
+int
+cmdCompare(const std::vector<std::string>& args, const char* argv0)
 {
     if (args.size() < 4)
         fs::fatal("compare needs two kernel specs");
-    const auto opts = parseOptions(args, 4);
+    const auto opts = parseOptions(args, 4, argv0);
+    if (opts.shards > 0 || opts.autotune)
+        fs::fatal("--shards/--autotune are not supported by 'compare'");
     const auto a = runCampaign(args[2], opts);
     CliOptions opts_b = opts;
     opts_b.seed += 1;
@@ -257,11 +461,13 @@ cmdCompare(const std::vector<std::string>& args)
 }
 
 int
-cmdCoschedule(const std::vector<std::string>& args)
+cmdCoschedule(const std::vector<std::string>& args, const char* argv0)
 {
     if (args.size() < 4)
         fs::fatal("coschedule needs two kernel specs");
-    const auto opts = parseOptions(args, 4);
+    const auto opts = parseOptions(args, 4, argv0);
+    if (opts.shards > 0 || opts.autotune)
+        fs::fatal("--shards/--autotune are not supported by 'coschedule'");
     const auto cfg = sim::mi300xConfig();
     const auto a = parseKernel(args[2], cfg);
     const auto b = parseKernel(args[3], cfg);
@@ -297,14 +503,23 @@ main(int argc, char** argv)
         usage(argv[0]);
     try {
         const std::string& cmd = args[1];
+        if (cmd == "--worker") {
+            // stdout carries protocol frames; keep inform() off it so a
+            // status line can never corrupt the stream.
+            fs::setLogLevel(fs::LogLevel::kWarn);
+            return rt::runShardWorker(std::cin, std::cout);
+        }
         if (cmd == "list")
-            return cmdList();
+            return cmdList(args, argv[0]);
         if (cmd == "profile")
-            return cmdProfile(args);
+            return cmdProfile(args, argv[0]);
+        if (cmd == "campaign")
+            return cmdCampaign(args, argv[0]);
         if (cmd == "compare")
-            return cmdCompare(args);
+            return cmdCompare(args, argv[0]);
         if (cmd == "coschedule")
-            return cmdCoschedule(args);
+            return cmdCoschedule(args, argv[0]);
+        std::cerr << "error: unknown command '" << cmd << "'\n";
         usage(argv[0]);
     } catch (const fs::FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";
