@@ -1,0 +1,587 @@
+/**
+ * @file
+ * Data-plane benchmark: the columnar (SoA) profile kernels against
+ * in-bench scalar baselines that replicate the retired AoS layout, with
+ * bitwise-equality verification on every scenario.
+ *
+ * Four scenarios cover the profile data plane end to end:
+ *
+ *  1. rail_reduction — the full reduction suite (mean/min/max on all
+ *     four rails plus the contended/uncontended split means) through
+ *     PowerProfile::railStats, against the seed's per-accessor loops
+ *     over a materialized std::vector<ProfilePoint>.
+ *
+ *  2. percentile — the order-statistics battery (seven percentiles)
+ *     through support::percentile (copy + nth_element selection),
+ *     against the seed's copy + full std::sort + interpolation.
+ *
+ *  3. codec — ProfileSet encode/decode through the v2 columnar codec
+ *     (one contiguous block per column, decode adopting columns
+ *     wholesale), against an in-bench replica of the v1 field-wise
+ *     per-point layout built from the same Encoder/Decoder primitives.
+ *     Reports MB/s both ways.
+ *
+ *  4. stitch_append — bulk timeline assembly through
+ *     PowerProfile::appendTimelineRun (one resize, tight per-column
+ *     loops), against the seed's per-sample ProfilePoint temporaries
+ *     fed through add().
+ *
+ * Every scenario hard-fails on any bitwise divergence between baseline
+ * and columnar results, smoke or not.  In full mode at least two of the
+ * four kernels must clear a 2x speedup (the tentpole floor tracked by
+ * tools/bench_regression.py); results go to BENCH_dataplane.json.
+ *
+ * Usage: bench_dataplane [--smoke] [--out PATH]
+ *   --smoke   reduced problem sizes, thresholds reported but not enforced
+ *   --out     output JSON path (default BENCH_dataplane.json)
+ */
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/codec.hpp"
+#include "fingrav/profile.hpp"
+#include "fingrav/profiler.hpp"
+#include "sim/power_logger.hpp"
+#include "support/statistics.hpp"
+#include "tools/bench_json.hpp"
+
+namespace fc = fingrav::core;
+namespace fs = fingrav::support;
+namespace sim = fingrav::sim;
+namespace tools = fingrav::tools;
+
+namespace {
+
+double
+wallMs(const std::chrono::steady_clock::time_point& t0)
+{
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/** Bit-pattern equality: distinguishes -0.0 from +0.0 and survives any
+ *  future NaN in the pipeline, unlike operator==. */
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/** Deterministic xorshift64* stream (the bench needs repeatable data,
+ *  not statistical quality). */
+struct Xorshift {
+    std::uint64_t state;
+
+    explicit Xorshift(std::uint64_t seed) : state(seed | 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1DULL;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        const double u =
+            static_cast<double>(next() >> 11) * 0x1.0p-53;
+        return lo + u * (hi - lo);
+    }
+};
+
+/** Synthetic profile with every column exercised (mixed contention,
+ *  spread rails, multiple runs/execs). */
+fc::PowerProfile
+makeProfile(std::size_t n, fc::ProfileKind kind, std::uint64_t seed)
+{
+    Xorshift rng(seed);
+    fc::PowerProfile prof("bench", kind);
+    prof.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sim::PowerSample s;
+        s.gpu_timestamp = static_cast<std::int64_t>(i * 97 + (rng.next() & 7));
+        s.total_w = rng.uniform(80.0, 760.0);
+        s.xcd_w = rng.uniform(30.0, 500.0);
+        s.iod_w = rng.uniform(10.0, 120.0);
+        s.hbm_w = rng.uniform(20.0, 140.0);
+        prof.addRow(rng.uniform(0.0, 900.0), rng.uniform(0.0, 1.0),
+                    rng.uniform(0.0, 50'000.0), s, i % 60, i % 24,
+                    (rng.next() & 3) == 0);
+    }
+    return prof;
+}
+
+bool
+profilesBitIdentical(const fc::PowerProfile& a, const fc::PowerProfile& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a.point(i) == b.point(i)))
+            return false;
+    }
+    return a.contendedWords() == b.contendedWords();
+}
+
+/** Best wall time of `reps` runs of `fn` (first run warms caches). */
+template <typename Fn>
+double
+bestMs(int reps, Fn&& fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const double ms = wallMs(t0);
+        if (r == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: rail reductions — per-accessor AoS loops vs railStats
+// ---------------------------------------------------------------------------
+
+constexpr fc::Rail kRails[] = {fc::Rail::kTotal, fc::Rail::kXcd,
+                               fc::Rail::kIod, fc::Rail::kHbm};
+
+/** The seed's reduction suite over the materialized AoS vector: one
+ *  loop per accessor, per-point railValue dispatch — 14 results (mean,
+ *  min, max per rail; contended/uncontended total-rail means). */
+std::vector<double>
+reductionSuiteAos(const std::vector<fc::ProfilePoint>& pts)
+{
+    std::vector<double> out;
+    out.reserve(14);
+    for (const fc::Rail rail : kRails) {
+        double acc = 0.0;
+        for (const auto& p : pts)
+            acc += fc::railValue(p.sample, rail);
+        out.push_back(pts.empty()
+                          ? 0.0
+                          : acc / static_cast<double>(pts.size()));
+        double mn = pts.empty() ? 0.0 : fc::railValue(pts[0].sample, rail);
+        for (const auto& p : pts)
+            mn = std::min(mn, fc::railValue(p.sample, rail));
+        out.push_back(mn);
+        double mx = pts.empty() ? 0.0 : fc::railValue(pts[0].sample, rail);
+        for (const auto& p : pts)
+            mx = std::max(mx, fc::railValue(p.sample, rail));
+        out.push_back(mx);
+    }
+    for (const bool contended : {false, true}) {
+        double acc = 0.0;
+        std::size_t count = 0;
+        for (const auto& p : pts) {
+            if (p.contended != contended)
+                continue;
+            acc += p.sample.total_w;
+            ++count;
+        }
+        out.push_back(count ? acc / static_cast<double>(count) : 0.0);
+    }
+    return out;
+}
+
+/** The same 14 results through the columnar kernel. */
+std::vector<double>
+reductionSuiteSoa(const fc::PowerProfile& prof)
+{
+    std::vector<double> out;
+    out.reserve(14);
+    for (const fc::Rail rail : kRails) {
+        const auto st = prof.railStats(rail);
+        out.push_back(st.mean());
+        out.push_back(st.min);
+        out.push_back(st.max);
+    }
+    out.push_back(prof.meanPowerWhere(false));
+    out.push_back(prof.meanPowerWhere(true));
+    return out;
+}
+
+bool
+runRailReduction(tools::BenchReport& report, bool smoke, double& speedup_out)
+{
+    const std::size_t n = smoke ? 50'000 : 1'000'000;
+    const int reps = smoke ? 3 : 5;
+    const auto prof = makeProfile(n, fc::ProfileKind::kSsp, 11);
+
+    // The AoS baseline gets its vector materialized up front — only the
+    // reduction loops are timed, not the layout conversion.
+    std::vector<fc::ProfilePoint> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pts.push_back(prof.point(i));
+
+    std::vector<double> aos;
+    const double aos_ms = bestMs(reps, [&] { aos = reductionSuiteAos(pts); });
+    std::vector<double> soa;
+    const double soa_ms = bestMs(reps, [&] { soa = reductionSuiteSoa(prof); });
+
+    bool identical = aos.size() == soa.size();
+    for (std::size_t i = 0; identical && i < aos.size(); ++i)
+        identical = sameBits(aos[i], soa[i]);
+    const double speedup = soa_ms > 0.0 ? aos_ms / soa_ms : 0.0;
+    speedup_out = speedup;
+
+    auto& s = report.scenario("rail_reduction");
+    s.note("description",
+           "mean/min/max x 4 rails + contention-split means: AoS "
+           "per-accessor loops vs columnar railStats");
+    s.metric("points", static_cast<std::uint64_t>(n));
+    s.metric("aos_wall_ms", aos_ms);
+    s.metric("soa_wall_ms", soa_ms);
+    s.metric("speedup", speedup);
+    s.note("bit_identical", identical ? "yes" : "NO");
+
+    std::cout << "rail_reduction: AoS " << aos_ms << " ms, SoA " << soa_ms
+              << " ms, speedup " << speedup << "x, bit-identical: "
+              << (identical ? "yes" : "NO") << "\n";
+    if (!identical)
+        std::cerr << "FAIL: railStats diverged from the AoS reference\n";
+    return identical;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: percentiles — copy+sort vs copy+nth_element
+// ---------------------------------------------------------------------------
+
+constexpr double kPercentiles[] = {1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9};
+
+/** The seed's percentile: copy, full sort, interpolate. */
+double
+percentileSorted(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+bool
+runPercentile(tools::BenchReport& report, bool smoke, double& speedup_out)
+{
+    const std::size_t n = smoke ? 50'000 : 1'000'000;
+    const int reps = smoke ? 3 : 5;
+    Xorshift rng(23);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs.push_back(rng.uniform(50.0, 5'000.0));
+
+    std::vector<double> sorted_vals(std::size(kPercentiles));
+    const double sort_ms = bestMs(reps, [&] {
+        for (std::size_t i = 0; i < std::size(kPercentiles); ++i)
+            sorted_vals[i] = percentileSorted(xs, kPercentiles[i]);
+    });
+    std::vector<double> select_vals(std::size(kPercentiles));
+    const double select_ms = bestMs(reps, [&] {
+        for (std::size_t i = 0; i < std::size(kPercentiles); ++i)
+            select_vals[i] = fs::percentile(xs, kPercentiles[i]);
+    });
+
+    bool identical = true;
+    for (std::size_t i = 0; i < std::size(kPercentiles); ++i)
+        identical = identical && sameBits(sorted_vals[i], select_vals[i]);
+    const double speedup = select_ms > 0.0 ? sort_ms / select_ms : 0.0;
+    speedup_out = speedup;
+
+    auto& s = report.scenario("percentile");
+    s.note("description",
+           "seven percentiles over one sample: full sort vs nth_element "
+           "selection");
+    s.metric("points", static_cast<std::uint64_t>(n));
+    s.metric("sort_wall_ms", sort_ms);
+    s.metric("select_wall_ms", select_ms);
+    s.metric("speedup", speedup);
+    s.note("bit_identical", identical ? "yes" : "NO");
+
+    std::cout << "percentile: sort " << sort_ms << " ms, select "
+              << select_ms << " ms, speedup " << speedup
+              << "x, bit-identical: " << (identical ? "yes" : "NO") << "\n";
+    if (!identical)
+        std::cerr << "FAIL: nth_element percentile diverged from the sort "
+                     "reference\n";
+    return identical;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: codec — v1 field-wise point replica vs v2 columnar
+// ---------------------------------------------------------------------------
+
+/** Replica of the v1 per-point profile layout (field-interleaved
+ *  records), built from the same Encoder primitives the v1 codec used. */
+void
+encodeProfileV1(fc::codec::Encoder& enc, const fc::PowerProfile& prof)
+{
+    enc.str(prof.label());
+    enc.u8(static_cast<std::uint8_t>(prof.kind()));
+    enc.u32(static_cast<std::uint32_t>(prof.size()));
+    for (const auto& p : prof.points()) {
+        enc.f64(p.toi_us);
+        enc.f64(p.toi_frac);
+        enc.f64(p.run_time_us);
+        enc.i64(p.sample.gpu_timestamp);
+        enc.f64(p.sample.total_w);
+        enc.f64(p.sample.xcd_w);
+        enc.f64(p.sample.iod_w);
+        enc.f64(p.sample.hbm_w);
+        enc.u64(p.run_index);
+        enc.u64(p.exec_index);
+        enc.boolean(p.contended);
+    }
+}
+
+fc::PowerProfile
+decodeProfileV1(fc::codec::Decoder& dec)
+{
+    const std::string label = dec.str();
+    const auto kind = static_cast<fc::ProfileKind>(dec.u8());
+    const auto n = static_cast<std::size_t>(
+        fc::codec::checkedCount(dec.u32(), "v1 bench profile points"));
+    fc::PowerProfile prof(label, kind);
+    prof.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        fc::ProfilePoint p;
+        p.toi_us = dec.f64();
+        p.toi_frac = dec.f64();
+        p.run_time_us = dec.f64();
+        p.sample.gpu_timestamp = dec.i64();
+        p.sample.total_w = dec.f64();
+        p.sample.xcd_w = dec.f64();
+        p.sample.iod_w = dec.f64();
+        p.sample.hbm_w = dec.f64();
+        p.run_index = dec.u64();
+        p.exec_index = dec.u64();
+        p.contended = dec.boolean();
+        prof.add(p);
+    }
+    return prof;
+}
+
+bool
+runCodec(tools::BenchReport& report, bool smoke, double& speedup_out)
+{
+    const std::size_t n = smoke ? 40'000 : 400'000;
+    const int reps = smoke ? 3 : 5;
+    fc::ProfileSet set;
+    set.label = "bench";
+    set.sse = makeProfile(n / 8, fc::ProfileKind::kSse, 31);
+    set.ssp = makeProfile(n / 2, fc::ProfileKind::kSsp, 37);
+    set.timeline = makeProfile(n, fc::ProfileKind::kTimeline, 41);
+
+    // v1 replica: the three profiles as field-interleaved point records.
+    std::vector<std::uint8_t> v1_bytes;
+    const double v1_enc_ms = bestMs(reps, [&] {
+        fc::codec::Encoder enc;
+        encodeProfileV1(enc, set.sse);
+        encodeProfileV1(enc, set.ssp);
+        encodeProfileV1(enc, set.timeline);
+        v1_bytes = enc.bytes();
+    });
+    fc::PowerProfile v1_sse, v1_ssp, v1_timeline;
+    const double v1_dec_ms = bestMs(reps, [&] {
+        fc::codec::Decoder dec(v1_bytes);
+        v1_sse = decodeProfileV1(dec);
+        v1_ssp = decodeProfileV1(dec);
+        v1_timeline = decodeProfileV1(dec);
+        dec.expectEnd("v1 bench payload");
+    });
+
+    // v2: the real columnar ProfileSet codec (whole set, so the v2 side
+    // carries the extra scalar fields the replica skips — conservative).
+    std::vector<std::uint8_t> v2_bytes;
+    const double v2_enc_ms =
+        bestMs(reps, [&] { v2_bytes = fc::codec::encode(set); });
+    fc::ProfileSet v2_set;
+    const double v2_dec_ms =
+        bestMs(reps, [&] { v2_set = fc::codec::decodeProfileSet(v2_bytes); });
+
+    const bool identical = profilesBitIdentical(v1_sse, set.sse) &&
+                           profilesBitIdentical(v1_ssp, set.ssp) &&
+                           profilesBitIdentical(v1_timeline, set.timeline) &&
+                           fc::identicalProfileSets(v2_set, set);
+    const double enc_speedup = v2_enc_ms > 0.0 ? v1_enc_ms / v2_enc_ms : 0.0;
+    const double dec_speedup = v2_dec_ms > 0.0 ? v1_dec_ms / v2_dec_ms : 0.0;
+    speedup_out = dec_speedup;
+    const double mb = static_cast<double>(v2_bytes.size()) / 1.0e6;
+
+    auto& s = report.scenario("codec");
+    s.note("description",
+           "ProfileSet wire codec: v1 field-wise point replica vs v2 "
+           "columnar encode/decode");
+    s.metric("points", static_cast<std::uint64_t>(
+                           set.sse.size() + set.ssp.size() +
+                           set.timeline.size()));
+    s.metric("v1_payload_bytes", static_cast<std::uint64_t>(v1_bytes.size()));
+    s.metric("v2_payload_bytes", static_cast<std::uint64_t>(v2_bytes.size()));
+    s.metric("v1_encode_wall_ms", v1_enc_ms);
+    s.metric("v2_encode_wall_ms", v2_enc_ms);
+    s.metric("v1_decode_wall_ms", v1_dec_ms);
+    s.metric("v2_decode_wall_ms", v2_dec_ms);
+    s.metric("encode_speedup", enc_speedup);
+    s.metric("decode_speedup", dec_speedup);
+    s.metric("v2_encode_mb_per_s",
+             v2_enc_ms > 0.0 ? mb / (v2_enc_ms / 1.0e3) : 0.0);
+    s.metric("v2_decode_mb_per_s",
+             v2_dec_ms > 0.0 ? mb / (v2_dec_ms / 1.0e3) : 0.0);
+    s.note("bit_identical", identical ? "yes" : "NO");
+
+    std::cout << "codec: v1 encode " << v1_enc_ms << " ms / decode "
+              << v1_dec_ms << " ms, v2 encode " << v2_enc_ms
+              << " ms / decode " << v2_dec_ms << " ms, speedups "
+              << enc_speedup << "x / " << dec_speedup
+              << "x, bit-identical: " << (identical ? "yes" : "NO") << "\n";
+    if (!identical)
+        std::cerr << "FAIL: codec round trips diverged from the source "
+                     "set\n";
+    return identical;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: timeline assembly — per-point add() vs appendTimelineRun
+// ---------------------------------------------------------------------------
+
+bool
+runStitchAppend(tools::BenchReport& report, bool smoke, double& speedup_out)
+{
+    const std::size_t runs = 64;
+    const std::size_t per_run = smoke ? 1'000 : 12'000;
+    const int reps = smoke ? 3 : 5;
+
+    Xorshift rng(53);
+    std::vector<sim::PowerSample> samples(per_run);
+    std::vector<std::int64_t> cpu_ns(per_run);
+    std::vector<std::uint8_t> contended(per_run);
+    for (std::size_t k = 0; k < per_run; ++k) {
+        samples[k].gpu_timestamp = static_cast<std::int64_t>(k * 131);
+        samples[k].total_w = rng.uniform(80.0, 760.0);
+        samples[k].xcd_w = rng.uniform(30.0, 500.0);
+        samples[k].iod_w = rng.uniform(10.0, 120.0);
+        samples[k].hbm_w = rng.uniform(20.0, 140.0);
+        cpu_ns[k] = 5'000'000 + static_cast<std::int64_t>(k) * 200'000;
+        contended[k] = (rng.next() & 3) == 0 ? 1 : 0;
+    }
+    const std::int64_t run_start = 4'000'000;
+
+    // Baseline: the seed stitcher's inner loop — one ProfilePoint
+    // temporary per sample through add().
+    fc::PowerProfile aos;
+    const double aos_ms = bestMs(reps, [&] {
+        aos = fc::PowerProfile("bench", fc::ProfileKind::kTimeline);
+        for (std::size_t r = 0; r < runs; ++r) {
+            for (std::size_t k = 0; k < per_run; ++k) {
+                fc::ProfilePoint p;
+                p.run_time_us =
+                    static_cast<double>(cpu_ns[k] - run_start) / 1.0e3;
+                p.sample = samples[k];
+                p.run_index = r;
+                p.contended = contended[k] != 0;
+                aos.add(p);
+            }
+        }
+    });
+
+    // Columnar: one bulk append per run.
+    fc::PowerProfile soa;
+    const double soa_ms = bestMs(reps, [&] {
+        soa = fc::PowerProfile("bench", fc::ProfileKind::kTimeline);
+        for (std::size_t r = 0; r < runs; ++r) {
+            soa.appendTimelineRun(samples.data(), cpu_ns.data(),
+                                  contended.data(), per_run, run_start, r);
+        }
+    });
+
+    const bool identical = profilesBitIdentical(aos, soa);
+    const double speedup = soa_ms > 0.0 ? aos_ms / soa_ms : 0.0;
+    speedup_out = speedup;
+
+    auto& s = report.scenario("stitch_append");
+    s.note("description",
+           "64-run timeline assembly: per-sample ProfilePoint add() vs "
+           "bulk appendTimelineRun");
+    s.metric("points", static_cast<std::uint64_t>(runs * per_run));
+    s.metric("pointwise_wall_ms", aos_ms);
+    s.metric("bulk_wall_ms", soa_ms);
+    s.metric("speedup", speedup);
+    s.note("bit_identical", identical ? "yes" : "NO");
+
+    std::cout << "stitch_append: point-wise " << aos_ms << " ms, bulk "
+              << soa_ms << " ms, speedup " << speedup
+              << "x, bit-identical: " << (identical ? "yes" : "NO") << "\n";
+    if (!identical)
+        std::cerr << "FAIL: appendTimelineRun diverged from the point-wise "
+                     "reference\n";
+    return identical;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_dataplane.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_dataplane [--smoke] [--out PATH]\n";
+            return 2;
+        }
+    }
+
+    tools::BenchReport report("dataplane");
+    bool ok = true;
+    double speedups[4] = {0.0, 0.0, 0.0, 0.0};
+    ok = runRailReduction(report, smoke, speedups[0]) && ok;
+    ok = runPercentile(report, smoke, speedups[1]) && ok;
+    ok = runCodec(report, smoke, speedups[2]) && ok;
+    ok = runStitchAppend(report, smoke, speedups[3]) && ok;
+
+    // The tentpole floor: at least two data-plane kernels >= 2x over
+    // their scalar baselines (rail_reduction, percentile, codec decode,
+    // stitch_append).
+    if (!smoke) {
+        int cleared = 0;
+        for (const double v : speedups) {
+            if (v >= 2.0)
+                ++cleared;
+        }
+        if (cleared < 2) {
+            std::cerr << "FAIL: only " << cleared
+                      << " data-plane kernels cleared the 2x floor (need "
+                         ">= 2)\n";
+            ok = false;
+        }
+    }
+
+    if (!report.write(out_path)) {
+        std::cerr << "FAIL: cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    return ok ? 0 : 1;
+}

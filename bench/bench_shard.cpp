@@ -3,7 +3,7 @@
  * Distributed-sharding benchmark: multi-process campaign placement with
  * bit-identity verification and dispatch-overhead accounting.
  *
- * Two scenarios track the fourth leg of the scaling story (after
+ * Three scenarios track the fourth leg of the scaling story (after
  * event-driven stepping, parallel node stepping and campaign-level
  * threading):
  *
@@ -23,6 +23,12 @@
  *     simulation grows; the bench reports the absolute overhead and
  *     its percentage at both budgets (identity enforced here too).
  *
+ *  3. codec_throughput — the wire cost itself: a large ProfileSet
+ *     through the columnar codec, reporting encode/decode MB/s and the
+ *     heap allocations one decode performs (counted by a bench-local
+ *     global operator new) — the zero-copy column decode should stay
+ *     at a handful of vector allocations, not one per point.
+ *
  * Results go to BENCH_shard.json via tools/bench_json.hpp; CI feeds the
  * file through tools/bench_regression.py (docs/PERFORMANCE.md).
  *
@@ -32,22 +38,78 @@
  *   --worker  fingrav_cli binary (default: next to this executable)
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
 #include "fingrav/campaign_runner.hpp"
+#include "fingrav/codec.hpp"
 #include "fingrav/execution_backend.hpp"
+#include "fingrav/profile.hpp"
 #include "fingrav/shard_backend.hpp"
+#include "sim/power_logger.hpp"
 #include "tools/bench_json.hpp"
 
 namespace an = fingrav::analysis;
 namespace fc = fingrav::core;
+namespace sim = fingrav::sim;
 namespace tools = fingrav::tools;
+
+namespace {
+
+/** Heap-allocation counter behind the replaced global operator new. */
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+// Bench-local allocation accounting: the minimal replaceable pair.  The
+// aligned overloads fall through to the default implementation, which is
+// fine — the codec's column vectors use the plain form.
+void*
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace {
 
@@ -220,6 +282,117 @@ runDispatchOverhead(tools::BenchReport& report, bool smoke)
     return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 3: wire-codec throughput and decode allocation economy
+// ---------------------------------------------------------------------------
+
+/** Synthetic profile exercising every column (mixed contention, spread
+ *  rails) — wire-shaped data without paying for a campaign. */
+fc::PowerProfile
+syntheticProfile(std::size_t n, fc::ProfileKind kind, std::uint64_t seed)
+{
+    std::uint64_t state = seed | 1;
+    const auto next = [&state] {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1DULL;
+    };
+    const auto uniform = [&next](double lo, double hi) {
+        return lo + static_cast<double>(next() >> 11) * 0x1.0p-53 * (hi - lo);
+    };
+
+    fc::PowerProfile prof("wire", kind);
+    prof.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sim::PowerSample s;
+        s.gpu_timestamp = static_cast<std::int64_t>(i * 113);
+        s.total_w = uniform(80.0, 760.0);
+        s.xcd_w = uniform(30.0, 500.0);
+        s.iod_w = uniform(10.0, 120.0);
+        s.hbm_w = uniform(20.0, 140.0);
+        prof.addRow(uniform(0.0, 900.0), uniform(0.0, 1.0),
+                    uniform(0.0, 50'000.0), s, i % 60, i % 24,
+                    (next() & 3) == 0);
+    }
+    return prof;
+}
+
+bool
+runCodecThroughput(tools::BenchReport& report, bool smoke)
+{
+    const std::size_t n = smoke ? 40'000 : 400'000;
+    const int reps = smoke ? 3 : 5;
+
+    fc::ProfileSet set;
+    set.label = "wire";
+    set.sse = syntheticProfile(n / 8, fc::ProfileKind::kSse, 61);
+    set.ssp = syntheticProfile(n / 2, fc::ProfileKind::kSsp, 67);
+    set.timeline = syntheticProfile(n, fc::ProfileKind::kTimeline, 71);
+    const std::uint64_t points =
+        set.sse.size() + set.ssp.size() + set.timeline.size();
+
+    std::vector<std::uint8_t> bytes;
+    double enc_ms = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        bytes = fc::codec::encode(set);
+        const double ms = wallMs(t0);
+        if (r == 0 || ms < enc_ms)
+            enc_ms = ms;
+    }
+
+    fc::ProfileSet decoded;
+    double dec_ms = 0.0;
+    std::uint64_t dec_allocs = 0;
+    for (int r = 0; r < reps; ++r) {
+        const std::uint64_t a0 =
+            g_alloc_count.load(std::memory_order_relaxed);
+        const auto t0 = std::chrono::steady_clock::now();
+        decoded = fc::codec::decodeProfileSet(bytes);
+        const double ms = wallMs(t0);
+        const std::uint64_t allocs =
+            g_alloc_count.load(std::memory_order_relaxed) - a0;
+        if (r == 0 || ms < dec_ms) {
+            dec_ms = ms;
+            dec_allocs = allocs;
+        }
+    }
+
+    const bool identical = fc::identicalProfileSets(decoded, set);
+    const double mb = static_cast<double>(bytes.size()) / 1.0e6;
+    const double enc_mbps = enc_ms > 0.0 ? mb / (enc_ms / 1.0e3) : 0.0;
+    const double dec_mbps = dec_ms > 0.0 ? mb / (dec_ms / 1.0e3) : 0.0;
+    const double allocs_per_kpoint =
+        points > 0 ? static_cast<double>(dec_allocs) * 1.0e3 /
+                         static_cast<double>(points)
+                   : 0.0;
+
+    auto& s = report.scenario("codec_throughput");
+    s.note("description",
+           "columnar ProfileSet wire codec: encode/decode MB/s and heap "
+           "allocations per decode (zero-copy column adoption)");
+    s.metric("points", points);
+    s.metric("payload_bytes", static_cast<std::uint64_t>(bytes.size()));
+    s.metric("encode_wall_ms", enc_ms);
+    s.metric("decode_wall_ms", dec_ms);
+    s.metric("encode_mb_per_s", enc_mbps);
+    s.metric("decode_mb_per_s", dec_mbps);
+    s.metric("decode_allocs", dec_allocs);
+    s.metric("decode_allocs_per_1k_points", allocs_per_kpoint);
+    s.note("bit_identical", identical ? "yes" : "NO");
+
+    std::cout << "codec_throughput: " << mb << " MB payload, encode "
+              << enc_mbps << " MB/s, decode " << dec_mbps << " MB/s, "
+              << dec_allocs << " allocations per decode ("
+              << allocs_per_kpoint << " per 1k points), bit-identical: "
+              << (identical ? "yes" : "NO") << "\n";
+    if (!identical)
+        std::cerr << "FAIL: codec round trip diverged from the source "
+                     "set\n";
+    return identical;
+}
+
 }  // namespace
 
 int
@@ -247,6 +420,7 @@ main(int argc, char** argv)
     bool ok = true;
     ok = runShardIdentity(report, smoke) && ok;
     ok = runDispatchOverhead(report, smoke) && ok;
+    ok = runCodecThroughput(report, smoke) && ok;
 
     if (!report.write(out_path)) {
         std::cerr << "bench_shard: cannot write " << out_path << "\n";

@@ -168,15 +168,25 @@ contentionDelta(const core::ProfileSet& isolated,
             std::clamp(frac, 0.0, 1.0) * static_cast<double>(phases));
         return std::min(b, phases - 1);
     };
-    for (const auto& p : isolated.ssp.points()) {
-        auto& phase = out.phases[bin_of(p.toi_frac)];
-        phase.isolated_w += p.sample.total_w;
-        ++phase.isolated_lois;
+    // Histogram fill straight off the toi_frac / total_w columns, in
+    // point order (sums reproduce the former point-loop bit for bit).
+    {
+        const auto& frac = isolated.ssp.toiFrac();
+        const auto& watts = isolated.ssp.railColumn(core::Rail::kTotal);
+        for (std::size_t i = 0; i < frac.size(); ++i) {
+            auto& phase = out.phases[bin_of(frac[i])];
+            phase.isolated_w += watts[i];
+            ++phase.isolated_lois;
+        }
     }
-    for (const auto& p : contended.ssp.points()) {
-        auto& phase = out.phases[bin_of(p.toi_frac)];
-        phase.contended_w += p.sample.total_w;
-        ++phase.contended_lois;
+    {
+        const auto& frac = contended.ssp.toiFrac();
+        const auto& watts = contended.ssp.railColumn(core::Rail::kTotal);
+        for (std::size_t i = 0; i < frac.size(); ++i) {
+            auto& phase = out.phases[bin_of(frac[i])];
+            phase.contended_w += watts[i];
+            ++phase.contended_lois;
+        }
     }
     for (auto& phase : out.phases) {
         if (phase.isolated_lois > 0)

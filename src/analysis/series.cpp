@@ -10,23 +10,23 @@ namespace fingrav::analysis {
 Series
 toSeries(const core::PowerProfile& profile, core::Rail rail)
 {
-    const auto& pts = profile.points();
-    std::vector<std::size_t> order(pts.size());
+    // Index sort over the stored x column, then one gather per output
+    // column — no point materialization, no per-point rail dispatch.
+    // Same comparator as ever, so ordering (including the treatment of
+    // ties by std::sort) is unchanged.
+    const std::vector<double>& xs = profile.xColumn();
+    const std::vector<double>& ys = profile.railColumn(rail);
+    std::vector<std::size_t> order(profile.size());
     std::iota(order.begin(), order.end(), 0);
-    const bool timeline =
-        profile.kind() == core::ProfileKind::kTimeline;
-    auto key = [&](std::size_t i) {
-        return timeline ? pts[i].run_time_us : pts[i].toi_us;
-    };
     std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return key(a) < key(b); });
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
 
     Series s;
-    s.x.reserve(pts.size());
-    s.y.reserve(pts.size());
+    s.x.reserve(order.size());
+    s.y.reserve(order.size());
     for (std::size_t i : order) {
-        s.x.push_back(key(i));
-        s.y.push_back(core::railValue(pts[i].sample, rail));
+        s.x.push_back(xs[i]);
+        s.y.push_back(ys[i]);
     }
     return s;
 }

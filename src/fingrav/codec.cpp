@@ -1,9 +1,12 @@
 #include "fingrav/codec.hpp"
 
 #include <bit>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <type_traits>
+#include <utility>
 
 #include "support/logging.hpp"
 
@@ -134,6 +137,50 @@ Encoder::optDuration(const std::optional<Duration>& v)
         duration(*v);
 }
 
+namespace {
+
+/** One contiguous little-endian element block (canonical bytes match the
+ *  per-element writers exactly — the fast path is pure layout). */
+template <typename T>
+void
+appendColumnBytes(std::vector<std::uint8_t>& bytes, const std::vector<T>& v)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        const auto* raw = reinterpret_cast<const std::uint8_t*>(v.data());
+        bytes.insert(bytes.end(), raw, raw + v.size() * sizeof(T));
+    } else {
+        for (const T x : v) {
+            std::uint64_t u;
+            if constexpr (std::is_same_v<T, double>)
+                u = std::bit_cast<std::uint64_t>(x);
+            else
+                u = static_cast<std::uint64_t>(x);
+            for (int shift = 0; shift < 64; shift += 8)
+                bytes.push_back(static_cast<std::uint8_t>(u >> shift));
+        }
+    }
+}
+
+}  // namespace
+
+void
+Encoder::f64Column(const std::vector<double>& v)
+{
+    appendColumnBytes(bytes_, v);
+}
+
+void
+Encoder::i64Column(const std::vector<std::int64_t>& v)
+{
+    appendColumnBytes(bytes_, v);
+}
+
+void
+Encoder::u64Column(const std::vector<std::uint64_t>& v)
+{
+    appendColumnBytes(bytes_, v);
+}
+
 // ---------------------------------------------------------------------------
 // Decoder
 // ---------------------------------------------------------------------------
@@ -240,6 +287,52 @@ Decoder::optDuration()
     if (!boolean())
         return std::nullopt;
     return duration();
+}
+
+namespace {
+
+/** Block-read `n` little-endian elements: one bounds check, one memcpy on
+ *  little-endian hosts (zero-copy of the v2 column layout). */
+template <typename T>
+std::vector<T>
+readColumn(const std::uint8_t* p, std::size_t n)
+{
+    std::vector<T> out(n);
+    if constexpr (std::endian::native == std::endian::little) {
+        if (n > 0)
+            std::memcpy(out.data(), p, n * sizeof(T));
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t u = 0;
+            for (int b = 0; b < 8; ++b)
+                u |= static_cast<std::uint64_t>(p[i * 8 + b]) << (8 * b);
+            if constexpr (std::is_same_v<T, double>)
+                out[i] = std::bit_cast<double>(u);
+            else
+                out[i] = static_cast<T>(u);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<double>
+Decoder::f64Column(std::size_t n)
+{
+    return readColumn<double>(need(n * sizeof(double)), n);
+}
+
+std::vector<std::int64_t>
+Decoder::i64Column(std::size_t n)
+{
+    return readColumn<std::int64_t>(need(n * sizeof(std::int64_t)), n);
+}
+
+std::vector<std::uint64_t>
+Decoder::u64Column(std::size_t n)
+{
+    return readColumn<std::uint64_t>(need(n * sizeof(std::uint64_t)), n);
 }
 
 void
@@ -375,48 +468,32 @@ decodeScenarioSpec(Decoder& dec)
 
 namespace {
 
-void
-encodeProfilePoint(Encoder& enc, const ProfilePoint& p)
-{
-    enc.f64(p.toi_us);
-    enc.f64(p.toi_frac);
-    enc.f64(p.run_time_us);
-    enc.i64(p.sample.gpu_timestamp);
-    enc.f64(p.sample.total_w);
-    enc.f64(p.sample.xcd_w);
-    enc.f64(p.sample.iod_w);
-    enc.f64(p.sample.hbm_w);
-    enc.u64(p.run_index);
-    enc.u64(p.exec_index);
-    enc.boolean(p.contended);
-}
-
-ProfilePoint
-decodeProfilePoint(Decoder& dec)
-{
-    ProfilePoint p;
-    p.toi_us = dec.f64();
-    p.toi_frac = dec.f64();
-    p.run_time_us = dec.f64();
-    p.sample.gpu_timestamp = dec.i64();
-    p.sample.total_w = dec.f64();
-    p.sample.xcd_w = dec.f64();
-    p.sample.iod_w = dec.f64();
-    p.sample.hbm_w = dec.f64();
-    p.run_index = dec.u64();
-    p.exec_index = dec.u64();
-    p.contended = dec.boolean();
-    return p;
-}
-
+/**
+ * v2 columnar profile layout: label, kind, point count, then one
+ * contiguous block per column in declaration order — toi_us, toi_frac,
+ * run_time_us, gpu_timestamp, total_w, xcd_w, iod_w, hbm_w, run_index,
+ * exec_index — and finally the packed contention bitmap, (n + 63) / 64
+ * u64 words whose trailing bits past n MUST be zero (canonical form;
+ * decode rejects trailing garbage).  The word count is derived from n,
+ * never read off the wire.
+ */
 void
 encodePowerProfile(Encoder& enc, const PowerProfile& profile)
 {
     enc.str(profile.label());
     enc.u8(static_cast<std::uint8_t>(profile.kind()));
     enc.u32(static_cast<std::uint32_t>(profile.size()));
-    for (const auto& p : profile.points())
-        encodeProfilePoint(enc, p);
+    enc.f64Column(profile.toiUs());
+    enc.f64Column(profile.toiFrac());
+    enc.f64Column(profile.runTimeUs());
+    enc.i64Column(profile.gpuTimestamps());
+    enc.f64Column(profile.railColumn(Rail::kTotal));
+    enc.f64Column(profile.railColumn(Rail::kXcd));
+    enc.f64Column(profile.railColumn(Rail::kIod));
+    enc.f64Column(profile.railColumn(Rail::kHbm));
+    enc.u64Column(profile.runIndices());
+    enc.u64Column(profile.execIndices());
+    enc.u64Column(profile.contendedWords());
 }
 
 PowerProfile
@@ -427,9 +504,32 @@ decodePowerProfile(Decoder& dec)
     if (kind > static_cast<std::uint8_t>(ProfileKind::kTimeline))
         support::fatal("codec: invalid profile kind ", int(kind));
     PowerProfile profile(label, static_cast<ProfileKind>(kind));
-    const std::uint64_t points = checkedCount(dec.u32(), "profile-point");
-    for (std::uint64_t i = 0; i < points; ++i)
-        profile.add(decodeProfilePoint(dec));
+    const auto n = static_cast<std::size_t>(
+        checkedCount(dec.u32(), "profile-point"));
+    auto toi_us = dec.f64Column(n);
+    auto toi_frac = dec.f64Column(n);
+    auto run_time_us = dec.f64Column(n);
+    auto gpu_timestamp = dec.i64Column(n);
+    auto total_w = dec.f64Column(n);
+    auto xcd_w = dec.f64Column(n);
+    auto iod_w = dec.f64Column(n);
+    auto hbm_w = dec.f64Column(n);
+    auto run_index = dec.u64Column(n);
+    auto exec_index = dec.u64Column(n);
+    auto contended_words = dec.u64Column((n + 63) / 64);
+    if (n % 64 != 0 && !contended_words.empty()) {
+        const std::uint64_t tail_mask = ~std::uint64_t{0} << (n % 64);
+        if ((contended_words.back() & tail_mask) != 0) {
+            support::fatal("codec: profile contention bitmap has set bits "
+                           "past the point count (non-canonical frame)");
+        }
+    }
+    profile.adoptColumns(n, std::move(toi_us), std::move(toi_frac),
+                         std::move(run_time_us), std::move(gpu_timestamp),
+                         std::move(total_w), std::move(xcd_w),
+                         std::move(iod_w), std::move(hbm_w),
+                         std::move(run_index), std::move(exec_index),
+                         std::move(contended_words));
     return profile;
 }
 

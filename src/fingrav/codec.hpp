@@ -54,8 +54,13 @@ namespace fingrav::core::codec {
 /** "FGRV" in little-endian byte order. */
 inline constexpr std::uint32_t kMagic = 0x56524746u;
 
-/** Schema version; bump on ANY layout change (docs/ARCHITECTURE.md). */
-inline constexpr std::uint16_t kVersion = 1;
+/**
+ * Schema version; bump on ANY layout change (docs/ARCHITECTURE.md).
+ * v2: PowerProfile payloads are columnar — one contiguous little-endian
+ * block per point field plus a packed contention bitmap, instead of
+ * field-interleaved per-point records.
+ */
+inline constexpr std::uint16_t kVersion = 2;
 
 /** Frame payload types. */
 enum class FrameType : std::uint16_t {
@@ -89,6 +94,16 @@ class Encoder {
     void optU64(const std::optional<std::size_t>& v);
     void optF64(const std::optional<double>& v);
     void optDuration(const std::optional<support::Duration>& v);
+
+    /**
+     * Bulk column writers (v2 profile frames): the whole vector as one
+     * contiguous little-endian element block — on little-endian hosts a
+     * single byte append, no per-element shifting.  The element count is
+     * NOT written; the enclosing layout carries it once.
+     */
+    void f64Column(const std::vector<double>& v);
+    void i64Column(const std::vector<std::int64_t>& v);
+    void u64Column(const std::vector<std::uint64_t>& v);
 
     const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
@@ -127,6 +142,15 @@ class Decoder {
     std::optional<std::size_t> optU64();
     std::optional<double> optF64();
     std::optional<support::Duration> optDuration();
+
+    /**
+     * Bulk column readers (v2 profile frames): `n` little-endian
+     * elements in one bounds check + block copy.  `n` must already have
+     * passed checkedCount; truncation is fatal as usual.
+     */
+    std::vector<double> f64Column(std::size_t n);
+    std::vector<std::int64_t> i64Column(std::size_t n);
+    std::vector<std::uint64_t> u64Column(std::size_t n);
 
     /** Bytes not yet consumed. */
     std::size_t remaining() const { return size_ - pos_; }

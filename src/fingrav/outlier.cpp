@@ -69,7 +69,7 @@ OutlierProfiler::profile(const kernels::KernelModelPtr& kernel,
     }
     result.outlier_found = true;
     result.outlier_target =
-        support::Duration::micros(support::median(outlier_times_us));
+        support::Duration::micros(support::medianInPlace(outlier_times_us));
 
     // Stage 2: re-run with step 6 redirected at the outlier bin.  More
     // runs are necessary, as the paper warns — the bin is sparsely

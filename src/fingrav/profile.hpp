@@ -14,9 +14,21 @@
  * cloud a *fine-grain time series* of a kernel that is far shorter than the
  * logger window (paper step 9: "stitch the different runs by plotting all
  * collected LOIs and TOIs").
+ *
+ * Storage is structure-of-arrays: one contiguous column per point field
+ * (TOI, per-rail power, run/exec indices, a packed contention bitmap)
+ * instead of a vector of ProfilePoint structs.  The hot analysis kernels
+ * (rail reductions, trend fits, phase binning, codec encode) stream whole
+ * columns with no per-point rail dispatch, and the wire codec moves
+ * columns as single byte blocks.  ProfilePoint remains the point-at-a-time
+ * exchange type: point(i) materializes one, points() yields a view whose
+ * iterator materializes on demand, so point-wise callers (tests, oracles,
+ * CSV dumps) are source-compatible with the old AoS layout.
  */
 
 #include <cstddef>
+#include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -78,6 +90,32 @@ enum class ProfileKind {
 /** Printable kind name. */
 const char* toString(ProfileKind kind);
 
+/** Which points a rail reduction runs over. */
+enum class ContentionFilter {
+    kAll,          ///< every point
+    kContended,    ///< points whose contended flag is set
+    kUncontended,  ///< points whose contended flag is clear
+};
+
+/**
+ * One-pass rail reduction outcome: count, running sum (accumulated in
+ * point order, so means reproduce the former per-accessor loops bit for
+ * bit), and extrema of the selected points.
+ */
+struct RailStats {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;  ///< 0 when count == 0
+
+    /** Arithmetic mean; 0 when no point matched. */
+    double
+    mean() const
+    {
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+};
+
 /** A stitched power profile. */
 class PowerProfile {
   public:
@@ -92,36 +130,193 @@ class PowerProfile {
     {
     }
 
-    /** Append a point. */
-    void add(const ProfilePoint& p) { points_.push_back(p); }
+    /** Append a point (scattered into the columns). */
+    void add(const ProfilePoint& p);
 
-    /** All points (unsorted). */
-    const std::vector<ProfilePoint>& points() const { return points_; }
+    /**
+     * Append one point without constructing a ProfilePoint — the stitcher
+     * hot path writes straight into the columns.
+     */
+    void addRow(double toi_us, double toi_frac, double run_time_us,
+                const sim::PowerSample& sample, std::size_t run_index,
+                std::size_t exec_index, bool contended);
+
+    /**
+     * Bulk-append one run's timeline: for every sample k, run time is
+     * (cpu_ns[k] - run_start_cpu_ns) / 1e3 with TOI fields zero and no
+     * exec attribution — the stitcher's whole-run view.  `contended`
+     * holds one 0/1 byte per sample.  Columns are resized once and
+     * filled with tight per-column loops.
+     */
+    void appendTimelineRun(const sim::PowerSample* samples,
+                           const std::int64_t* cpu_ns,
+                           const std::uint8_t* contended, std::size_t n,
+                           std::int64_t run_start_cpu_ns,
+                           std::size_t run_index);
+
+    /**
+     * Adopt fully-built columns wholesale (the codec's zero-copy decode
+     * lands here): every column must hold exactly `n` elements and
+     * `contended_words` must hold (n + 63) / 64 packed bits with all
+     * trailing bits zero; anything else is fatal.
+     */
+    void adoptColumns(std::size_t n, std::vector<double> toi_us,
+                      std::vector<double> toi_frac,
+                      std::vector<double> run_time_us,
+                      std::vector<std::int64_t> gpu_timestamp,
+                      std::vector<double> total_w, std::vector<double> xcd_w,
+                      std::vector<double> iod_w, std::vector<double> hbm_w,
+                      std::vector<std::uint64_t> run_index,
+                      std::vector<std::uint64_t> exec_index,
+                      std::vector<std::uint64_t> contended_words);
+
+    /** Reserve capacity in every column. */
+    void reserve(std::size_t n);
+
+    /** Materialize point i. */
+    ProfilePoint point(std::size_t i) const;
 
     /** Number of LOIs. */
-    std::size_t size() const { return points_.size(); }
+    std::size_t size() const { return size_; }
 
     /** True when no LOIs were captured. */
-    bool empty() const { return points_.empty(); }
+    bool empty() const { return size_ == 0; }
+
+    // -- point-at-a-time view (source compatibility with the AoS layout) --
+
+    /** Iterator materializing ProfilePoints from the columns on demand. */
+    class PointIterator {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = ProfilePoint;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const ProfilePoint*;
+        using reference = ProfilePoint;
+
+        PointIterator(const PowerProfile* p, std::size_t i)
+            : profile_(p), i_(i)
+        {
+        }
+
+        ProfilePoint operator*() const { return profile_->point(i_); }
+        PointIterator& operator++() { ++i_; return *this; }
+        PointIterator operator++(int) { auto c = *this; ++i_; return c; }
+        bool operator==(const PointIterator& o) const { return i_ == o.i_; }
+        bool operator!=(const PointIterator& o) const { return i_ != o.i_; }
+
+      private:
+        const PowerProfile* profile_;
+        std::size_t i_;
+    };
+
+    /** Range/index view over the points (materialized on access). */
+    class PointsView {
+      public:
+        explicit PointsView(const PowerProfile* p) : profile_(p) {}
+
+        std::size_t size() const { return profile_->size(); }
+        bool empty() const { return profile_->empty(); }
+        ProfilePoint operator[](std::size_t i) const
+        {
+            return profile_->point(i);
+        }
+        PointIterator begin() const { return {profile_, 0}; }
+        PointIterator end() const { return {profile_, profile_->size()}; }
+
+      private:
+        const PowerProfile* profile_;
+    };
+
+    /** All points (unsorted), materialized on access. */
+    PointsView points() const { return PointsView(this); }
+
+    // -- columns ---------------------------------------------------------
+
+    const std::vector<double>& toiUs() const { return toi_us_; }
+    const std::vector<double>& toiFrac() const { return toi_frac_; }
+    const std::vector<double>& runTimeUs() const { return run_time_us_; }
+    const std::vector<std::int64_t>& gpuTimestamps() const
+    {
+        return gpu_timestamp_;
+    }
+    const std::vector<std::uint64_t>& runIndices() const
+    {
+        return run_index_;
+    }
+    const std::vector<std::uint64_t>& execIndices() const
+    {
+        return exec_index_;
+    }
+    /** Packed contention bitmap, 64 points per word, LSB-first. */
+    const std::vector<std::uint64_t>& contendedWords() const
+    {
+        return contended_words_;
+    }
+    /** The power column of one rail. */
+    const std::vector<double>& railColumn(Rail rail) const;
+
+    /** Contention flag of point i. */
+    bool
+    contendedBit(std::size_t i) const
+    {
+        return (contended_words_[i >> 6] >> (i & 63)) & 1u;
+    }
+
+    /** X column a trend/series runs over (run time for timelines, TOI
+     *  otherwise). */
+    const std::vector<double>&
+    xColumn() const
+    {
+        return kind_ == ProfileKind::kTimeline ? run_time_us_ : toi_us_;
+    }
+
+    // -- reductions ------------------------------------------------------
+
+    /**
+     * One-pass reduction over a rail column: count, sum (point order),
+     * min, max of the selected points.  All the former per-accessor
+     * loops (meanPower, minPower, maxPower, meanPowerWhere, the
+     * contention-delta means) collapse into this kernel.
+     */
+    RailStats railStats(Rail rail,
+                        ContentionFilter filter =
+                            ContentionFilter::kAll) const;
 
     /** Mean of a rail across all points; 0 when empty. */
-    double meanPower(Rail rail = Rail::kTotal) const;
+    double
+    meanPower(Rail rail = Rail::kTotal) const
+    {
+        return railStats(rail).mean();
+    }
 
     /** Min/max of a rail across all points; 0 when empty. */
-    double minPower(Rail rail = Rail::kTotal) const;
-    double maxPower(Rail rail = Rail::kTotal) const;
+    double minPower(Rail rail = Rail::kTotal) const
+    {
+        return railStats(rail).min;
+    }
+    double maxPower(Rail rail = Rail::kTotal) const
+    {
+        return railStats(rail).max;
+    }
 
-    /** LOIs flagged as contended (scenario environments). */
+    /** LOIs flagged as contended (popcount over the packed bitmap). */
     std::size_t contendedCount() const;
 
     /** Mean of a rail over points with the given contention flag; 0 when
      *  no point carries that flag. */
-    double meanPowerWhere(bool contended, Rail rail = Rail::kTotal) const;
+    double
+    meanPowerWhere(bool contended, Rail rail = Rail::kTotal) const
+    {
+        return railStats(rail, contended ? ContentionFilter::kContended
+                                         : ContentionFilter::kUncontended)
+            .mean();
+    }
 
     /**
      * Degree-`degree` least-squares trend of a rail over TOI (the paper's
      * "linear regression of degree four" overlay).  X is toi_us for
-     * SSE/SSP profiles and run_time_us for timelines.
+     * SSE/SSP profiles and run_time_us for timelines; both are handed to
+     * the fitter as column views — no copies.
      */
     support::PolyFitResult trend(Rail rail, std::size_t degree = 4) const;
 
@@ -132,9 +327,32 @@ class PowerProfile {
     ProfileKind kind() const { return kind_; }
 
   private:
+    /** Set bit i (columns already grown past i). */
+    void
+    setContended(std::size_t i, bool contended)
+    {
+        const std::size_t word = i >> 6;
+        if (word >= contended_words_.size())
+            contended_words_.resize(word + 1, 0);
+        if (contended)
+            contended_words_[word] |= std::uint64_t{1} << (i & 63);
+    }
+
     std::string label_;
     ProfileKind kind_ = ProfileKind::kSsp;
-    std::vector<ProfilePoint> points_;
+
+    std::size_t size_ = 0;
+    std::vector<double> toi_us_;
+    std::vector<double> toi_frac_;
+    std::vector<double> run_time_us_;
+    std::vector<std::int64_t> gpu_timestamp_;
+    std::vector<double> total_w_;
+    std::vector<double> xcd_w_;
+    std::vector<double> iod_w_;
+    std::vector<double> hbm_w_;
+    std::vector<std::uint64_t> run_index_;
+    std::vector<std::uint64_t> exec_index_;
+    std::vector<std::uint64_t> contended_words_;
 };
 
 }  // namespace fingrav::core

@@ -68,7 +68,7 @@ measureKernelExecTime(runtime::HostRuntime& host, support::Rng& rng,
          i < rec.main_exec_indices.size(); ++i) {
         tail_us.push_back(rec.mainExecDuration(i).toMicros());
     }
-    return support::Duration::micros(support::median(std::move(tail_us)));
+    return support::Duration::micros(support::medianInPlace(tail_us));
 }
 
 std::size_t

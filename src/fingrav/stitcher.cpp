@@ -138,9 +138,25 @@ ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
 {
     RunCache& rc = run_caches_[run_idx];
     if (!rc.aligned) {
-        rc.sample_cpu_ns.reserve(run.samples.size());
+        const std::size_t m = run.samples.size();
+        rc.sample_cpu_ns.reserve(m);
         for (const auto& s : run.samples)
             rc.sample_cpu_ns.push_back(sampleCpuNs(run, s));
+        // Contention flags in the same pass discipline: sample times
+        // ascend and the contention intervals are merged and ascending,
+        // so one forward merge resolves every flag — same containment
+        // predicate as RunRecord::contendedAt ([first, second)), without
+        // a binary search per sample.
+        rc.contended.assign(m, 0);
+        const auto& ivs = run.contended_cpu_ns;
+        std::size_t ii = 0;
+        for (std::size_t k = 0; k < m; ++k) {
+            const std::int64_t t = rc.sample_cpu_ns[k];
+            while (ii < ivs.size() && t >= ivs[ii].second)
+                ++ii;
+            rc.contended[k] =
+                (ii < ivs.size() && t >= ivs[ii].first) ? 1 : 0;
+        }
         rc.aligned = true;
     }
     const auto& cpu = rc.sample_cpu_ns;
@@ -148,7 +164,8 @@ ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
 
     // Executions are chronological and samples ascend in CPU time, so one
     // forward sweep aligns them: O(execs + samples) instead of the seed's
-    // O(execs × samples) with a translation per pair.
+    // O(execs × samples) with a translation per pair.  Points land in the
+    // profile columns directly (addRow) — no ProfilePoint staging.
     std::size_t si = 0;
     for (std::size_t j = 0; j < run.main_exec_indices.size(); ++j) {
         const auto& timing = run.execs[run.main_exec_indices[j]].timing;
@@ -158,36 +175,33 @@ ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
             continue;
         while (si < n && cpu[si] < timing.cpu_start_ns)
             ++si;
+        const bool is_sse = j == out.sse_exec_index;
+        const bool is_ssp = j >= out.ssp_exec_index;
+        if (!is_sse && !is_ssp)
+            continue;
         for (std::size_t k = si; k < n && cpu[k] <= timing.cpu_end_ns;
              ++k) {
-            ProfilePoint p;
-            p.toi_us =
-                static_cast<double>(cpu[k] - timing.cpu_start_ns) / 1e3;
-            p.toi_frac =
-                static_cast<double>(cpu[k] - timing.cpu_start_ns) / dur_ns;
-            p.run_time_us =
+            const double toi_ns =
+                static_cast<double>(cpu[k] - timing.cpu_start_ns);
+            const double toi_us = toi_ns / 1e3;
+            const double toi_frac = toi_ns / dur_ns;
+            const double run_time_us =
                 static_cast<double>(cpu[k] - run.run_start_cpu_ns) / 1e3;
-            p.sample = run.samples[k];
-            p.run_index = run.run_index;
-            p.exec_index = j;
-            p.contended = run.contendedAt(cpu[k]);
-            if (j == out.sse_exec_index)
-                out.sse.add(p);
-            if (j >= out.ssp_exec_index)
-                out.ssp.add(p);
+            const bool contended = rc.contended[k] != 0;
+            if (is_sse)
+                out.sse.addRow(toi_us, toi_frac, run_time_us,
+                               run.samples[k], run.run_index, j, contended);
+            if (is_ssp)
+                out.ssp.addRow(toi_us, toi_frac, run_time_us,
+                               run.samples[k], run.run_index, j, contended);
         }
     }
 
-    // Timeline view: every sample of the run in run-relative time.
-    for (std::size_t k = 0; k < n; ++k) {
-        ProfilePoint p;
-        p.run_time_us =
-            static_cast<double>(cpu[k] - run.run_start_cpu_ns) / 1e3;
-        p.sample = run.samples[k];
-        p.run_index = run.run_index;
-        p.contended = run.contendedAt(cpu[k]);
-        out.timeline.add(p);
-    }
+    // Timeline view: every sample of the run in run-relative time,
+    // bulk-appended column-wise.
+    out.timeline.appendTimelineRun(run.samples.data(), cpu.data(),
+                                   rc.contended.data(), n,
+                                   run.run_start_cpu_ns, run.run_index);
 }
 
 void

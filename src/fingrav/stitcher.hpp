@@ -94,8 +94,15 @@ class ProfileStitcher {
     struct RunCache {
         support::Duration rep_time;
         bool eligible = false;  ///< recorded at least one main execution
-        bool aligned = false;   ///< sample_cpu_ns filled
+        bool aligned = false;   ///< sample_cpu_ns / contended filled
         std::vector<std::int64_t> sample_cpu_ns;  ///< ascending
+        /**
+         * Per-sample contention flag (0/1), resolved once per run by
+         * merging the ascending sample times against the run's merged
+         * contention intervals — same predicate as RunRecord::contendedAt
+         * without the per-point binary search.
+         */
+        std::vector<std::uint8_t> contended;
     };
 
     /** Translate one sample under the configured sync mode. */

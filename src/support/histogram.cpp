@@ -28,6 +28,24 @@ Histogram::add(double x)
     ++total_;
 }
 
+void
+Histogram::addColumn(const std::vector<double>& xs)
+{
+    const double lo = lo_;
+    const double width = width_;
+    const auto last = static_cast<std::ptrdiff_t>(counts_.size()) - 1;
+    std::size_t* counts = counts_.data();
+    for (const double x : xs) {
+        // Same bucket index as add(): (x - lo) / width truncated, then
+        // clamped.  Multiplying by a precomputed reciprocal would round
+        // differently near bucket edges, so the division stays.
+        auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+        idx = std::clamp<std::ptrdiff_t>(idx, 0, last);
+        ++counts[static_cast<std::size_t>(idx)];
+    }
+    total_ += xs.size();
+}
+
 double
 Histogram::bucketCenter(std::size_t i) const
 {

@@ -32,6 +32,13 @@ class Histogram {
     /** Count one observation (out-of-range values clamp to the end buckets). */
     void add(double x);
 
+    /**
+     * Count a whole column of observations (same clamping) in one tight
+     * loop — the bucket math hoists the invariant lo/width loads, so a
+     * profile column (e.g. toi_frac) streams straight into the counters.
+     */
+    void addColumn(const std::vector<double>& xs);
+
     /** Number of buckets. */
     std::size_t bucketCount() const { return counts_.size(); }
     /** Count in bucket i. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "support/logging.hpp"
 
@@ -11,15 +12,11 @@ namespace fingrav::support {
 void
 RunningStats::add(double x)
 {
+    // No first-observation branch: mean_ starts at 0 so the first delta
+    // is x itself, mean_ becomes x/1 and m2_ gains x·(x − x) = ±0 which
+    // +0 absorbs — the same state the former `if (n_ == 1)` arm set.
     ++n_;
     sum_ += x;
-    if (n_ == 1) {
-        mean_ = x;
-        min_ = x;
-        max_ = x;
-        m2_ = 0.0;
-        return;
-    }
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
@@ -42,12 +39,39 @@ RunningStats::stddev() const
 }
 
 double
+Moments::variance() const
+{
+    if (count < 2)
+        return 0.0;
+    return m2 / static_cast<double>(count - 1);
+}
+
+double
+Moments::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Moments
+moments(const std::vector<double>& xs)
+{
+    Moments m;
+    m.count = xs.size();
+    if (xs.empty())
+        return m;
+    m.mean = std::accumulate(xs.begin(), xs.end(), 0.0) /
+             static_cast<double>(xs.size());
+    double acc = 0.0;
+    for (const double x : xs)
+        acc += (x - m.mean) * (x - m.mean);
+    m.m2 = acc;
+    return m;
+}
+
+double
 mean(const std::vector<double>& xs)
 {
-    if (xs.empty())
-        return 0.0;
-    return std::accumulate(xs.begin(), xs.end(), 0.0) /
-           static_cast<double>(xs.size());
+    return moments(xs).mean;
 }
 
 double
@@ -55,42 +79,66 @@ stddev(const std::vector<double>& xs)
 {
     if (xs.size() < 2)
         return 0.0;
-    const double m = mean(xs);
-    double acc = 0.0;
-    for (double x : xs)
-        acc += (x - m) * (x - m);
-    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+    return moments(xs).stddev();
 }
 
 double
 median(std::vector<double> xs)
 {
-    return percentile(std::move(xs), 50.0);
+    return percentileInPlace(xs, 50.0);
 }
 
 double
 percentile(std::vector<double> xs, double p)
 {
+    return percentileInPlace(xs, p);
+}
+
+double
+percentileInPlace(std::vector<double>& xs, double p)
+{
     FINGRAV_ASSERT(p >= 0.0 && p <= 100.0, "percentile p=", p);
     if (xs.empty())
         return 0.0;
-    std::sort(xs.begin(), xs.end());
     if (xs.size() == 1)
         return xs.front();
     const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const auto hi = std::min(lo + 1, xs.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+    // Select the lo-th order statistic; the (lo+1)-th is then the minimum
+    // of the upper partition.  Order statistics are properties of the
+    // multiset, so the interpolation reads the same two values the former
+    // full sort produced.
+    std::nth_element(xs.begin(),
+                     xs.begin() + static_cast<std::ptrdiff_t>(lo),
+                     xs.end());
+    const double lo_val = xs[lo];
+    const double hi_val =
+        hi == lo ? lo_val
+                 : *std::min_element(
+                       xs.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                       xs.end());
+    return lo_val * (1.0 - frac) + hi_val * frac;
+}
+
+double
+medianInPlace(std::vector<double>& xs)
+{
+    return percentileInPlace(xs, 50.0);
 }
 
 double
 coefficientOfVariation(const std::vector<double>& xs)
 {
-    const double m = mean(xs);
-    if (m == 0.0)
+    // One moments pass serves both the mean and the deviation — the mean
+    // is no longer computed twice (once here, once inside stddev).
+    const Moments m = moments(xs);
+    if (m.mean == 0.0)
         return 0.0;
-    return stddev(xs) / m;
+    if (m.count < 2)
+        return 0.0;
+    return m.stddev() / m.mean;
 }
 
 }  // namespace fingrav::support

@@ -8,9 +8,16 @@
  * RunningStats is Welford's online algorithm (numerically stable single
  * pass); the free functions operate on vectors and are used by the binning
  * and profile-analysis code where the full sample is available anyway.
+ *
+ * Percentiles come in two shapes: the by-value overloads copy (legacy
+ * convenience), the *InPlace overloads select with nth_element over a
+ * caller-provided scratch buffer — O(n) instead of O(n log n) and no
+ * allocation.  Both produce bit-identical results: the interpolation reads
+ * order statistics, which do not depend on how the buffer was arranged.
  */
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace fingrav::support {
@@ -18,7 +25,13 @@ namespace fingrav::support {
 /** Single-pass mean/variance/min/max accumulator (Welford). */
 class RunningStats {
   public:
-    /** Fold one observation into the accumulator. */
+    /**
+     * Fold one observation into the accumulator.  Branch-free: min/max
+     * start at ±infinity (accessors mask the empty case) and the Welford
+     * update needs no first-element special case — for the first x,
+     * delta = x, mean becomes x/1 = x and m2 gains x·(x−x) = ±0, which
+     * sums to +0 exactly as the former `if (n_ == 1)` branch produced.
+     */
     void add(double x);
 
     /** Number of observations so far. */
@@ -40,10 +53,30 @@ class RunningStats {
     std::size_t n_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
     double sum_ = 0.0;
 };
+
+/**
+ * Batch moments of a sample, computed in one call: the mean accumulates
+ * in element order and the squared deviations use the classic two-pass
+ * formula, so `mean` and `stddev()` reproduce the former standalone
+ * helpers bit for bit while reading the sample's mean only once.
+ */
+struct Moments {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;  ///< Σ(x − mean)², element order
+
+    /** Unbiased sample variance; 0 for fewer than two observations. */
+    double variance() const;
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+};
+
+/** Batch mean + squared deviations of a sample. */
+Moments moments(const std::vector<double>& xs);
 
 /** Mean of a sample; 0 when empty. */
 double mean(const std::vector<double>& xs);
@@ -61,6 +94,17 @@ double median(std::vector<double> xs);
  * @param p  Percentile in [0, 100].
  */
 double percentile(std::vector<double> xs, double p);
+
+/**
+ * Linear-interpolated percentile over a caller-provided scratch buffer.
+ * Selects the two order statistics with nth_element — O(n), no copy, no
+ * full sort — and leaves `xs` partially reordered.  Bit-identical to the
+ * by-value overload on the same multiset.
+ */
+double percentileInPlace(std::vector<double>& xs, double p);
+
+/** In-place median; `xs` is partially reordered. */
+double medianInPlace(std::vector<double>& xs);
 
 /** Coefficient of variation (stddev/mean); 0 when the mean is 0. */
 double coefficientOfVariation(const std::vector<double>& xs);

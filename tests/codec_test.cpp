@@ -375,3 +375,76 @@ TEST(Codec, UnknownFrameTypeRejected)
     wire[6] = 0x7f;  // type field, past magic + version
     EXPECT_THROW(codec::parseFrame(wire), fs::FatalError);
 }
+
+// ---- v2 columnar profile layout ------------------------------------------
+
+namespace {
+
+/** A ProfileSet whose only points sit in the timeline profile, so its
+ *  columns are the trailing bytes of the encoded payload. */
+fc::ProfileSet
+timelineOnlySet(std::size_t points)
+{
+    fc::ProfileSet set;
+    set.label = "v2";
+    set.sse = fc::PowerProfile("v2", fc::ProfileKind::kSse);
+    set.ssp = fc::PowerProfile("v2", fc::ProfileKind::kSsp);
+    set.timeline = fc::PowerProfile("v2", fc::ProfileKind::kTimeline);
+    for (std::size_t i = 0; i < points; ++i) {
+        fc::ProfilePoint p;
+        p.run_time_us = static_cast<double>(i);
+        p.sample.total_w = 100.0 + static_cast<double>(i);
+        p.run_index = i;
+        p.contended = i % 2 == 0;
+        set.timeline.add(p);
+    }
+    return set;
+}
+
+}  // namespace
+
+TEST(Codec, ContentionBitmapTrailingGarbageRejected)
+{
+    // The packed contention bitmap is the final column of a profile; its
+    // bits past the point count must be zero (canonical form).  The
+    // timeline is the last profile of a ProfileSet, so its bitmap word is
+    // the payload's last 8 bytes — set a bit past n and decode must
+    // reject the frame instead of quietly dropping the garbage (which
+    // would break re-encode equality).
+    auto bytes = codec::encode(timelineOnlySet(3));
+    ASSERT_GE(bytes.size(), 8u);
+    bytes[bytes.size() - 8] |= 0x08;  // bit 3: first bit past n=3
+    EXPECT_THROW(codec::decodeProfileSet(bytes), fs::FatalError);
+}
+
+TEST(Codec, ColumnarTruncationInsideEveryColumnRejected)
+{
+    // v2 reads whole columns with one bounds check each; a cut anywhere
+    // inside the column region must still fail cleanly.  131 points spans
+    // three bitmap words and makes each f64 column 1048 bytes, so the
+    // probed cuts land inside different columns.
+    const auto bytes = codec::encode(timelineOnlySet(131));
+    for (const double frac : {0.35, 0.55, 0.75, 0.95, 0.999}) {
+        const auto cut =
+            static_cast<std::size_t>(static_cast<double>(bytes.size()) *
+                                     frac);
+        std::vector<std::uint8_t> short_bytes(bytes.begin(),
+                                              bytes.begin() + cut);
+        EXPECT_THROW(codec::decodeProfileSet(short_bytes), fs::FatalError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(Codec, ColumnarRoundTripPreservesBitmapAcrossWordBoundaries)
+{
+    for (const std::size_t n : {std::size_t{63}, std::size_t{64},
+                                std::size_t{65}, std::size_t{130}}) {
+        const auto set = timelineOnlySet(n);
+        const auto bytes = codec::encode(set);
+        const auto decoded = codec::decodeProfileSet(bytes);
+        EXPECT_TRUE(fc::identicalProfileSets(set, decoded)) << n;
+        EXPECT_EQ(bytes, codec::encode(decoded)) << n;
+        EXPECT_EQ(decoded.timeline.contendedCount(),
+                  set.timeline.contendedCount());
+    }
+}
