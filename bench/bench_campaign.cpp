@@ -41,6 +41,7 @@
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/recorded_campaign.hpp"
 #include "support/time_types.hpp"
+#include "tests/test_fixtures.hpp"
 #include "tools/bench_json.hpp"
 
 namespace fc = fingrav::core;
@@ -64,17 +65,9 @@ wallMs(const std::chrono::steady_clock::time_point& t0)
 bool
 runParallelCampaigns(tools::BenchReport& report, bool smoke)
 {
-    const std::vector<std::string> labels{
-        "AG-64KB", "AG-128KB", "AG-512MB", "AG-1GB",
-        "AR-64KB", "AR-128KB", "AR-512MB", "AR-1GB",
-        "CB-8K-GEMM"};
     fc::ProfilerOptions opts;
     opts.runs_override = smoke ? 30 : 100;  // bench_fig10 uses 100
-
-    std::vector<fc::ScenarioSpec> specs;
-    std::uint64_t seed = 10001;  // bench_fig10's seeds
-    for (const auto& label : labels)
-        specs.push_back({label, seed++, opts, 0, nullptr});
+    const auto specs = fingrav::testing::fig10SpecsWithOptions(opts);
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto serial = fc::CampaignRunner(1).run(specs);
@@ -98,7 +91,7 @@ runParallelCampaigns(tools::BenchReport& report, bool smoke)
     const std::size_t hw = std::thread::hardware_concurrency();
     auto& s = report.scenario("parallel_campaigns");
     s.note("description", "9-kernel Fig. 10 set, serial vs 8-thread runner");
-    s.metric("campaigns", static_cast<std::int64_t>(labels.size()));
+    s.metric("campaigns", static_cast<std::int64_t>(specs.size()));
     s.metric("runs_per_campaign",
              static_cast<std::int64_t>(*opts.runs_override));
     s.metric("serial_wall_ms", serial_ms);

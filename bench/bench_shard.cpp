@@ -48,16 +48,15 @@
 #include <string>
 #include <vector>
 
-#include "analysis/report.hpp"
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/codec.hpp"
 #include "fingrav/execution_backend.hpp"
 #include "fingrav/profile.hpp"
 #include "fingrav/shard_backend.hpp"
 #include "sim/power_logger.hpp"
+#include "tests/test_fixtures.hpp"
 #include "tools/bench_json.hpp"
 
-namespace an = fingrav::analysis;
 namespace fc = fingrav::core;
 namespace sim = fingrav::sim;
 namespace tools = fingrav::tools;
@@ -122,18 +121,7 @@ wallMs(const std::chrono::steady_clock::time_point& t0)
     return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
-bool
-identicalSets(const std::vector<fc::ProfileSet>& a,
-              const std::vector<fc::ProfileSet>& b)
-{
-    if (a.size() != b.size())
-        return false;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (!fc::identicalProfileSets(a[i], b[i]))
-            return false;
-    }
-    return true;
-}
+using fingrav::testing::identicalSets;
 
 /** Run the set through N worker processes; fails hard on divergence or
  *  on any spec that silently skipped the wire. */
@@ -174,7 +162,7 @@ runSharded(const std::vector<fc::ScenarioSpec>& specs,
 bool
 runShardIdentity(tools::BenchReport& report, bool smoke)
 {
-    const auto specs = an::fig10ScenarioSet(smoke ? 20 : 60);
+    const auto specs = fingrav::testing::fig10Specs(smoke ? 20 : 60);
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto serial = fc::CampaignRunner(1).run(specs);
@@ -236,7 +224,8 @@ runDispatchOverhead(tools::BenchReport& report, bool smoke)
 
     auto& s = report.scenario("dispatch_overhead");
     for (const bool large : {false, true}) {
-        const auto specs = an::fig10ScenarioSet(large ? large_runs : small_runs);
+        const auto specs =
+            fingrav::testing::fig10Specs(large ? large_runs : small_runs);
 
         // The 2-thread pool is the placement-matched in-process
         // reference for the 2-worker dispatch.

@@ -109,6 +109,17 @@ class CampaignRunner {
     ExecutionBackend& backend() const { return *backend_; }
 
     /**
+     * Attach a content-addressed campaign cache to the backend
+     * (fingrav/campaign_cache.hpp): cached specs are served without
+     * placement and fresh results are stored.  run() output is unchanged
+     * by construction (cached results are bit-identical); null detaches.
+     */
+    void attachCache(std::shared_ptr<CampaignCache> cache) const
+    {
+        backend_->attachCache(std::move(cache));
+    }
+
+    /**
      * Execute one scenario on a fresh node (serial, on this thread).
      */
     static ProfileSet runOne(const ScenarioSpec& spec,

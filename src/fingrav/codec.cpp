@@ -47,6 +47,8 @@ toString(FrameType type)
         return "shard-done";
       case FrameType::kWorkerError:
         return "worker-error";
+      case FrameType::kCacheEntry:
+        return "cache-entry";
     }
     return "unknown";
 }
@@ -880,7 +882,7 @@ decodeFrameHeader(const std::uint8_t* data)
     FrameHeader header;
     const std::uint16_t type = dec.u16();
     if (type < static_cast<std::uint16_t>(FrameType::kScenarioSpec) ||
-        type > static_cast<std::uint16_t>(FrameType::kWorkerError))
+        type > static_cast<std::uint16_t>(FrameType::kCacheEntry))
         support::fatal("codec: unknown frame type ", type);
     header.type = static_cast<FrameType>(type);
     // Validated here so every reader — stream- or fd-based — rejects a

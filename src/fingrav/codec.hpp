@@ -70,6 +70,7 @@ enum class FrameType : std::uint16_t {
     kShardResult = 4,   ///< one (slot, ProfileSet) — streamed per spec
     kShardDone = 5,     ///< u32 result count: clean shard completion
     kWorkerError = 6,   ///< string: worker-side fatal diagnostic
+    kCacheEntry = 7,    ///< key bytes + ProfileSet (on-disk campaign cache)
 };
 
 /** Printable frame-type name. */

@@ -3,12 +3,54 @@
 #include <algorithm>
 #include <mutex>
 #include <thread>
+#include <utility>
 
+#include "fingrav/campaign_cache.hpp"
 #include "fingrav/campaign_runner.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 
 namespace fingrav::core {
+
+ExecutionBackend::CacheConsult
+ExecutionBackend::consultCache(const std::vector<ScenarioSpec>& specs,
+                               const sim::MachineConfig& cfg) const
+{
+    CacheConsult consult;
+    consult.results.resize(specs.size());
+    consult.resolved.assign(specs.size(), 0);
+    // lookup() gates uncacheable (profile_fn) specs itself, counting
+    // the bypass; they always land in pending.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (cache()) {
+            if (auto hit = cache()->lookup(specs[i], cfg)) {
+                consult.results[i] = std::move(*hit);
+                consult.resolved[i] = 1;
+                continue;
+            }
+        }
+        consult.pending.push_back(specs[i]);
+        consult.slots.push_back(i);
+    }
+    return consult;
+}
+
+void
+ExecutionBackend::commitCache(CacheConsult& consult,
+                              std::vector<ProfileSet>&& executed,
+                              const sim::MachineConfig& cfg) const
+{
+    if (executed.size() != consult.pending.size()) {
+        support::panic("execution backend: ", executed.size(),
+                       " results for ", consult.pending.size(),
+                       " pending specs");
+    }
+    for (std::size_t j = 0; j < executed.size(); ++j) {
+        if (cache())  // store() ignores uncacheable specs itself
+            cache()->store(consult.pending[j], cfg, executed[j]);
+        consult.results[consult.slots[j]] = std::move(executed[j]);
+    }
+}
 
 ThreadPoolBackend::ThreadPoolBackend(std::size_t threads) : threads_(threads)
 {
@@ -21,6 +63,19 @@ ThreadPoolBackend::ThreadPoolBackend(std::size_t threads) : threads_(threads)
 std::vector<ProfileSet>
 ThreadPoolBackend::execute(const std::vector<ScenarioSpec>& specs,
                            const sim::MachineConfig& cfg)
+{
+    if (!cache())
+        return executeUncached(specs, cfg);
+    // Consult the cache before placing anything: cached specs never
+    // occupy a pool slot, and only the residue fans out.
+    auto consult = consultCache(specs, cfg);
+    commitCache(consult, executeUncached(consult.pending, cfg), cfg);
+    return std::move(consult.results);
+}
+
+std::vector<ProfileSet>
+ThreadPoolBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
+                                   const sim::MachineConfig& cfg)
 {
     std::vector<ProfileSet> results(specs.size());
     const std::size_t workers =

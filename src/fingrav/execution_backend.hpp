@@ -28,6 +28,7 @@
  */
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "fingrav/profiler.hpp"
@@ -35,6 +36,8 @@
 #include "sim/machine_config.hpp"
 
 namespace fingrav::core {
+
+class CampaignCache;
 
 /** Where a campaign spec list executes; see file comment for the
  *  admissibility contract. */
@@ -49,6 +52,49 @@ class ExecutionBackend {
     virtual std::vector<ProfileSet> execute(
         const std::vector<ScenarioSpec>& specs,
         const sim::MachineConfig& cfg) = 0;
+
+    /**
+     * Attach a content-addressed campaign cache
+     * (fingrav/campaign_cache.hpp).  Every built-in backend then
+     * consults it *before placing work* — cached specs never reach a
+     * thread pool slot or a worker process — and stores every freshly
+     * executed result.  Because cached results are bit-identical to
+     * execution by the cache's own contract, attaching a cache never
+     * perturbs execute()'s output; null detaches.
+     */
+    void attachCache(std::shared_ptr<CampaignCache> cache)
+    {
+        cache_ = std::move(cache);
+    }
+
+    /** The cache in force (null = uncached). */
+    const std::shared_ptr<CampaignCache>& cache() const { return cache_; }
+
+  protected:
+    /**
+     * The per-spec cache consult every backend shares: resolved[i] is
+     * true when results[i] was served from the cache; pending/slots list
+     * the residual specs (in spec order) the backend must still place.
+     * With no cache attached, everything is pending.  profile_fn specs
+     * are always pending (uncacheable, just as they are unwireable).
+     */
+    struct CacheConsult {
+        std::vector<ProfileSet> results;
+        std::vector<std::uint8_t> resolved;
+        std::vector<ScenarioSpec> pending;
+        std::vector<std::size_t> slots;  ///< pending[j] -> specs slot
+    };
+    CacheConsult consultCache(const std::vector<ScenarioSpec>& specs,
+                              const sim::MachineConfig& cfg) const;
+
+    /** Store freshly executed pending results and merge them into their
+     *  slots of `consult.results`. */
+    void commitCache(CacheConsult& consult,
+                     std::vector<ProfileSet>&& executed,
+                     const sim::MachineConfig& cfg) const;
+
+  private:
+    std::shared_ptr<CampaignCache> cache_;
 };
 
 /**
@@ -77,6 +123,11 @@ class ThreadPoolBackend final : public ExecutionBackend {
                                     const sim::MachineConfig& cfg) override;
 
   private:
+    /** The classic fan-out, after the cache consult. */
+    std::vector<ProfileSet> executeUncached(
+        const std::vector<ScenarioSpec>& specs,
+        const sim::MachineConfig& cfg);
+
     std::size_t threads_;
 };
 

@@ -232,6 +232,21 @@ ShardBackend::execute(const std::vector<ScenarioSpec>& specs,
                       const sim::MachineConfig& cfg)
 {
     stats_ = {};
+    if (!cache())
+        return executeUncached(specs, cfg);
+    // Cache consult happens before any placement: cached specs are
+    // excluded from the shard partition entirely, so a fully warm run
+    // spawns zero worker processes (stats_.shards_launched == 0).
+    auto consult = consultCache(specs, cfg);
+    stats_.cached_specs = specs.size() - consult.pending.size();
+    commitCache(consult, executeUncached(consult.pending, cfg), cfg);
+    return std::move(consult.results);
+}
+
+std::vector<ProfileSet>
+ShardBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
+                              const sim::MachineConfig& cfg)
+{
     std::vector<ProfileSet> results(specs.size());
     if (specs.empty())
         return results;

@@ -94,6 +94,8 @@ struct ShardStats {
     std::size_t remote_specs = 0;      ///< results received over the wire
     std::size_t fallback_specs = 0;    ///< specs re-run in-process
     std::size_t local_specs = 0;       ///< profile_fn specs (never shipped)
+    std::size_t cached_specs = 0;      ///< specs served by the attached
+                                       ///< campaign cache (never placed)
 };
 
 /**
@@ -120,6 +122,11 @@ class ShardBackend final : public ExecutionBackend {
     const ShardOptions& options() const { return opts_; }
 
   private:
+    /** The sharded placement itself, after the cache consult. */
+    std::vector<ProfileSet> executeUncached(
+        const std::vector<ScenarioSpec>& specs,
+        const sim::MachineConfig& cfg);
+
     ShardOptions opts_;
     ShardStats stats_;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "fingrav/campaign_cache.hpp"
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/codec.hpp"
 #include "support/logging.hpp"
@@ -49,7 +50,8 @@ decodeShardRequest(const std::vector<std::uint8_t>& payload)
 }  // namespace
 
 int
-runShardWorker(std::istream& in, std::ostream& out)
+runShardWorker(std::istream& in, std::ostream& out,
+               core::CampaignCache* cache)
 {
     for (;;) {
         std::optional<codec::Frame> frame;
@@ -73,8 +75,18 @@ runShardWorker(std::istream& in, std::ostream& out)
             for (const auto& [slot, spec] : request.items) {
                 // One fresh hermetic node per spec, the same runOne the
                 // in-process backends use: results shipped back are
-                // bit-identical to local execution.
-                auto set = core::CampaignRunner::runOne(spec, request.cfg);
+                // bit-identical to local execution.  A shared cache dir
+                // lets workers reuse (and feed) the fleet's results;
+                // cached or fresh, the shipped bytes are the same.
+                std::optional<core::ProfileSet> hit;
+                if (cache != nullptr)
+                    hit = cache->lookup(spec, request.cfg);
+                auto set = hit.has_value()
+                               ? std::move(*hit)
+                               : core::CampaignRunner::runOne(spec,
+                                                              request.cfg);
+                if (cache != nullptr && !hit.has_value())
+                    cache->store(spec, request.cfg, set);
                 codec::Encoder enc;
                 enc.u64(slot);
                 codec::encodeProfileSet(enc, set);

@@ -26,16 +26,26 @@
 
 #include <iosfwd>
 
+namespace fingrav::core {
+class CampaignCache;
+}
+
 namespace fingrav::runtime {
 
 /**
  * Serve shard requests until clean EOF on `in`.
  *
+ * @param cache  Optional campaign cache consulted before executing each
+ *               spec and fed with every fresh result (`fingrav_cli
+ *               --worker --cache-dir DIR`).  Cached results are
+ *               bit-identical to execution by the cache's contract, so
+ *               the frames streamed back are unchanged; null disables.
  * @return Process exit code: 0 after a clean EOF on a frame boundary,
  *         1 after a protocol violation or a fatal execution error (a
  *         kWorkerError frame is emitted first when possible).
  */
-int runShardWorker(std::istream& in, std::ostream& out);
+int runShardWorker(std::istream& in, std::ostream& out,
+                   core::CampaignCache* cache = nullptr);
 
 }  // namespace fingrav::runtime
 

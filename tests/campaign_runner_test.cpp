@@ -22,6 +22,7 @@
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 #include "support/time_types.hpp"
+#include "tests/test_fixtures.hpp"
 
 namespace an = fingrav::analysis;
 namespace fc = fingrav::core;
@@ -30,36 +31,12 @@ using namespace fingrav::support::literals;
 
 namespace {
 
-/** Small mixed campaign set (compute, memory and collective kernels). */
+using fingrav::testing::recordSpec;
+
 std::vector<fc::CampaignSpec>
 mixedSpecs()
 {
-    fc::ProfilerOptions cheap;
-    cheap.runs_override = 10;
-    cheap.collect_extra_runs = false;
-
-    std::vector<fc::CampaignSpec> specs;
-    for (const char* label :
-         {"CB-2K-GEMM", "MB-4K-GEMV", "AG-64KB", "CB-4K-GEMM",
-          "AR-128KB", "MB-2K-GEMV"}) {
-        fc::CampaignSpec spec;
-        spec.label = label;
-        spec.seed = 4000 + specs.size();
-        spec.opts = cheap;
-        specs.push_back(std::move(spec));
-    }
-    return specs;
-}
-
-fc::CampaignSpec
-recordSpec()
-{
-    fc::CampaignSpec spec;
-    spec.label = "CB-8K-GEMM";
-    spec.seed = 5150;
-    spec.opts.runs_override = 8;
-    spec.opts.max_extra_run_factor = 0.5;
-    return spec;
+    return fingrav::testing::mixedCampaignSpecs();
 }
 
 }  // namespace
@@ -273,6 +250,58 @@ TEST(RecordedCampaign, AutotuneBudgetHonoursExplicitTargets)
     EXPECT_GE(harder.runs_needed, easy.runs_needed);
 
     EXPECT_THROW(recorded.autotuneBudget(0, 5), fs::FatalError);
+}
+
+TEST(RecordedCampaign, AutotuneBudgetOnEmptyRunPool)
+{
+    // A zero run budget with top-up collection off records an empty
+    // pool.  The autotuner must degrade gracefully: zero runs scanned,
+    // target reported unmet at zero yield — never a crash or a phantom
+    // budget.
+    auto spec = recordSpec();
+    spec.opts.runs_override = 0;
+    spec.opts.collect_extra_runs = false;
+    const auto recorded = fc::RecordedCampaign::record(spec);
+    ASSERT_EQ(recorded.runCount(), 0u);
+
+    const auto tuned = recorded.autotuneBudget();
+    EXPECT_EQ(tuned.pool_runs, 0u);
+    EXPECT_EQ(tuned.runs_needed, 0u);
+    EXPECT_FALSE(tuned.target_met);
+    EXPECT_EQ(tuned.achieved_yield, 0.0);
+    EXPECT_GT(tuned.loi_target, 0u);
+}
+
+TEST(RecordedCampaign, AutotuneBudgetTargetMetByFirstRun)
+{
+    // A target of one LOI is satisfied by the very first prefix: the
+    // scan must stop there and report a one-run budget (the lower edge
+    // of minimality, complementing the minimal-prefix test above).
+    const auto recorded = fc::RecordedCampaign::record(recordSpec());
+    ASSERT_GT(recorded.runCount(), 1u);
+
+    const auto tuned = recorded.autotuneBudget(1);
+    EXPECT_TRUE(tuned.target_met);
+    EXPECT_EQ(tuned.runs_needed, 1u);
+    EXPECT_GE(tuned.achieved_yield, 1.0);
+}
+
+TEST(RecordedCampaign, AutotuneBudgetTargetUnreachableAtMaxBudget)
+{
+    // When even the full pool cannot meet the target, the autotuner
+    // must consume exactly the whole pool and report the shortfall
+    // precisely: yield = achieved/target, negative budget delta.
+    const auto recorded = fc::RecordedCampaign::record(recordSpec());
+    const auto full = recorded.restitch({});
+    const std::size_t unreachable = full.ssp.size() * 1000 + 1;
+
+    const auto tuned = recorded.autotuneBudget(unreachable);
+    EXPECT_FALSE(tuned.target_met);
+    EXPECT_EQ(tuned.runs_needed, recorded.runCount());
+    EXPECT_EQ(tuned.pool_runs, recorded.runCount());
+    EXPECT_GT(tuned.achieved_yield, 0.0);
+    EXPECT_LT(tuned.achieved_yield, 1.0);
+    EXPECT_LT(tuned.budgetDelta(), 0);
 }
 
 TEST(RecordedCampaign, ConcurrentRecordingDeterministic)

@@ -253,3 +253,166 @@ TEST(Determinism, IdenticalSeedsIdenticalSamples)
         differs = a[i].gpu_timestamp != c[i].gpu_timestamp;
     EXPECT_TRUE(differs);
 }
+
+// ---------------------------------------------------------------------------
+// Codec v2 payload fuzz: single-byte corruption is rejected or canonical.
+//
+// The campaign cache trusts the codec's canonical-form contract twice
+// over: content addresses are hashes of canonical ScenarioSpec +
+// MachineConfig bytes, and "corruption is a miss" only holds if a
+// damaged payload can never decode to a value that would re-encode
+// differently (an aliasing decode would poison the store silently).
+// The sweep below enforces the payload-level half of that contract:
+// for EVERY byte position and two mutation patterns, decoding either
+// throws support::FatalError or yields a value whose re-encoding
+// reproduces the mutated bytes exactly.  Prefix truncation must always
+// reject — a strict prefix can never satisfy a complete decode.
+// ---------------------------------------------------------------------------
+
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/codec.hpp"
+#include "fingrav/scenario.hpp"
+#include "support/logging.hpp"
+#include "tests/test_fixtures.hpp"
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** A spec touching every encoded field class: strings, u64s, optional
+ *  options, enums, durations, doubles, and a two-load background list. */
+fc::ScenarioSpec
+richScenarioSpec()
+{
+    fc::ScenarioSpec spec;
+    spec.label = "AG-1GB";
+    spec.seed = 424242;
+    spec.opts.runs_override = 7;
+    spec.opts.collect_extra_runs = false;
+    spec.devices = 4;
+    fc::BackgroundLoad kernel_load;
+    kernel_load.kind = fc::BackgroundKind::kKernel;
+    kernel_load.kernel = "CB-8K-GEMM";
+    kernel_load.device = 2;
+    kernel_load.queue = 3;
+    kernel_load.offset = 2_ms;
+    kernel_load.period = 10_ms;
+    kernel_load.duty_cycle = 0.4;
+    kernel_load.cycles = 5;
+    kernel_load.jitter_sigma = 0.25;
+    fc::BackgroundLoad demand_load;
+    demand_load.kind = fc::BackgroundKind::kFabricDemand;
+    demand_load.demand = 0.6;
+    spec.background = {kernel_load, demand_load};
+    return spec;
+}
+
+/** A real contended ProfileSet so the columnar layout carries a
+ *  nontrivial contention bitmap (the trailing-bits canonicality path). */
+fc::ProfileSet
+fuzzProfileSet()
+{
+    const auto specs = fingrav::testing::fig10Specs(3, true);
+    return fc::CampaignRunner::runOne(specs.back(), sim::mi300xConfig());
+}
+
+/**
+ * Sweep every byte position with two mutation patterns (full-byte
+ * invert and low-bit flip); `round_trip` decodes the mutated bytes and
+ * re-encodes the result, throwing support::FatalError on rejection.
+ */
+template <typename RoundTrip>
+void
+fuzzEveryByte(const Bytes& canonical, RoundTrip round_trip,
+              const char* what, bool expect_rejections = true)
+{
+    ASSERT_FALSE(canonical.empty()) << what;
+    std::size_t rejected = 0;
+    std::size_t reinterpreted = 0;
+    for (std::size_t pos = 0; pos < canonical.size(); ++pos) {
+        for (const std::uint8_t delta :
+             {std::uint8_t{0xFF}, std::uint8_t{0x01}}) {
+            Bytes mutated = canonical;
+            mutated[pos] = static_cast<std::uint8_t>(mutated[pos] ^ delta);
+            try {
+                const Bytes round = round_trip(mutated);
+                ASSERT_EQ(round, mutated)
+                    << what << ": mutating byte " << pos << " (xor 0x"
+                    << std::hex << int(delta) << std::dec
+                    << ") decoded to a value that re-encodes differently "
+                       "— non-canonical decode would poison the cache";
+                ++reinterpreted;
+            } catch (const fs::FatalError&) {
+                ++rejected;
+            }
+        }
+    }
+    // Sanity that the sweep has teeth: value bytes (seeds, doubles,
+    // string content) always reinterpret canonically, and any type with
+    // structural bytes (counts, kinds, lengths, booleans) must see
+    // rejections too.  Flat scalar records (MachineConfig) legitimately
+    // reject nothing — every byte is a fixed-width value.
+    if (expect_rejections)
+        EXPECT_GT(rejected, 0u) << what;
+    EXPECT_GT(reinterpreted, 0u) << what;
+}
+
+/** Every strict prefix of a canonical encoding must be rejected. */
+template <typename RoundTrip>
+void
+rejectEveryPrefix(const Bytes& canonical, RoundTrip round_trip,
+                  const char* what)
+{
+    for (std::size_t len = 0; len < canonical.size(); ++len) {
+        const Bytes prefix(canonical.begin(),
+                           canonical.begin() +
+                               static_cast<std::ptrdiff_t>(len));
+        EXPECT_THROW((void)round_trip(prefix), fs::FatalError)
+            << what << ": " << len << "-byte prefix of "
+            << canonical.size() << " canonical bytes decoded";
+    }
+}
+
+Bytes
+roundTripSpec(const Bytes& bytes)
+{
+    return fc::codec::encode(fc::codec::decodeScenarioSpec(bytes));
+}
+
+Bytes
+roundTripProfileSet(const Bytes& bytes)
+{
+    return fc::codec::encode(fc::codec::decodeProfileSet(bytes));
+}
+
+Bytes
+roundTripMachineConfig(const Bytes& bytes)
+{
+    return fc::codec::encode(fc::codec::decodeMachineConfig(bytes));
+}
+
+}  // namespace
+
+TEST(CodecFuzz, ScenarioSpecSingleByteMutationsRejectedOrCanonical)
+{
+    const Bytes canonical = fc::codec::encode(richScenarioSpec());
+    fuzzEveryByte(canonical, roundTripSpec, "ScenarioSpec");
+    rejectEveryPrefix(canonical, roundTripSpec, "ScenarioSpec");
+}
+
+TEST(CodecFuzz, ProfileSetSingleByteMutationsRejectedOrCanonical)
+{
+    const Bytes canonical = fc::codec::encode(fuzzProfileSet());
+    fuzzEveryByte(canonical, roundTripProfileSet, "ProfileSet");
+    rejectEveryPrefix(canonical, roundTripProfileSet, "ProfileSet");
+}
+
+TEST(CodecFuzz, MachineConfigSingleByteMutationsRejectedOrCanonical)
+{
+    const Bytes canonical = fc::codec::encode(sim::mi300xConfig());
+    // MachineConfig is a flat fixed-width scalar record: every mutation
+    // reinterprets canonically and only truncation can reject.
+    fuzzEveryByte(canonical, roundTripMachineConfig, "MachineConfig",
+                  /*expect_rejections=*/false);
+    rejectEveryPrefix(canonical, roundTripMachineConfig, "MachineConfig");
+}

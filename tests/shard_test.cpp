@@ -29,11 +29,11 @@
 
 #include <gtest/gtest.h>
 
-#include "analysis/report.hpp"
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/execution_backend.hpp"
 #include "fingrav/shard_backend.hpp"
 #include "support/logging.hpp"
+#include "tests/test_fixtures.hpp"
 
 #ifndef FINGRAV_CLI_PATH
 #error "FINGRAV_CLI_PATH must point at the fingrav_cli binary"
@@ -44,34 +44,20 @@ namespace fs = fingrav::support;
 
 namespace {
 
-std::vector<std::string>
-realWorker()
-{
-    return {FINGRAV_CLI_PATH, "--worker"};
-}
+using fingrav::testing::cliWorkerCommand;
+using fingrav::testing::expectAllIdentical;
 
-/**
- * The Fig. 10 nine-kernel set at a test-sized run budget, plus one
- * scenario profiled under fabric contention (the background-load gate)
- * — the same shared definition bench_shard gates on.
- */
+/** The shared Fig. 10 gate set at a test-sized run budget. */
 std::vector<fc::ScenarioSpec>
 fig10Specs()
 {
-    return fingrav::analysis::fig10ScenarioSet(6);
+    return fingrav::testing::fig10Specs(6);
 }
 
-void
-expectAllIdentical(const std::vector<fc::ProfileSet>& expected,
-                   const std::vector<fc::ProfileSet>& actual,
-                   const std::vector<fc::ScenarioSpec>& specs,
-                   const char* what)
+std::vector<std::string>
+realWorker()
 {
-    ASSERT_EQ(expected.size(), actual.size());
-    for (std::size_t i = 0; i < expected.size(); ++i) {
-        EXPECT_TRUE(fc::identicalProfileSets(expected[i], actual[i]))
-            << specs[i].label << " diverged (" << what << ")";
-    }
+    return cliWorkerCommand();
 }
 
 }  // namespace

@@ -16,9 +16,10 @@ Comparison rules, per scenario:
         current < baseline * (1 - threshold)
   * metrics ending in "_wall_ms" (lower is better): warn when
         current > baseline * (1 + threshold)
-  * notes named "bit_identical" / "bytes_conserved": warn on any value
-    that is not an affirmative "yes" (these are correctness canaries the
-    benches themselves enforce; the gate just surfaces them in the diff).
+  * notes named "bit_identical" / "bytes_conserved" /
+    "zero_reexecutions" / "all_from_disk": warn on any value that is not
+    an affirmative "yes" (these are correctness canaries the benches
+    themselves enforce; the gate just surfaces them in the diff).
 
 A per-metric delta table is printed for every scenario so the run log
 shows the full trajectory, not only the violations.
@@ -86,7 +87,12 @@ def print_metric_table(name, cur, base=None):
 def check_canaries(name, cur):
     regressions = 0
     for key, cur_val in cur.items():
-        if key in ("bit_identical", "bytes_conserved"):
+        if key in (
+            "bit_identical",
+            "bytes_conserved",
+            "zero_reexecutions",
+            "all_from_disk",
+        ):
             if str(cur_val).lower() != "yes":
                 warn(f"{name}: {key} = {cur_val!r} (expected 'yes')")
                 regressions += 1
@@ -96,7 +102,12 @@ def check_canaries(name, cur):
 def compare_scenario(name, cur, base, threshold):
     regressions = check_canaries(name, cur)
     for key, cur_val in cur.items():
-        if key in ("bit_identical", "bytes_conserved"):
+        if key in (
+            "bit_identical",
+            "bytes_conserved",
+            "zero_reexecutions",
+            "all_from_disk",
+        ):
             continue
         if key not in base:
             continue

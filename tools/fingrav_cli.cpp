@@ -15,7 +15,10 @@
  *       Profile a set of paper kernels as one campaign set — in
  *       process by default, sharded across worker subprocesses of this
  *       same binary with --shards N.
- *   fingrav --worker
+ *   fingrav cache stats --cache-dir DIR
+ *       Survey an on-disk campaign cache: blob count, bytes, how many
+ *       entries revalidate, leftover write-temps.
+ *   fingrav --worker [--cache-dir DIR]
  *       Shard-worker mode: serve length-prefixed campaign requests on
  *       stdin/stdout (spawned by --shards drivers; not for humans).
  *
@@ -32,6 +35,10 @@
  *                     (profile/campaign; paper labels only)
  *   --autotune        also report the autotuned run budget vs Table I
  *                     (profile; paper labels only)
+ *   --cache-dir DIR   content-addressed campaign cache: reuse stored
+ *                     results bit-identically and store fresh ones
+ *                     (profile/campaign; paper labels only)
+ *   --no-cache        ignore --cache-dir: execute and store nothing
  *
  * Unknown options after a command are rejected with the usage text and
  * a nonzero exit — trailing junk is never silently ignored.
@@ -52,6 +59,7 @@
 #include "analysis/ascii_plot.hpp"
 #include "analysis/report.hpp"
 #include "analysis/series.hpp"
+#include "fingrav/campaign_cache.hpp"
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/concurrency.hpp"
 #include "fingrav/energy.hpp"
@@ -82,6 +90,8 @@ struct CliOptions {
     bool quiet = false;
     std::size_t shards = 0;  ///< 0 = in-process execution
     bool autotune = false;
+    std::string cache_dir;   ///< empty = no campaign cache
+    bool no_cache = false;   ///< overrides --cache-dir (aliases/scripts)
 };
 
 [[noreturn]] void
@@ -94,7 +104,8 @@ usage(const char* argv0)
         << "  campaign <label> [<label>...]        profile a kernel set\n"
         << "  compare <kernel-a> <kernel-b>        compare two kernels\n"
         << "  coschedule <kernel-a> <kernel-b>     evaluate R1 co-scheduling\n"
-        << "  --worker                             serve shard requests on\n"
+        << "  cache stats --cache-dir DIR          survey an on-disk cache\n"
+        << "  --worker [--cache-dir DIR]           serve shard requests on\n"
         << "                                       stdin/stdout (internal)\n"
         << "options: --runs N --margin F --window MS --seed N\n"
         << "         --sync fingrav|drift|lang|none --no-binning\n"
@@ -103,6 +114,10 @@ usage(const char* argv0)
         << "                      (profile/campaign; paper labels only)\n"
         << "         --autotune   report the autotuned run budget vs\n"
         << "                      Table I (profile; paper labels only)\n"
+        << "         --cache-dir DIR  reuse/store campaign results in a\n"
+        << "                      content-addressed on-disk cache\n"
+        << "                      (profile/campaign; paper labels only)\n"
+        << "         --no-cache   ignore --cache-dir for this run\n"
         << "kernels: paper labels (CB-8K-GEMM, MB-4K-GEMV, AG-1GB, ...)\n"
         << "         or gemm:M,N,K | gemv:M | ag:BYTES | ar:BYTES\n";
     std::exit(2);
@@ -224,12 +239,42 @@ parseOptions(const std::vector<std::string>& args, std::size_t from,
             out.shards = unsigned_value();
         } else if (a == "--autotune") {
             out.autotune = true;
+        } else if (a == "--cache-dir") {
+            out.cache_dir = next();
+            if (out.cache_dir.empty())
+                fs::fatal("--cache-dir needs a non-empty directory");
+        } else if (a == "--no-cache") {
+            out.no_cache = true;
         } else {
             std::cerr << "error: unknown option '" << a << "'\n";
             usage(argv0);
         }
     }
     return out;
+}
+
+/** The campaign cache a run asked for; null = uncached. */
+std::shared_ptr<fc::CampaignCache>
+makeCache(const CliOptions& opts)
+{
+    if (opts.cache_dir.empty() || opts.no_cache)
+        return nullptr;
+    fc::CacheOptions cache_opts;
+    cache_opts.dir = opts.cache_dir;
+    return std::make_shared<fc::CampaignCache>(std::move(cache_opts));
+}
+
+/** One session-stats line: what this run's cache actually did. */
+void
+reportCacheStats(const fc::CampaignCache& cache)
+{
+    const auto s = cache.stats();
+    std::cout << "cache: " << s.hits() << " hit(s) (" << s.memory_hits
+              << " memory, " << s.disk_hits << " disk), " << s.misses
+              << " miss(es) (" << s.corrupt_misses << " corrupt), "
+              << s.stores << " store(s), " << s.evictions
+              << " eviction(s), " << s.disk_bytes_written
+              << " B written, " << s.disk_bytes_read << " B read\n";
 }
 
 /** A --shards backend: worker subprocesses of this same binary. */
@@ -239,6 +284,13 @@ makeShardBackend(const CliOptions& opts, const char* argv0)
     fc::ShardOptions shard_opts;
     shard_opts.shards = opts.shards;
     shard_opts.worker_command = fc::defaultWorkerCommand(argv0);
+    // Workers share the driver's on-disk store (atomic-rename publication
+    // makes concurrent writers safe), so shard placement cannot defeat
+    // fleet-level memoization.
+    if (!opts.cache_dir.empty() && !opts.no_cache) {
+        shard_opts.worker_command.push_back("--cache-dir");
+        shard_opts.worker_command.push_back(opts.cache_dir);
+    }
     return std::make_shared<fc::ShardBackend>(std::move(shard_opts));
 }
 
@@ -364,10 +416,32 @@ cmdProfile(const std::vector<std::string>& args, const char* argv0)
         spec.seed = opts.seed;
         spec.opts = opts.profiler;
         const auto backend = makeShardBackend(opts, argv0);
-        const auto results = fc::CampaignRunner(backend).run(
-            std::vector<fc::ScenarioSpec>{spec});
+        const auto runner = fc::CampaignRunner(backend);
+        const auto cache = makeCache(opts);
+        if (cache)
+            runner.attachCache(cache);
+        const auto results =
+            runner.run(std::vector<fc::ScenarioSpec>{spec});
         printProfile(results.front(), opts);
+        if (cache)
+            reportCacheStats(*cache);
         return reportShardDelivery(*backend);
+    }
+    if (const auto cache = makeCache(opts)) {
+        // Cached profiling rides the scenario layer like --shards does:
+        // the cache key is the spec's canonical codec bytes, so only
+        // paper labels qualify (shorthand kernels have no spec form).
+        fc::ScenarioSpec spec;
+        spec.label = args[2];
+        spec.seed = opts.seed;
+        spec.opts = opts.profiler;
+        const fc::CampaignRunner runner;
+        runner.attachCache(cache);
+        const auto results =
+            runner.run(std::vector<fc::ScenarioSpec>{spec});
+        printProfile(results.front(), opts);
+        reportCacheStats(*cache);
+        return 0;
     }
     printProfile(runCampaign(args[2], opts), opts);
     return 0;
@@ -407,6 +481,9 @@ cmdCampaign(const std::vector<std::string>& args, const char* argv0)
     const auto runner = shard_backend
                             ? fc::CampaignRunner(shard_backend)
                             : fc::CampaignRunner();
+    const auto cache = makeCache(opts);
+    if (cache)
+        runner.attachCache(cache);
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = runner.run(specs);
     const double wall_ms =
@@ -421,6 +498,8 @@ cmdCampaign(const std::vector<std::string>& args, const char* argv0)
     if (opts.shards > 0)
         std::cout << " (" << opts.shards << " shards)";
     std::cout << " in " << wall_ms << " ms\n";
+    if (cache)
+        reportCacheStats(*cache);
     if (!opts.csv.empty()) {
         for (const auto& set : results)
             an::dumpProfileCsv(set.ssp, opts.csv + "_" + set.label);
@@ -428,6 +507,30 @@ cmdCampaign(const std::vector<std::string>& args, const char* argv0)
                   << "_*.csv\n";
     }
     return shard_backend ? reportShardDelivery(*shard_backend) : 0;
+}
+
+int
+cmdCache(const std::vector<std::string>& args, const char* argv0)
+{
+    if (args.size() < 3 || args[2] != "stats") {
+        std::cerr << "error: 'cache' supports one subcommand: "
+                     "cache stats --cache-dir DIR\n";
+        usage(argv0);
+    }
+    const auto opts = parseOptions(args, 3, argv0);
+    if (opts.cache_dir.empty())
+        fs::fatal("cache stats needs --cache-dir DIR");
+    // Survey the store as it sits on disk: every blob is revalidated end
+    // to end (frame checksum, codec version, key address), the same
+    // acceptance test a lookup applies.
+    const auto scan = fc::CampaignCache::scanDir(opts.cache_dir);
+    std::cout << "cache dir      : " << opts.cache_dir << "\n"
+              << "entries        : " << scan.entries << "\n"
+              << "valid entries  : " << scan.valid_entries << "\n"
+              << "corrupt entries: " << scan.corrupt_entries << "\n"
+              << "blob bytes     : " << scan.bytes << "\n"
+              << "temp leftovers : " << scan.temp_files << "\n";
+    return 0;
 }
 
 int
@@ -507,7 +610,11 @@ main(int argc, char** argv)
             // stdout carries protocol frames; keep inform() off it so a
             // status line can never corrupt the stream.
             fs::setLogLevel(fs::LogLevel::kWarn);
-            return rt::runShardWorker(std::cin, std::cout);
+            // The only worker option is a shared cache store (drivers
+            // append it when their own run is cached).
+            const auto opts = parseOptions(args, 2, argv[0]);
+            const auto cache = makeCache(opts);
+            return rt::runShardWorker(std::cin, std::cout, cache.get());
         }
         if (cmd == "list")
             return cmdList(args, argv[0]);
@@ -515,6 +622,8 @@ main(int argc, char** argv)
             return cmdProfile(args, argv[0]);
         if (cmd == "campaign")
             return cmdCampaign(args, argv[0]);
+        if (cmd == "cache")
+            return cmdCache(args, argv[0]);
         if (cmd == "compare")
             return cmdCompare(args, argv[0]);
         if (cmd == "coschedule")
