@@ -23,7 +23,14 @@
  *     simulation grows; the bench reports the absolute overhead and
  *     its percentage at both budgets (identity enforced here too).
  *
- *  3. codec_throughput — the wire cost itself: a large ProfileSet
+ *  3. degraded_identity — the supervision gate: the same campaign set
+ *     with a scripted worker kill mid-shard (--fault-plan machinery,
+ *     support/fault_injector.hpp).  The supervisor must recover via a
+ *     retry on a fresh worker; any divergence from the clean reference
+ *     OR an empty degradation journal (a silent recovery) is a hard
+ *     failure.  The degraded wall clock tracks the supervision cost.
+ *
+ *  4. codec_throughput — the wire cost itself: a large ProfileSet
  *     through the columnar codec, reporting encode/decode MB/s and the
  *     heap allocations one decode performs (counted by a bench-local
  *     global operator new) — the zero-copy column decode should stay
@@ -54,10 +61,12 @@
 #include "fingrav/profile.hpp"
 #include "fingrav/shard_backend.hpp"
 #include "sim/power_logger.hpp"
+#include "support/fault_injector.hpp"
 #include "tests/test_fixtures.hpp"
 #include "tools/bench_json.hpp"
 
 namespace fc = fingrav::core;
+namespace fsup = fingrav::support;
 namespace sim = fingrav::sim;
 namespace tools = fingrav::tools;
 
@@ -272,7 +281,75 @@ runDispatchOverhead(tools::BenchReport& report, bool smoke)
 }
 
 // ---------------------------------------------------------------------------
-// Scenario 3: wire-codec throughput and decode allocation economy
+// Scenario 3: bit-identity under injected faults (the supervision gate)
+// ---------------------------------------------------------------------------
+
+bool
+runDegradedIdentity(tools::BenchReport& report, bool smoke)
+{
+    const auto specs = fingrav::testing::fig10Specs(smoke ? 8 : 24);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+    const double clean_ms = wallMs(t0);
+
+    // Shard 0's worker delivers one result and is then killed; the
+    // supervisor must redispatch the forfeited slots to a fresh worker.
+    fc::ShardOptions opts;
+    opts.shards = 2;
+    opts.worker_command = g_worker_command;
+    opts.backoff_base_ms = 1;
+    opts.fault_plan = fsup::FaultPlan::parse("kill:shard=0,frame=1");
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto degraded = fc::CampaignRunner(backend).run(specs);
+    const double degraded_ms = wallMs(t1);
+
+    const auto& stats = backend->lastStats();
+    bool ok = true;
+    if (!identicalSets(serial, degraded)) {
+        std::cerr << "FAIL: degraded run diverged from the clean "
+                     "reference\n";
+        ok = false;
+    }
+    if (stats.journal.empty()) {
+        std::cerr << "FAIL: degraded run left an empty journal — the "
+                     "injected worker kill was recovered silently\n";
+        ok = false;
+    }
+    if (stats.remote_specs != specs.size()) {
+        std::cerr << "FAIL: only " << stats.remote_specs << "/"
+                  << specs.size()
+                  << " specs crossed the wire; the retry did not place "
+                     "the forfeited slots remotely\n";
+        ok = false;
+    }
+
+    auto& s = report.scenario("degraded_identity");
+    s.note("description",
+           "Fig. 10 set under an injected mid-shard worker kill: retry "
+           "on a fresh worker, bitwise identity and a non-empty "
+           "degradation journal enforced");
+    s.metric("campaigns", static_cast<std::int64_t>(specs.size()));
+    s.metric("clean_wall_ms", clean_ms);
+    s.metric("degraded_wall_ms", degraded_ms);
+    s.metric("retries", static_cast<std::int64_t>(stats.retries));
+    s.metric("journal_events",
+             static_cast<std::int64_t>(stats.journal.size()));
+    s.note("bit_identical", ok ? "yes" : "NO");
+    s.note("journal_nonempty", stats.journal.empty() ? "NO" : "yes");
+
+    std::cout << "degraded_identity: clean " << clean_ms
+              << " ms, degraded " << degraded_ms << " ms, "
+              << stats.retries << " retry round(s), "
+              << stats.journal.size()
+              << " journal event(s), bit-identical: "
+              << (ok ? "yes" : "NO") << "\n";
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: wire-codec throughput and decode allocation economy
 // ---------------------------------------------------------------------------
 
 /** Synthetic profile exercising every column (mixed contention, spread
@@ -409,6 +486,7 @@ main(int argc, char** argv)
     bool ok = true;
     ok = runShardIdentity(report, smoke) && ok;
     ok = runDispatchOverhead(report, smoke) && ok;
+    ok = runDegradedIdentity(report, smoke) && ok;
     ok = runCodecThroughput(report, smoke) && ok;
 
     if (!report.write(out_path)) {

@@ -62,7 +62,10 @@ decodeEntry(const std::vector<std::uint8_t>& bytes)
 
 }  // namespace
 
-CampaignCache::CampaignCache(CacheOptions opts) : opts_(std::move(opts)) {}
+CampaignCache::CampaignCache(CacheOptions opts)
+    : opts_(std::move(opts)), injector_(opts_.fault_plan)
+{
+}
 
 bool
 CampaignCache::cacheable(const ScenarioSpec& spec)
@@ -150,9 +153,12 @@ CampaignCache::lookup(const ScenarioSpec& spec, const sim::MachineConfig& cfg)
         ++stats_.disk_hits;
         stats_.disk_bytes_read += bytes->size();
         return std::move(set);
-    } catch (const std::exception&) {
-        // Silent fallback: the caller re-executes and the subsequent
-        // store overwrites the bad blob.  Never an error to the caller.
+    } catch (const std::exception& e) {
+        // The caller simply re-executes and the subsequent store
+        // overwrites the bad blob — never an error to the caller, but
+        // never silent either: the rejection is journaled.
+        journal_.record(support::DegradeKind::kCacheCorruptionMiss,
+                        "blob rejected (", e.what(), "); re-executing");
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.misses;
         ++stats_.corrupt_misses;
@@ -186,7 +192,10 @@ CampaignCache::store(const ScenarioSpec& spec, const sim::MachineConfig& cfg,
     // rename onto the final name.  Readers either see the previous blob
     // or the complete new one, never a partial write — the property the
     // concurrent-writer fault test leans on.
-    auto fail = [&] {
+    auto fail = [&](const char* cause) {
+        journal_.record(support::DegradeKind::kCacheStoreFailure,
+                        "store write failed (", cause,
+                        "); disk tier skipped for this entry");
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.store_failures;
     };
@@ -200,7 +209,21 @@ CampaignCache::store(const ScenarioSpec& spec, const sim::MachineConfig& cfg,
     {
         std::ofstream out(temp, std::ios::binary | std::ios::trunc);
         if (!out) {
-            fail();
+            fail("cannot open temp file");
+            return;
+        }
+        // Injected ENOSPC-style short write: only part of the blob
+        // reaches the temp file before the stream "fails".  The same
+        // cleanup path a real full disk takes runs — the temp is
+        // removed, nothing is published, the failure is counted and
+        // journaled — so lookups can never see the partial blob.
+        if (injector_.armed() && injector_.onStoreWrite()) {
+            out.write(reinterpret_cast<const char*>(frame.data()),
+                      static_cast<std::streamsize>(frame.size() / 2));
+            out.flush();
+            out.close();
+            stdfs::remove(temp, ec);
+            fail("injected short write, ENOSPC-style");
             return;
         }
         out.write(reinterpret_cast<const char*>(frame.data()),
@@ -209,14 +232,14 @@ CampaignCache::store(const ScenarioSpec& spec, const sim::MachineConfig& cfg,
         if (!out) {
             out.close();
             stdfs::remove(temp, ec);
-            fail();
+            fail("short write");
             return;
         }
     }
     stdfs::rename(temp, path, ec);
     if (ec) {
         stdfs::remove(temp, ec);
-        fail();
+        fail("rename failed");
         return;
     }
     std::lock_guard<std::mutex> lock(mu_);

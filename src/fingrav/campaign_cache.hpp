@@ -59,6 +59,8 @@
 #include "fingrav/profiler.hpp"
 #include "fingrav/scenario.hpp"
 #include "sim/machine_config.hpp"
+#include "support/fault_injector.hpp"
+#include "support/run_journal.hpp"
 
 namespace fingrav::core {
 
@@ -71,6 +73,11 @@ struct CacheOptions {
     /** In-memory LRU bound, in canonical-encoding bytes.  0 disables
      *  the memory tier (every hit re-reads the disk store). */
     std::size_t memory_capacity_bytes = 256u << 20;
+
+    /** Scripted disk-tier faults (store-short actions fail store()
+     *  writes ENOSPC-style at the real write site; see
+     *  support/fault_injector.hpp).  Empty in production. */
+    support::FaultPlan fault_plan;
 };
 
 /** What a cache observed since construction (monotonic counters) plus a
@@ -146,6 +153,15 @@ class CampaignCache {
     /** Counter snapshot (thread-safe). */
     CacheStats stats() const;
 
+    /**
+     * Every degradation since construction — corrupt blobs served as
+     * misses, failed store writes — as typed events.  The counters in
+     * stats() stay authoritative for totals; the journal carries the
+     * per-event context backends fold into their own run journal so no
+     * cache degradation stays silent (support/run_journal.hpp).
+     */
+    const support::RunJournal& journal() const { return journal_; }
+
     /** The options in force. */
     const CacheOptions& options() const { return opts_; }
 
@@ -172,6 +188,8 @@ class CampaignCache {
                       std::size_t weight);
 
     CacheOptions opts_;
+    support::FaultInjector injector_;
+    support::RunJournal journal_;
 
     mutable std::mutex mu_;
     std::list<Entry> lru_;  ///< front = most recently used

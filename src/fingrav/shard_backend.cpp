@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -13,13 +15,17 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "fingrav/campaign_cache.hpp"
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/codec.hpp"
 #include "support/logging.hpp"
+#include "support/rng.hpp"
 
 namespace fingrav::core {
 
 namespace {
+
+using support::DegradeKind;
 
 /**
  * A worker whose driver-side pipe has gone away must surface as an
@@ -42,34 +48,67 @@ ignoreSigpipeOnce()
     });
 }
 
-/** Wait for fd readiness; true when ready, false on timeout/error.
- *  timeout_ms <= 0 waits forever (every byte of progress re-arms the
- *  timeout, so it bounds *inactivity*, not total shard time). */
-bool
-awaitReady(int fd, short events, long timeout_ms)
+/**
+ * The I/O budget one read/write waits under: a per-syscall inactivity
+ * timeout (every byte of progress re-arms it) plus an optional absolute
+ * deadline (ShardOptions::spec_deadline_ms x slots — total wall-clock
+ * for a worker's drain, regardless of progress).
+ */
+struct IoBudget {
+    long inactivity_ms = 0;  ///< <= 0: no inactivity bound
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+
+    static IoBudget
+    inactivityOnly(long ms)
+    {
+        IoBudget budget;
+        budget.inactivity_ms = ms;
+        return budget;
+    }
+};
+
+enum class IoWait { kReady, kTimeout, kError };
+
+/** Wait for fd readiness under the budget. */
+IoWait
+awaitReady(int fd, short events, const IoBudget& budget)
 {
     struct pollfd pfd {};
     pfd.fd = fd;
     pfd.events = events;
     for (;;) {
-        const int n = ::poll(&pfd, 1, timeout_ms > 0
-                                          ? static_cast<int>(timeout_ms)
-                                          : -1);
+        long timeout_ms = budget.inactivity_ms > 0 ? budget.inactivity_ms
+                                                   : -1;
+        if (budget.has_deadline) {
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    budget.deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (remaining <= 0)
+                return IoWait::kTimeout;
+            timeout_ms = timeout_ms < 0
+                             ? remaining
+                             : std::min<long>(timeout_ms, remaining);
+        }
+        const int n = ::poll(&pfd, 1,
+                             timeout_ms > 0 ? static_cast<int>(timeout_ms)
+                                            : -1);
         if (n < 0) {
             if (errno == EINTR)
-                continue;
-            return false;
+                continue;  // budget re-derived from the clock above
+            return IoWait::kError;
         }
-        return n > 0;  // 0 = timeout: the worker is treated as dead
+        return n > 0 ? IoWait::kReady : IoWait::kTimeout;
     }
 }
 
 bool
 writeAll(int fd, const std::uint8_t* data, std::size_t size,
-         long timeout_ms)
+         const IoBudget& budget)
 {
     while (size > 0) {
-        if (!awaitReady(fd, POLLOUT, timeout_ms))
+        if (awaitReady(fd, POLLOUT, budget) != IoWait::kReady)
             return false;
         const ssize_t n = ::write(fd, data, size);
         if (n < 0) {
@@ -83,25 +122,38 @@ writeAll(int fd, const std::uint8_t* data, std::size_t size,
     return true;
 }
 
-/** False on EOF, error or inactivity timeout before `size` bytes. */
-bool
-readExact(int fd, std::uint8_t* data, std::size_t size, long timeout_ms)
+/** Why a read stopped short — the journal taxonomy needs the cause. */
+enum class ReadStatus { kOk, kEof, kTimeout, kError };
+
+ReadStatus
+readExact(int fd, std::uint8_t* data, std::size_t size,
+          const IoBudget& budget, std::size_t* bytes_read)
 {
+    if (bytes_read != nullptr)
+        *bytes_read = 0;
     while (size > 0) {
-        if (!awaitReady(fd, POLLIN, timeout_ms))
-            return false;
+        switch (awaitReady(fd, POLLIN, budget)) {
+          case IoWait::kTimeout:
+            return ReadStatus::kTimeout;
+          case IoWait::kError:
+            return ReadStatus::kError;
+          case IoWait::kReady:
+            break;
+        }
         const ssize_t n = ::read(fd, data, size);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            return false;
+            return ReadStatus::kError;
         }
         if (n == 0)
-            return false;
+            return ReadStatus::kEof;
         data += n;
         size -= static_cast<std::size_t>(n);
+        if (bytes_read != nullptr)
+            *bytes_read += static_cast<std::size_t>(n);
     }
-    return true;
+    return ReadStatus::kOk;
 }
 
 void
@@ -192,28 +244,53 @@ encodeShardRequest(const sim::MachineConfig& cfg,
     return enc.bytes();
 }
 
-/** One frame off the worker's stdout; nullopt = EOF/corrupt/foreign/
- *  inactivity timeout. */
-std::optional<codec::Frame>
-readWorkerFrame(int fd, long timeout_ms)
+/** How one frame read off a worker's stdout ended. */
+enum class FrameStatus {
+    kFrame,    ///< `frame` holds a verified frame
+    kEof,      ///< clean EOF on a frame boundary: the worker is gone
+    kCorrupt,  ///< truncated/bit-flipped/foreign-version stream
+    kTimeout,  ///< inactivity timeout or deadline budget exceeded
+};
+
+FrameStatus
+readWorkerFrame(int fd, const IoBudget& budget, codec::Frame& frame)
 {
     std::uint8_t header_bytes[codec::kFrameHeaderBytes];
-    if (!readExact(fd, header_bytes, codec::kFrameHeaderBytes, timeout_ms))
-        return std::nullopt;
+    std::size_t got = 0;
+    switch (readExact(fd, header_bytes, codec::kFrameHeaderBytes, budget,
+                      &got)) {
+      case ReadStatus::kOk:
+        break;
+      case ReadStatus::kTimeout:
+        return FrameStatus::kTimeout;
+      case ReadStatus::kEof:
+      case ReadStatus::kError:
+        // EOF on the frame boundary is death; EOF mid-header is a
+        // truncated stream — the same observable a half-written frame
+        // leaves, so it journals as corruption.
+        return got == 0 ? FrameStatus::kEof : FrameStatus::kCorrupt;
+    }
     try {
         const auto header = codec::decodeFrameHeader(header_bytes);
-        codec::Frame frame;
         frame.type = header.type;
         frame.payload.resize(static_cast<std::size_t>(header.payload_len));
-        if (header.payload_len > 0 &&
-            !readExact(fd, frame.payload.data(), frame.payload.size(),
-                       timeout_ms))
-            return std::nullopt;
+        if (header.payload_len > 0) {
+            switch (readExact(fd, frame.payload.data(),
+                              frame.payload.size(), budget, nullptr)) {
+              case ReadStatus::kOk:
+                break;
+              case ReadStatus::kTimeout:
+                return FrameStatus::kTimeout;
+              case ReadStatus::kEof:
+              case ReadStatus::kError:
+                return FrameStatus::kCorrupt;  // truncated payload
+            }
+        }
         codec::verifyFramePayload(header, frame.payload.data());
-        return frame;
+        return FrameStatus::kFrame;
     } catch (const support::FatalError& e) {
         support::warn("ShardBackend: worker stream rejected: ", e.what());
-        return std::nullopt;
+        return FrameStatus::kCorrupt;
     }
 }
 
@@ -231,16 +308,45 @@ std::vector<ProfileSet>
 ShardBackend::execute(const std::vector<ScenarioSpec>& specs,
                       const sim::MachineConfig& cfg)
 {
+    // Reentrancy guard (the documented footgun, now loud): overlapping
+    // execute() calls on one instance would interleave stats_ and the
+    // journal silently.  The exchange fails *before* the guard object
+    // exists, so the throw never releases the owner's flag.
+    if (executing_.exchange(true)) {
+        support::fatal(
+            "ShardBackend::execute called reentrantly: one instance "
+            "serves one run at a time (hold one ShardBackend per "
+            "concurrent driver)");
+    }
+    struct Release {
+        std::atomic<bool>& flag;
+        ~Release() { flag.store(false); }
+    } release{executing_};
+
+    // The cache journals its own degradations (corrupt blobs, failed
+    // stores); fold the events this run produced into our journal so
+    // lastStats() is the one place degradations surface.
+    const std::size_t cache_mark =
+        cache() ? cache()->journal().size() : 0;
+
     stats_ = {};
-    if (!cache())
-        return executeUncached(specs, cfg);
-    // Cache consult happens before any placement: cached specs are
-    // excluded from the shard partition entirely, so a fully warm run
-    // spawns zero worker processes (stats_.shards_launched == 0).
-    auto consult = consultCache(specs, cfg);
-    stats_.cached_specs = specs.size() - consult.pending.size();
-    commitCache(consult, executeUncached(consult.pending, cfg), cfg);
-    return std::move(consult.results);
+    std::vector<ProfileSet> out;
+    if (!cache()) {
+        out = executeUncached(specs, cfg);
+    } else {
+        // Cache consult happens before any placement: cached specs are
+        // excluded from the shard partition entirely, so a fully warm
+        // run spawns zero worker processes (stats_.shards_launched == 0).
+        auto consult = consultCache(specs, cfg);
+        stats_.cached_specs = specs.size() - consult.pending.size();
+        commitCache(consult, executeUncached(consult.pending, cfg), cfg);
+        out = std::move(consult.results);
+    }
+    if (cache()) {
+        for (const auto& event : cache()->journal().eventsSince(cache_mark))
+            stats_.journal.record(event.kind, event.detail);
+    }
+    return out;
 }
 
 std::vector<ProfileSet>
@@ -253,40 +359,40 @@ ShardBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
     ignoreSigpipeOnce();
 
     // profile_fn specs have no wire form: they stay in-process.
-    std::vector<std::size_t> remote;
+    std::vector<std::size_t> pending_remote;
     std::vector<std::size_t> fallback;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         if (specs[i].profile_fn) {
             fallback.push_back(i);
             ++stats_.local_specs;
         } else {
-            remote.push_back(i);
+            pending_remote.push_back(i);
         }
     }
-
-    // Round-robin the remote slots over the shards so heterogeneous
-    // campaign costs spread; results are slot-addressed, so the
-    // partition shape is invisible in the output.
-    const std::size_t shard_count =
-        std::min(opts_.shards, std::max<std::size_t>(remote.size(), 1));
-    std::vector<WorkerProc> workers(shard_count);
-    for (std::size_t k = 0; k < remote.size(); ++k)
-        workers[k % shard_count].slots.push_back(remote[k]);
 
     // Nested-oversubscription guard, mirrored from ThreadPoolBackend:
     // worker processes multiply with each node's advance-thread pool,
     // and node stepping is bit-identical for any advance thread count,
-    // so capping the config we ship only relocates work.
+    // so capping the config we ship only relocates work.  Computed from
+    // the first round's worker count; retry rounds reuse it (fewer
+    // workers can only be less oversubscribed, and the shipped config
+    // must not depend on the retry path — bit-identity aside, the cache
+    // key embeds the config).
+    const std::size_t initial_shards = std::min(
+        opts_.shards, std::max<std::size_t>(pending_remote.size(), 1));
     sim::MachineConfig effective = cfg;
-    const std::size_t advance = std::max<std::size_t>(1, cfg.advance_threads);
+    const std::size_t advance =
+        std::max<std::size_t>(1, cfg.advance_threads);
     const unsigned hw = std::thread::hardware_concurrency();
-    if (hw > 0 && shard_count * advance > hw) {
-        const std::size_t cap = std::max<std::size_t>(1, hw / shard_count);
+    if (hw > 0 && initial_shards * advance > hw) {
+        const std::size_t cap =
+            std::max<std::size_t>(1, hw / initial_shards);
         if (cap < advance) {
             static std::once_flag warned;
             std::call_once(warned, [&] {
-                support::warn("ShardBackend: ", shard_count, " workers x ",
-                              advance, " advance threads exceed ", hw,
+                support::warn("ShardBackend: ", initial_shards,
+                              " workers x ", advance,
+                              " advance threads exceed ", hw,
                               " hardware threads; capping per-campaign "
                               "advance threads at ", cap,
                               " (results unchanged)");
@@ -295,130 +401,302 @@ ShardBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
         }
     }
 
-    // Dispatch: spawn every worker and hand it its shard.  Workers read
-    // the whole request before computing, so sequential request writes
-    // cannot deadlock; computation overlaps across workers from the
-    // moment each one is spawned.
-    for (std::size_t s = 0; s < workers.size(); ++s) {
-        WorkerProc& worker = workers[s];
-        if (worker.slots.empty())
-            continue;
-        if (!spawnWorker(opts_.worker_command, worker)) {
-            support::warn("ShardBackend: cannot spawn worker '",
-                          opts_.worker_command.front(), "' for shard ", s,
-                          " (", std::strerror(errno),
-                          "); falling back in-process");
-            worker.failed = true;
-            continue;
-        }
-        ++stats_.shards_launched;
-        const auto request =
-            encodeShardRequest(effective, specs, worker.slots);
-        const auto wire =
-            codec::encodeFrame(codec::FrameType::kShardRequest, request);
-        if (!writeAll(worker.to_child, wire.data(), wire.size(),
-                      opts_.io_timeout_ms)) {
-            support::warn("ShardBackend: worker for shard ", s,
-                          " rejected its request (",
-                          std::strerror(errno),
-                          "); falling back in-process");
-            worker.failed = true;
-        }
-        closeFd(worker.to_child);
-        if (opts_.spawn_hook)
-            opts_.spawn_hook(s, worker.pid);
-    }
+    // The supervisor: dispatch pending slots, collect what the workers
+    // deliver, and redispatch forfeits on fresh workers for up to
+    // max_retries rounds.  Every decision is deterministic — the backoff
+    // schedule is seeded, fault injection fires on exact coordinates,
+    // and slot partitions are sorted — so a fixed (options, fault plan)
+    // reproduces the same supervision trace on every run.
+    support::FaultInjector injector(opts_.fault_plan);
+    support::Rng backoff_rng(opts_.backoff_seed);
+    std::map<std::size_t, std::size_t> worker_deaths;  // slot -> count
+    std::size_t consecutive_spawn_failures = 0;
+    bool sharding_enabled = true;
 
-    // Reassemble: results stream back one frame per completed spec and
-    // land in their slots; a worker that stops short forfeits only its
-    // unfinished slots.  Reading shard-by-shard is fine — workers
-    // compute concurrently regardless of the order we drain them in.
-    for (std::size_t s = 0; s < workers.size(); ++s) {
-        WorkerProc& worker = workers[s];
-        if (worker.slots.empty())
-            continue;
-        std::set<std::size_t> pending(worker.slots.begin(),
-                                      worker.slots.end());
-        bool done = false;
-        while (!worker.failed && !done) {
-            const auto frame =
-                readWorkerFrame(worker.from_child, opts_.io_timeout_ms);
-            if (!frame.has_value()) {
-                if (!pending.empty()) {
-                    support::warn("ShardBackend: worker for shard ", s,
-                                  " died or stalled with ",
-                                  pending.size(),
-                                  " spec(s) outstanding; falling back "
-                                  "in-process");
-                    worker.failed = true;
-                }
-                break;
+    for (std::size_t round = 0;
+         sharding_enabled && !pending_remote.empty() &&
+         round <= opts_.max_retries;
+         ++round) {
+        if (round > 0) {
+            const int shift =
+                static_cast<int>(std::min<std::size_t>(round - 1, 20));
+            const long base = std::min(opts_.backoff_cap_ms,
+                                       opts_.backoff_base_ms << shift);
+            const double jitter =
+                backoff_rng.fork(round).uniform(0.5, 1.5);
+            const long delay_ms = std::max<long>(
+                0, static_cast<long>(static_cast<double>(base) * jitter));
+            ++stats_.retries;
+            stats_.retried_specs += pending_remote.size();
+            stats_.backoff_ms.push_back(delay_ms);
+            stats_.journal.record(
+                DegradeKind::kRetry, "round ", round, ": redispatching ",
+                pending_remote.size(), " slot(s) to fresh workers after ",
+                delay_ms, " ms backoff");
+            support::warn("ShardBackend: retry round ", round, ": ",
+                          pending_remote.size(),
+                          " forfeited slot(s) redispatching after ",
+                          delay_ms, " ms backoff");
+            if (delay_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
+        }
+
+        // Round-robin the pending slots over the shards so heterogeneous
+        // campaign costs spread; results are slot-addressed, so the
+        // partition shape is invisible in the output.
+        const std::size_t shard_count =
+            std::min(opts_.shards, pending_remote.size());
+        std::vector<WorkerProc> workers(shard_count);
+        for (std::size_t k = 0; k < pending_remote.size(); ++k)
+            workers[k % shard_count].slots.push_back(pending_remote[k]);
+        std::vector<std::size_t> next_round;
+
+        // Dispatch: spawn every worker and hand it its shard.  Workers
+        // read the whole request before computing, so sequential request
+        // writes cannot deadlock; computation overlaps across workers
+        // from the moment each one is spawned.
+        for (std::size_t s = 0; s < workers.size(); ++s) {
+            WorkerProc& worker = workers[s];
+            if (worker.slots.empty())
+                continue;
+            if (!sharding_enabled) {
+                // Crash loop tripped earlier in this round: stop
+                // spawning; the drain loop forfeits these slots.
+                worker.failed = true;
+                continue;
             }
-            try {
-                switch (frame->type) {
-                  case codec::FrameType::kShardResult: {
-                    codec::Decoder dec(frame->payload);
-                    const std::size_t slot =
-                        static_cast<std::size_t>(dec.u64());
-                    auto set = codec::decodeProfileSet(dec);
-                    dec.expectEnd("shard result");
-                    if (pending.erase(slot) == 0) {
-                        support::fatal("shard ", s,
-                                       " returned unexpected slot ", slot);
+            std::string spawn_error;
+            bool spawned = false;
+            if (injector.armed() && injector.onSpawn(s, round)) {
+                spawn_error = "injected spawn failure";
+            } else {
+                std::vector<std::string> argv = opts_.worker_command;
+                if (injector.armed()) {
+                    // The worker is a fresh process each launch, so its
+                    // injector state restarts clean; hand it exactly the
+                    // sub-plan scripted for this (shard, attempt).
+                    const std::string sub_plan =
+                        injector.workerPlan(s, round);
+                    if (!sub_plan.empty()) {
+                        argv.push_back("--fault-plan");
+                        argv.push_back(sub_plan);
                     }
-                    results[slot] = std::move(set);
-                    ++stats_.remote_specs;
-                    break;
-                  }
-                  case codec::FrameType::kShardDone: {
-                    codec::Decoder dec(frame->payload);
-                    const std::uint32_t count = dec.u32();
-                    dec.expectEnd("shard done");
-                    if (!pending.empty() ||
-                        count != worker.slots.size()) {
-                        support::fatal("shard ", s, " completed with ",
-                                       pending.size(),
-                                       " spec(s) unaccounted for");
-                    }
-                    done = true;
-                    break;
-                  }
-                  case codec::FrameType::kWorkerError: {
-                    codec::Decoder dec(frame->payload);
-                    support::warn("ShardBackend: worker for shard ", s,
-                                  " reported: ", dec.str());
-                    worker.failed = true;
-                    break;
-                  }
-                  default:
-                    support::fatal("shard ", s,
-                                   " sent unexpected frame type '",
-                                   codec::toString(frame->type), "'");
                 }
-            } catch (const support::FatalError& e) {
-                support::warn("ShardBackend: shard ", s,
-                              " protocol error: ", e.what(),
-                              "; falling back in-process");
+                spawned = spawnWorker(argv, worker);
+                if (!spawned)
+                    spawn_error = std::strerror(errno);
+            }
+            if (!spawned) {
+                support::warn("ShardBackend: cannot spawn worker '",
+                              opts_.worker_command.front(),
+                              "' for shard ", s, " (", spawn_error, ")");
+                stats_.journal.record(DegradeKind::kSpawnFailure, "shard ",
+                                      s, " round ", round, ": ",
+                                      spawn_error);
+                worker.failed = true;
+                ++stats_.spawn_failures;
+                ++consecutive_spawn_failures;
+                if (consecutive_spawn_failures >=
+                        opts_.crash_loop_spawns &&
+                    !stats_.crash_loop) {
+                    stats_.crash_loop = true;
+                    sharding_enabled = false;
+                    stats_.journal.record(
+                        DegradeKind::kCrashLoop,
+                        consecutive_spawn_failures,
+                        " consecutive spawn failures; sharding disabled "
+                        "for the rest of the run");
+                    support::warn(
+                        "ShardBackend: ", consecutive_spawn_failures,
+                        " consecutive worker spawn failures — the "
+                        "environment looks broken; disabling sharding "
+                        "for the rest of the run (results unchanged, "
+                        "everything executes in-process)");
+                }
+                continue;
+            }
+            consecutive_spawn_failures = 0;
+            ++stats_.shards_launched;
+            const auto request =
+                encodeShardRequest(effective, specs, worker.slots);
+            const auto wire =
+                codec::encodeFrame(codec::FrameType::kShardRequest,
+                                   request);
+            if (!writeAll(worker.to_child, wire.data(), wire.size(),
+                          IoBudget::inactivityOnly(opts_.io_timeout_ms))) {
+                support::warn("ShardBackend: worker for shard ", s,
+                              " rejected its request (",
+                              std::strerror(errno), ")");
+                stats_.journal.record(DegradeKind::kWorkerDeath, "shard ",
+                                      s, " round ", round,
+                                      ": worker rejected its request");
                 worker.failed = true;
             }
+            closeFd(worker.to_child);
         }
-        closeFd(worker.from_child);
-        closeFd(worker.to_child);
-        if (worker.pid > 0) {
-            // A failed worker may still be alive (stalled past the
-            // inactivity timeout): kill its whole process group first
-            // so the blocking reap below cannot hang on it.
-            if (worker.failed)
-                ::kill(-static_cast<pid_t>(worker.pid), SIGKILL);
-            ::waitpid(static_cast<pid_t>(worker.pid), nullptr, 0);
-        }
-        if (worker.failed) {
+
+        // Reassemble: results stream back one frame per completed spec
+        // and land in their slots; a worker that stops short forfeits
+        // only its unfinished slots.  Reading shard-by-shard is fine —
+        // workers compute concurrently regardless of drain order.
+        for (std::size_t s = 0; s < workers.size(); ++s) {
+            WorkerProc& worker = workers[s];
+            if (worker.slots.empty())
+                continue;
+            std::set<std::size_t> pending(worker.slots.begin(),
+                                          worker.slots.end());
+            IoBudget budget =
+                IoBudget::inactivityOnly(opts_.io_timeout_ms);
+            if (opts_.spec_deadline_ms > 0) {
+                budget.has_deadline = true;
+                budget.deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(
+                        opts_.spec_deadline_ms *
+                        static_cast<long>(worker.slots.size()));
+            }
+            bool done = false;
+            while (!worker.failed && !done) {
+                codec::Frame frame;
+                const FrameStatus status =
+                    readWorkerFrame(worker.from_child, budget, frame);
+                if (status != FrameStatus::kFrame) {
+                    if (pending.empty() && status == FrameStatus::kEof)
+                        break;  // all delivered; kShardDone got lost
+                    DegradeKind kind = DegradeKind::kWorkerDeath;
+                    const char* cause = "died";
+                    if (status == FrameStatus::kCorrupt) {
+                        kind = DegradeKind::kFrameCorruption;
+                        cause = "produced a corrupt stream";
+                    } else if (status == FrameStatus::kTimeout) {
+                        kind = DegradeKind::kTimeout;
+                        cause = "exceeded its I/O budget";
+                    }
+                    support::warn("ShardBackend: worker for shard ", s,
+                                  " ", cause, " with ", pending.size(),
+                                  " spec(s) outstanding");
+                    stats_.journal.record(kind, "shard ", s, " round ",
+                                          round, ": worker ", cause,
+                                          " with ", pending.size(),
+                                          " slot(s) outstanding");
+                    worker.failed = true;
+                    break;
+                }
+                try {
+                    switch (frame.type) {
+                      case codec::FrameType::kShardResult: {
+                        codec::Decoder dec(frame.payload);
+                        const std::size_t slot =
+                            static_cast<std::size_t>(dec.u64());
+                        auto set = codec::decodeProfileSet(dec);
+                        dec.expectEnd("shard result");
+                        if (pending.erase(slot) == 0) {
+                            support::fatal("shard ", s,
+                                           " returned unexpected slot ",
+                                           slot);
+                        }
+                        results[slot] = std::move(set);
+                        ++stats_.remote_specs;
+                        break;
+                      }
+                      case codec::FrameType::kShardDone: {
+                        codec::Decoder dec(frame.payload);
+                        const std::uint32_t count = dec.u32();
+                        dec.expectEnd("shard done");
+                        if (!pending.empty() ||
+                            count != worker.slots.size()) {
+                            support::fatal("shard ", s,
+                                           " completed with ",
+                                           pending.size(),
+                                           " spec(s) unaccounted for");
+                        }
+                        done = true;
+                        break;
+                      }
+                      case codec::FrameType::kWorkerError: {
+                        codec::Decoder dec(frame.payload);
+                        const std::string message = dec.str();
+                        support::warn("ShardBackend: worker for shard ",
+                                      s, " reported: ", message);
+                        stats_.journal.record(
+                            DegradeKind::kWorkerDeath, "shard ", s,
+                            " round ", round, ": worker reported: ",
+                            message);
+                        worker.failed = true;
+                        break;
+                      }
+                      default:
+                        support::fatal("shard ", s,
+                                       " sent unexpected frame type '",
+                                       codec::toString(frame.type), "'");
+                    }
+                } catch (const support::FatalError& e) {
+                    support::warn("ShardBackend: shard ", s,
+                                  " protocol error: ", e.what());
+                    stats_.journal.record(DegradeKind::kFrameCorruption,
+                                          "shard ", s, " round ", round,
+                                          ": protocol error: ",
+                                          e.what());
+                    worker.failed = true;
+                }
+            }
+            closeFd(worker.from_child);
+            closeFd(worker.to_child);
+            if (worker.pid > 0) {
+                // A failed worker may still be alive (stalled past the
+                // inactivity timeout): kill its whole process group
+                // first so the blocking reap below cannot hang on it.
+                if (worker.failed)
+                    ::kill(-static_cast<pid_t>(worker.pid), SIGKILL);
+                ::waitpid(static_cast<pid_t>(worker.pid), nullptr, 0);
+            }
+            if (!worker.failed)
+                continue;
             ++stats_.shard_failures;
+            const bool worker_ran = worker.pid > 0;
             for (const std::size_t slot : worker.slots) {
-                if (pending.count(slot))
+                if (pending.count(slot) == 0)
+                    continue;
+                // Spawn failures say nothing about the spec, so they do
+                // not count toward quarantine — only a launched worker
+                // dying under a slot does.
+                if (worker_ran &&
+                    ++worker_deaths[slot] >= opts_.quarantine_deaths) {
+                    stats_.journal.record(
+                        DegradeKind::kQuarantine, "slot ", slot, " (",
+                        specs[slot].label, ") survived ",
+                        worker_deaths[slot],
+                        " worker deaths; quarantined to the in-process "
+                        "path");
+                    support::warn("ShardBackend: spec '",
+                                  specs[slot].label, "' (slot ", slot,
+                                  ") killed ", worker_deaths[slot],
+                                  " workers; quarantining it to the "
+                                  "in-process path");
+                    ++stats_.quarantined_specs;
                     fallback.push_back(slot);
+                } else {
+                    next_round.push_back(slot);
+                }
             }
         }
+
+        std::sort(next_round.begin(), next_round.end());
+        pending_remote = std::move(next_round);
+    }
+
+    // Slots the supervisor could not place remotely — retry budget
+    // exhausted or sharding disabled — join the in-process path, loudly.
+    if (!pending_remote.empty()) {
+        stats_.journal.record(
+            DegradeKind::kFallback, pending_remote.size(),
+            " slot(s) fall back in-process (",
+            stats_.crash_loop ? "sharding disabled by crash loop"
+                              : "retry budget exhausted",
+            ")");
+        for (const std::size_t slot : pending_remote)
+            fallback.push_back(slot);
     }
 
     // Fallback: every forfeited or process-local slot re-executes on the

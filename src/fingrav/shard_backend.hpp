@@ -3,7 +3,8 @@
 
 /**
  * @file
- * Multi-process campaign placement: spec shards dispatched to workers.
+ * Multi-process campaign placement: spec shards dispatched to workers,
+ * supervised.
  *
  * ShardBackend partitions a spec list into shards (round-robin, so
  * heterogeneous campaign costs spread across workers), dispatches each
@@ -27,23 +28,45 @@
  * exact).  Results are slot-addressed; shard membership, worker count
  * and completion order are invisible in run()'s output.
  *
- * Failure handling: a worker that cannot be spawned, dies mid-shard
- * (killed, crashed, exec failure), writes a kWorkerError frame, or
- * produces a short/corrupt/foreign-version stream forfeits its
- * *unfinished* slots; results streamed before the failure are kept
- * (they are already bit-exact).  Every forfeited slot is re-executed on
- * the in-process fallback path, so run() degrades to ThreadPoolBackend
- * behaviour — never to an error — and stays bit-identical.  Specs
- * carrying a custom profile_fn never leave the process (a std::function
- * has no wire form); they always execute on the fallback path.
+ * Supervision: a worker that cannot be spawned, dies mid-shard (killed,
+ * crashed, exec failure), writes a kWorkerError frame, stalls past the
+ * I/O budget, or produces a short/corrupt/foreign-version stream
+ * forfeits its *unfinished* slots; results streamed before the failure
+ * are kept (they are already bit-exact).  Forfeited slots are not
+ * dumped straight to the in-process path: the supervisor redispatches
+ * them to fresh workers for up to `max_retries` rounds, separated by
+ * deterministic exponential backoff with seeded jitter (the schedule is
+ * a pure function of ShardOptions, so retried runs reproduce exactly).
+ * A spec whose worker dies `quarantine_deaths` times is quarantined —
+ * it runs in-process and is flagged in the journal, so one poisoned
+ * spec cannot keep killing fresh workers.  `crash_loop_spawns`
+ * consecutive spawn failures disable sharding for the rest of the run
+ * (loudly — the environment, not the work, is broken).  Slots that
+ * exhaust every round re-execute on the in-process fallback path, so
+ * run() degrades to ThreadPoolBackend behaviour — never to an error —
+ * and stays bit-identical.  Every degradation is recorded in
+ * ShardStats::journal (support/run_journal.hpp); none are silent.
+ * Specs carrying a custom profile_fn never leave the process (a
+ * std::function has no wire form); they always execute on the fallback
+ * path.
+ *
+ * Fault injection: scripted FaultPlans (support/fault_injector.hpp)
+ * exercise every failure path above deterministically — spawn failures
+ * fire at the driver's spawn site, and worker-side faults (kill,
+ * truncate, corrupt, stall) are handed to each worker subprocess as a
+ * derived `--fault-plan` sub-plan, so the whole supervision stack is
+ * testable end to end through the real subprocess machinery.
  */
 
 #include <cstddef>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "fingrav/execution_backend.hpp"
+#include "support/fault_injector.hpp"
+#include "support/run_journal.hpp"
+
+#include <atomic>
 
 namespace fingrav::core {
 
@@ -72,19 +95,51 @@ struct ShardOptions {
     /**
      * Per-syscall I/O inactivity timeout, milliseconds: a worker pipe
      * that moves no bytes for this long is treated as dead — the
-     * worker's process group is killed and its unfinished slots fall
-     * back in-process.  0 (the default) waits forever: a legitimate
-     * shard may compute for arbitrarily long between result frames, so
-     * only deployments that know their per-spec ceiling should set it.
+     * worker's process group is killed and its unfinished slots are
+     * forfeited to the supervisor.  0 (the default) waits forever: a
+     * legitimate shard may compute for arbitrarily long between result
+     * frames, so only deployments that know their per-spec ceiling
+     * should set it.
      */
     long io_timeout_ms = 0;
 
     /**
-     * Test hook: invoked after a shard's request has been written, with
-     * the shard index and worker pid (worker-kill fault injection).
-     * Null in production.
+     * Per-spec deadline budget, milliseconds, generalizing
+     * io_timeout_ms: each worker's drain gets a total wall-clock budget
+     * of `spec_deadline_ms x (slots in the shard)`; exceeding it
+     * forfeits the unfinished slots even if bytes are still trickling.
+     * 0 (the default) disables the budget.
      */
-    std::function<void(std::size_t shard, long pid)> spawn_hook;
+    long spec_deadline_ms = 0;
+
+    /**
+     * How many redispatch rounds forfeited slots get on fresh workers
+     * before falling back in-process.  0 restores the pre-supervisor
+     * behaviour (straight to fallback).
+     */
+    std::size_t max_retries = 2;
+
+    /** A spec whose worker died this many times is quarantined: it runs
+     *  in-process and is flagged in the journal (poisoned-spec guard). */
+    std::size_t quarantine_deaths = 2;
+
+    /** This many *consecutive* spawn failures disable sharding for the
+     *  rest of the run (crash-loop guard — the environment is broken,
+     *  retrying spawns would only burn the backoff budget). */
+    std::size_t crash_loop_spawns = 3;
+
+    /** Exponential backoff between retry rounds: round r (1-based)
+     *  sleeps `min(backoff_cap_ms, backoff_base_ms << (r-1))` scaled by
+     *  a jitter factor in [0.5, 1.5) drawn from a deterministic stream
+     *  seeded with backoff_seed — same options, same schedule. */
+    long backoff_base_ms = 25;
+    long backoff_cap_ms = 2000;
+    std::uint64_t backoff_seed = 0;
+
+    /** Scripted faults driven through the real execution machinery
+     *  (spawn site, worker subprocesses, see fault_injector.hpp).
+     *  Empty in production. */
+    support::FaultPlan fault_plan;
 };
 
 /** What one execute() call observed (fallback-path test observability). */
@@ -96,6 +151,16 @@ struct ShardStats {
     std::size_t local_specs = 0;       ///< profile_fn specs (never shipped)
     std::size_t cached_specs = 0;      ///< specs served by the attached
                                        ///< campaign cache (never placed)
+    std::size_t spawn_failures = 0;    ///< worker spawns that failed
+    std::size_t retries = 0;           ///< redispatch rounds that ran
+    std::size_t retried_specs = 0;     ///< slot redispatches (sum over rounds)
+    std::size_t quarantined_specs = 0; ///< specs flagged as worker-killers
+    bool crash_loop = false;           ///< sharding disabled mid-run
+    /** Backoff actually slept before each retry round, in ms (the
+     *  deterministic schedule — retry-determinism tests compare it). */
+    std::vector<long> backoff_ms;
+    /** Every degradation this run, in order; empty = clean run. */
+    support::RunJournal journal;
 };
 
 /**
@@ -104,7 +169,9 @@ struct ShardStats {
  * Not reentrant: execute() accumulates the stats lastStats() reports,
  * so one instance must serve one run() at a time — concurrent drivers
  * should hold one ShardBackend each (workers are per-call resources;
- * nothing else is shared).
+ * nothing else is shared).  Overlapping execute() calls on one instance
+ * are detected and rejected with a FatalError rather than corrupting
+ * stats silently.
  */
 class ShardBackend final : public ExecutionBackend {
   public:
@@ -129,6 +196,7 @@ class ShardBackend final : public ExecutionBackend {
 
     ShardOptions opts_;
     ShardStats stats_;
+    std::atomic<bool> executing_{false};  ///< reentrancy guard
 };
 
 /**

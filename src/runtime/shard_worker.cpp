@@ -1,13 +1,16 @@
 #include "runtime/shard_worker.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "fingrav/campaign_cache.hpp"
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/codec.hpp"
+#include "support/fault_injector.hpp"
 #include "support/logging.hpp"
 
 namespace fingrav::runtime {
@@ -23,6 +26,16 @@ sendError(std::ostream& out, const std::string& message)
     codec::Encoder enc;
     enc.str(message);
     codec::writeFrame(out, codec::FrameType::kWorkerError, enc.bytes());
+}
+
+/** Raw encoded-frame write + flush; false when the driver hung up. */
+bool
+writeBytes(std::ostream& out, const std::uint8_t* data, std::size_t size)
+{
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    out.flush();
+    return static_cast<bool>(out);
 }
 
 /** One decoded shard request. */
@@ -51,7 +64,7 @@ decodeShardRequest(const std::vector<std::uint8_t>& payload)
 
 int
 runShardWorker(std::istream& in, std::ostream& out,
-               core::CampaignCache* cache)
+               core::CampaignCache* cache, support::FaultInjector* injector)
 {
     for (;;) {
         std::optional<codec::Frame> frame;
@@ -72,6 +85,7 @@ runShardWorker(std::istream& in, std::ostream& out,
         try {
             const auto request = decodeShardRequest(frame->payload);
             std::size_t completed = 0;
+            std::size_t result_frame = 0;  ///< fault-site coordinate
             for (const auto& [slot, spec] : request.items) {
                 // One fresh hermetic node per spec, the same runOne the
                 // in-process backends use: results shipped back are
@@ -90,9 +104,45 @@ runShardWorker(std::istream& in, std::ostream& out,
                 codec::Encoder enc;
                 enc.u64(slot);
                 codec::encodeProfileSet(enc, set);
-                if (!codec::writeFrame(
-                        out, codec::FrameType::kShardResult, enc.bytes()))
+                auto wire = codec::encodeFrame(
+                    codec::FrameType::kShardResult, enc.bytes());
+                // Injection sites fire on the fully encoded frame, so a
+                // scripted fault mutates exactly the bytes a real death
+                // or corruption would leave on the pipe.
+                if (injector != nullptr) {
+                    const auto fault =
+                        injector->onResultFrame(result_frame);
+                    if (fault.has_value()) {
+                        switch (fault->kind) {
+                          case support::FaultKind::kKillWorker:
+                            // Die before writing this frame: the driver
+                            // sees EOF with this slot (and everything
+                            // after it) outstanding.
+                            out.flush();
+                            return 137;
+                          case support::FaultKind::kTruncateFrame:
+                            // Half a frame, then death: the driver sees
+                            // a truncated stream (frame corruption).
+                            writeBytes(out, wire.data(), wire.size() / 2);
+                            return 1;
+                          case support::FaultKind::kCorruptFrame:
+                            // Flip one payload byte; the checksum the
+                            // driver verifies catches it.
+                            wire[codec::kFrameHeaderBytes] ^= 0x01;
+                            break;
+                          case support::FaultKind::kStallPipe:
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(
+                                    fault->stall_ms));
+                            break;
+                          default:
+                            break;
+                        }
+                    }
+                }
+                if (!writeBytes(out, wire.data(), wire.size()))
                     return 1;  // driver hung up; nothing left to report to
+                ++result_frame;
                 ++completed;
             }
             codec::Encoder enc;

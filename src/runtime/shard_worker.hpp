@@ -22,12 +22,23 @@
  * (unknown kernel label, invalid background schedule) is reported as a
  * kWorkerError frame and a nonzero exit, so the driver can re-place the
  * shard on its fallback path instead of hanging.
+ *
+ * Fault injection (`fingrav_cli --worker --fault-plan PLAN`): the serve
+ * loop hosts the worker-side injection sites — each result frame is
+ * counted per request, and a scripted fault fires instead of (kill,
+ * truncate) or around (corrupt, stall) writing the matching frame.
+ * The driver derives each worker's sub-plan from the run-level plan
+ * (support/fault_injector.hpp), so the supervision stack is exercised
+ * through the real subprocess machinery, not a test seam.
  */
 
 #include <iosfwd>
 
 namespace fingrav::core {
 class CampaignCache;
+}
+namespace fingrav::support {
+class FaultInjector;
 }
 
 namespace fingrav::runtime {
@@ -40,12 +51,19 @@ namespace fingrav::runtime {
  *               --worker --cache-dir DIR`).  Cached results are
  *               bit-identical to execution by the cache's contract, so
  *               the frames streamed back are unchanged; null disables.
+ * @param injector  Optional fault injector consulted before each result
+ *               frame (see file comment); null disables.  A kill or
+ *               truncate fault abandons the serve loop mid-stream and
+ *               returns the fault's exit code, exactly as the driver
+ *               would observe a real mid-shard death.
  * @return Process exit code: 0 after a clean EOF on a frame boundary,
  *         1 after a protocol violation or a fatal execution error (a
- *         kWorkerError frame is emitted first when possible).
+ *         kWorkerError frame is emitted first when possible), 137 after
+ *         an injected kill.
  */
 int runShardWorker(std::istream& in, std::ostream& out,
-                   core::CampaignCache* cache = nullptr);
+                   core::CampaignCache* cache = nullptr,
+                   support::FaultInjector* injector = nullptr);
 
 }  // namespace fingrav::runtime
 

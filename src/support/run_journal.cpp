@@ -1,0 +1,99 @@
+#include "support/run_journal.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace fingrav::support {
+
+const char*
+toString(DegradeKind kind)
+{
+    switch (kind) {
+      case DegradeKind::kSpawnFailure:
+        return "spawn-failure";
+      case DegradeKind::kWorkerDeath:
+        return "worker-death";
+      case DegradeKind::kFrameCorruption:
+        return "frame-corruption";
+      case DegradeKind::kTimeout:
+        return "timeout";
+      case DegradeKind::kCacheCorruptionMiss:
+        return "cache-corruption-miss";
+      case DegradeKind::kCacheStoreFailure:
+        return "cache-store-failure";
+      case DegradeKind::kRetry:
+        return "retry";
+      case DegradeKind::kQuarantine:
+        return "quarantine";
+      case DegradeKind::kFallback:
+        return "fallback";
+      case DegradeKind::kCrashLoop:
+        return "crash-loop";
+    }
+    return "unknown";
+}
+
+void
+RunJournal::record(DegradeKind kind, std::string detail)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(DegradeEvent{kind, std::move(detail)});
+}
+
+std::vector<DegradeEvent>
+RunJournal::events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+std::vector<DegradeEvent>
+RunJournal::eventsSince(std::size_t from) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from >= events_.size())
+        return {};
+    return std::vector<DegradeEvent>(events_.begin() +
+                                         static_cast<std::ptrdiff_t>(from),
+                                     events_.end());
+}
+
+void
+RunJournal::merge(const RunJournal& other)
+{
+    auto snapshot = other.events();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& event : snapshot)
+        events_.push_back(std::move(event));
+}
+
+std::size_t
+RunJournal::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+std::size_t
+RunJournal::count(DegradeKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& event : events_) {
+        if (event.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+RunJournal::report() const
+{
+    const auto snapshot = events();
+    std::ostringstream oss;
+    for (const auto& event : snapshot)
+        oss << "  [" << toString(event.kind) << "] " << event.detail << "\n";
+    return oss.str();
+}
+
+}  // namespace fingrav::support

@@ -2,22 +2,31 @@
  * @file
  * Failure injection: the methodology under hostile conditions — noisy
  * telemetry, extreme clock drift, pathological margins, degenerate
- * profiles.  FinGraV should degrade gracefully (and loudly), never crash
- * or silently fabricate data.
+ * profiles, and scripted execution-layer faults (worker deaths, corrupt
+ * result frames, failed cache writes).  FinGraV should degrade
+ * gracefully (and loudly), never crash or silently fabricate data:
+ * every execution-layer degradation must land in a run journal while
+ * results stay bit-identical to the clean path.
  */
 
 #include <memory>
 
 #include <gtest/gtest.h>
 
+#include "fingrav/campaign_cache.hpp"
+#include "fingrav/campaign_runner.hpp"
 #include "fingrav/energy.hpp"
 #include "fingrav/profile.hpp"
 #include "fingrav/profiler.hpp"
+#include "fingrav/shard_backend.hpp"
 #include "kernels/workloads.hpp"
 #include "runtime/host_runtime.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/simulation.hpp"
+#include "support/fault_injector.hpp"
 #include "support/logging.hpp"
+#include "support/run_journal.hpp"
+#include "tests/test_fixtures.hpp"
 
 namespace fc = fingrav::core;
 namespace fk = fingrav::kernels;
@@ -165,6 +174,94 @@ TEST(FailureInjection, TinyRunBudgetDegradesGracefully)
         EXPECT_LE(p.toi_frac, 1.0);
         EXPECT_GT(p.sample.total_w, 0.0);
     }
+}
+
+TEST(FailureInjection, WorkerDeathMidShardStaysBitIdenticalAndJournaled)
+{
+    // Shard 1's worker is scripted to die before delivering anything.
+    // The supervisor redispatches on a fresh worker; the output must be
+    // bit-identical to the serial loop and the death must be journaled —
+    // a silent degradation is itself a failure.
+    auto specs = fingrav::testing::fig10Specs(6);
+    specs.resize(4);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 2;
+    opts.worker_command = fingrav::testing::cliWorkerCommand();
+    opts.backoff_base_ms = 1;
+    opts.fault_plan = fs::FaultPlan::parse("kill:shard=1,frame=0");
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+
+    fingrav::testing::expectAllIdentical(serial, sharded, specs,
+                                         "worker death mid-shard");
+    const auto& journal = backend->lastStats().journal;
+    EXPECT_FALSE(journal.empty()) << "worker death must be journaled";
+    EXPECT_GE(journal.count(fs::DegradeKind::kWorkerDeath), 1u);
+}
+
+TEST(FailureInjection, CorruptResultFrameStaysBitIdenticalAndJournaled)
+{
+    // A bit-flipped result frame must be rejected by the frame checksum
+    // — never decoded into a result — and the forfeited slots must come
+    // back bit-identical through a retry, with the corruption journaled.
+    auto specs = fingrav::testing::fig10Specs(6);
+    specs.resize(2);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    fc::ShardOptions opts;
+    opts.shards = 1;
+    opts.worker_command = fingrav::testing::cliWorkerCommand();
+    opts.backoff_base_ms = 1;
+    opts.fault_plan = fs::FaultPlan::parse("corrupt:shard=0,frame=0");
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+
+    fingrav::testing::expectAllIdentical(serial, sharded, specs,
+                                         "corrupt result frame");
+    const auto& journal = backend->lastStats().journal;
+    EXPECT_FALSE(journal.empty()) << "frame corruption must be journaled";
+    EXPECT_GE(journal.count(fs::DegradeKind::kFrameCorruption), 1u);
+}
+
+TEST(FailureInjection, ShortCacheStoreWriteIsJournaledAndNeverServed)
+{
+    // An ENOSPC-style short write at the cache's disk tier: nothing
+    // partial may ever be published, the failure must be journaled, and
+    // later lookups must re-execute to bit-identical results.
+    fingrav::testing::TempDir dir("fingrav_store_fault");
+    const auto cfg = sim::mi300xConfig();
+    auto specs = fingrav::testing::fig10Specs(6);
+    specs.resize(1);
+    const auto clean = fc::CampaignRunner(1).run(specs);
+
+    fc::CacheOptions copts;
+    copts.dir = dir.path();
+    copts.fault_plan = fs::FaultPlan::parse("store-short");
+    fc::CampaignCache cache(copts);
+    cache.store(specs[0], cfg, clean[0]);
+
+    EXPECT_EQ(cache.stats().store_failures, 1u);
+    EXPECT_EQ(cache.journal().count(fs::DegradeKind::kCacheStoreFailure),
+              1u);
+    // Nothing partial reached the store: no blob, no leftover temp.
+    const auto scan = fc::CampaignCache::scanDir(dir.path());
+    EXPECT_EQ(scan.entries, 0u);
+    EXPECT_EQ(scan.temp_files, 0u);
+
+    // A fresh cache over the same directory must miss (nothing was
+    // published) and a re-execution must be bit-identical.
+    fc::CampaignCache fresh(fc::CacheOptions{dir.path()});
+    EXPECT_FALSE(fresh.lookup(specs[0], cfg).has_value());
+    const auto again = fc::CampaignRunner(1).run(specs);
+    EXPECT_TRUE(fc::identicalProfileSets(clean[0], again[0]));
+
+    // The memory tier of the faulted cache still serves the result —
+    // degradation to memory-only, never to a wrong answer.
+    const auto served = cache.lookup(specs[0], cfg);
+    ASSERT_TRUE(served.has_value());
+    EXPECT_TRUE(fc::identicalProfileSets(clean[0], *served));
 }
 
 TEST(FailureInjection, StepEightTopsUpLoiShortfall)

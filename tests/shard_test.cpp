@@ -1,25 +1,37 @@
 /**
  * @file
- * ShardBackend determinism contract: multi-process placement must be
- * invisible in the results.
+ * ShardBackend determinism and supervision contract: multi-process
+ * placement must be invisible in the results, even while workers are
+ * dying under fault injection.
  *
  * The gates, in order of importance:
  *  - N-shard execution (1/2/4 workers) is bitwise equal to
  *    ThreadPoolBackend and to the serial loop for the Fig. 10
  *    nine-kernel set, including a scenario with background loads;
- *  - a worker killed mid-shard (or producing garbage, or refusing to
- *    answer) forfeits its slots to the in-process fallback path with
- *    results still bitwise identical;
+ *  - every scripted fault (worker kill, corrupt frame, stall, spawn
+ *    failure — support/fault_injector.hpp) is survived bit-identically,
+ *    recovered by bounded retries on fresh workers where the budget
+ *    allows and by the in-process fallback path where it does not, and
+ *    every degradation lands in ShardStats::journal — never silent;
+ *  - the retry/backoff schedule is a pure function of ShardOptions:
+ *    same seed + same fault plan => same schedule, same journal shape,
+ *    and (always) bit-identical ProfileSets across 1/2/4 shards;
+ *  - poisoned specs are quarantined instead of killing fresh workers
+ *    forever; consecutive spawn failures trip the crash-loop guard;
+ *  - overlapping execute() calls on one instance raise a loud
+ *    FatalError instead of corrupting stats silently;
  *  - specs carrying a process-local profile_fn never cross the wire;
  *  - the CLI rejects unknown flags with the usage text and a nonzero
  *    exit (the trailing-junk satellite).
  *
  * The worker binary is the real `fingrav_cli --worker`, resolved via
- * the FINGRAV_CLI_PATH compile definition (CMakeLists.txt).
+ * the FINGRAV_CLI_PATH compile definition (CMakeLists.txt); injected
+ * worker-side faults ride to it as a derived `--fault-plan` argv, so
+ * these tests exercise the genuine subprocess machinery end to end.
  */
 
+#include <atomic>
 #include <chrono>
-#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -32,7 +44,10 @@
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/execution_backend.hpp"
 #include "fingrav/shard_backend.hpp"
+#include "sim/machine_config.hpp"
+#include "support/fault_injector.hpp"
 #include "support/logging.hpp"
+#include "support/run_journal.hpp"
 #include "tests/test_fixtures.hpp"
 
 #ifndef FINGRAV_CLI_PATH
@@ -46,6 +61,7 @@ namespace {
 
 using fingrav::testing::cliWorkerCommand;
 using fingrav::testing::expectAllIdentical;
+using fs::DegradeKind;
 
 /** The shared Fig. 10 gate set at a test-sized run budget. */
 std::vector<fc::ScenarioSpec>
@@ -58,6 +74,18 @@ std::vector<std::string>
 realWorker()
 {
     return cliWorkerCommand();
+}
+
+/** Baseline supervised options: real worker, fast backoff for tests. */
+fc::ShardOptions
+supervisedOptions(const char* plan)
+{
+    fc::ShardOptions opts;
+    opts.shards = 2;
+    opts.worker_command = realWorker();
+    opts.backoff_base_ms = 1;
+    opts.fault_plan = fs::FaultPlan::parse(plan);
+    return opts;
 }
 
 }  // namespace
@@ -86,62 +114,126 @@ TEST(ShardBackend, NShardBitIdenticalToThreadPoolAndSerial)
             << shards << " shards";
         EXPECT_EQ(backend->lastStats().shard_failures, 0u);
         EXPECT_EQ(backend->lastStats().fallback_specs, 0u);
+        // And a clean run must leave an empty journal: the journal's
+        // value is that non-empty <=> something degraded.
+        EXPECT_TRUE(backend->lastStats().journal.empty())
+            << backend->lastStats().journal.report();
     }
 }
 
-TEST(ShardBackend, WorkerDeathMidShardRecoversViaFallback)
+TEST(ShardBackend, WorkerKilledMidShardRetriesOnAFreshWorker)
 {
-    // A worker that consumes its shard and exits without answering is a
-    // deterministic stand-in for a mid-shard kill: every slot forfeits.
-    const auto specs = fig10Specs();
+    // Shard 0's worker delivers its first result, then dies before the
+    // second (an injected SIGKILL-equivalent at an exact frame index).
+    // The supervisor must keep the delivered result, redispatch only
+    // the forfeited slot to a fresh worker, and stay bit-identical with
+    // zero in-process fallbacks.
+    auto specs = fig10Specs();
+    specs.resize(4);
     const auto serial = fc::CampaignRunner(1).run(specs);
 
-    fc::ShardOptions opts;
-    opts.shards = 2;
-    opts.worker_command = {"/bin/sh", "-c", "cat > /dev/null; exit 137"};
+    auto opts = supervisedOptions("kill:shard=0,frame=1");
     auto backend = std::make_shared<fc::ShardBackend>(opts);
     const auto sharded = fc::CampaignRunner(backend).run(specs);
-    expectAllIdentical(serial, sharded, specs, "dead workers");
-    EXPECT_EQ(backend->lastStats().shard_failures, 2u);
-    EXPECT_EQ(backend->lastStats().fallback_specs, specs.size());
-    EXPECT_EQ(backend->lastStats().remote_specs, 0u);
+    expectAllIdentical(serial, sharded, specs, "mid-shard worker kill");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.remote_specs, specs.size());
+    EXPECT_EQ(stats.fallback_specs, 0u);
+    EXPECT_EQ(stats.shard_failures, 1u);
+    EXPECT_EQ(stats.retries, 1u);
+    EXPECT_EQ(stats.retried_specs, 1u);
+    ASSERT_EQ(stats.backoff_ms.size(), 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kWorkerDeath), 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kRetry), 1u);
 }
 
-TEST(ShardBackend, SigkilledWorkerRecoversViaFallback)
+TEST(ShardBackend, RetryBudgetExhaustionFallsBackLoudly)
 {
-    // A real kill signal, delivered deterministically: the worker never
-    // reads or writes (sleep), so SIGKILL always lands mid-shard.
-    const auto specs = fig10Specs();
+    // Every worker dies before its first result on every attempt; with
+    // quarantine effectively off, the retry budget runs dry and every
+    // slot must land on the in-process path — journaled, bit-identical.
+    auto specs = fig10Specs();
+    specs.resize(4);
     const auto serial = fc::CampaignRunner(1).run(specs);
 
-    fc::ShardOptions opts;
-    opts.shards = 2;
-    opts.worker_command = {"/bin/sh", "-c", "sleep 30"};
-    // Workers lead their own process group, so the kill reaches the
-    // shell AND the sleep it forked — the pipe closes immediately.
-    opts.spawn_hook = [](std::size_t, long pid) {
-        ::kill(-static_cast<pid_t>(pid), SIGKILL);
-    };
+    auto opts = supervisedOptions("kill:frame=0,attempt=*,times=*");
+    opts.max_retries = 1;
+    opts.quarantine_deaths = 99;
     auto backend = std::make_shared<fc::ShardBackend>(opts);
     const auto sharded = fc::CampaignRunner(backend).run(specs);
-    expectAllIdentical(serial, sharded, specs, "sigkilled workers");
-    EXPECT_EQ(backend->lastStats().shard_failures, 2u);
-    EXPECT_EQ(backend->lastStats().fallback_specs, specs.size());
+    expectAllIdentical(serial, sharded, specs, "retry budget exhausted");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.remote_specs, 0u);
+    EXPECT_EQ(stats.fallback_specs, specs.size());
+    EXPECT_EQ(stats.retries, 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kWorkerDeath), 4u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kFallback), 1u);
+    EXPECT_FALSE(stats.journal.empty());
 }
 
-TEST(ShardBackend, StalledWorkerTimesOutAndRecoversViaFallback)
+TEST(ShardBackend, PoisonedSpecIsQuarantined)
 {
-    // A worker that stays alive but stops making progress must trip the
-    // opt-in inactivity timeout, be killed, and forfeit to the fallback
-    // path — a stalled-but-alive process must never hang execute().
+    // Shard 0's worker dies before its first frame on every attempt —
+    // the deterministic shape of a spec that kills whatever worker it
+    // lands on.  After quarantine_deaths deaths the supervisor must
+    // stop burning fresh workers and pin the spec to the in-process
+    // path, flagged in the journal.
     auto specs = fig10Specs();
     specs.resize(2);
     const auto serial = fc::CampaignRunner(1).run(specs);
 
-    fc::ShardOptions opts;
+    auto opts = supervisedOptions("kill:shard=0,frame=0,attempt=*,times=*");
+    opts.quarantine_deaths = 2;
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, sharded, specs, "quarantined spec");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.quarantined_specs, 1u);
+    EXPECT_EQ(stats.fallback_specs, 1u);
+    EXPECT_EQ(stats.remote_specs, 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kQuarantine), 1u);
+}
+
+TEST(ShardBackend, CorruptResultFrameForfeitsAndRetries)
+{
+    // A bit flip in the second result frame: the checksum must reject
+    // it, the delivered first result is kept, and the remaining slots
+    // redispatch to a fresh (clean) worker.  Nothing corrupt is ever
+    // decoded into a result.
+    auto specs = fig10Specs();
+    specs.resize(3);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto opts = supervisedOptions("corrupt:shard=0,frame=1");
     opts.shards = 1;
-    opts.worker_command = {"/bin/sh", "-c", "cat > /dev/null; sleep 30"};
-    opts.io_timeout_ms = 200;
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, sharded, specs, "corrupt result frame");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.remote_specs, specs.size());
+    EXPECT_EQ(stats.fallback_specs, 0u);
+    EXPECT_EQ(stats.retries, 1u);
+    EXPECT_EQ(stats.retried_specs, 2u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kFrameCorruption), 1u);
+}
+
+TEST(ShardBackend, StalledWorkerTripsInactivityTimeoutAndRetries)
+{
+    // A worker that stays alive but stops making progress must trip the
+    // opt-in inactivity timeout, be killed, and its slots redispatched
+    // — a stalled-but-alive process must never hang execute().
+    auto specs = fig10Specs();
+    specs.resize(2);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto opts = supervisedOptions("stall:frame=0,ms=30000");
+    opts.shards = 1;
+    opts.io_timeout_ms = 500;
+    opts.max_retries = 1;
     auto backend = std::make_shared<fc::ShardBackend>(opts);
     const auto t0 = std::chrono::steady_clock::now();
     const auto sharded = fc::CampaignRunner(backend).run(specs);
@@ -150,43 +242,173 @@ TEST(ShardBackend, StalledWorkerTimesOutAndRecoversViaFallback)
                                       t0)
             .count();
     expectAllIdentical(serial, sharded, specs, "stalled worker");
-    EXPECT_EQ(backend->lastStats().shard_failures, 1u);
-    EXPECT_EQ(backend->lastStats().fallback_specs, specs.size());
-    // Recovery must come from the timeout, not the 30 s sleep ending.
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.remote_specs, specs.size());
+    EXPECT_EQ(stats.fallback_specs, 0u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kTimeout), 1u);
+    // Recovery must come from the timeout, not the 30 s stall ending.
     EXPECT_LT(wall_s, 10.0);
 }
 
-TEST(ShardBackend, GarbageWorkerStreamRecoversViaFallback)
+TEST(ShardBackend, DeadlineBudgetBoundsAStalledDrain)
 {
-    // Streams that are not frames (bad magic) must be rejected cleanly
-    // and fall back, never decoded.
+    // The per-spec deadline budget generalizes the inactivity timeout:
+    // even with no io_timeout_ms, a stalled drain must be cut off at
+    // spec_deadline_ms x slots and the slots redispatched.
     auto specs = fig10Specs();
-    specs.resize(3);
+    specs.resize(2);
     const auto serial = fc::CampaignRunner(1).run(specs);
 
-    fc::ShardOptions opts;
+    auto opts = supervisedOptions("stall:frame=0,ms=30000");
     opts.shards = 1;
-    opts.worker_command = {"/bin/sh", "-c",
-                           "cat > /dev/null; printf "
-                           "'garbagegarbagegarbagegarbage'"};
+    opts.spec_deadline_ms = 1000;
+    opts.max_retries = 1;
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sharded = fc::CampaignRunner(backend).run(specs);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    expectAllIdentical(serial, sharded, specs, "deadline budget");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.remote_specs, specs.size());
+    EXPECT_EQ(stats.journal.count(DegradeKind::kTimeout), 1u);
+    EXPECT_LT(wall_s, 10.0);
+}
+
+TEST(ShardBackend, CrashLoopDisablesShardingForTheRun)
+{
+    // Injected spawn failures, forever: after crash_loop_spawns
+    // consecutive failures the supervisor must conclude the environment
+    // (not the work) is broken, stop spawning, and run everything
+    // in-process — loudly, and still bit-identically.
+    auto specs = fig10Specs();
+    specs.resize(4);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto opts = supervisedOptions("spawn-fail:attempt=*,times=*");
+    opts.crash_loop_spawns = 3;
     auto backend = std::make_shared<fc::ShardBackend>(opts);
     const auto sharded = fc::CampaignRunner(backend).run(specs);
-    expectAllIdentical(serial, sharded, specs, "garbage stream");
-    EXPECT_EQ(backend->lastStats().shard_failures, 1u);
+    expectAllIdentical(serial, sharded, specs, "crash loop");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_TRUE(stats.crash_loop);
+    EXPECT_EQ(stats.spawn_failures, 3u);
+    EXPECT_EQ(stats.remote_specs, 0u);
+    EXPECT_EQ(stats.fallback_specs, specs.size());
+    EXPECT_EQ(stats.journal.count(DegradeKind::kCrashLoop), 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kFallback), 1u);
 }
 
 TEST(ShardBackend, MissingWorkerBinaryRecoversViaFallback)
 {
+    // A real (non-injected) broken environment: exec of a nonexistent
+    // binary fails in the child after a successful fork, so the driver
+    // observes instant worker deaths.  Retries burn out (or quarantine
+    // trips) and the run degrades to the in-process path — journaled.
     const std::vector<fc::ScenarioSpec> specs{fig10Specs().front()};
     const auto serial = fc::CampaignRunner(1).run(specs);
 
     fc::ShardOptions opts;
     opts.shards = 1;
     opts.worker_command = {"/nonexistent/fingrav_worker", "--worker"};
+    opts.backoff_base_ms = 1;
     auto backend = std::make_shared<fc::ShardBackend>(opts);
     const auto sharded = fc::CampaignRunner(backend).run(specs);
     expectAllIdentical(serial, sharded, specs, "missing binary");
-    EXPECT_EQ(backend->lastStats().shard_failures, 1u);
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.fallback_specs, specs.size());
+    EXPECT_EQ(stats.remote_specs, 0u);
+    EXPECT_GE(stats.journal.count(DegradeKind::kWorkerDeath), 1u);
+    EXPECT_FALSE(stats.journal.empty());
+}
+
+TEST(ShardBackend, RetryScheduleIsDeterministic)
+{
+    // Same options + same fault plan => the same backoff schedule, the
+    // same journal shape, and bit-identical results — twice in a row,
+    // and across 1/2/4 shards (the schedule is a pure function of
+    // (backoff_seed, round), never of placement or timing).
+    auto specs = fig10Specs();
+    specs.resize(4);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto makeOpts = [&](std::size_t shards) {
+        auto opts = supervisedOptions("kill:frame=0");
+        opts.shards = shards;
+        opts.backoff_base_ms = 5;
+        opts.backoff_seed = 42;
+        return opts;
+    };
+
+    auto run = [&](std::size_t shards) {
+        auto backend = std::make_shared<fc::ShardBackend>(makeOpts(shards));
+        const auto out = fc::CampaignRunner(backend).run(specs);
+        expectAllIdentical(serial, out, specs, "deterministic retry");
+        return backend->lastStats();
+    };
+
+    const auto first = run(2);
+    const auto second = run(2);
+    ASSERT_EQ(first.backoff_ms.size(), 1u);
+    EXPECT_EQ(first.backoff_ms, second.backoff_ms);
+    ASSERT_EQ(first.journal.size(), second.journal.size());
+    const auto a = first.journal.events();
+    const auto b = second.journal.events();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kind, b[i].kind) << "journal diverged at " << i;
+        EXPECT_EQ(a[i].detail, b[i].detail) << "journal diverged at " << i;
+    }
+
+    // Across shard counts the backoff schedule is identical (same seed,
+    // same rounds) even though the per-shard journal entries differ.
+    for (const std::size_t shards : {1u, 4u}) {
+        const auto stats = run(shards);
+        EXPECT_EQ(stats.backoff_ms, first.backoff_ms) << shards
+                                                      << " shards";
+        EXPECT_FALSE(stats.journal.empty());
+    }
+}
+
+TEST(ShardBackend, ReentrantExecuteIsALoudError)
+{
+    // The documented footgun: one instance serves one run at a time.
+    // Re-entering execute() from inside a profile_fn (or any other
+    // nesting) must raise FatalError instead of silently interleaving
+    // stats — and the owning run must complete unharmed.
+    const auto cfg = fingrav::sim::mi300xConfig();
+    fc::ShardOptions opts;
+    opts.shards = 1;
+    opts.worker_command = realWorker();
+    opts.fallback_threads = 1;
+    auto backend = std::make_shared<fc::ShardBackend>(opts);
+
+    std::atomic<bool> threw{false};
+    auto specs = fig10Specs();
+    specs.resize(1);
+    specs[0].profile_fn = fc::makeProfileFn(
+        [&](fingrav::runtime::HostRuntime& host,
+            const fc::ProfilerOptions& popts, fs::Rng rng) {
+            try {
+                backend->execute({}, cfg);
+            } catch (const fs::FatalError&) {
+                threw = true;
+            }
+            return fc::Profiler(host, popts, std::move(rng));
+        });
+
+    const auto out = backend->execute(specs, cfg);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_TRUE(threw.load())
+        << "nested execute() must throw FatalError";
+
+    // The guard must release on exit: a fresh, non-nested call works.
+    EXPECT_NO_THROW(backend->execute({}, cfg));
 }
 
 TEST(ShardBackend, ProfileFnSpecsStayInProcess)
@@ -238,6 +460,64 @@ TEST(ShardBackend, ZeroShardsIsAUserError)
     EXPECT_THROW(fc::ShardBackend{opts}, fs::FatalError);
 }
 
+TEST(FaultPlan, ParsesWildcardsAndRoundTrips)
+{
+    const auto plan = fs::FaultPlan::parse(
+        "kill:shard=0,frame=1;spawn-fail:times=*;stall:frame=2,ms=250");
+    ASSERT_EQ(plan.actions.size(), 3u);
+    EXPECT_EQ(plan.actions[0].kind, fs::FaultKind::kKillWorker);
+    EXPECT_EQ(plan.actions[0].shard, 0);
+    EXPECT_EQ(plan.actions[0].frame, 1);
+    EXPECT_EQ(plan.actions[1].kind, fs::FaultKind::kSpawnFail);
+    EXPECT_EQ(plan.actions[1].times, fs::FaultAction::kAny);
+    EXPECT_EQ(plan.actions[2].kind, fs::FaultKind::kStallPipe);
+    EXPECT_EQ(plan.actions[2].stall_ms, 250);
+
+    // toString must round-trip through parse to the same plan text.
+    const auto text = plan.toString();
+    EXPECT_EQ(fs::FaultPlan::parse(text).toString(), text);
+}
+
+TEST(FaultPlan, MalformedPlansAreFatal)
+{
+    EXPECT_THROW(fs::FaultPlan::parse("explode"), fs::FatalError);
+    EXPECT_THROW(fs::FaultPlan::parse("kill:shard=abc"), fs::FatalError);
+    EXPECT_THROW(fs::FaultPlan::parse("kill:wibble=1"), fs::FatalError);
+}
+
+TEST(FaultPlan, WorkerSubPlanStripsDriverCoordinates)
+{
+    // The driver hands each worker the sub-plan scripted for its
+    // (shard, attempt); shard/attempt are resolved at derivation time,
+    // so the worker matches on frame index alone.
+    const fs::FaultInjector injector(
+        fs::FaultPlan::parse("kill:shard=1,frame=2;corrupt:shard=0"));
+    EXPECT_EQ(injector.workerPlan(1, 0), "kill:frame=2");
+    EXPECT_EQ(injector.workerPlan(0, 0), "corrupt");
+    EXPECT_EQ(injector.workerPlan(2, 0), "");
+    // Spawn failures are a driver-side site, never shipped to workers.
+    const fs::FaultInjector spawn(fs::FaultPlan::parse("spawn-fail"));
+    EXPECT_EQ(spawn.workerPlan(0, 0), "");
+}
+
+TEST(RunJournal, RecordsCountsAndReports)
+{
+    fs::RunJournal journal;
+    EXPECT_TRUE(journal.empty());
+    journal.record(DegradeKind::kWorkerDeath, "shard ", 0, ": died");
+    journal.record(DegradeKind::kRetry, "round 1");
+    EXPECT_EQ(journal.size(), 2u);
+    EXPECT_EQ(journal.count(DegradeKind::kWorkerDeath), 1u);
+    EXPECT_EQ(journal.count(DegradeKind::kQuarantine), 0u);
+    const auto report = journal.report();
+    EXPECT_NE(report.find("worker-death"), std::string::npos);
+    EXPECT_NE(report.find("shard 0: died"), std::string::npos);
+
+    // Copies snapshot the events (the journal rides inside ShardStats).
+    const fs::RunJournal copy = journal;
+    EXPECT_EQ(copy.size(), 2u);
+}
+
 TEST(FingravCli, UnknownFlagRejectedWithUsage)
 {
     // The trailing-junk satellite: an unknown --flag after a command
@@ -258,6 +538,8 @@ TEST(FingravCli, UnknownFlagRejectedWithUsage)
     EXPECT_NE(output.find("usage:"), std::string::npos);
     EXPECT_NE(output.find("--shards"), std::string::npos)
         << "usage text must list the new flags";
+    EXPECT_NE(output.find("--fault-plan"), std::string::npos)
+        << "usage text must list the fault-plan flag";
 }
 
 TEST(FingravCli, TrailingJunkAfterListRejected)

@@ -17,9 +17,10 @@ Comparison rules, per scenario:
   * metrics ending in "_wall_ms" (lower is better): warn when
         current > baseline * (1 + threshold)
   * notes named "bit_identical" / "bytes_conserved" /
-    "zero_reexecutions" / "all_from_disk": warn on any value that is not
-    an affirmative "yes" (these are correctness canaries the benches
-    themselves enforce; the gate just surfaces them in the diff).
+    "zero_reexecutions" / "all_from_disk" / "journal_nonempty": warn on
+    any value that is not an affirmative "yes" (these are correctness
+    canaries the benches themselves enforce; the gate just surfaces
+    them in the diff).
 
 A per-metric delta table is printed for every scenario so the run log
 shows the full trajectory, not only the violations.
@@ -92,6 +93,7 @@ def check_canaries(name, cur):
             "bytes_conserved",
             "zero_reexecutions",
             "all_from_disk",
+            "journal_nonempty",
         ):
             if str(cur_val).lower() != "yes":
                 warn(f"{name}: {key} = {cur_val!r} (expected 'yes')")
@@ -107,6 +109,7 @@ def compare_scenario(name, cur, base, threshold):
             "bytes_conserved",
             "zero_reexecutions",
             "all_from_disk",
+            "journal_nonempty",
         ):
             continue
         if key not in base:

@@ -39,6 +39,15 @@
  *                     results bit-identically and store fresh ones
  *                     (profile/campaign; paper labels only)
  *   --no-cache        ignore --cache-dir: execute and store nothing
+ *   --io-timeout-ms N worker-pipe inactivity timeout for --shards runs
+ *                     (0 = wait forever)
+ *   --fault-plan PLAN scripted fault injection for CI fault matrices:
+ *                     e.g. "kill:shard=0,frame=1", "corrupt:frame=0",
+ *                     "stall:frame=0,ms=2000", "spawn-fail:times=3",
+ *                     "store-short" (support/fault_injector.hpp has the
+ *                     grammar).  Results stay bit-identical — the
+ *                     supervisor retries and falls back — and every
+ *                     degradation prints in the run journal.
  *
  * Unknown options after a command are rejected with the usage text and
  * a nonzero exit — trailing junk is never silently ignored.
@@ -71,7 +80,9 @@
 #include "runtime/shard_worker.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/simulation.hpp"
+#include "support/fault_injector.hpp"
 #include "support/logging.hpp"
+#include "support/run_journal.hpp"
 #include "support/table.hpp"
 
 namespace an = fingrav::analysis;
@@ -92,6 +103,8 @@ struct CliOptions {
     bool autotune = false;
     std::string cache_dir;   ///< empty = no campaign cache
     bool no_cache = false;   ///< overrides --cache-dir (aliases/scripts)
+    long io_timeout_ms = 0;  ///< worker-pipe inactivity bound (0 = off)
+    fs::FaultPlan fault_plan;  ///< scripted faults (empty = none)
 };
 
 [[noreturn]] void
@@ -118,6 +131,12 @@ usage(const char* argv0)
         << "                      content-addressed on-disk cache\n"
         << "                      (profile/campaign; paper labels only)\n"
         << "         --no-cache   ignore --cache-dir for this run\n"
+        << "         --io-timeout-ms N  worker-pipe inactivity timeout\n"
+        << "                      for --shards runs (0 = wait forever)\n"
+        << "         --fault-plan PLAN  scripted fault injection, e.g.\n"
+        << "                      kill:shard=0,frame=1 | corrupt:frame=0\n"
+        << "                      | stall:frame=0,ms=2000 | spawn-fail\n"
+        << "                      | store-short  (';'-separated)\n"
         << "kernels: paper labels (CB-8K-GEMM, MB-4K-GEMV, AG-1GB, ...)\n"
         << "         or gemm:M,N,K | gemv:M | ag:BYTES | ar:BYTES\n";
     std::exit(2);
@@ -245,6 +264,12 @@ parseOptions(const std::vector<std::string>& args, std::size_t from,
                 fs::fatal("--cache-dir needs a non-empty directory");
         } else if (a == "--no-cache") {
             out.no_cache = true;
+        } else if (a == "--io-timeout-ms") {
+            out.io_timeout_ms = static_cast<long>(unsigned_value());
+        } else if (a == "--fault-plan") {
+            // Parsed eagerly so a malformed plan is rejected before any
+            // work runs (FaultPlan::parse is fatal on bad grammar).
+            out.fault_plan = fs::FaultPlan::parse(next());
         } else {
             std::cerr << "error: unknown option '" << a << "'\n";
             usage(argv0);
@@ -261,6 +286,7 @@ makeCache(const CliOptions& opts)
         return nullptr;
     fc::CacheOptions cache_opts;
     cache_opts.dir = opts.cache_dir;
+    cache_opts.fault_plan = opts.fault_plan;  // store-short actions
     return std::make_shared<fc::CampaignCache>(std::move(cache_opts));
 }
 
@@ -275,6 +301,11 @@ reportCacheStats(const fc::CampaignCache& cache)
               << s.stores << " store(s), " << s.evictions
               << " eviction(s), " << s.disk_bytes_written
               << " B written, " << s.disk_bytes_read << " B read\n";
+    if (!cache.journal().empty()) {
+        std::cout << "cache journal (" << cache.journal().size()
+                  << " degradation(s)):\n"
+                  << cache.journal().report();
+    }
 }
 
 /** A --shards backend: worker subprocesses of this same binary. */
@@ -284,6 +315,8 @@ makeShardBackend(const CliOptions& opts, const char* argv0)
     fc::ShardOptions shard_opts;
     shard_opts.shards = opts.shards;
     shard_opts.worker_command = fc::defaultWorkerCommand(argv0);
+    shard_opts.io_timeout_ms = opts.io_timeout_ms;
+    shard_opts.fault_plan = opts.fault_plan;
     // Workers share the driver's on-disk store (atomic-rename publication
     // makes concurrent writers safe), so shard placement cannot defeat
     // fleet-level memoization.
@@ -309,6 +342,15 @@ reportShardDelivery(const fc::ShardBackend& backend)
               << " spec(s) over the wire, " << stats.fallback_specs
               << " recovered in-process, " << stats.local_specs
               << " process-local\n";
+    // The degradation journal: everything the supervisor absorbed —
+    // retries, quarantines, worker deaths, cache corruption — prints
+    // even when the run recovered completely, so no degradation is
+    // ever silent.
+    if (!stats.journal.empty()) {
+        std::cout << "run journal (" << stats.journal.size()
+                  << " degradation(s), results bit-identical):\n"
+                  << stats.journal.report();
+    }
     if (stats.fallback_specs > 0) {
         std::cerr << "error: " << stats.fallback_specs << " spec(s) "
                      "failed to execute remotely (" << stats.shard_failures
@@ -610,11 +652,16 @@ main(int argc, char** argv)
             // stdout carries protocol frames; keep inform() off it so a
             // status line can never corrupt the stream.
             fs::setLogLevel(fs::LogLevel::kWarn);
-            // The only worker option is a shared cache store (drivers
-            // append it when their own run is cached).
+            // Worker options: a shared cache store (drivers append it
+            // when their own run is cached) and a fault sub-plan (the
+            // driver derives one per (shard, attempt) launch from the
+            // run-level plan).
             const auto opts = parseOptions(args, 2, argv[0]);
             const auto cache = makeCache(opts);
-            return rt::runShardWorker(std::cin, std::cout, cache.get());
+            fs::FaultInjector injector(opts.fault_plan);
+            return rt::runShardWorker(std::cin, std::cout, cache.get(),
+                                      injector.armed() ? &injector
+                                                       : nullptr);
         }
         if (cmd == "list")
             return cmdList(args, argv[0]);
