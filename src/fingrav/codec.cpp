@@ -49,6 +49,12 @@ toString(FrameType type)
         return "worker-error";
       case FrameType::kCacheEntry:
         return "cache-entry";
+      case FrameType::kPing:
+        return "ping";
+      case FrameType::kPong:
+        return "pong";
+      case FrameType::kShutdown:
+        return "shutdown";
     }
     return "unknown";
 }
@@ -882,7 +888,7 @@ decodeFrameHeader(const std::uint8_t* data)
     FrameHeader header;
     const std::uint16_t type = dec.u16();
     if (type < static_cast<std::uint16_t>(FrameType::kScenarioSpec) ||
-        type > static_cast<std::uint16_t>(FrameType::kCacheEntry))
+        type > static_cast<std::uint16_t>(FrameType::kShutdown))
         support::fatal("codec: unknown frame type ", type);
     header.type = static_cast<FrameType>(type);
     // Validated here so every reader — stream- or fd-based — rejects a

@@ -59,8 +59,10 @@ inline constexpr std::uint32_t kMagic = 0x56524746u;
  * v2: PowerProfile payloads are columnar — one contiguous little-endian
  * block per point field plus a packed contention bitmap, instead of
  * field-interleaved per-point records.
+ * v3: control frames for persistent workers — kPing/kPong keepalive and
+ * kShutdown — extend the frame-type range a v2 reader would reject.
  */
-inline constexpr std::uint16_t kVersion = 2;
+inline constexpr std::uint16_t kVersion = 3;
 
 /** Frame payload types. */
 enum class FrameType : std::uint16_t {
@@ -71,6 +73,9 @@ enum class FrameType : std::uint16_t {
     kShardDone = 5,     ///< u32 result count: clean shard completion
     kWorkerError = 6,   ///< string: worker-side fatal diagnostic
     kCacheEntry = 7,    ///< key bytes + ProfileSet (on-disk campaign cache)
+    kPing = 8,          ///< empty: driver keepalive probe to an idle worker
+    kPong = 9,          ///< empty: worker liveness reply to kPing
+    kShutdown = 10,     ///< empty: clean fleet-worker shutdown request
 };
 
 /** Printable frame-type name. */

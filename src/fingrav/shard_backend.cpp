@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <csignal>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -11,13 +10,12 @@
 #include <thread>
 #include <utility>
 
-#include <poll.h>
 #include <sys/wait.h>
-#include <unistd.h>
 
 #include "fingrav/campaign_cache.hpp"
 #include "fingrav/campaign_runner.hpp"
 #include "fingrav/codec.hpp"
+#include "runtime/worker_channel.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 
@@ -27,207 +25,22 @@ namespace {
 
 using support::DegradeKind;
 
-/**
- * A worker whose driver-side pipe has gone away must surface as an
- * EPIPE write error (handled: the shard falls back in-process), not as
- * a process-killing SIGPIPE.  Installed once, only if the disposition
- * is still the default — an embedding application's handler is kept.
- */
-void
-ignoreSigpipeOnce()
-{
-    static std::once_flag once;
-    std::call_once(once, [] {
-        struct sigaction current {};
-        if (sigaction(SIGPIPE, nullptr, &current) == 0 &&
-            current.sa_handler == SIG_DFL) {
-            struct sigaction ignore {};
-            ignore.sa_handler = SIG_IGN;
-            sigaction(SIGPIPE, &ignore, nullptr);
-        }
-    });
-}
-
-/**
- * The I/O budget one read/write waits under: a per-syscall inactivity
- * timeout (every byte of progress re-arms it) plus an optional absolute
- * deadline (ShardOptions::spec_deadline_ms x slots — total wall-clock
- * for a worker's drain, regardless of progress).
- */
-struct IoBudget {
-    long inactivity_ms = 0;  ///< <= 0: no inactivity bound
-    bool has_deadline = false;
-    std::chrono::steady_clock::time_point deadline;
-
-    static IoBudget
-    inactivityOnly(long ms)
-    {
-        IoBudget budget;
-        budget.inactivity_ms = ms;
-        return budget;
-    }
-};
-
-enum class IoWait { kReady, kTimeout, kError };
-
-/** Wait for fd readiness under the budget. */
-IoWait
-awaitReady(int fd, short events, const IoBudget& budget)
-{
-    struct pollfd pfd {};
-    pfd.fd = fd;
-    pfd.events = events;
-    for (;;) {
-        long timeout_ms = budget.inactivity_ms > 0 ? budget.inactivity_ms
-                                                   : -1;
-        if (budget.has_deadline) {
-            const auto remaining =
-                std::chrono::duration_cast<std::chrono::milliseconds>(
-                    budget.deadline - std::chrono::steady_clock::now())
-                    .count();
-            if (remaining <= 0)
-                return IoWait::kTimeout;
-            timeout_ms = timeout_ms < 0
-                             ? remaining
-                             : std::min<long>(timeout_ms, remaining);
-        }
-        const int n = ::poll(&pfd, 1,
-                             timeout_ms > 0 ? static_cast<int>(timeout_ms)
-                                            : -1);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;  // budget re-derived from the clock above
-            return IoWait::kError;
-        }
-        return n > 0 ? IoWait::kReady : IoWait::kTimeout;
-    }
-}
-
-bool
-writeAll(int fd, const std::uint8_t* data, std::size_t size,
-         const IoBudget& budget)
-{
-    while (size > 0) {
-        if (awaitReady(fd, POLLOUT, budget) != IoWait::kReady)
-            return false;
-        const ssize_t n = ::write(fd, data, size);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        data += n;
-        size -= static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-/** Why a read stopped short — the journal taxonomy needs the cause. */
-enum class ReadStatus { kOk, kEof, kTimeout, kError };
-
-ReadStatus
-readExact(int fd, std::uint8_t* data, std::size_t size,
-          const IoBudget& budget, std::size_t* bytes_read)
-{
-    if (bytes_read != nullptr)
-        *bytes_read = 0;
-    while (size > 0) {
-        switch (awaitReady(fd, POLLIN, budget)) {
-          case IoWait::kTimeout:
-            return ReadStatus::kTimeout;
-          case IoWait::kError:
-            return ReadStatus::kError;
-          case IoWait::kReady:
-            break;
-        }
-        const ssize_t n = ::read(fd, data, size);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return ReadStatus::kError;
-        }
-        if (n == 0)
-            return ReadStatus::kEof;
-        data += n;
-        size -= static_cast<std::size_t>(n);
-        if (bytes_read != nullptr)
-            *bytes_read += static_cast<std::size_t>(n);
-    }
-    return ReadStatus::kOk;
-}
-
-void
-closeFd(int& fd)
-{
-    if (fd >= 0) {
-        ::close(fd);
-        fd = -1;
-    }
-}
+// The spawn/pipe/frame plumbing lives in runtime/worker_channel.hpp,
+// shared with the persistent WorkerFleet; this backend keeps only the
+// one-shot supervision policy on top of it.
+using runtime::FrameStatus;
+using runtime::IoBudget;
+using runtime::closeFd;
+using runtime::ignoreSigpipeOnce;
+using runtime::readWorkerFrame;
+using runtime::writeAll;
 
 /** One spawned shard worker and its outstanding slots. */
 struct WorkerProc {
-    long pid = -1;
-    int to_child = -1;    ///< request pipe, driver write end
-    int from_child = -1;  ///< response pipe, driver read end
+    runtime::WorkerProcess proc;
     std::vector<std::size_t> slots;  ///< spec indices, shard order
     bool failed = false;
 };
-
-/** fork/exec the worker argv with stdin/stdout piped; stderr shared. */
-bool
-spawnWorker(const std::vector<std::string>& argv, WorkerProc& worker)
-{
-    int to_child[2];    // driver -> worker stdin
-    int from_child[2];  // worker stdout -> driver
-    if (::pipe(to_child) != 0)
-        return false;
-    if (::pipe(from_child) != 0) {
-        ::close(to_child[0]);
-        ::close(to_child[1]);
-        return false;
-    }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-        ::close(to_child[0]);
-        ::close(to_child[1]);
-        ::close(from_child[0]);
-        ::close(from_child[1]);
-        return false;
-    }
-    if (pid == 0) {
-        // Each worker leads its own process group, so a fault injector
-        // (or operator) can kill the worker *and* anything it forked in
-        // one signal — otherwise an orphaned grandchild keeps the
-        // response pipe open and the driver never sees EOF.
-        ::setpgid(0, 0);
-        ::dup2(to_child[0], STDIN_FILENO);
-        ::dup2(from_child[1], STDOUT_FILENO);
-        ::close(to_child[0]);
-        ::close(to_child[1]);
-        ::close(from_child[0]);
-        ::close(from_child[1]);
-        std::vector<char*> cargv;
-        cargv.reserve(argv.size() + 1);
-        for (const auto& arg : argv)
-            cargv.push_back(const_cast<char*>(arg.c_str()));
-        cargv.push_back(nullptr);
-        ::execvp(cargv[0], cargv.data());
-        // Exec failure: exit without running any atexit handlers of the
-        // forked image; the driver sees EOF and falls back.
-        ::_exit(127);
-    }
-    // Mirror the child's setpgid so the group exists before this call
-    // returns, whichever side runs first (the classic double-setpgid
-    // idiom; EACCES after the child exec'd means the child already won).
-    ::setpgid(pid, pid);
-    worker.pid = pid;
-    worker.to_child = to_child[1];
-    worker.from_child = from_child[0];
-    ::close(to_child[0]);
-    ::close(from_child[1]);
-    return true;
-}
 
 std::vector<std::uint8_t>
 encodeShardRequest(const sim::MachineConfig& cfg,
@@ -242,56 +55,6 @@ encodeShardRequest(const sim::MachineConfig& cfg,
         codec::encodeScenarioSpec(enc, specs[slot]);
     }
     return enc.bytes();
-}
-
-/** How one frame read off a worker's stdout ended. */
-enum class FrameStatus {
-    kFrame,    ///< `frame` holds a verified frame
-    kEof,      ///< clean EOF on a frame boundary: the worker is gone
-    kCorrupt,  ///< truncated/bit-flipped/foreign-version stream
-    kTimeout,  ///< inactivity timeout or deadline budget exceeded
-};
-
-FrameStatus
-readWorkerFrame(int fd, const IoBudget& budget, codec::Frame& frame)
-{
-    std::uint8_t header_bytes[codec::kFrameHeaderBytes];
-    std::size_t got = 0;
-    switch (readExact(fd, header_bytes, codec::kFrameHeaderBytes, budget,
-                      &got)) {
-      case ReadStatus::kOk:
-        break;
-      case ReadStatus::kTimeout:
-        return FrameStatus::kTimeout;
-      case ReadStatus::kEof:
-      case ReadStatus::kError:
-        // EOF on the frame boundary is death; EOF mid-header is a
-        // truncated stream — the same observable a half-written frame
-        // leaves, so it journals as corruption.
-        return got == 0 ? FrameStatus::kEof : FrameStatus::kCorrupt;
-    }
-    try {
-        const auto header = codec::decodeFrameHeader(header_bytes);
-        frame.type = header.type;
-        frame.payload.resize(static_cast<std::size_t>(header.payload_len));
-        if (header.payload_len > 0) {
-            switch (readExact(fd, frame.payload.data(),
-                              frame.payload.size(), budget, nullptr)) {
-              case ReadStatus::kOk:
-                break;
-              case ReadStatus::kTimeout:
-                return FrameStatus::kTimeout;
-              case ReadStatus::kEof:
-              case ReadStatus::kError:
-                return FrameStatus::kCorrupt;  // truncated payload
-            }
-        }
-        codec::verifyFramePayload(header, frame.payload.data());
-        return FrameStatus::kFrame;
-    } catch (const support::FatalError& e) {
-        support::warn("ShardBackend: worker stream rejected: ", e.what());
-        return FrameStatus::kCorrupt;
-    }
 }
 
 }  // namespace
@@ -483,7 +246,7 @@ ShardBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
                         argv.push_back(sub_plan);
                     }
                 }
-                spawned = spawnWorker(argv, worker);
+                spawned = runtime::spawnWorkerProcess(argv, worker.proc);
                 if (!spawned)
                     spawn_error = std::strerror(errno);
             }
@@ -523,7 +286,7 @@ ShardBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
             const auto wire =
                 codec::encodeFrame(codec::FrameType::kShardRequest,
                                    request);
-            if (!writeAll(worker.to_child, wire.data(), wire.size(),
+            if (!writeAll(worker.proc.to_child, wire.data(), wire.size(),
                           IoBudget::inactivityOnly(opts_.io_timeout_ms))) {
                 support::warn("ShardBackend: worker for shard ", s,
                               " rejected its request (",
@@ -533,7 +296,7 @@ ShardBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
                                       ": worker rejected its request");
                 worker.failed = true;
             }
-            closeFd(worker.to_child);
+            closeFd(worker.proc.to_child);
         }
 
         // Reassemble: results stream back one frame per completed spec
@@ -560,7 +323,7 @@ ShardBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
             while (!worker.failed && !done) {
                 codec::Frame frame;
                 const FrameStatus status =
-                    readWorkerFrame(worker.from_child, budget, frame);
+                    readWorkerFrame(worker.proc.from_child, budget, frame);
                 if (status != FrameStatus::kFrame) {
                     if (pending.empty() && status == FrameStatus::kEof)
                         break;  // all delivered; kShardDone got lost
@@ -641,20 +404,20 @@ ShardBackend::executeUncached(const std::vector<ScenarioSpec>& specs,
                     worker.failed = true;
                 }
             }
-            closeFd(worker.from_child);
-            closeFd(worker.to_child);
-            if (worker.pid > 0) {
+            closeFd(worker.proc.from_child);
+            closeFd(worker.proc.to_child);
+            if (worker.proc.pid > 0) {
                 // A failed worker may still be alive (stalled past the
                 // inactivity timeout): kill its whole process group
                 // first so the blocking reap below cannot hang on it.
                 if (worker.failed)
-                    ::kill(-static_cast<pid_t>(worker.pid), SIGKILL);
-                ::waitpid(static_cast<pid_t>(worker.pid), nullptr, 0);
+                    ::kill(-static_cast<pid_t>(worker.proc.pid), SIGKILL);
+                ::waitpid(static_cast<pid_t>(worker.proc.pid), nullptr, 0);
             }
             if (!worker.failed)
                 continue;
             ++stats_.shard_failures;
-            const bool worker_ran = worker.pid > 0;
+            const bool worker_ran = worker.proc.pid > 0;
             for (const std::size_t slot : worker.slots) {
                 if (pending.count(slot) == 0)
                     continue;

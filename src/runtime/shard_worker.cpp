@@ -66,6 +66,12 @@ int
 runShardWorker(std::istream& in, std::ostream& out,
                core::CampaignCache* cache, support::FaultInjector* injector)
 {
+    // The fault-site coordinate counts result frames over the *process*
+    // lifetime, not per request: a persistent fleet worker serves many
+    // one-spec requests, and a plan like `kill:frame=2` must mean "die
+    // before the third result this worker ever produces".  One-shot
+    // shard workers see a single request, so the two scopes coincide.
+    std::size_t result_frame = 0;
     for (;;) {
         std::optional<codec::Frame> frame;
         try {
@@ -76,6 +82,15 @@ runShardWorker(std::istream& in, std::ostream& out,
         }
         if (!frame.has_value())
             return 0;  // clean EOF: the driver closed the request stream
+        if (frame->type == codec::FrameType::kShutdown)
+            return 0;  // explicit fleet shutdown: same clean exit as EOF
+        if (frame->type == codec::FrameType::kPing) {
+            // Idle keepalive: the fleet probes residents between
+            // dispatches; a missing kPong marks this worker for respawn.
+            if (!codec::writeFrame(out, codec::FrameType::kPong, {}))
+                return 1;
+            continue;
+        }
         if (frame->type != codec::FrameType::kShardRequest) {
             sendError(out, std::string("worker expected a shard-request "
                                        "frame, got ") +
@@ -85,7 +100,6 @@ runShardWorker(std::istream& in, std::ostream& out,
         try {
             const auto request = decodeShardRequest(frame->payload);
             std::size_t completed = 0;
-            std::size_t result_frame = 0;  ///< fault-site coordinate
             for (const auto& [slot, spec] : request.items) {
                 // One fresh hermetic node per spec, the same runOne the
                 // in-process backends use: results shipped back are

@@ -5,16 +5,21 @@
  * @file
  * Worker-process bootstrap for distributed campaign sharding.
  *
- * `fingrav_cli --worker` calls runShardWorker(std::cin, std::cout): a
- * serve loop that reads kShardRequest frames (machine config + a list
- * of slot-addressed ScenarioSpecs) off stdin, executes each spec on a
- * fresh hermetic node via core::CampaignRunner::runOne — the exact code
- * path the in-process backends bottom out in — and streams one
- * kShardResult frame per completed spec back on stdout, closing each
- * request with a kShardDone frame.  Streaming per spec means a worker
- * killed mid-shard forfeits only its unfinished slots; everything
- * already written is checksummed, slot-addressed and bit-exact
- * (fingrav/codec.hpp, fingrav/shard_backend.hpp).
+ * `fingrav_cli --worker` (one-shot shard) and `fingrav_cli --serve`
+ * (persistent fleet resident) both call runShardWorker(std::cin,
+ * std::cout): a serve loop that reads kShardRequest frames (machine
+ * config + a list of slot-addressed ScenarioSpecs) off stdin, executes
+ * each spec on a fresh hermetic node via core::CampaignRunner::runOne —
+ * the exact code path the in-process backends bottom out in — and
+ * streams one kShardResult frame per completed spec back on stdout,
+ * closing each request with a kShardDone frame.  The loop then waits
+ * for the next request: ShardBackend sends one request and closes the
+ * pipe; core::WorkerFleet keeps the worker resident across dispatches,
+ * probing idle residents with kPing (answered kPong) and retiring them
+ * with kShutdown (clean exit, same as EOF).  Streaming per spec means a
+ * worker killed mid-shard forfeits only its unfinished slots;
+ * everything already written is checksummed, slot-addressed and
+ * bit-exact (fingrav/codec.hpp, fingrav/shard_backend.hpp).
  *
  * stdout belongs to the protocol: the worker must never print there.
  * Callers route diagnostics to stderr (the CLI lowers the log level so

@@ -1,0 +1,219 @@
+#include "runtime/worker_channel.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <mutex>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "support/logging.hpp"
+
+namespace fingrav::runtime {
+
+void
+ignoreSigpipeOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        struct sigaction current {};
+        if (sigaction(SIGPIPE, nullptr, &current) == 0 &&
+            current.sa_handler == SIG_DFL) {
+            struct sigaction ignore {};
+            ignore.sa_handler = SIG_IGN;
+            sigaction(SIGPIPE, &ignore, nullptr);
+        }
+    });
+}
+
+IoWait
+awaitReady(int fd, short events, const IoBudget& budget)
+{
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    for (;;) {
+        long timeout_ms = budget.inactivity_ms > 0 ? budget.inactivity_ms
+                                                   : -1;
+        if (budget.has_deadline) {
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    budget.deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (remaining <= 0)
+                return IoWait::kTimeout;
+            timeout_ms = timeout_ms < 0
+                             ? remaining
+                             : std::min<long>(timeout_ms, remaining);
+        }
+        const int n = ::poll(&pfd, 1,
+                             timeout_ms > 0 ? static_cast<int>(timeout_ms)
+                                            : -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;  // budget re-derived from the clock above
+            return IoWait::kError;
+        }
+        return n > 0 ? IoWait::kReady : IoWait::kTimeout;
+    }
+}
+
+bool
+writeAll(int fd, const std::uint8_t* data, std::size_t size,
+         const IoBudget& budget)
+{
+    while (size > 0) {
+        if (awaitReady(fd, POLLOUT, budget) != IoWait::kReady)
+            return false;
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+ReadStatus
+readExact(int fd, std::uint8_t* data, std::size_t size,
+          const IoBudget& budget, std::size_t* bytes_read)
+{
+    if (bytes_read != nullptr)
+        *bytes_read = 0;
+    while (size > 0) {
+        switch (awaitReady(fd, POLLIN, budget)) {
+          case IoWait::kTimeout:
+            return ReadStatus::kTimeout;
+          case IoWait::kError:
+            return ReadStatus::kError;
+          case IoWait::kReady:
+            break;
+        }
+        const ssize_t n = ::read(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::kError;
+        }
+        if (n == 0)
+            return ReadStatus::kEof;
+        data += n;
+        size -= static_cast<std::size_t>(n);
+        if (bytes_read != nullptr)
+            *bytes_read += static_cast<std::size_t>(n);
+    }
+    return ReadStatus::kOk;
+}
+
+void
+closeFd(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+spawnWorkerProcess(const std::vector<std::string>& argv,
+                   WorkerProcess& worker)
+{
+    int to_child[2];    // driver -> worker stdin
+    int from_child[2];  // worker stdout -> driver
+    if (::pipe(to_child) != 0)
+        return false;
+    if (::pipe(from_child) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Each worker leads its own process group, so a fault injector
+        // (or operator) can kill the worker *and* anything it forked in
+        // one signal — otherwise an orphaned grandchild keeps the
+        // response pipe open and the driver never sees EOF.
+        ::setpgid(0, 0);
+        ::dup2(to_child[0], STDIN_FILENO);
+        ::dup2(from_child[1], STDOUT_FILENO);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        std::vector<char*> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const auto& arg : argv)
+            cargv.push_back(const_cast<char*>(arg.c_str()));
+        cargv.push_back(nullptr);
+        ::execvp(cargv[0], cargv.data());
+        // Exec failure: exit without running any atexit handlers of the
+        // forked image; the driver sees EOF and falls back.
+        ::_exit(127);
+    }
+    // Mirror the child's setpgid so the group exists before this call
+    // returns, whichever side runs first (the classic double-setpgid
+    // idiom; EACCES after the child exec'd means the child already won).
+    ::setpgid(pid, pid);
+    worker.pid = pid;
+    worker.to_child = to_child[1];
+    worker.from_child = from_child[0];
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    return true;
+}
+
+FrameStatus
+readWorkerFrame(int fd, const IoBudget& budget, core::codec::Frame& frame)
+{
+    namespace codec = core::codec;
+    std::uint8_t header_bytes[codec::kFrameHeaderBytes];
+    std::size_t got = 0;
+    switch (readExact(fd, header_bytes, codec::kFrameHeaderBytes, budget,
+                      &got)) {
+      case ReadStatus::kOk:
+        break;
+      case ReadStatus::kTimeout:
+        return FrameStatus::kTimeout;
+      case ReadStatus::kEof:
+      case ReadStatus::kError:
+        // EOF on the frame boundary is death; EOF mid-header is a
+        // truncated stream — the same observable a half-written frame
+        // leaves, so it journals as corruption.
+        return got == 0 ? FrameStatus::kEof : FrameStatus::kCorrupt;
+    }
+    try {
+        const auto header = codec::decodeFrameHeader(header_bytes);
+        frame.type = header.type;
+        frame.payload.resize(static_cast<std::size_t>(header.payload_len));
+        if (header.payload_len > 0) {
+            switch (readExact(fd, frame.payload.data(),
+                              frame.payload.size(), budget, nullptr)) {
+              case ReadStatus::kOk:
+                break;
+              case ReadStatus::kTimeout:
+                return FrameStatus::kTimeout;
+              case ReadStatus::kEof:
+              case ReadStatus::kError:
+                return FrameStatus::kCorrupt;  // truncated payload
+            }
+        }
+        codec::verifyFramePayload(header, frame.payload.data());
+        return FrameStatus::kFrame;
+    } catch (const support::FatalError& e) {
+        support::warn("worker channel: worker stream rejected: ",
+                      e.what());
+        return FrameStatus::kCorrupt;
+    }
+}
+
+}  // namespace fingrav::runtime

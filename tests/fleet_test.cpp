@@ -1,0 +1,337 @@
+/**
+ * @file
+ * FleetBackend determinism and supervision contract: persistent
+ * workers, cost-ordered pull dispatch, and mid-dispatch replacement
+ * must all be invisible in the results.
+ *
+ * The gates, in order of importance:
+ *  - N-worker fleet execution (1/2/4 residents) is bitwise equal to
+ *    ThreadPoolBackend and to the serial loop on the Fig. 10 set and on
+ *    a skewed-cost mix (runs_override spread) — placement, pull order
+ *    and worker count are invisible;
+ *  - a worker killed mid-dispatch (scripted via --fault-plan) is
+ *    replaced in its seat, only the outstanding spec redispatches, and
+ *    results stay bit-identical with the death + retry journaled;
+ *  - back-to-back execute() calls reuse the residents: the second
+ *    dispatch spawns zero workers (the amortization bench_fleet
+ *    measures, asserted here deterministically);
+ *  - dispatch order is longest-predicted-first per core::CostModel —
+ *    the cost-model scheduling observable;
+ *  - crash-looping spawns disable the fleet and everything falls back
+ *    in-process, loudly and bit-identically.
+ *
+ * The worker binary is the real `fingrav_cli --serve`, resolved via the
+ * FINGRAV_CLI_PATH compile definition, so these tests exercise the
+ * genuine persistent-subprocess machinery end to end.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fingrav/campaign_runner.hpp"
+#include "fingrav/cost_model.hpp"
+#include "fingrav/execution_backend.hpp"
+#include "fingrav/worker_fleet.hpp"
+#include "sim/machine_config.hpp"
+#include "support/fault_injector.hpp"
+#include "support/logging.hpp"
+#include "support/run_journal.hpp"
+#include "tests/test_fixtures.hpp"
+
+#ifndef FINGRAV_CLI_PATH
+#error "FINGRAV_CLI_PATH must point at the fingrav_cli binary"
+#endif
+
+namespace fc = fingrav::core;
+namespace fs = fingrav::support;
+
+namespace {
+
+using fingrav::testing::expectAllIdentical;
+using fs::DegradeKind;
+
+/** The shared Fig. 10 gate set at a test-sized run budget. */
+std::vector<fc::ScenarioSpec>
+fig10Specs()
+{
+    return fingrav::testing::fig10Specs(6);
+}
+
+/** The real persistent worker command (fingrav_cli --serve). */
+std::vector<std::string>
+serveWorker()
+{
+    return {FINGRAV_CLI_PATH, "--serve"};
+}
+
+/**
+ * A deliberately skewed mix: one long campaign (big run budget on a
+ * compute-bound kernel) buried mid-list among short ones — the shape
+ * round-robin partitioning straggles on and cost-ordered pull dispatch
+ * exists to fix.
+ */
+std::vector<fc::ScenarioSpec>
+skewedSpecs()
+{
+    struct Item {
+        const char* label;
+        std::size_t runs;
+    };
+    const Item items[] = {
+        {"MB-2K-GEMV", 3}, {"AG-64KB", 3},     {"MB-4K-GEMV", 4},
+        {"CB-8K-GEMM", 24}, {"AR-128KB", 3},   {"MB-2K-GEMV", 4},
+        {"CB-2K-GEMM", 5},  {"AG-128KB", 3},
+    };
+    std::vector<fc::ScenarioSpec> specs;
+    std::uint64_t seed = 7100;
+    for (const auto& item : items) {
+        fc::ScenarioSpec spec;
+        spec.label = item.label;
+        spec.seed = seed++;
+        spec.opts.runs_override = item.runs;
+        spec.opts.collect_extra_runs = false;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+/** Baseline fleet options: real --serve worker, fast backoff. */
+fc::FleetOptions
+fleetOptions(std::size_t workers, const char* plan = "")
+{
+    fc::FleetOptions opts;
+    opts.workers = workers;
+    opts.worker_command = serveWorker();
+    opts.backoff_base_ms = 1;
+    if (plan[0] != '\0')
+        opts.fault_plan = fs::FaultPlan::parse(plan);
+    return opts;
+}
+
+}  // namespace
+
+TEST(FleetBackend, NWorkerBitIdenticalToThreadPoolAndSerial)
+{
+    const auto specs = fig10Specs();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+    const auto pooled =
+        fc::CampaignRunner(
+            std::make_shared<fc::ThreadPoolBackend>(std::size_t{4}))
+            .run(specs);
+    expectAllIdentical(serial, pooled, specs, "thread pool vs serial");
+
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+        auto backend =
+            std::make_shared<fc::FleetBackend>(fleetOptions(workers));
+        const auto fleet = fc::CampaignRunner(backend).run(specs);
+        expectAllIdentical(serial, fleet, specs, "fleet vs serial");
+        // Everything must actually have crossed the wire — a backend
+        // quietly falling back in-process would pass the identity gate
+        // while proving nothing about the resident workers.
+        EXPECT_EQ(backend->lastStats().remote_specs, specs.size())
+            << workers << " workers";
+        EXPECT_EQ(backend->lastStats().worker_failures, 0u);
+        EXPECT_EQ(backend->lastStats().fallback_specs, 0u);
+        EXPECT_TRUE(backend->lastStats().journal.empty())
+            << backend->lastStats().journal.report();
+    }
+}
+
+TEST(FleetBackend, SkewedMixBitIdenticalAcrossWorkerCounts)
+{
+    const auto specs = skewedSpecs();
+    const auto serial = fc::CampaignRunner(1).run(specs);
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+        auto backend =
+            std::make_shared<fc::FleetBackend>(fleetOptions(workers));
+        const auto fleet = fc::CampaignRunner(backend).run(specs);
+        expectAllIdentical(serial, fleet, specs, "skewed mix");
+        EXPECT_EQ(backend->lastStats().remote_specs, specs.size());
+        // With fewer seats than specs the finished workers must have
+        // pulled follow-up work from the shared queue.
+        if (workers < specs.size())
+            EXPECT_GT(backend->lastStats().pulls, 0u);
+    }
+}
+
+TEST(FleetBackend, DispatchOrderIsLongestPredictedFirst)
+{
+    // One worker serializes the dispatch, so dispatch_order is exactly
+    // the scheduler's queue order: descending CostModel::predict, slot
+    // ascending on ties.
+    const auto specs = skewedSpecs();
+    const auto cfg = fingrav::sim::mi300xConfig();
+
+    const fc::CostModel model;
+    std::vector<std::size_t> expected(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expected[i] = i;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         const double ca = model.predict(specs[a], cfg);
+                         const double cb = model.predict(specs[b], cfg);
+                         if (ca != cb)
+                             return ca > cb;
+                         return a < b;
+                     });
+
+    auto backend = std::make_shared<fc::FleetBackend>(fleetOptions(1));
+    const auto results = backend->execute(specs, cfg);
+    EXPECT_EQ(results.size(), specs.size());
+    EXPECT_EQ(backend->lastStats().dispatch_order, expected);
+    // The heavy CB-8K-GEMM campaign (slot 3) must lead the queue.
+    ASSERT_FALSE(backend->lastStats().dispatch_order.empty());
+    EXPECT_EQ(backend->lastStats().dispatch_order.front(), 3u);
+}
+
+TEST(FleetBackend, ResidentsAmortizeSpawnsAcrossDispatches)
+{
+    // The tentpole economics, asserted deterministically: the first
+    // dispatch spawns the fleet, later dispatches reuse it — zero
+    // spawns, same residents, bit-identical results every time.
+    auto specs = fig10Specs();
+    specs.resize(4);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto backend = std::make_shared<fc::FleetBackend>(fleetOptions(2));
+    const auto first = backend->execute(specs,
+                                        fingrav::sim::mi300xConfig());
+    expectAllIdentical(serial, first, specs, "first dispatch");
+    EXPECT_EQ(backend->lastStats().workers_spawned, 2u);
+    EXPECT_EQ(backend->lastStats().workers_live, 2u);
+
+    for (int round = 0; round < 3; ++round) {
+        const auto again = backend->execute(
+            specs, fingrav::sim::mi300xConfig());
+        expectAllIdentical(serial, again, specs, "warm dispatch");
+        EXPECT_EQ(backend->lastStats().workers_spawned, 0u)
+            << "warm dispatch " << round << " must reuse the residents";
+        EXPECT_EQ(backend->lastStats().keepalive_failures, 0u);
+        EXPECT_EQ(backend->lastStats().remote_specs, specs.size());
+    }
+    EXPECT_EQ(backend->fleet().lifetimeSpawns(), 2u);
+}
+
+TEST(FleetBackend, WorkerKilledMidDispatchIsReplacedIdentically)
+{
+    // Seat 0's first resident dies before delivering its first result
+    // (an injected SIGKILL at a worker-lifetime frame index).  The
+    // supervisor must replace it in the same seat, redispatch only the
+    // forfeited spec, and stay bit-identical with zero fallbacks.
+    auto specs = fig10Specs();
+    specs.resize(4);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto backend = std::make_shared<fc::FleetBackend>(
+        fleetOptions(2, "kill:shard=0,frame=0"));
+    const auto fleet = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, fleet, specs, "mid-dispatch kill");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.remote_specs, specs.size());
+    EXPECT_EQ(stats.fallback_specs, 0u);
+    EXPECT_EQ(stats.worker_failures, 1u);
+    EXPECT_EQ(stats.retried_specs, 1u);
+    // Two seats plus the replacement spawned into seat 0.
+    EXPECT_EQ(stats.workers_spawned, 3u);
+    ASSERT_EQ(stats.backoff_ms.size(), 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kWorkerDeath), 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kRetry), 1u);
+}
+
+TEST(FleetBackend, PoisonedSpecIsQuarantined)
+{
+    // Every worker spawned into seat 0 dies at its first result frame,
+    // generation after generation.  The dispatch scan hands the
+    // top-cost spec to seat 0 each time (lowest free seat wins), so
+    // after quarantine_deaths deaths that spec must pin to the
+    // in-process path instead of burning replacements forever —
+    // journaled, bit-identical, while seat 1 delivers its spec.
+    auto specs = fig10Specs();
+    specs.resize(2);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto opts =
+        fleetOptions(2, "kill:shard=0,frame=0,attempt=*,times=*");
+    opts.quarantine_deaths = 2;
+    auto backend = std::make_shared<fc::FleetBackend>(opts);
+    const auto fleet = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, fleet, specs, "quarantined spec");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_EQ(stats.quarantined_specs, 1u);
+    EXPECT_EQ(stats.fallback_specs, 1u);
+    EXPECT_EQ(stats.remote_specs, 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kQuarantine), 1u);
+}
+
+TEST(FleetBackend, CrashLoopDisablesFleetForItsLifetime)
+{
+    // Injected spawn failures, forever: after crash_loop_spawns
+    // consecutive failures the fleet concludes the environment is
+    // broken, disables itself, and everything runs in-process —
+    // loudly, and still bit-identically.
+    auto specs = fig10Specs();
+    specs.resize(4);
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto opts = fleetOptions(2, "spawn-fail:attempt=*,times=*");
+    opts.crash_loop_spawns = 3;
+    auto backend = std::make_shared<fc::FleetBackend>(opts);
+    const auto fleet = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, fleet, specs, "crash loop");
+
+    const auto& stats = backend->lastStats();
+    EXPECT_TRUE(stats.crash_loop);
+    EXPECT_EQ(stats.remote_specs, 0u);
+    EXPECT_EQ(stats.fallback_specs, specs.size());
+    EXPECT_EQ(stats.journal.count(DegradeKind::kCrashLoop), 1u);
+    EXPECT_EQ(stats.journal.count(DegradeKind::kFallback), 1u);
+    EXPECT_TRUE(backend->fleet().disabled());
+}
+
+TEST(FleetBackend, ProfileFnSpecsStayInProcess)
+{
+    // A custom profiling procedure has no wire form; the backend must
+    // keep it local while still dispatching its wire-safe siblings.
+    auto specs = fig10Specs();
+    specs.resize(3);
+    fc::ScenarioSpec custom = specs[1];
+    custom.profile_fn = fc::makeProfileFn(
+        [](fingrav::runtime::HostRuntime& host,
+           const fc::ProfilerOptions& opts, fs::Rng rng) {
+            return fc::Profiler(host, opts, std::move(rng));
+        });
+    specs[1] = custom;
+    const auto serial = fc::CampaignRunner(1).run(specs);
+
+    auto backend = std::make_shared<fc::FleetBackend>(fleetOptions(2));
+    const auto fleet = fc::CampaignRunner(backend).run(specs);
+    expectAllIdentical(serial, fleet, specs, "profile_fn mix");
+    EXPECT_EQ(backend->lastStats().local_specs, 1u);
+    EXPECT_EQ(backend->lastStats().remote_specs, 2u);
+    EXPECT_EQ(backend->lastStats().worker_failures, 0u);
+}
+
+TEST(FleetBackend, ZeroWorkersIsAUserError)
+{
+    fc::FleetOptions opts;
+    opts.workers = 0;
+    EXPECT_THROW(fc::FleetBackend{opts}, fs::FatalError);
+}
+
+TEST(WorkerFleet, DefaultServeCommandMirrorsWorkerCommand)
+{
+    const auto from_cli = fc::defaultServeCommand("/opt/bin/fingrav_cli");
+    ASSERT_EQ(from_cli.size(), 2u);
+    EXPECT_EQ(from_cli[0], "/opt/bin/fingrav_cli");
+    EXPECT_EQ(from_cli[1], "--serve");
+
+    const auto sibling = fc::defaultServeCommand("/opt/bin/bench_fleet");
+    ASSERT_EQ(sibling.size(), 2u);
+    EXPECT_EQ(sibling[0], "/opt/bin/fingrav_cli");
+    EXPECT_EQ(sibling[1], "--serve");
+}

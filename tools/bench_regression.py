@@ -145,6 +145,25 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.20)
     args = parser.parse_args()
 
+    if not os.path.exists(args.current):
+        # The bench artifact is entirely absent (step skipped, bench not
+        # run on this configuration).  That is a pipeline-shape fact, not
+        # a performance regression: report it informationally and exit
+        # clean — malformed JSON, by contrast, still fails the gate.
+        print(
+            f"bench_regression: current artifact {args.current!r} does "
+            "not exist; nothing to gate — informational run"
+        )
+        if args.baseline is not None and os.path.exists(args.baseline):
+            base_name, baseline = load(args.baseline)
+            print(
+                f"bench_regression: previous run of {base_name!r} for "
+                "reference:"
+            )
+            for name, scenario in baseline.items():
+                print_metric_table(name, scenario)
+        return 0
+
     cur_name, current = load(args.current)
 
     if args.baseline is None or not os.path.exists(args.baseline):

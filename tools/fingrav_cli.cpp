@@ -21,36 +21,16 @@
  *   fingrav --worker [--cache-dir DIR]
  *       Shard-worker mode: serve length-prefixed campaign requests on
  *       stdin/stdout (spawned by --shards drivers; not for humans).
+ *   fingrav --serve [--cache-dir DIR]
+ *       Fleet-worker mode: the persistent sibling of --worker — stays
+ *       resident across requests, answers kPing keepalives, exits on
+ *       kShutdown or EOF (spawned by --fleet drivers; not for humans).
  *
- * Common options:
- *   --runs N          override the guidance-table run count
- *   --margin F        override the binning margin (e.g. 0.05)
- *   --window MS       logger averaging window in ms (default 1)
- *   --seed N          simulation seed (default 1)
- *   --sync MODE       fingrav | drift | lang | none
- *   --no-binning      keep every run (tenet S3 off)
- *   --csv NAME        dump profiles to fingrav_out/NAME_{sse,ssp}.csv
- *   --quiet           summary only, no plot
- *   --shards N        dispatch campaigns to N worker processes
- *                     (profile/campaign; paper labels only)
- *   --autotune        also report the autotuned run budget vs Table I
- *                     (profile; paper labels only)
- *   --cache-dir DIR   content-addressed campaign cache: reuse stored
- *                     results bit-identically and store fresh ones
- *                     (profile/campaign; paper labels only)
- *   --no-cache        ignore --cache-dir: execute and store nothing
- *   --io-timeout-ms N worker-pipe inactivity timeout for --shards runs
- *                     (0 = wait forever)
- *   --fault-plan PLAN scripted fault injection for CI fault matrices:
- *                     e.g. "kill:shard=0,frame=1", "corrupt:frame=0",
- *                     "stall:frame=0,ms=2000", "spawn-fail:times=3",
- *                     "store-short" (support/fault_injector.hpp has the
- *                     grammar).  Results stay bit-identical — the
- *                     supervisor retries and falls back — and every
- *                     degradation prints in the run journal.
+ * Common options: see usage() — one flag table covers every command.
  *
- * Unknown options after a command are rejected with the usage text and
- * a nonzero exit — trailing junk is never silently ignored.
+ * Unknown options after a command are rejected with the usage text,
+ * a nearest-flag suggestion, and a nonzero exit — trailing junk is
+ * never silently ignored.
  *
  * Custom kernels (instead of a paper label):
  *   gemm:M,N,K        e.g. gemm:8192,8192,8192
@@ -58,6 +38,7 @@
  *   ag:BYTES | ar:BYTES   e.g. ag:1000000000
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -75,6 +56,7 @@
 #include "fingrav/profiler.hpp"
 #include "fingrav/recorded_campaign.hpp"
 #include "fingrav/shard_backend.hpp"
+#include "fingrav/worker_fleet.hpp"
 #include "kernels/workloads.hpp"
 #include "runtime/host_runtime.hpp"
 #include "runtime/shard_worker.hpp"
@@ -99,7 +81,8 @@ struct CliOptions {
     std::uint64_t seed = 1;
     std::string csv;
     bool quiet = false;
-    std::size_t shards = 0;  ///< 0 = in-process execution
+    std::size_t shards = 0;  ///< 0 = no one-shot shard dispatch
+    std::size_t fleet = 0;   ///< 0 = no persistent fleet dispatch
     bool autotune = false;
     std::string cache_dir;   ///< empty = no campaign cache
     bool no_cache = false;   ///< overrides --cache-dir (aliases/scripts)
@@ -111,35 +94,97 @@ struct CliOptions {
 usage(const char* argv0)
 {
     std::cerr
-        << "usage: " << argv0 << " <command> [args]\n"
-        << "  list                                 list built-in kernels\n"
-        << "  profile <kernel> [options]           run a FinGraV campaign\n"
-        << "  campaign <label> [<label>...]        profile a kernel set\n"
-        << "  compare <kernel-a> <kernel-b>        compare two kernels\n"
-        << "  coschedule <kernel-a> <kernel-b>     evaluate R1 co-scheduling\n"
-        << "  cache stats --cache-dir DIR          survey an on-disk cache\n"
-        << "  --worker [--cache-dir DIR]           serve shard requests on\n"
-        << "                                       stdin/stdout (internal)\n"
-        << "options: --runs N --margin F --window MS --seed N\n"
-        << "         --sync fingrav|drift|lang|none --no-binning\n"
-        << "         --csv NAME --quiet\n"
-        << "         --shards N   dispatch campaigns to N worker processes\n"
-        << "                      (profile/campaign; paper labels only)\n"
-        << "         --autotune   report the autotuned run budget vs\n"
-        << "                      Table I (profile; paper labels only)\n"
-        << "         --cache-dir DIR  reuse/store campaign results in a\n"
-        << "                      content-addressed on-disk cache\n"
-        << "                      (profile/campaign; paper labels only)\n"
-        << "         --no-cache   ignore --cache-dir for this run\n"
-        << "         --io-timeout-ms N  worker-pipe inactivity timeout\n"
-        << "                      for --shards runs (0 = wait forever)\n"
-        << "         --fault-plan PLAN  scripted fault injection, e.g.\n"
-        << "                      kill:shard=0,frame=1 | corrupt:frame=0\n"
-        << "                      | stall:frame=0,ms=2000 | spawn-fail\n"
-        << "                      | store-short  (';'-separated)\n"
+        << "usage: " << argv0 << " <command> [args] [options]\n"
+        << "\n"
+        << "commands:\n"
+        << "  list                               list built-in kernels\n"
+        << "  profile <kernel> [options]         run a FinGraV campaign\n"
+        << "  campaign <label> [<label>...]      profile a kernel set\n"
+        << "  compare <kernel-a> <kernel-b>      compare two kernels\n"
+        << "  coschedule <kernel-a> <kernel-b>   evaluate R1 co-scheduling\n"
+        << "  cache stats --cache-dir DIR        survey an on-disk cache\n"
+        << "  --worker [--cache-dir DIR]         one-shot shard worker on\n"
+        << "                                     stdin/stdout (internal)\n"
+        << "  --serve  [--cache-dir DIR]         persistent fleet worker on\n"
+        << "                                     stdin/stdout (internal)\n"
+        << "\n"
+        << "options (one table; per-flag command scope in parentheses):\n"
+        << "  --runs N           override the guidance-table run count\n"
+        << "  --margin F         override the binning margin (e.g. 0.05)\n"
+        << "  --window MS        logger averaging window in ms (default 1)\n"
+        << "  --seed N           simulation seed (default 1)\n"
+        << "  --sync MODE        fingrav | drift | lang | none\n"
+        << "  --no-binning       keep every run (tenet S3 off)\n"
+        << "  --csv NAME         dump profiles to fingrav_out/NAME_*.csv\n"
+        << "  --quiet            summary only, no plot\n"
+        << "  --shards N         one-shot round-robin dispatch to N worker\n"
+        << "                     subprocesses (profile/campaign; paper\n"
+        << "                     labels only)\n"
+        << "  --fleet N          persistent N-worker fleet with cost-aware\n"
+        << "                     pull dispatch (profile/campaign; paper\n"
+        << "                     labels only; exclusive with --shards)\n"
+        << "  --autotune         report the autotuned run budget vs\n"
+        << "                     Table I (profile; paper labels only)\n"
+        << "  --cache-dir DIR    content-addressed campaign cache: reuse\n"
+        << "                     stored results bit-identically, store\n"
+        << "                     fresh ones (profile/campaign/cache stats;\n"
+        << "                     paper labels only)\n"
+        << "  --no-cache         ignore --cache-dir for this run\n"
+        << "  --io-timeout-ms N  worker-pipe inactivity timeout for\n"
+        << "                     --shards/--fleet runs (0 = wait forever)\n"
+        << "  --fault-plan PLAN  scripted fault injection for CI fault\n"
+        << "                     matrices: kill:shard=0,frame=1 |\n"
+        << "                     corrupt:frame=0 | stall:frame=0,ms=2000 |\n"
+        << "                     spawn-fail | store-short (';'-separated;\n"
+        << "                     grammar in support/fault_injector.hpp)\n"
+        << "\n"
         << "kernels: paper labels (CB-8K-GEMM, MB-4K-GEMV, AG-1GB, ...)\n"
         << "         or gemm:M,N,K | gemv:M | ag:BYTES | ar:BYTES\n";
     std::exit(2);
+}
+
+/** Every flag parseOptions understands (nearest-match suggestions). */
+constexpr const char* kKnownFlags[] = {
+    "--runs",      "--margin",        "--window",     "--seed",
+    "--sync",      "--no-binning",    "--csv",        "--quiet",
+    "--shards",    "--fleet",         "--autotune",   "--cache-dir",
+    "--no-cache",  "--io-timeout-ms", "--fault-plan",
+};
+
+/** Levenshtein distance — small strings, so the O(n*m) table is fine. */
+std::size_t
+editDistance(const std::string& a, const std::string& b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+/** The valid flag closest to a typo, or empty when nothing is close. */
+std::string
+nearestFlag(const std::string& given)
+{
+    std::string best;
+    std::size_t best_distance = 4;  // farther than 3 edits = no guess
+    for (const char* flag : kKnownFlags) {
+        const std::size_t d = editDistance(given, flag);
+        if (d < best_distance) {
+            best_distance = d;
+            best = flag;
+        }
+    }
+    return best;
 }
 
 /** Parse a kernel spec: paper label or gemm:/gemv:/ag:/ar: shorthand. */
@@ -256,6 +301,8 @@ parseOptions(const std::vector<std::string>& args, std::size_t from,
             out.quiet = true;
         } else if (a == "--shards") {
             out.shards = unsigned_value();
+        } else if (a == "--fleet") {
+            out.fleet = unsigned_value();
         } else if (a == "--autotune") {
             out.autotune = true;
         } else if (a == "--cache-dir") {
@@ -271,9 +318,17 @@ parseOptions(const std::vector<std::string>& args, std::size_t from,
             // work runs (FaultPlan::parse is fatal on bad grammar).
             out.fault_plan = fs::FaultPlan::parse(next());
         } else {
-            std::cerr << "error: unknown option '" << a << "'\n";
+            std::cerr << "error: unknown option '" << a << "'";
+            const std::string suggestion = nearestFlag(a);
+            if (!suggestion.empty())
+                std::cerr << " (did you mean '" << suggestion << "'?)";
+            std::cerr << "\n";
             usage(argv0);
         }
+    }
+    if (out.shards > 0 && out.fleet > 0) {
+        fs::fatal("--shards and --fleet are exclusive: pick one-shot "
+                  "round-robin sharding or the persistent fleet");
     }
     return out;
 }
@@ -325,6 +380,50 @@ makeShardBackend(const CliOptions& opts, const char* argv0)
         shard_opts.worker_command.push_back(opts.cache_dir);
     }
     return std::make_shared<fc::ShardBackend>(std::move(shard_opts));
+}
+
+/** A --fleet backend: persistent --serve subprocesses of this binary. */
+std::shared_ptr<fc::FleetBackend>
+makeFleetBackend(const CliOptions& opts, const char* argv0)
+{
+    fc::FleetOptions fleet_opts;
+    fleet_opts.workers = opts.fleet;
+    fleet_opts.worker_command = fc::defaultServeCommand(argv0);
+    fleet_opts.io_timeout_ms = opts.io_timeout_ms;
+    fleet_opts.fault_plan = opts.fault_plan;
+    // Same shared-store rule as --shards: residents read and write the
+    // driver's cache directory directly.
+    if (!opts.cache_dir.empty() && !opts.no_cache) {
+        fleet_opts.worker_command.push_back("--cache-dir");
+        fleet_opts.worker_command.push_back(opts.cache_dir);
+    }
+    return std::make_shared<fc::FleetBackend>(std::move(fleet_opts));
+}
+
+/** reportShardDelivery's analog for the persistent fleet. */
+int
+reportFleetDelivery(const fc::FleetBackend& backend)
+{
+    const auto& stats = backend.lastStats();
+    std::cout << "fleet: " << stats.remote_specs
+              << " spec(s) over the wire (" << stats.workers_spawned
+              << " worker(s) spawned, " << stats.workers_live
+              << " resident, " << stats.pulls << " pull(s)), "
+              << stats.fallback_specs << " recovered in-process, "
+              << stats.local_specs << " process-local\n";
+    if (!stats.journal.empty()) {
+        std::cout << "run journal (" << stats.journal.size()
+                  << " degradation(s), results bit-identical):\n"
+                  << stats.journal.report();
+    }
+    if (stats.fallback_specs > 0) {
+        std::cerr << "error: " << stats.fallback_specs << " spec(s) "
+                     "failed to execute remotely (" << stats.worker_failures
+                  << " worker failure(s)); results above are correct but "
+                     "were recovered in-process\n";
+        return 1;
+    }
+    return 0;
 }
 
 /**
@@ -438,9 +537,10 @@ cmdProfile(const std::vector<std::string>& args, const char* argv0)
     // resolves kernels by paper label (kernelByLabel rejects shorthand
     // specs with the full label list).
     if (opts.autotune) {
-        if (opts.shards > 0) {
-            fs::fatal("--autotune cannot be combined with --shards: "
-                      "autotuning replays a locally recorded run pool");
+        if (opts.shards > 0 || opts.fleet > 0) {
+            fs::fatal("--autotune cannot be combined with "
+                      "--shards/--fleet: autotuning replays a locally "
+                      "recorded run pool");
         }
         fc::ScenarioSpec spec;
         spec.label = args[2];
@@ -452,13 +552,21 @@ cmdProfile(const std::vector<std::string>& args, const char* argv0)
         printProfile(set, opts, &autotune);
         return 0;
     }
-    if (opts.shards > 0) {
+    if (opts.shards > 0 || opts.fleet > 0) {
         fc::ScenarioSpec spec;
         spec.label = args[2];
         spec.seed = opts.seed;
         spec.opts = opts.profiler;
-        const auto backend = makeShardBackend(opts, argv0);
-        const auto runner = fc::CampaignRunner(backend);
+        std::shared_ptr<fc::ShardBackend> shard_backend;
+        std::shared_ptr<fc::FleetBackend> fleet_backend;
+        if (opts.shards > 0)
+            shard_backend = makeShardBackend(opts, argv0);
+        else
+            fleet_backend = makeFleetBackend(opts, argv0);
+        const auto runner =
+            shard_backend
+                ? fc::CampaignRunner(shard_backend)
+                : fc::CampaignRunner(fleet_backend);
         const auto cache = makeCache(opts);
         if (cache)
             runner.attachCache(cache);
@@ -467,7 +575,8 @@ cmdProfile(const std::vector<std::string>& args, const char* argv0)
         printProfile(results.front(), opts);
         if (cache)
             reportCacheStats(*cache);
-        return reportShardDelivery(*backend);
+        return shard_backend ? reportShardDelivery(*shard_backend)
+                             : reportFleetDelivery(*fleet_backend);
     }
     if (const auto cache = makeCache(opts)) {
         // Cached profiling rides the scenario layer like --shards does:
@@ -518,11 +627,15 @@ cmdCampaign(const std::vector<std::string>& args, const char* argv0)
     }
 
     std::shared_ptr<fc::ShardBackend> shard_backend;
+    std::shared_ptr<fc::FleetBackend> fleet_backend;
     if (opts.shards > 0)
         shard_backend = makeShardBackend(opts, argv0);
-    const auto runner = shard_backend
-                            ? fc::CampaignRunner(shard_backend)
-                            : fc::CampaignRunner();
+    else if (opts.fleet > 0)
+        fleet_backend = makeFleetBackend(opts, argv0);
+    const auto runner =
+        shard_backend  ? fc::CampaignRunner(shard_backend)
+        : fleet_backend ? fc::CampaignRunner(fleet_backend)
+                        : fc::CampaignRunner();
     const auto cache = makeCache(opts);
     if (cache)
         runner.attachCache(cache);
@@ -539,6 +652,8 @@ cmdCampaign(const std::vector<std::string>& args, const char* argv0)
               << runner.backend().name() << " backend";
     if (opts.shards > 0)
         std::cout << " (" << opts.shards << " shards)";
+    else if (opts.fleet > 0)
+        std::cout << " (" << opts.fleet << " fleet workers)";
     std::cout << " in " << wall_ms << " ms\n";
     if (cache)
         reportCacheStats(*cache);
@@ -548,7 +663,9 @@ cmdCampaign(const std::vector<std::string>& args, const char* argv0)
         std::cout << "CSV written to fingrav_out/" << opts.csv
                   << "_*.csv\n";
     }
-    return shard_backend ? reportShardDelivery(*shard_backend) : 0;
+    if (shard_backend)
+        return reportShardDelivery(*shard_backend);
+    return fleet_backend ? reportFleetDelivery(*fleet_backend) : 0;
 }
 
 int
@@ -581,8 +698,10 @@ cmdCompare(const std::vector<std::string>& args, const char* argv0)
     if (args.size() < 4)
         fs::fatal("compare needs two kernel specs");
     const auto opts = parseOptions(args, 4, argv0);
-    if (opts.shards > 0 || opts.autotune)
-        fs::fatal("--shards/--autotune are not supported by 'compare'");
+    if (opts.shards > 0 || opts.fleet > 0 || opts.autotune) {
+        fs::fatal("--shards/--fleet/--autotune are not supported by "
+                  "'compare'");
+    }
     const auto a = runCampaign(args[2], opts);
     CliOptions opts_b = opts;
     opts_b.seed += 1;
@@ -611,8 +730,10 @@ cmdCoschedule(const std::vector<std::string>& args, const char* argv0)
     if (args.size() < 4)
         fs::fatal("coschedule needs two kernel specs");
     const auto opts = parseOptions(args, 4, argv0);
-    if (opts.shards > 0 || opts.autotune)
-        fs::fatal("--shards/--autotune are not supported by 'coschedule'");
+    if (opts.shards > 0 || opts.fleet > 0 || opts.autotune) {
+        fs::fatal("--shards/--fleet/--autotune are not supported by "
+                  "'coschedule'");
+    }
     const auto cfg = sim::mi300xConfig();
     const auto a = parseKernel(args[2], cfg);
     const auto b = parseKernel(args[3], cfg);
@@ -648,7 +769,11 @@ main(int argc, char** argv)
         usage(argv[0]);
     try {
         const std::string& cmd = args[1];
-        if (cmd == "--worker") {
+        if (cmd == "--worker" || cmd == "--serve") {
+            // One serve loop covers both: runShardWorker already answers
+            // requests until EOF/kShutdown.  A --shards driver closes the
+            // pipe after one request (one-shot); a --fleet driver keeps
+            // it open and the worker resident.
             // stdout carries protocol frames; keep inform() off it so a
             // status line can never corrupt the stream.
             fs::setLogLevel(fs::LogLevel::kWarn);
