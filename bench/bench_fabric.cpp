@@ -133,7 +133,7 @@ runContendedPair(tools::BenchReport& report)
 
 struct CampaignResult {
     double wall_ms = 0.0;
-    std::vector<std::vector<sim::PowerSample>> samples;
+    std::vector<sim::SampleColumns> samples;
     std::vector<std::vector<sim::GpuDevice::ExecutionRecord>> logs;
 };
 

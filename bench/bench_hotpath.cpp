@@ -71,7 +71,7 @@ wallMs(const std::chrono::steady_clock::time_point& t0)
 struct IdleHeavyResult {
     double wall_ms = 0.0;
     std::vector<sim::GpuDevice::ExecutionRecord> log;
-    std::vector<sim::PowerSample> samples;
+    sim::SampleColumns samples;
     sim::GpuDevice::StepStats stats;
 };
 

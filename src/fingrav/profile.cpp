@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "support/logging.hpp"
+#include "support/simd.hpp"
 
 namespace fingrav::core {
 
@@ -37,7 +38,7 @@ railValue(const sim::PowerSample& s, Rail rail)
       case Rail::kHbm:
         return s.hbm_w;
     }
-    return 0.0;
+    support::fatal("railValue: out-of-enum Rail ", static_cast<int>(rail));
 }
 
 const char*
@@ -103,6 +104,7 @@ PowerProfile::appendTimelineRun(const sim::PowerSample* samples,
     contended_words_.resize((total + 63) / 64, 0);
 
     double* rt = run_time_us_.data() + base;
+    FINGRAV_SIMD_LOOP
     for (std::size_t k = 0; k < n; ++k)
         rt[k] = static_cast<double>(cpu_ns[k] - run_start_cpu_ns) / 1e3;
     std::int64_t* ts = gpu_timestamp_.data() + base;
@@ -117,6 +119,47 @@ PowerProfile::appendTimelineRun(const sim::PowerSample* samples,
         iw[k] = samples[k].iod_w;
         hw[k] = samples[k].hbm_w;
     }
+    for (std::size_t k = 0; k < n; ++k) {
+        if (contended[k]) {
+            const std::size_t i = base + k;
+            contended_words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+        }
+    }
+    size_ = total;
+}
+
+void
+PowerProfile::appendTimelineRun(const sim::SampleColumns& samples,
+                                const std::int64_t* cpu_ns,
+                                const std::uint8_t* contended,
+                                std::int64_t run_start_cpu_ns,
+                                std::size_t run_index)
+{
+    const std::size_t n = samples.size();
+    const std::size_t base = size_;
+    const std::size_t total = base + n;
+    toi_us_.resize(total, 0.0);
+    toi_frac_.resize(total, 0.0);
+    run_time_us_.resize(total);
+    run_index_.resize(total, static_cast<std::uint64_t>(run_index));
+    exec_index_.resize(total, 0);
+
+    // The rail and timestamp columns already exist contiguously in the
+    // capture block — straight column-to-column bulk copies.
+    gpu_timestamp_.insert(gpu_timestamp_.end(), samples.gpu_timestamp.begin(),
+                          samples.gpu_timestamp.end());
+    total_w_.insert(total_w_.end(), samples.total_w.begin(),
+                    samples.total_w.end());
+    xcd_w_.insert(xcd_w_.end(), samples.xcd_w.begin(), samples.xcd_w.end());
+    iod_w_.insert(iod_w_.end(), samples.iod_w.begin(), samples.iod_w.end());
+    hbm_w_.insert(hbm_w_.end(), samples.hbm_w.begin(), samples.hbm_w.end());
+
+    double* rt = run_time_us_.data() + base;
+    FINGRAV_SIMD_LOOP
+    for (std::size_t k = 0; k < n; ++k)
+        rt[k] = static_cast<double>(cpu_ns[k] - run_start_cpu_ns) / 1e3;
+
+    contended_words_.resize((total + 63) / 64, 0);
     for (std::size_t k = 0; k < n; ++k) {
         if (contended[k]) {
             const std::size_t i = base + k;
@@ -216,7 +259,9 @@ PowerProfile::railColumn(Rail rail) const
       case Rail::kHbm:
         return hbm_w_;
     }
-    return total_w_;
+    // An out-of-enum Rail is a caller bug; silently reading the total
+    // column here used to mask it.
+    support::fatal("railColumn: out-of-enum Rail ", static_cast<int>(rail));
 }
 
 RailStats
@@ -245,30 +290,17 @@ PowerProfile::railStats(Rail rail, ContentionFilter filter) const
         return st;
     }
 
+    // Filtered path: the bitmap-guarded reduction the autovectorizer
+    // balks on — routed through the SIMD shim's word-skipping kernel
+    // (scalar fallback under FINGRAV_SIMD_SCALAR), which visits selected
+    // points in the same order as the former branchy loop, bit for bit.
     const bool want = filter == ContentionFilter::kContended;
-    const double* v = col.data();
-    double acc = 0.0;
-    double mn = 0.0;
-    double mx = 0.0;
-    std::size_t n = 0;
-    for (std::size_t i = 0; i < size_; ++i) {
-        if (contendedBit(i) != want)
-            continue;
-        const double x = v[i];
-        if (n == 0) {
-            mn = x;
-            mx = x;
-        } else {
-            mn = std::min(mn, x);
-            mx = std::max(mx, x);
-        }
-        acc += x;
-        ++n;
-    }
-    st.count = n;
-    st.sum = acc;
-    st.min = mn;
-    st.max = mx;
+    const auto r = support::simd::filteredReduce(
+        col.data(), contended_words_.data(), size_, want);
+    st.count = r.count;
+    st.sum = r.sum;
+    st.min = r.min;
+    st.max = r.max;
     return st;
 }
 

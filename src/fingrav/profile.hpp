@@ -155,6 +155,18 @@ class PowerProfile {
                            std::size_t run_index);
 
     /**
+     * Columnar form: the run's samples arrive as capture-time columns
+     * (sim::SampleColumns) and are bulk-copied column to column — no
+     * row materialization, no transpose.  Bit-identical to the pointer
+     * overload fed the same rows.
+     */
+    void appendTimelineRun(const sim::SampleColumns& samples,
+                           const std::int64_t* cpu_ns,
+                           const std::uint8_t* contended,
+                           std::int64_t run_start_cpu_ns,
+                           std::size_t run_index);
+
+    /**
      * Adopt fully-built columns wholesale (the codec's zero-copy decode
      * lands here): every column must hold exactly `n` elements and
      * `contended_words` must hold (n + 63) / 64 packed bits with all

@@ -74,15 +74,13 @@ measureKernelExecTime(runtime::HostRuntime& host, support::Rng& rng,
 std::size_t
 sspIndexFromExplore(const ProfileDifferentiator& differ, const TimeSync& sync,
                     const RunRecord& explore,
-                    const std::vector<sim::PowerSample>& samples,
+                    const sim::SampleColumns& samples,
                     std::size_t formula, const ProfilerOptions& opts,
                     std::size_t explore_execs)
 {
-    std::vector<double> series;
-    series.reserve(samples.size());
-    for (const auto& s : samples)
-        series.push_back(s.total_w);
-    const std::size_t stable_sample = differ.detectStabilization(series);
+    // The stabilization series *is* the total-power column — no copy.
+    const std::size_t stable_sample =
+        differ.detectStabilization(samples.total_w);
 
     std::size_t detected = explore_execs;
     if (stable_sample < samples.size()) {
@@ -90,7 +88,7 @@ sspIndexFromExplore(const ProfileDifferentiator& differ, const TimeSync& sync,
         // region starts with the first execution launched entirely after
         // that window, so no SSP LOI straddles the settling transient.
         const auto stable_cpu =
-            sync.gpuCounterToCpuNs(samples[stable_sample].gpu_timestamp);
+            sync.gpuCounterToCpuNs(samples.gpu_timestamp[stable_sample]);
         for (std::size_t j = 0; j < explore.main_exec_indices.size(); ++j) {
             if (explore.execs[explore.main_exec_indices[j]]
                     .timing.cpu_start_ns >= stable_cpu) {

@@ -151,7 +151,7 @@ support::Duration measureKernelExecTime(runtime::HostRuntime& host,
 std::size_t sspIndexFromExplore(const ProfileDifferentiator& differ,
                                 const TimeSync& sync,
                                 const RunRecord& explore,
-                                const std::vector<sim::PowerSample>& samples,
+                                const sim::SampleColumns& samples,
                                 std::size_t formula,
                                 const ProfilerOptions& opts,
                                 std::size_t explore_execs);

@@ -75,9 +75,10 @@ struct RunRecord {
     std::size_t run_index = 0;
     std::vector<ExecObservation> execs;         ///< in execution order
     std::vector<std::size_t> main_exec_indices; ///< indices into execs
-    std::vector<sim::PowerSample> samples;      ///< the run's power log
+    /** The run's power log, columnar end to end from capture. */
+    sim::SampleColumns samples;
     /** Per extra window (RunPlan::extra_windows order): that logger's log. */
-    std::vector<std::vector<sim::PowerSample>> extra_samples;
+    std::vector<sim::SampleColumns> extra_samples;
     std::int64_t run_start_cpu_ns = 0;          ///< first execution start
     std::int64_t log_start_cpu_ns = 0;          ///< power-log start call
     /**

@@ -5,6 +5,7 @@
 
 #include "fingrav/binning.hpp"
 #include "support/logging.hpp"
+#include "support/simd.hpp"
 
 namespace fingrav::core {
 
@@ -25,7 +26,7 @@ repTime(const RunRecord& run, const ProfileSet& out)
 std::int64_t
 translateSample(const ProfilerOptions& opts, const TimeSync& sync,
                 Duration tick, const RunRecord& run,
-                const sim::PowerSample& s)
+                std::int64_t gpu_timestamp)
 {
     if (opts.sync_mode == SyncMode::kCoarseAlign) {
         // Naive alignment: pretend the first sample of the run's log
@@ -36,10 +37,10 @@ translateSample(const ProfilerOptions& opts, const TimeSync& sync,
         if (run.samples.empty())
             return run.log_start_cpu_ns;
         return run.log_start_cpu_ns +
-               (s.gpu_timestamp - run.samples.front().gpu_timestamp) *
+               (gpu_timestamp - run.samples.gpu_timestamp.front()) *
                    tick.nanos();
     }
-    return sync.gpuCounterToCpuNs(s.gpu_timestamp);
+    return sync.gpuCounterToCpuNs(gpu_timestamp);
 }
 
 }  // namespace
@@ -51,11 +52,26 @@ ProfileStitcher::ProfileStitcher(const ProfilerOptions& opts,
 {
 }
 
-std::int64_t
-ProfileStitcher::sampleCpuNs(const RunRecord& run,
-                             const sim::PowerSample& s) const
+void
+ProfileStitcher::translateSamples(const RunRecord& run,
+                                  std::vector<std::int64_t>& out) const
 {
-    return translateSample(opts_, *sync_, tick_, run, s);
+    const std::size_t m = run.samples.size();
+    out.resize(m);
+    const std::int64_t* ts = run.samples.gpu_timestamp.data();
+    if (opts_.sync_mode == SyncMode::kCoarseAlign) {
+        const std::int64_t t0 = m > 0 ? ts[0] : 0;
+        const std::int64_t base = run.log_start_cpu_ns;
+        const std::int64_t tick = tick_.nanos();
+        std::int64_t* o = out.data();
+        FINGRAV_SIMD_LOOP
+        for (std::size_t k = 0; k < m; ++k)
+            o[k] = base + (ts[k] - t0) * tick;
+        return;
+    }
+    // Whole-column translation (one call, vectorized element-exact math)
+    // instead of one gpuCounterToCpuNs call per sample.
+    sync_->translateColumn(ts, m, out.data());
 }
 
 namespace {
@@ -139,9 +155,7 @@ ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
     RunCache& rc = run_caches_[run_idx];
     if (!rc.aligned) {
         const std::size_t m = run.samples.size();
-        rc.sample_cpu_ns.reserve(m);
-        for (const auto& s : run.samples)
-            rc.sample_cpu_ns.push_back(sampleCpuNs(run, s));
+        translateSamples(run, rc.sample_cpu_ns);
         // Contention flags in the same pass discipline: sample times
         // ascend and the contention intervals are merged and ascending,
         // so one forward merge resolves every flag — same containment
@@ -173,14 +187,17 @@ ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
             timing.cpu_end_ns - timing.cpu_start_ns);
         if (dur_ns <= 0.0)
             continue;
-        while (si < n && cpu[si] < timing.cpu_start_ns)
-            ++si;
+        // Boundary scans through the SIMD shim's 4-wide branchless
+        // advance (scalar fallback under FINGRAV_SIMD_SCALAR): same
+        // indices as the former advance-while-less loops, `cpu` ascends.
+        si = support::simd::scanGe(cpu.data(), si, n, timing.cpu_start_ns);
         const bool is_sse = j == out.sse_exec_index;
         const bool is_ssp = j >= out.ssp_exec_index;
         if (!is_sse && !is_ssp)
             continue;
-        for (std::size_t k = si; k < n && cpu[k] <= timing.cpu_end_ns;
-             ++k) {
+        const std::size_t ke =
+            support::simd::scanGt(cpu.data(), si, n, timing.cpu_end_ns);
+        for (std::size_t k = si; k < ke; ++k) {
             const double toi_ns =
                 static_cast<double>(cpu[k] - timing.cpu_start_ns);
             const double toi_us = toi_ns / 1e3;
@@ -198,9 +215,9 @@ ProfileStitcher::appendRun(const RunRecord& run, std::size_t run_idx,
     }
 
     // Timeline view: every sample of the run in run-relative time,
-    // bulk-appended column-wise.
-    out.timeline.appendTimelineRun(run.samples.data(), cpu.data(),
-                                   rc.contended.data(), n,
+    // bulk-copied capture columns → profile columns (no transpose).
+    out.timeline.appendTimelineRun(run.samples, cpu.data(),
+                                   rc.contended.data(),
                                    run.run_start_cpu_ns, run.run_index);
 }
 
@@ -236,6 +253,13 @@ ProfileStitcher::restitch(const std::vector<RunRecord>& runs, std::size_t n,
     }
 
     const std::size_t from = incremental ? stitched_golden_.size() : 0;
+    // Every sample of every appended run lands in the timeline, and the
+    // capture columns carry their sizes — reserve the whole extent once
+    // so the per-run bulk appends never re-allocate the profile columns.
+    std::size_t extra = 0;
+    for (std::size_t g = from; g < golden.size(); ++g)
+        extra += runs[golden[g]].samples.size();
+    out.timeline.reserve(out.timeline.size() + extra);
     for (std::size_t g = from; g < golden.size(); ++g) {
         const std::size_t idx = golden[g];
         ssp_time_us_.add(run_caches_[idx].rep_time.toMicros());
@@ -278,7 +302,8 @@ ProfileStitcher::stitchReference(const ProfilerOptions& opts,
             if (dur_ns <= 0.0)
                 continue;
             for (const auto& s : run.samples) {
-                const auto cpu = translateSample(opts, sync, tick, run, s);
+                const auto cpu =
+                    translateSample(opts, sync, tick, run, s.gpu_timestamp);
                 if (cpu < timing.cpu_start_ns || cpu > timing.cpu_end_ns)
                     continue;
                 ProfilePoint p;
@@ -300,7 +325,8 @@ ProfileStitcher::stitchReference(const ProfilerOptions& opts,
         }
 
         for (const auto& s : run.samples) {
-            const auto cpu = translateSample(opts, sync, tick, run, s);
+            const auto cpu =
+                translateSample(opts, sync, tick, run, s.gpu_timestamp);
             ProfilePoint p;
             p.run_time_us =
                 static_cast<double>(cpu - run.run_start_cpu_ns) / 1e3;

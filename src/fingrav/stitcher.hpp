@@ -105,9 +105,13 @@ class ProfileStitcher {
         std::vector<std::uint8_t> contended;
     };
 
-    /** Translate one sample under the configured sync mode. */
-    std::int64_t sampleCpuNs(const RunRecord& run,
-                             const sim::PowerSample& s) const;
+    /**
+     * Translate a run's whole timestamp column into CPU nanoseconds
+     * under the configured sync mode (one vectorized pass; element-wise
+     * identical to the former per-sample translation).
+     */
+    void translateSamples(const RunRecord& run,
+                          std::vector<std::int64_t>& out) const;
 
     /** Extend per-run caches to cover the first `n` runs. */
     void updateCaches(const std::vector<RunRecord>& runs, std::size_t n,

@@ -1,6 +1,7 @@
 #include "fingrav/time_sync.hpp"
 
 #include "support/logging.hpp"
+#include "support/simd.hpp"
 
 namespace fingrav::core {
 
@@ -65,6 +66,22 @@ TimeSync::gpuCounterToCpuNs(std::int64_t counter) const
     // (the paper's approach); with it, the affine rate is divided out.
     const double rate = 1.0 + drift_ppm_ * 1e-6;
     return anchor_cpu_ns_ + static_cast<std::int64_t>(d_gpu / rate);
+}
+
+void
+TimeSync::translateColumn(const std::int64_t* counters, std::size_t n,
+                          std::int64_t* out) const
+{
+    const std::int64_t tick = tick_ns_;
+    const std::int64_t anchor_gpu = anchor_gpu_ns_;
+    const std::int64_t anchor_cpu = anchor_cpu_ns_;
+    const double rate = 1.0 + drift_ppm_ * 1e-6;
+    FINGRAV_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d_gpu =
+            static_cast<double>(counters[i] * tick - anchor_gpu);
+        out[i] = anchor_cpu + static_cast<std::int64_t>(d_gpu / rate);
+    }
 }
 
 }  // namespace fingrav::core

@@ -19,6 +19,7 @@
  * translation into an affine fit.
  */
 
+#include <cstddef>
 #include <cstdint>
 
 #include "runtime/host_runtime.hpp"
@@ -59,6 +60,17 @@ class TimeSync {
 
     /** Translate a GPU counter value into CPU-clock nanoseconds. */
     std::int64_t gpuCounterToCpuNs(std::int64_t counter) const;
+
+    /**
+     * Translate a whole timestamp column: out[i] =
+     * gpuCounterToCpuNs(counters[i]), bit for bit.  Every per-element
+     * operation (integer scale, double cast, one division, truncating
+     * cast back) is IEEE-exact per lane, so the vectorized loop cannot
+     * diverge from the scalar call — the stitcher's alignment cache is
+     * filled through here instead of one call per sample.
+     */
+    void translateColumn(const std::int64_t* counters, std::size_t n,
+                         std::int64_t* out) const;
 
     /** The benchmarked read delay. */
     support::Duration readDelay() const { return read_delay_; }

@@ -282,7 +282,7 @@ HostRuntime::startPowerLog(std::size_t device, support::Duration window)
     logger->start(cpu_now_);
 }
 
-std::vector<sim::PowerSample>
+sim::SampleColumns
 HostRuntime::stopPowerLog(std::size_t device, support::Duration window)
 {
     sim::PowerLogger* logger = nullptr;

@@ -188,7 +188,7 @@ class HostRuntime {
      *                capturing logger (fatal when several are capturing —
      *                multi-window captures must address each by window).
      */
-    std::vector<sim::PowerSample>
+    sim::SampleColumns
     stopPowerLog(std::size_t device = 0,
                  support::Duration window = support::Duration());
 

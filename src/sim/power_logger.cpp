@@ -69,21 +69,19 @@ void
 PowerLogger::emitWindow(std::int64_t window_end_gpu_ns)
 {
     const double w_ns = static_cast<double>(window_.nanos());
-    PowerSample s;
-    s.gpu_timestamp =
-        window_end_gpu_ns / gpu_clock_.tick().nanos();
-    s.xcd_w = acc_xcd_ / w_ns;
-    s.iod_w = acc_iod_ / w_ns;
-    s.hbm_w = acc_hbm_ / w_ns;
+    const std::int64_t ts = window_end_gpu_ns / gpu_clock_.tick().nanos();
+    double xcd = acc_xcd_ / w_ns;
+    double iod = acc_iod_ / w_ns;
+    double hbm = acc_hbm_ / w_ns;
     double misc = acc_misc_ / w_ns;
     if (noise_w_ > 0.0) {
-        s.xcd_w += rng_.normal(0.0, noise_w_);
-        s.iod_w += rng_.normal(0.0, noise_w_);
-        s.hbm_w += rng_.normal(0.0, noise_w_);
+        xcd += rng_.normal(0.0, noise_w_);
+        iod += rng_.normal(0.0, noise_w_);
+        hbm += rng_.normal(0.0, noise_w_);
         misc += rng_.normal(0.0, noise_w_ * 0.5);
     }
-    s.total_w = s.xcd_w + s.iod_w + s.hbm_w + misc;
-    samples_.push_back(s);
+    // Appended column-wise: samples are never staged as row structs.
+    samples_.push(ts, xcd + iod + hbm + misc, xcd, iod, hbm);
 }
 
 void

@@ -40,27 +40,11 @@
 
 #include "sim/clock_domain.hpp"
 #include "sim/power_model.hpp"
+#include "sim/sample_columns.hpp"
 #include "support/rng.hpp"
 #include "support/time_types.hpp"
 
 namespace fingrav::sim {
-
-/** One emitted power log entry. */
-struct PowerSample {
-    std::int64_t gpu_timestamp = 0;  ///< GPU counter ticks at window end
-    double total_w = 0.0;            ///< window-average VR output power
-    double xcd_w = 0.0;              ///< window-average XCD rail power
-    double iod_w = 0.0;              ///< window-average IOD rail power
-    double hbm_w = 0.0;              ///< window-average HBM rail power
-};
-
-/** Bitwise sample equality (stepping-mode equivalence checks). */
-inline bool
-operator==(const PowerSample& a, const PowerSample& b)
-{
-    return a.gpu_timestamp == b.gpu_timestamp && a.total_w == b.total_w &&
-           a.xcd_w == b.xcd_w && a.iod_w == b.iod_w && a.hbm_w == b.hbm_w;
-}
 
 /** Windowed-averaging power logger on the GPU clock. */
 class PowerLogger {
@@ -101,7 +85,7 @@ class PowerLogger {
         return (gpu_now / w + 1) * w;
     }
 
-    /** Pre-grow the sample buffer by `n` additional samples. */
+    /** Pre-grow the sample columns by `n` additional samples. */
     void
     reserveSamples(std::size_t n)
     {
@@ -117,8 +101,13 @@ class PowerLogger {
     /** True while capturing. */
     bool capturing() const { return capturing_; }
 
-    /** All samples captured since construction. */
-    const std::vector<PowerSample>& samples() const { return samples_; }
+    /**
+     * All samples captured since construction, as columns: samples are
+     * *born* columnar here (one append per field as each window closes)
+     * and stay columnar through RunRecord into the stitcher — the row
+     * view (SampleColumns::operator[]) is for point-wise consumers.
+     */
+    const SampleColumns& samples() const { return samples_; }
 
     /** Drop captured samples (capture state is unaffected). */
     void clearSamples() { samples_.clear(); }
@@ -150,7 +139,7 @@ class PowerLogger {
     RailPower seg_rails_;
     std::int64_t seg_span_ns_ = 0;
 
-    std::vector<PowerSample> samples_;
+    SampleColumns samples_;
 };
 
 }  // namespace fingrav::sim

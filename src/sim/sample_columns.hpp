@@ -1,0 +1,160 @@
+#ifndef FINGRAV_SIM_SAMPLE_COLUMNS_HPP_
+#define FINGRAV_SIM_SAMPLE_COLUMNS_HPP_
+
+/**
+ * @file
+ * Columnar power-sample storage — the capture-time SoA block.
+ *
+ * PR 6 made the *stitched* profile columnar; SampleColumns extends the
+ * treatment upstream to capture time.  PowerLogger appends straight into
+ * these columns as windows close, RunRecord carries them through the
+ * pipeline, and PowerProfile::appendTimelineRun bulk-copies them — no
+ * AoS→SoA transpose anywhere between window emission and the stitched
+ * profile.
+ *
+ * PowerSample stays the point-at-a-time exchange type: operator[] and the
+ * row iterator materialize one on demand, so point-wise callers (tests,
+ * oracles, examples) are source-compatible with the retired
+ * std::vector<PowerSample> layout.  The columns are public — kernels
+ * index them directly — with the equal-length invariant maintained by
+ * the mutators below; code mutating columns directly must keep it.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace fingrav::sim {
+
+/** One emitted power log entry (the row view of SampleColumns). */
+struct PowerSample {
+    std::int64_t gpu_timestamp = 0;  ///< GPU counter ticks at window end
+    double total_w = 0.0;            ///< window-average VR output power
+    double xcd_w = 0.0;              ///< window-average XCD rail power
+    double iod_w = 0.0;              ///< window-average IOD rail power
+    double hbm_w = 0.0;              ///< window-average HBM rail power
+};
+
+/** Bitwise sample equality (stepping-mode equivalence checks). */
+inline bool
+operator==(const PowerSample& a, const PowerSample& b)
+{
+    return a.gpu_timestamp == b.gpu_timestamp && a.total_w == b.total_w &&
+           a.xcd_w == b.xcd_w && a.iod_w == b.iod_w && a.hbm_w == b.hbm_w;
+}
+
+/** A run's power log, one contiguous column per sample field. */
+struct SampleColumns {
+    std::vector<std::int64_t> gpu_timestamp;
+    std::vector<double> total_w;
+    std::vector<double> xcd_w;
+    std::vector<double> iod_w;
+    std::vector<double> hbm_w;
+
+    std::size_t size() const { return gpu_timestamp.size(); }
+    bool empty() const { return gpu_timestamp.empty(); }
+
+    void
+    clear()
+    {
+        gpu_timestamp.clear();
+        total_w.clear();
+        xcd_w.clear();
+        iod_w.clear();
+        hbm_w.clear();
+    }
+
+    /** Reserve capacity (absolute, vector semantics) in every column. */
+    void
+    reserve(std::size_t n)
+    {
+        gpu_timestamp.reserve(n);
+        total_w.reserve(n);
+        xcd_w.reserve(n);
+        iod_w.reserve(n);
+        hbm_w.reserve(n);
+    }
+
+    /** Append one row field-wise (the logger's emission path). */
+    void
+    push(std::int64_t ts, double total, double xcd, double iod, double hbm)
+    {
+        gpu_timestamp.push_back(ts);
+        total_w.push_back(total);
+        xcd_w.push_back(xcd);
+        iod_w.push_back(iod);
+        hbm_w.push_back(hbm);
+    }
+
+    /** Append one row from the exchange type. */
+    void
+    push_back(const PowerSample& s)
+    {
+        push(s.gpu_timestamp, s.total_w, s.xcd_w, s.iod_w, s.hbm_w);
+    }
+
+    /** Materialize row i. */
+    PowerSample
+    operator[](std::size_t i) const
+    {
+        PowerSample s;
+        s.gpu_timestamp = gpu_timestamp[i];
+        s.total_w = total_w[i];
+        s.xcd_w = xcd_w[i];
+        s.iod_w = iod_w[i];
+        s.hbm_w = hbm_w[i];
+        return s;
+    }
+
+    /** Materialize the first/last row (columns must be non-empty). */
+    PowerSample front() const { return (*this)[0]; }
+    PowerSample back() const { return (*this)[size() - 1]; }
+
+    // -- row view (source compatibility with the AoS layout) -------------
+
+    /** Iterator materializing PowerSamples from the columns on demand. */
+    class RowIterator {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = PowerSample;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const PowerSample*;
+        using reference = PowerSample;
+
+        RowIterator(const SampleColumns* c, std::size_t i) : cols_(c), i_(i)
+        {
+        }
+
+        PowerSample operator*() const { return (*cols_)[i_]; }
+        RowIterator& operator++() { ++i_; return *this; }
+        RowIterator operator++(int) { auto c = *this; ++i_; return c; }
+        bool operator==(const RowIterator& o) const { return i_ == o.i_; }
+        bool operator!=(const RowIterator& o) const { return i_ != o.i_; }
+
+      private:
+        const SampleColumns* cols_;
+        std::size_t i_;
+    };
+
+    RowIterator begin() const { return {this, 0}; }
+    RowIterator end() const { return {this, size()}; }
+};
+
+/** Bitwise column equality (thread-count / replay equivalence checks). */
+inline bool
+operator==(const SampleColumns& a, const SampleColumns& b)
+{
+    return a.gpu_timestamp == b.gpu_timestamp && a.total_w == b.total_w &&
+           a.xcd_w == b.xcd_w && a.iod_w == b.iod_w && a.hbm_w == b.hbm_w;
+}
+
+inline bool
+operator!=(const SampleColumns& a, const SampleColumns& b)
+{
+    return !(a == b);
+}
+
+}  // namespace fingrav::sim
+
+#endif  // FINGRAV_SIM_SAMPLE_COLUMNS_HPP_

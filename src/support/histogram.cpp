@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/logging.hpp"
+#include "support/simd.hpp"
 
 namespace fingrav::support {
 
@@ -35,13 +36,24 @@ Histogram::addColumn(const std::vector<double>& xs)
     const double width = width_;
     const auto last = static_cast<std::ptrdiff_t>(counts_.size()) - 1;
     std::size_t* counts = counts_.data();
-    for (const double x : xs) {
-        // Same bucket index as add(): (x - lo) / width truncated, then
-        // clamped.  Multiplying by a precomputed reciprocal would round
-        // differently near bucket edges, so the division stays.
-        auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
-        idx = std::clamp<std::ptrdiff_t>(idx, 0, last);
-        ++counts[static_cast<std::size_t>(idx)];
+    // Two-phase fill: the bucket-index arithmetic is element-independent
+    // and vectorizes (same (x - lo) / width truncation as add() — a
+    // precomputed reciprocal would round differently near bucket edges,
+    // so the division stays); the count scatter cannot (two lanes may
+    // hit the same bucket), so it runs scalar over a small index block.
+    constexpr std::size_t kBlock = 256;
+    std::ptrdiff_t idx[kBlock];
+    const double* v = xs.data();
+    const std::size_t n = xs.size();
+    for (std::size_t base = 0; base < n; base += kBlock) {
+        const std::size_t m = n - base < kBlock ? n - base : kBlock;
+        FINGRAV_SIMD_LOOP
+        for (std::size_t k = 0; k < m; ++k) {
+            auto i = static_cast<std::ptrdiff_t>((v[base + k] - lo) / width);
+            idx[k] = i < 0 ? 0 : (i > last ? last : i);
+        }
+        for (std::size_t k = 0; k < m; ++k)
+            ++counts[static_cast<std::size_t>(idx[k])];
     }
     total_ += xs.size();
 }

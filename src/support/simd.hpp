@@ -1,0 +1,269 @@
+#ifndef FINGRAV_SUPPORT_SIMD_HPP_
+#define FINGRAV_SUPPORT_SIMD_HPP_
+
+/**
+ * @file
+ * Portable SIMD shim for the data-plane kernels.
+ *
+ * The columnar kernels (PR 6) lean on the autovectorizer, which balks on
+ * two shapes: reductions guarded by a per-point bitmap test (the filtered
+ * railStats path) and data-dependent advance-while-less scans (the
+ * two-pointer stitch alignment).  This header makes those explicit, in
+ * two forms:
+ *
+ *  - FINGRAV_SIMD_LOOP — a vectorize-me hint placed before loops whose
+ *    element-wise operations are IEEE-exact per lane (casts, divisions,
+ *    comparisons), so vectorizing cannot change a single bit;
+ *  - manual kernels — word-level bitmap skipping for filtered reductions
+ *    and 4-wide branchless boundary scans, written so every element is
+ *    visited in the same order as the scalar loop they replace.
+ *
+ * Bit-identity is the repo-wide contract: none of these kernels may
+ * reassociate a floating-point sum.  The filtered reduction therefore
+ * accumulates strictly in point order — the SIMD win comes from skipping
+ * 64 unselected points per bitmap word and running dense words without a
+ * per-point branch, not from multi-lane accumulators.
+ *
+ * Every kernel keeps its scalar reference implementation compiled (the
+ * *Scalar functions below); tests pit the two against each other, and
+ * building with -DFINGRAV_FORCE_SCALAR_SIMD=ON (CMake option, defines
+ * FINGRAV_SIMD_SCALAR) routes all callers through the scalar fallbacks so
+ * both paths stay built, tested and bit-identical.
+ */
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(FINGRAV_SIMD_SCALAR)
+#if defined(__clang__)
+#define FINGRAV_SIMD_LOOP _Pragma("clang loop vectorize(assume_safety)")
+#elif defined(__GNUC__)
+#define FINGRAV_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define FINGRAV_SIMD_LOOP
+#endif
+#else
+#define FINGRAV_SIMD_LOOP
+#endif
+
+namespace fingrav::support::simd {
+
+/** True when the manual kernels and vectorize hints are active. */
+#if defined(FINGRAV_SIMD_SCALAR)
+inline constexpr bool kSimdEnabled = false;
+#else
+inline constexpr bool kSimdEnabled = true;
+#endif
+
+/** Outcome of a bitmap-filtered reduction (count, ordered sum, extrema). */
+struct FilteredReduce {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;  ///< 0 when count == 0
+};
+
+/**
+ * Scalar oracle: reduce v[i] over the points whose packed bit (64 per
+ * word, LSB-first) equals `want`, testing every point individually.
+ * This is the pre-PR railStats filtered loop, verbatim.
+ */
+inline FilteredReduce
+filteredReduceScalar(const double* v, const std::uint64_t* words,
+                     std::size_t n, bool want)
+{
+    FilteredReduce r;
+    double acc = 0.0;
+    double mn = 0.0;
+    double mx = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool bit = (words[i >> 6] >> (i & 63)) & 1u;
+        if (bit != want)
+            continue;
+        const double x = v[i];
+        if (count == 0) {
+            mn = x;
+            mx = x;
+        } else {
+            // Exactly std::min(mn, x) / std::max(mx, x) — the tie
+            // behaviour (and hence -0.0/+0.0 bits) of the pre-PR loop.
+            mn = x < mn ? x : mn;
+            mx = mx < x ? x : mx;
+        }
+        acc += x;
+        ++count;
+    }
+    r.count = count;
+    r.sum = acc;
+    r.min = mn;
+    r.max = mx;
+    return r;
+}
+
+#if !defined(FINGRAV_SIMD_SCALAR)
+
+/**
+ * Word-skipping kernel: bit-identical to filteredReduceScalar (elements
+ * are visited in exactly the same ascending order), but a bitmap word
+ * that selects nothing skips 64 points in one test, a word that selects
+ * everything runs a dense branch-free block, and mixed words iterate
+ * their set bits via count-trailing-zeros.
+ */
+inline FilteredReduce
+filteredReduce(const double* v, const std::uint64_t* words, std::size_t n,
+               bool want)
+{
+    FilteredReduce r;
+    double acc = 0.0;
+    double mn = 0.0;
+    double mx = 0.0;
+    std::size_t count = 0;
+    const std::size_t nwords = (n + 63) / 64;
+    for (std::size_t w = 0; w < nwords; ++w) {
+        std::uint64_t sel = want ? words[w] : ~words[w];
+        const std::size_t base = w * 64;
+        const std::size_t in_word = n - base < 64 ? n - base : 64;
+        if (in_word < 64)
+            sel &= (std::uint64_t{1} << in_word) - 1;
+        if (sel == 0)
+            continue;
+        if (count == 0) {
+            const double x0 =
+                v[base + static_cast<std::size_t>(std::countr_zero(sel))];
+            mn = x0;
+            mx = x0;
+        }
+        if (sel == ~std::uint64_t{0}) {
+            // Dense word: no per-point bitmap test at all.  The sum stays
+            // a strict in-order accumulation (the bit-identity contract);
+            // min/max chains are branchless selects.
+            for (std::size_t k = 0; k < 64; ++k) {
+                const double x = v[base + k];
+                acc += x;
+                mn = x < mn ? x : mn;
+                mx = mx < x ? x : mx;
+            }
+            count += 64;
+            continue;
+        }
+        // Mixed word: LSB-first bit iteration == ascending point order.
+        while (sel != 0) {
+            const auto k = static_cast<std::size_t>(std::countr_zero(sel));
+            const double x = v[base + k];
+            acc += x;
+            mn = x < mn ? x : mn;
+            mx = mx < x ? x : mx;
+            ++count;
+            sel &= sel - 1;
+        }
+    }
+    r.count = count;
+    r.sum = acc;
+    r.min = mn;
+    r.max = mx;
+    return r;
+}
+
+#else
+
+inline FilteredReduce
+filteredReduce(const double* v, const std::uint64_t* words, std::size_t n,
+               bool want)
+{
+    return filteredReduceScalar(v, words, n, want);
+}
+
+#endif  // FINGRAV_SIMD_SCALAR
+
+/**
+ * Scalar oracle: first index i in [from, n) with v[i] >= bound.
+ * `v` must ascend (the stitcher's translated sample times).
+ */
+inline std::size_t
+scanGeScalar(const std::int64_t* v, std::size_t from, std::size_t n,
+             std::int64_t bound)
+{
+    std::size_t i = from;
+    while (i < n && v[i] < bound)
+        ++i;
+    return i;
+}
+
+/** Scalar oracle: first index i in [from, n) with v[i] > bound. */
+inline std::size_t
+scanGtScalar(const std::int64_t* v, std::size_t from, std::size_t n,
+             std::int64_t bound)
+{
+    std::size_t i = from;
+    while (i < n && v[i] <= bound)
+        ++i;
+    return i;
+}
+
+#if !defined(FINGRAV_SIMD_SCALAR)
+
+/**
+ * 4-wide advance-while-less: because v ascends, the four comparisons in a
+ * block are monotone (ones then zeros), so their branchless sum *is* the
+ * offset of the first element >= bound within the block.
+ */
+inline std::size_t
+scanGe(const std::int64_t* v, std::size_t from, std::size_t n,
+       std::int64_t bound)
+{
+    std::size_t i = from;
+    for (; i + 4 <= n; i += 4) {
+        const std::size_t c = static_cast<std::size_t>(v[i] < bound) +
+                              static_cast<std::size_t>(v[i + 1] < bound) +
+                              static_cast<std::size_t>(v[i + 2] < bound) +
+                              static_cast<std::size_t>(v[i + 3] < bound);
+        if (c < 4)
+            return i + c;
+    }
+    while (i < n && v[i] < bound)
+        ++i;
+    return i;
+}
+
+/** 4-wide variant of scanGtScalar (first index with v[i] > bound). */
+inline std::size_t
+scanGt(const std::int64_t* v, std::size_t from, std::size_t n,
+       std::int64_t bound)
+{
+    std::size_t i = from;
+    for (; i + 4 <= n; i += 4) {
+        const std::size_t c = static_cast<std::size_t>(v[i] <= bound) +
+                              static_cast<std::size_t>(v[i + 1] <= bound) +
+                              static_cast<std::size_t>(v[i + 2] <= bound) +
+                              static_cast<std::size_t>(v[i + 3] <= bound);
+        if (c < 4)
+            return i + c;
+    }
+    while (i < n && v[i] <= bound)
+        ++i;
+    return i;
+}
+
+#else
+
+inline std::size_t
+scanGe(const std::int64_t* v, std::size_t from, std::size_t n,
+       std::int64_t bound)
+{
+    return scanGeScalar(v, from, n, bound);
+}
+
+inline std::size_t
+scanGt(const std::int64_t* v, std::size_t from, std::size_t n,
+       std::int64_t bound)
+{
+    return scanGtScalar(v, from, n, bound);
+}
+
+#endif  // FINGRAV_SIMD_SCALAR
+
+}  // namespace fingrav::support::simd
+
+#endif  // FINGRAV_SUPPORT_SIMD_HPP_

@@ -35,7 +35,7 @@ namespace {
 
 /** Everything observable a scenario produced, per device. */
 struct NodeTrace {
-    std::vector<std::vector<sim::PowerSample>> samples;
+    std::vector<sim::SampleColumns> samples;
     std::vector<std::vector<sim::GpuDevice::ExecutionRecord>> logs;
 };
 

@@ -38,7 +38,9 @@
 #include "support/logging.hpp"
 #include "support/polyfit.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/statistics.hpp"
+#include "support/time_types.hpp"
 
 namespace fa = fingrav::analysis;
 namespace fc = fingrav::core;
@@ -597,4 +599,380 @@ TEST(ProfileSoa, StitchReferenceIdentityOnFig10Kernels)
         ASSERT_TRUE(fc::identicalProfileSets(incremental, reference))
             << label;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar capture (SampleColumns end to end from the logger)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * One instrumented run on a 2-GPU node with multi-window capture,
+ * executed under the given advance-thread count.  Everything else —
+ * seeds, plan, delays — is identical, so the capture columns must be.
+ */
+fc::RunRecord
+captureRun(std::size_t threads)
+{
+    auto cfg = sim::mi300xConfig();
+    cfg.node_gpus = 2;
+    cfg.advance_threads = threads;
+    sim::Simulation simulation(cfg, 6006, 2);
+    rt::HostRuntime host(simulation, simulation.forkRng(3));
+    fc::RunExecutor exec(host, simulation.forkRng(5));
+
+    fc::RunPlan plan;
+    plan.main = fk::kernelByLabel("CB-4K-GEMM", cfg);
+    plan.blocks = 2;
+    plan.main_execs_per_block = 3;
+    plan.extra_windows = {fs::Duration::micros(300.0),
+                          fs::Duration::millis(5.0)};
+    return exec.executeRun(plan, 0);
+}
+
+void
+expectSameColumns(const sim::SampleColumns& a, const sim::SampleColumns& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(a == b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a[i] == b[i]) << "row " << i;
+}
+
+}  // namespace
+
+TEST(ProfileSoa, CaptureColumnsBitIdenticalAcrossAdvanceThreads)
+{
+    const auto serial = captureRun(1);
+    const auto two = captureRun(2);
+    const auto eight = captureRun(8);
+
+    // The scenario must actually capture, in every window.
+    ASSERT_FALSE(serial.samples.empty());
+    ASSERT_EQ(serial.extra_samples.size(), 2u);
+    ASSERT_FALSE(serial.extra_samples[0].empty());
+    ASSERT_FALSE(serial.extra_samples[1].empty());
+    // The finer extra window emits more rows than the coarser one.
+    EXPECT_GT(serial.extra_samples[0].size(), serial.extra_samples[1].size());
+
+    expectSameColumns(serial.samples, two.samples);
+    expectSameColumns(serial.samples, eight.samples);
+    for (std::size_t w = 0; w < serial.extra_samples.size(); ++w) {
+        expectSameColumns(serial.extra_samples[w], two.extra_samples[w]);
+        expectSameColumns(serial.extra_samples[w], eight.extra_samples[w]);
+    }
+}
+
+TEST(ProfileSoa, SampleColumnsRowViewMatchesColumnsBitwise)
+{
+    const auto rec = captureRun(1);
+    const auto& cols = rec.samples;
+    ASSERT_FALSE(cols.empty());
+
+    // The row iterator and operator[] materialize exactly the columns.
+    std::size_t i = 0;
+    for (const sim::PowerSample s : cols) {
+        EXPECT_EQ(s.gpu_timestamp, cols.gpu_timestamp[i]);
+        EXPECT_EQ(bits(s.total_w), bits(cols.total_w[i]));
+        EXPECT_EQ(bits(s.xcd_w), bits(cols.xcd_w[i]));
+        EXPECT_EQ(bits(s.iod_w), bits(cols.iod_w[i]));
+        EXPECT_EQ(bits(s.hbm_w), bits(cols.hbm_w[i]));
+        ++i;
+    }
+    EXPECT_EQ(i, cols.size());
+    EXPECT_TRUE(cols.front() == cols[0]);
+    EXPECT_TRUE(cols.back() == cols[cols.size() - 1]);
+
+    // Round trip through the point-at-a-time exchange type.
+    sim::SampleColumns rebuilt;
+    rebuilt.reserve(cols.size());
+    for (const sim::PowerSample s : cols)
+        rebuilt.push_back(s);
+    EXPECT_TRUE(rebuilt == cols);
+    rebuilt.clear();
+    EXPECT_TRUE(rebuilt.empty());
+    EXPECT_FALSE(rebuilt == cols);
+}
+
+TEST(ProfileSoa, EmptySampleRunsStitchToNothing)
+{
+    const auto cfg = sim::mi300xConfig();
+    sim::Simulation simulation(cfg, 808, 1);
+    rt::HostRuntime host(simulation, simulation.forkRng(7));
+    fc::RunExecutor exec(host, simulation.forkRng(9));
+    const auto sync = fc::TimeSync::calibrate(host);
+
+    fc::RunPlan plan;
+    plan.main = fk::kernelByLabel("AR-64KB", cfg);
+    plan.main_execs_per_block = 12;
+
+    fc::ProfilerOptions opts;
+    opts.margin_override = 0.5;
+
+    // A run captured without power carries empty columns end to end and
+    // contributes nothing to any profile.
+    std::vector<fc::RunRecord> runs;
+    runs.push_back(exec.executeRun(plan, 0, /*with_power=*/false));
+    ASSERT_TRUE(runs[0].samples.empty());
+    {
+        fc::ProfileSet set;
+        set.sse_exec_index = 2;
+        set.ssp_exec_index = 5;
+        fc::ProfileStitcher stitcher(opts, sync, host.timestampTick());
+        stitcher.restitch(runs, set);
+        EXPECT_EQ(set.timeline.size(), 0u);
+        EXPECT_EQ(set.sse.size(), 0u);
+        EXPECT_EQ(set.ssp.size(), 0u);
+    }
+
+    // Alongside a powered run the empty one still adds zero points: the
+    // pair stitches to exactly what the powered run stitches to alone.
+    runs.push_back(exec.executeRun(plan, 1));
+    ASSERT_FALSE(runs[1].samples.empty());
+    fc::ProfileSet both;
+    both.sse_exec_index = 2;
+    both.ssp_exec_index = 5;
+    {
+        fc::ProfileStitcher stitcher(opts, sync, host.timestampTick());
+        stitcher.restitch(runs, both);
+    }
+    std::vector<fc::RunRecord> powered_only{runs[1]};
+    fc::ProfileSet only;
+    only.sse_exec_index = 2;
+    only.ssp_exec_index = 5;
+    {
+        fc::ProfileStitcher stitcher(opts, sync, host.timestampTick());
+        stitcher.restitch(powered_only, only);
+    }
+    ASSERT_EQ(both.timeline.size(), only.timeline.size());
+    for (std::size_t i = 0; i < both.timeline.size(); ++i) {
+        const auto a = both.timeline.point(i);
+        const auto b = only.timeline.point(i);
+        EXPECT_EQ(a.sample.gpu_timestamp, b.sample.gpu_timestamp);
+        EXPECT_EQ(bits(a.run_time_us), bits(b.run_time_us));
+        EXPECT_EQ(bits(a.sample.total_w), bits(b.sample.total_w));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunRecord::contendedAt (binary search over merged intervals)
+// ---------------------------------------------------------------------------
+
+TEST(ProfileSoa, ContendedAtEdgeCases)
+{
+    fc::RunRecord rec;
+    // No intervals: nowhere is contended.
+    EXPECT_FALSE(rec.contendedAt(0));
+    EXPECT_FALSE(rec.contendedAt(-1));
+    EXPECT_FALSE(rec.contendedAt(std::numeric_limits<std::int64_t>::max()));
+
+    // Half-open [start, end) intervals, including a back-to-back pair.
+    rec.contended_cpu_ns = {{100, 200}, {200, 300}, {500, 600}};
+    EXPECT_FALSE(rec.contendedAt(99));
+    EXPECT_TRUE(rec.contendedAt(100));  // start is inclusive
+    EXPECT_TRUE(rec.contendedAt(199));
+    EXPECT_TRUE(rec.contendedAt(200));  // seam of [100,200),[200,300)
+    EXPECT_TRUE(rec.contendedAt(299));
+    EXPECT_FALSE(rec.contendedAt(300));  // end is exclusive
+    EXPECT_FALSE(rec.contendedAt(400));  // gap
+    EXPECT_FALSE(rec.contendedAt(499));
+    EXPECT_TRUE(rec.contendedAt(500));
+    EXPECT_TRUE(rec.contendedAt(599));
+    EXPECT_FALSE(rec.contendedAt(600));
+    EXPECT_FALSE(rec.contendedAt(1LL << 40));
+
+    // Single point-adjacent interval boundaries under randomized probes:
+    // the binary search must agree with a linear containment scan.
+    fs::Rng rng(314);
+    fc::RunRecord fuzz;
+    std::int64_t t = 0;
+    for (int i = 0; i < 40; ++i) {
+        t += rng.uniformInt(0, 50);  // zero gap => back-to-back allowed
+        const std::int64_t end = t + 1 + rng.uniformInt(0, 80);
+        if (!fuzz.contended_cpu_ns.empty() &&
+            fuzz.contended_cpu_ns.back().second == t) {
+            // keep the merged-ascending invariant: extend instead
+            fuzz.contended_cpu_ns.back().second = end;
+        } else {
+            fuzz.contended_cpu_ns.emplace_back(t, end);
+        }
+        t = end;
+    }
+    for (int probe = 0; probe < 2000; ++probe) {
+        const std::int64_t q = rng.uniformInt(-10, t + 10);
+        bool linear = false;
+        for (const auto& iv : fuzz.contended_cpu_ns)
+            linear |= q >= iv.first && q < iv.second;
+        EXPECT_EQ(fuzz.contendedAt(q), linear) << "q=" << q;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD shim kernels vs their compiled-in scalar oracles
+// ---------------------------------------------------------------------------
+
+TEST(ProfileSoa, FilteredReduceKernelMatchesScalarOracleBitwise)
+{
+    fs::Rng rng(2718);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+          std::size_t{65}, std::size_t{127}, std::size_t{128},
+          std::size_t{129}, std::size_t{1000}}) {
+        std::vector<double> v(n);
+        for (double& x : v)
+            x = edgeDouble(rng);
+        const std::size_t nwords = (n + 63) / 64;
+        // Adversarial bitmap patterns: nothing selected, everything
+        // selected, uniform random, and blocky words (the shapes that hit
+        // the kernel's skip / dense / mixed word paths), each with
+        // garbage beyond bit n-1 in the tail word — both sides mask it.
+        for (int pattern = 0; pattern < 4; ++pattern) {
+            std::vector<std::uint64_t> words(nwords, 0);
+            for (std::size_t w = 0; w < nwords; ++w) {
+                switch (pattern) {
+                  case 0:
+                    words[w] = 0;
+                    break;
+                  case 1:
+                    words[w] = ~std::uint64_t{0};
+                    break;
+                  case 2:
+                    words[w] = static_cast<std::uint64_t>(
+                        rng.uniformInt(0, std::numeric_limits<std::int64_t>::max()));
+                    break;
+                  default:
+                    words[w] = w % 3 == 0   ? 0
+                               : w % 3 == 1 ? ~std::uint64_t{0}
+                                            : std::uint64_t{0xF0F0F0F0F0F0F0F0};
+                    break;
+                }
+            }
+            if (nwords > 0 && n % 64 != 0 && pattern == 0)
+                words.back() = ~std::uint64_t{0} << (n % 64);  // tail garbage
+            for (const bool want : {false, true}) {
+                const auto a = fs::simd::filteredReduceScalar(
+                    v.data(), words.data(), n, want);
+                const auto b =
+                    fs::simd::filteredReduce(v.data(), words.data(), n, want);
+                EXPECT_EQ(a.count, b.count)
+                    << "n=" << n << " pat=" << pattern << " want=" << want;
+                EXPECT_EQ(bits(a.sum), bits(b.sum)) << "n=" << n;
+                EXPECT_EQ(bits(a.min), bits(b.min)) << "n=" << n;
+                EXPECT_EQ(bits(a.max), bits(b.max)) << "n=" << n;
+            }
+        }
+    }
+}
+
+TEST(ProfileSoa, FilteredRailStatsMatchesOracleOnProfileBitmap)
+{
+    fs::Rng rng(5050);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{130}, std::size_t{2000}}) {
+        const auto c = randomCloud(rng, n, fc::ProfileKind::kTimeline);
+        for (const fc::Rail rail : kRails) {
+            const auto& col = c.profile.railColumn(rail);
+            for (const bool want : {false, true}) {
+                const auto expect = fs::simd::filteredReduceScalar(
+                    col.data(), c.profile.contendedWords().data(), n, want);
+                const auto st = c.profile.railStats(
+                    rail, want ? fc::ContentionFilter::kContended
+                               : fc::ContentionFilter::kUncontended);
+                EXPECT_EQ(st.count, expect.count);
+                EXPECT_EQ(bits(st.sum), bits(expect.sum));
+                EXPECT_EQ(bits(st.min), bits(expect.min));
+                EXPECT_EQ(bits(st.max), bits(expect.max));
+            }
+        }
+    }
+}
+
+TEST(ProfileSoa, BoundaryScansMatchScalarOracle)
+{
+    fs::Rng rng(99);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+          std::size_t{4}, std::size_t{5}, std::size_t{7}, std::size_t{8},
+          std::size_t{1000}}) {
+        // Ascending with plateaus: zero increments make duplicate runs,
+        // the case where >= and > boundaries land at different indices.
+        std::vector<std::int64_t> v(n);
+        std::int64_t x = rng.uniformInt(-100, 100);
+        for (std::size_t i = 0; i < n; ++i) {
+            x += rng.uniformInt(0, 3);
+            v[i] = x;
+        }
+        std::vector<std::int64_t> bounds = {
+            std::numeric_limits<std::int64_t>::min(), -200, 200,
+            std::numeric_limits<std::int64_t>::max()};
+        for (const std::int64_t b : v) {
+            bounds.push_back(b - 1);
+            bounds.push_back(b);
+            bounds.push_back(b + 1);
+        }
+        for (const std::size_t from :
+             {std::size_t{0}, n / 3, n == 0 ? 0 : n - 1, n}) {
+            for (const std::int64_t b : bounds) {
+                EXPECT_EQ(fs::simd::scanGe(v.data(), from, n, b),
+                          fs::simd::scanGeScalar(v.data(), from, n, b))
+                    << "n=" << n << " from=" << from << " bound=" << b;
+                EXPECT_EQ(fs::simd::scanGt(v.data(), from, n, b),
+                          fs::simd::scanGtScalar(v.data(), from, n, b))
+                    << "n=" << n << " from=" << from << " bound=" << b;
+            }
+        }
+    }
+}
+
+TEST(ProfileSoa, TranslateColumnMatchesPerElementTranslation)
+{
+    const auto cfg = sim::mi300xConfig();
+    sim::Simulation simulation(cfg, 515, 1);
+    rt::HostRuntime host(simulation, simulation.forkRng(2));
+    auto sync = fc::TimeSync::calibrate(host);
+    const std::int64_t tick_ns = host.timestampTick().nanos();
+    const std::int64_t anchor = sync.anchorGpuNs() / tick_ns;
+
+    fs::Rng rng(77);
+    const auto check = [&](const fc::TimeSync& s) {
+        std::vector<std::int64_t> counters;
+        counters.reserve(803);
+        // Ascending counters straddling the anchor (some before it).
+        std::int64_t c = anchor - 2'000'000;
+        for (std::size_t i = 0; i < 803; ++i) {  // odd count: unrolled tail
+            c += rng.uniformInt(0, 40'000);
+            counters.push_back(c);
+        }
+        std::vector<std::int64_t> out(counters.size());
+        s.translateColumn(counters.data(), counters.size(), out.data());
+        for (std::size_t i = 0; i < counters.size(); ++i)
+            EXPECT_EQ(out[i], s.gpuCounterToCpuNs(counters[i])) << "i=" << i;
+        // Degenerate length.
+        s.translateColumn(counters.data(), 0, out.data());
+    };
+
+    check(sync);  // anchor-only mapping (zero drift)
+    host.sleep(fs::Duration::millis(150.0));
+    sync.addDriftAnchor(host);
+    check(sync);  // drift-compensated mapping
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-enum rails are fatal, not silently coerced
+// ---------------------------------------------------------------------------
+
+TEST(ProfileSoa, OutOfEnumRailIsFatal)
+{
+    fs::Rng rng(1);
+    const auto c = randomCloud(rng, 8, fc::ProfileKind::kTimeline);
+    EXPECT_THROW(c.profile.railColumn(static_cast<fc::Rail>(99)),
+                 fs::FatalError);
+    EXPECT_THROW(c.profile.railStats(static_cast<fc::Rail>(99)),
+                 fs::FatalError);
+    EXPECT_THROW(fc::railValue(sim::PowerSample{}, static_cast<fc::Rail>(99)),
+                 fs::FatalError);
+    // In-range rails keep working.
+    for (const fc::Rail rail : kRails)
+        EXPECT_EQ(c.profile.railColumn(rail).size(), 8u);
 }

@@ -89,8 +89,8 @@ lightKernel(fs::Duration d)
 
 struct ScenarioResult {
     std::vector<sim::GpuDevice::ExecutionRecord> log;
-    std::vector<sim::PowerSample> samples_slow;
-    std::vector<sim::PowerSample> samples_fast;
+    sim::SampleColumns samples_slow;
+    sim::SampleColumns samples_fast;
     sim::GpuDevice::StepStats stats;
 };
 
@@ -148,7 +148,7 @@ struct GoldenExec {
 };
 
 double
-sumTotalW(const std::vector<sim::PowerSample>& samples)
+sumTotalW(const sim::SampleColumns& samples)
 {
     double sum = 0.0;
     for (const auto& s : samples)
